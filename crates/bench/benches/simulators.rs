@@ -1,0 +1,61 @@
+//! Criterion benchmarks for the simulators themselves (throughput of the
+//! emulator, the window analyzer, and the Multiscalar timing model).
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use mds_core::Policy;
+use mds_emu::Emulator;
+use mds_multiscalar::{MsConfig, Multiscalar};
+use mds_ooo::{WindowAnalyzer, WindowConfig};
+use mds_workloads::{by_name, Scale};
+use std::hint::black_box;
+
+fn trace_len(p: &mds_isa::Program) -> u64 {
+    Emulator::new(p).run_with(|_| {}).unwrap().instructions
+}
+
+fn bench_emulator(c: &mut Criterion) {
+    let p = (by_name("compress").unwrap().build)(Scale::Tiny);
+    let n = trace_len(&p);
+    let mut g = c.benchmark_group("emulator");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("compress_tiny", |b| {
+        b.iter(|| {
+            let mut count = 0u64;
+            Emulator::new(&p).run_with(|_| count += 1).unwrap();
+            black_box(count)
+        });
+    });
+    g.finish();
+}
+
+fn bench_window_analyzer(c: &mut Criterion) {
+    let p = (by_name("compress").unwrap().build)(Scale::Tiny);
+    let n = trace_len(&p);
+    let mut g = c.benchmark_group("window_analyzer");
+    g.throughput(Throughput::Elements(n));
+    g.bench_function("compress_tiny_7ws", |b| {
+        b.iter(|| {
+            let mut a = WindowAnalyzer::new(WindowConfig::default());
+            Emulator::new(&p).run_with(|d| a.observe(d)).unwrap();
+            black_box(a.finish().instructions)
+        });
+    });
+    g.finish();
+}
+
+fn bench_multiscalar(c: &mut Criterion) {
+    let p = (by_name("compress").unwrap().build)(Scale::Tiny);
+    let n = trace_len(&p);
+    let mut g = c.benchmark_group("multiscalar");
+    g.throughput(Throughput::Elements(n));
+    for policy in [Policy::Always, Policy::Esync] {
+        g.bench_function(format!("compress_tiny_8st_{policy}"), |b| {
+            let sim = Multiscalar::new(MsConfig::paper(8, policy));
+            b.iter(|| black_box(sim.run(&p).unwrap().cycles));
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_emulator, bench_window_analyzer, bench_multiscalar);
+criterion_main!(benches);

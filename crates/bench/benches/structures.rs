@@ -1,0 +1,134 @@
+//! Criterion micro-benchmarks for the core hardware structures.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use mds_core::{Ddc, DepEdge, Mdpt, MdptConfig, Mdst, SyncUnit, SyncUnitConfig};
+use mds_mem::{BankedCache, BankedCacheConfig, Bus, Cache, CacheConfig};
+use mds_predict::{LruTable, PathHistory, PathPredictor, SatCounter};
+use std::hint::black_box;
+
+fn bench_mdpt(c: &mut Criterion) {
+    c.bench_function("mdpt_lookup_hit", |b| {
+        let mut mdpt = Mdpt::new(MdptConfig::default());
+        for i in 0..64u32 {
+            mdpt.allocate(DepEdge::new(i, i + 1000), 1, None);
+        }
+        let mut pc = 1000u32;
+        b.iter(|| {
+            pc = 1000 + (pc + 1) % 64;
+            black_box(mdpt.predicting_for_load(black_box(pc)).len())
+        });
+    });
+    c.bench_function("mdpt_allocate_evict", |b| {
+        let mut mdpt = Mdpt::new(MdptConfig { capacity: 64, ..Default::default() });
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            mdpt.allocate(DepEdge::new(i % 1000, (i % 1000) + 1000), 1, None);
+        });
+    });
+}
+
+fn bench_mdst(c: &mut Criterion) {
+    c.bench_function("mdst_sync_roundtrip", |b| {
+        let mut mdst = Mdst::new(512);
+        let edge = DepEdge::new(3, 7);
+        let mut inst = 0u64;
+        b.iter(|| {
+            inst += 1;
+            mdst.sync_load(edge, inst, 1);
+            black_box(mdst.sync_store(edge, inst, 2));
+        });
+    });
+}
+
+fn bench_sync_unit(c: &mut Criterion) {
+    c.bench_function("sync_unit_load_store", |b| {
+        let mut unit = SyncUnit::new(SyncUnitConfig { stages: 8, ..Default::default() });
+        unit.record_misspeculation(DepEdge::new(3, 7), 1, None);
+        let mut inst = 1u64;
+        b.iter(|| {
+            inst += 1;
+            unit.on_load_ready(7, inst, inst as u32, None);
+            black_box(unit.on_store_issue(3, inst - 1, 0).len());
+            unit.release_load(inst as u32);
+        });
+    });
+}
+
+fn bench_ddc(c: &mut Criterion) {
+    c.bench_function("ddc_observe", |b| {
+        let mut ddc = Ddc::new(128);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            black_box(ddc.observe(DepEdge::new(i % 200, i % 200 + 1)));
+        });
+    });
+}
+
+fn bench_predict(c: &mut Criterion) {
+    c.bench_function("sat_counter", |b| {
+        let mut ctr = SatCounter::new(3, 3);
+        b.iter(|| {
+            ctr.incr();
+            ctr.decr();
+            black_box(ctr.is_at_least(3))
+        });
+    });
+    c.bench_function("lru_table_get_insert", |b| {
+        let mut t: LruTable<u64, u64> = LruTable::new(1024);
+        let mut i = 0u64;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            t.insert(i % 2048, i);
+            black_box(t.get(&(i % 2048)).copied())
+        });
+    });
+    c.bench_function("path_predictor", |b| {
+        let mut p = PathPredictor::new(4096, 4);
+        let mut hist = PathHistory::new(4);
+        let mut i = 0u32;
+        b.iter(|| {
+            i = i.wrapping_add(1);
+            let h = hist.hash();
+            let pred = p.predict(i % 64, h);
+            p.update(i % 64, h, i % 7);
+            hist.push(i % 7);
+            black_box(pred)
+        });
+    });
+}
+
+fn bench_caches(c: &mut Criterion) {
+    c.bench_function("cache_access", |b| {
+        let mut cache =
+            Cache::new(CacheConfig { size_bytes: 8 * 1024, ways: 1, block_bytes: 64 });
+        let mut addr = 0u64;
+        b.iter(|| {
+            addr = addr.wrapping_add(64) % (64 * 1024);
+            black_box(cache.access(addr, false))
+        });
+    });
+    c.bench_function("banked_cache_access", |b| {
+        let mut dc = BankedCache::new(BankedCacheConfig::paper_default(8));
+        let mut bus = Bus::paper_default();
+        let mut now = 0u64;
+        let mut addr = 0u64;
+        b.iter(|| {
+            now += 1;
+            addr = addr.wrapping_add(8) % (32 * 1024);
+            black_box(dc.access(now, addr, false, &mut bus).done_at)
+        });
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_mdpt,
+    bench_mdst,
+    bench_sync_unit,
+    bench_ddc,
+    bench_predict,
+    bench_caches
+);
+criterion_main!(benches);

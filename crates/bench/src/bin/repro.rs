@@ -1,0 +1,129 @@
+//! `repro` — regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--scale tiny|small|full] [--markdown] <experiment>...
+//!
+//! experiments:
+//!   table1 table2 table3 table4 table5 table6 table7 table8 table9
+//!   fig5 fig6 fig7
+//!   ablate-mdpt ablate-counter ablate-tagging ablate-ooo
+//!   all          every table and figure above
+//!   ablations    the four ablation studies
+//! ```
+//!
+//! The default scale is `small` (the reproduction default documented in
+//! EXPERIMENTS.md); `tiny` is for smoke tests, `full` approaches the
+//! paper's run lengths.
+
+use mds_bench::Harness;
+use mds_sim::table::Table;
+use mds_workloads::Scale;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: repro [--scale tiny|small|full] [--markdown] <experiment>...\n\
+         experiments: table1..table9 fig5 fig6 fig7 ablate-mdpt ablate-counter \
+         ablate-tagging ablate-ooo all ablations"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut scale = Scale::Small;
+    let mut markdown = false;
+    let mut wanted: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" => {
+                let Some(v) = args.next() else { return usage() };
+                scale = match v.as_str() {
+                    "tiny" => Scale::Tiny,
+                    "small" => Scale::Small,
+                    "full" => Scale::Full,
+                    _ => return usage(),
+                };
+            }
+            "--markdown" => markdown = true,
+            "--help" | "-h" => {
+                usage();
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => return usage(),
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        return usage();
+    }
+
+    let mut h = Harness::new(scale);
+    let emit = |title: &str, table: &Table, markdown: bool| {
+        println!("## {title}\n");
+        if markdown {
+            println!("{}", table.render_markdown());
+        } else {
+            println!("{}", table.render());
+        }
+    };
+
+    for want in &wanted {
+        match want.as_str() {
+            "all" => {
+                for (id, title, table) in mds_bench::all_experiments(&mut h) {
+                    emit(&format!("{id}: {title}"), &table, markdown);
+                }
+            }
+            "ablations" => {
+                emit("ablate-mdpt: MDPT capacity sweep", &mds_bench::ablate_mdpt(&mut h), markdown);
+                emit(
+                    "ablate-tagging: distance vs address instance tags",
+                    &mds_bench::ablate_tagging(&mut h),
+                    markdown,
+                );
+                emit(
+                    "ablate-counter: prediction counter sweep",
+                    &mds_bench::ablate_counter(&mut h),
+                    markdown,
+                );
+                emit(
+                    "ablate-ooo: policies on the superscalar model",
+                    &mds_bench::ablate_ooo(&mut h),
+                    markdown,
+                );
+            }
+            "table1" => emit("table1: dynamic instruction counts", &mds_bench::table1(&mut h), markdown),
+            "table2" => emit("table2: functional unit latencies", &mds_bench::table2(), markdown),
+            "table3" => emit("table3: mis-speculations vs window size", &mds_bench::table3(&mut h), markdown),
+            "table4" => emit(
+                "table4: static dependences covering 99.9% of mis-speculations",
+                &mds_bench::table4(&mut h),
+                markdown,
+            ),
+            "table5" => emit("table5: DDC miss rates (unrealistic OOO)", &mds_bench::table5(&mut h), markdown),
+            "table6" => emit("table6: Multiscalar mis-speculations", &mds_bench::table6(&mut h), markdown),
+            "table7" => emit("table7: Multiscalar DDC miss rates", &mds_bench::table7(&mut h), markdown),
+            "table8" => emit("table8: prediction breakdown", &mds_bench::table8(&mut h), markdown),
+            "table9" => emit("table9: mis-speculations per committed load", &mds_bench::table9(&mut h), markdown),
+            "fig5" => emit("fig5: ALWAYS/WAIT/PSYNC over NEVER", &mds_bench::fig5(&mut h), markdown),
+            "fig6" => emit("fig6: SYNC/ESYNC/PSYNC over ALWAYS", &mds_bench::fig6(&mut h), markdown),
+            "fig7" => emit("fig7: SPEC95 over ALWAYS (8 stages)", &mds_bench::fig7(&mut h), markdown),
+            "ablate-mdpt" => emit("ablate-mdpt: MDPT capacity sweep", &mds_bench::ablate_mdpt(&mut h), markdown),
+            "ablate-tagging" => emit(
+                "ablate-tagging: distance vs address instance tags",
+                &mds_bench::ablate_tagging(&mut h),
+                markdown,
+            ),
+            "ablate-counter" => {
+                emit("ablate-counter: prediction counter sweep", &mds_bench::ablate_counter(&mut h), markdown)
+            }
+            "ablate-ooo" => {
+                emit("ablate-ooo: policies on the superscalar model", &mds_bench::ablate_ooo(&mut h), markdown)
+            }
+            _ => return usage(),
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,540 @@
+//! The reproduction harness: one generator per table and figure of the
+//! paper, shared by the `repro` binary and the integration tests.
+//!
+//! Everything is driven by a [`Harness`], which builds each workload once
+//! per scale and memoizes Multiscalar runs keyed by
+//! `(workload, stages, policy)` — the same run feeds several tables, and
+//! the full reproduction reuses it everywhere.
+//!
+//! # Examples
+//!
+//! ```
+//! use mds_bench::Harness;
+//! use mds_workloads::Scale;
+//!
+//! let mut h = Harness::new(Scale::Tiny);
+//! let t3 = mds_bench::table3(&mut h);
+//! assert!(t3.render().contains("compress"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use mds_core::Policy;
+use mds_emu::Emulator;
+use mds_isa::Program;
+use mds_multiscalar::{FuLatencies, MsConfig, MsResult, Multiscalar};
+use mds_ooo::{OooConfig, OooSim, WindowAnalyzer, WindowConfig, WindowReport};
+use mds_sim::table::{fmt_abbrev, fmt_count, Table};
+use mds_workloads::{int92_suite, spec95_suite, Scale, Workload};
+use std::collections::HashMap;
+
+/// The DDC sizes measured in tables 5 and 7.
+pub const DDC_SIZES_TABLE5: [usize; 3] = [32, 128, 512];
+/// The DDC sizes swept in table 7.
+pub const DDC_SIZES_TABLE7: [usize; 7] = [16, 32, 64, 128, 256, 512, 1024];
+/// The window sizes of the unrealistic-OOO studies (tables 3–5).
+pub const WINDOW_SIZES: [u32; 7] = [8, 16, 32, 64, 128, 256, 512];
+
+/// Builds programs once and memoizes every simulation run.
+pub struct Harness {
+    scale: Scale,
+    programs: HashMap<&'static str, Program>,
+    ms_runs: HashMap<(&'static str, usize, Policy), MsResult>,
+    window_reports: HashMap<&'static str, WindowReport>,
+}
+
+impl Harness {
+    /// Creates a harness at the given workload scale.
+    pub fn new(scale: Scale) -> Self {
+        Harness {
+            scale,
+            programs: HashMap::new(),
+            ms_runs: HashMap::new(),
+            window_reports: HashMap::new(),
+        }
+    }
+
+    /// The scale this harness runs at.
+    pub fn scale(&self) -> Scale {
+        self.scale
+    }
+
+    /// The program for a workload (built once).
+    pub fn program(&mut self, wl: &Workload) -> &Program {
+        let scale = self.scale;
+        self.programs.entry(wl.name).or_insert_with(|| (wl.build)(scale))
+    }
+
+    /// A memoized Multiscalar run. ALWAYS runs carry the table 7 DDC
+    /// sweep so mis-speculation locality comes for free.
+    pub fn run(&mut self, wl: &Workload, stages: usize, policy: Policy) -> MsResult {
+        let key = (wl.name, stages, policy);
+        if let Some(r) = self.ms_runs.get(&key) {
+            return r.clone();
+        }
+        let program = self.program(wl).clone();
+        let mut config = MsConfig::paper(stages, policy);
+        if policy == Policy::Always {
+            config = config.with_ddc_sizes(&DDC_SIZES_TABLE7);
+        }
+        let result = Multiscalar::new(config)
+            .run(&program)
+            .expect("workloads run to completion");
+        self.ms_runs.insert(key, result.clone());
+        result
+    }
+
+    /// A memoized unrealistic-OOO window analysis (tables 3–5).
+    pub fn window_report(&mut self, wl: &Workload) -> WindowReport {
+        if let Some(r) = self.window_reports.get(wl.name) {
+            return r.clone();
+        }
+        let program = self.program(wl).clone();
+        let mut analyzer = WindowAnalyzer::new(WindowConfig {
+            window_sizes: WINDOW_SIZES.to_vec(),
+            ddc_sizes: DDC_SIZES_TABLE5.to_vec(),
+        });
+        Emulator::new(&program)
+            .run_with(|d| analyzer.observe(d))
+            .expect("workloads run to completion");
+        let report = analyzer.finish();
+        self.window_reports.insert(wl.name, report.clone());
+        report
+    }
+}
+
+fn pct(v: f64) -> String {
+    format!("{v:.1}")
+}
+
+/// Table 1: committed dynamic instruction counts per benchmark (plus the
+/// average task size, which the paper discusses per benchmark in §5.5).
+pub fn table1(h: &mut Harness) -> Table {
+    let mut t =
+        Table::new(["benchmark", "suite", "committed instructions", "avg task size"]);
+    for wl in mds_workloads::all() {
+        let program = h.program(&wl).clone();
+        let sum = Emulator::new(&program).run_with(|_| {}).expect("runs");
+        let suite = match wl.suite {
+            mds_workloads::Suite::Int92 => "int92",
+            mds_workloads::Suite::Spec95Int => "spec95-int",
+            mds_workloads::Suite::Spec95Fp => "spec95-fp",
+        };
+        let task_size = if sum.tasks == 0 {
+            "-".to_string()
+        } else {
+            format!("{:.0}", sum.instructions as f64 / sum.tasks as f64)
+        };
+        t.row([
+            wl.name.to_string(),
+            suite.to_string(),
+            fmt_abbrev(sum.instructions),
+            task_size,
+        ]);
+    }
+    t
+}
+
+/// Table 2: functional-unit latencies (configuration, not measurement).
+pub fn table2() -> Table {
+    let mut t = Table::new(["unit", "operation", "latency (cycles)"]);
+    for (unit, op, lat) in FuLatencies::default().table_rows() {
+        t.row([unit.to_string(), op.to_string(), lat.to_string()]);
+    }
+    t
+}
+
+/// Table 3: unrealistic OOO — dynamic mis-speculations vs window size.
+pub fn table3(h: &mut Harness) -> Table {
+    let mut header = vec!["WS".to_string()];
+    header.extend(int92_suite().iter().map(|w| w.name.to_string()));
+    let mut t = Table::new(header);
+    for &ws in &WINDOW_SIZES {
+        let mut row = vec![ws.to_string()];
+        for wl in int92_suite() {
+            let r = h.window_report(&wl);
+            row.push(fmt_abbrev(r.for_window(ws).expect("configured ws").misspeculations));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Table 4: static dependences responsible for 99.9 % of
+/// mis-speculations, per window size.
+pub fn table4(h: &mut Harness) -> Table {
+    let mut header = vec!["WS".to_string()];
+    header.extend(int92_suite().iter().map(|w| w.name.to_string()));
+    let mut t = Table::new(header);
+    for &ws in &WINDOW_SIZES {
+        let mut row = vec![ws.to_string()];
+        for wl in int92_suite() {
+            let r = h.window_report(&wl);
+            row.push(r.for_window(ws).expect("configured ws").edges_covering(0.999).to_string());
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Table 5: DDC miss rate (%) as a function of window size and DDC size.
+pub fn table5(h: &mut Harness) -> Table {
+    let mut header = vec!["WS".to_string(), "CS".to_string()];
+    header.extend(int92_suite().iter().map(|w| w.name.to_string()));
+    let mut t = Table::new(header);
+    for &ws in &[32u32, 128, 512] {
+        for &cs in &DDC_SIZES_TABLE5 {
+            let mut row = vec![ws.to_string(), cs.to_string()];
+            for wl in int92_suite() {
+                let r = h.window_report(&wl);
+                let rate = r
+                    .for_window(ws)
+                    .and_then(|w| w.ddc_miss_rate(cs))
+                    .map(|p| pct(p.value()))
+                    .unwrap_or_else(|| "-".to_string());
+                row.push(rate);
+            }
+            t.row(row);
+        }
+    }
+    t
+}
+
+/// Table 6: Multiscalar mis-speculation counts under blind speculation,
+/// 4 vs 8 stages.
+pub fn table6(h: &mut Harness) -> Table {
+    let mut header = vec!["stages".to_string()];
+    header.extend(int92_suite().iter().map(|w| w.name.to_string()));
+    let mut t = Table::new(header);
+    for stages in [4usize, 8] {
+        let mut row = vec![stages.to_string()];
+        for wl in int92_suite() {
+            let r = h.run(&wl, stages, Policy::Always);
+            row.push(fmt_count(r.misspeculations));
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Table 7: 8-stage Multiscalar DDC miss rates (%) vs DDC size.
+pub fn table7(h: &mut Harness) -> Table {
+    let mut header = vec!["CS".to_string()];
+    header.extend(int92_suite().iter().map(|w| w.name.to_string()));
+    let mut t = Table::new(header);
+    for &cs in &DDC_SIZES_TABLE7 {
+        let mut row = vec![cs.to_string()];
+        for wl in int92_suite() {
+            let r = h.run(&wl, 8, Policy::Always);
+            let rate = r
+                .ddc_miss_rate(cs)
+                .map(|p| pct(p.value()))
+                .unwrap_or_else(|| "-".to_string());
+            row.push(rate);
+        }
+        t.row(row);
+    }
+    t
+}
+
+/// Table 8: dependence-prediction breakdown (%) for SYNC and ESYNC,
+/// 4- and 8-stage configurations.
+pub fn table8(h: &mut Harness) -> Table {
+    let mut header = vec!["config".to_string(), "P/A".to_string()];
+    header.extend(int92_suite().iter().map(|w| w.name.to_string()));
+    let mut t = Table::new(header);
+    for (stages, policy) in [(4, Policy::Sync), (8, Policy::Sync), (8, Policy::Esync)] {
+        for (pi, (label, _)) in [("N/N", ()), ("N/Y", ()), ("Y/N", ()), ("Y/Y", ())]
+            .iter()
+            .enumerate()
+        {
+            let mut row = vec![
+                if pi == 0 { format!("{stages}-stage {policy}") } else { String::new() },
+                label.to_string(),
+            ];
+            for wl in int92_suite() {
+                let r = h.run(&wl, stages, policy);
+                let (predicted, actual) = match pi {
+                    0 => (false, false),
+                    1 => (false, true),
+                    2 => (true, false),
+                    _ => (true, true),
+                };
+                row.push(format!("{}", r.breakdown.percent(predicted, actual)));
+            }
+            t.row(row);
+        }
+    }
+    t
+}
+
+/// Table 9: mis-speculations per committed load, blind vs the mechanism.
+pub fn table9(h: &mut Harness) -> Table {
+    let mut header = vec!["stages".to_string(), "policy".to_string()];
+    header.extend(int92_suite().iter().map(|w| w.name.to_string()));
+    let mut t = Table::new(header);
+    for stages in [4usize, 8] {
+        for policy in [Policy::Always, Policy::Esync] {
+            let mut row = vec![stages.to_string(), policy.to_string()];
+            for wl in int92_suite() {
+                let r = h.run(&wl, stages, policy);
+                row.push(format!("{:.4}", r.misspec_per_committed_load()));
+            }
+            t.row(row);
+        }
+    }
+    t
+}
+
+/// Figure 5: IPC under NEVER, and speedups (%) of ALWAYS / WAIT / PSYNC
+/// over NEVER, for 4- and 8-stage machines.
+pub fn fig5(h: &mut Harness) -> Table {
+    let mut t = Table::new([
+        "config", "benchmark", "NEVER IPC", "ALWAYS %", "WAIT %", "PSYNC %",
+    ]);
+    for stages in [4usize, 8] {
+        for wl in int92_suite() {
+            let never = h.run(&wl, stages, Policy::Never);
+            let always = h.run(&wl, stages, Policy::Always);
+            let wait = h.run(&wl, stages, Policy::Wait);
+            let psync = h.run(&wl, stages, Policy::PSync);
+            t.row([
+                format!("{stages}-stage"),
+                wl.name.to_string(),
+                format!("{:.2}", never.ipc()),
+                pct(always.speedup_over(&never)),
+                pct(wait.speedup_over(&never)),
+                pct(psync.speedup_over(&never)),
+            ]);
+        }
+    }
+    t
+}
+
+/// Figure 6: speedups (%) of SYNC / ESYNC / PSYNC over blind speculation
+/// (ALWAYS) on the int92 suite.
+pub fn fig6(h: &mut Harness) -> Table {
+    let mut t =
+        Table::new(["config", "benchmark", "SYNC %", "ESYNC %", "PSYNC %"]);
+    for stages in [4usize, 8] {
+        for wl in int92_suite() {
+            let always = h.run(&wl, stages, Policy::Always);
+            let sync = h.run(&wl, stages, Policy::Sync);
+            let esync = h.run(&wl, stages, Policy::Esync);
+            let psync = h.run(&wl, stages, Policy::PSync);
+            t.row([
+                format!("{stages}-stage"),
+                wl.name.to_string(),
+                pct(sync.speedup_over(&always)),
+                pct(esync.speedup_over(&always)),
+                pct(psync.speedup_over(&always)),
+            ]);
+        }
+    }
+    t
+}
+
+/// Figure 7: the SPEC95 suites on an 8-stage machine — ESYNC IPC and
+/// speedups (%) of ESYNC and PSYNC over blind speculation.
+pub fn fig7(h: &mut Harness) -> Table {
+    let mut t = Table::new(["benchmark", "suite", "ESYNC IPC", "ESYNC %", "PSYNC %"]);
+    for wl in spec95_suite() {
+        let always = h.run(&wl, 8, Policy::Always);
+        let esync = h.run(&wl, 8, Policy::Esync);
+        let psync = h.run(&wl, 8, Policy::PSync);
+        let suite = match wl.suite {
+            mds_workloads::Suite::Spec95Fp => "fp",
+            _ => "int",
+        };
+        t.row([
+            wl.name.to_string(),
+            suite.to_string(),
+            format!("{:.2}", esync.ipc()),
+            pct(esync.speedup_over(&always)),
+            pct(psync.speedup_over(&always)),
+        ]);
+    }
+    t
+}
+
+/// Ablation: MDPT capacity sweep (ESYNC mis-speculations and speedup over
+/// ALWAYS) on workloads with small and large dependence working sets.
+pub fn ablate_mdpt(h: &mut Harness) -> Table {
+    let mut t = Table::new(["benchmark", "MDPT entries", "misspec", "speedup over ALWAYS %"]);
+    let interesting = ["compress", "gcc", "su2cor"];
+    for wl in mds_workloads::all().into_iter().filter(|w| interesting.contains(&w.name)) {
+        let program = h.program(&wl).clone();
+        let always = h.run(&wl, 8, Policy::Always);
+        for entries in [16usize, 32, 64, 128, 256] {
+            let mut config = MsConfig::paper(8, Policy::Esync);
+            config.mdpt.capacity = entries;
+            let r = Multiscalar::new(config).run(&program).expect("runs");
+            t.row([
+                wl.name.to_string(),
+                entries.to_string(),
+                fmt_count(r.misspeculations),
+                pct(r.speedup_over(&always)),
+            ]);
+        }
+    }
+    t
+}
+
+/// Ablation: prediction-counter width/threshold sweep on the compress
+/// workload (where the paper shows counter quality matters most).
+pub fn ablate_counter(h: &mut Harness) -> Table {
+    let mut t = Table::new(["counter bits", "threshold", "misspec", "speedup over ALWAYS %"]);
+    let wl = mds_workloads::by_name("compress").expect("registered");
+    let program = h.program(&wl).clone();
+    let always = h.run(&wl, 8, Policy::Always);
+    for (bits, threshold) in [(1u8, 1u16), (2, 2), (3, 3), (3, 5), (4, 8)] {
+        let mut config = MsConfig::paper(8, Policy::Sync);
+        config.mdpt.counter_bits = bits;
+        config.mdpt.threshold = threshold;
+        config.mdpt.initial = threshold;
+        let r = Multiscalar::new(config).run(&program).expect("runs");
+        t.row([
+            bits.to_string(),
+            threshold.to_string(),
+            fmt_count(r.misspeculations),
+            pct(r.speedup_over(&always)),
+        ]);
+    }
+    t
+}
+
+/// Ablation: dependence-distance vs data-address instance tagging (the
+/// two schemes §3 discusses; the paper evaluates only the first). Address
+/// tagging identifies the producing store exactly, so it wins where
+/// dependence distances vary (compress, gcc) at the hardware cost the
+/// paper notes (an address CAM per sync entry).
+pub fn ablate_tagging(h: &mut Harness) -> Table {
+    let mut t = Table::new(["benchmark", "tagging", "misspec", "speedup over ALWAYS %"]);
+    for wl in int92_suite() {
+        let program = h.program(&wl).clone();
+        let always = h.run(&wl, 8, Policy::Always);
+        for (label, tagging) in [
+            ("distance", mds_core::TagScheme::DependenceDistance),
+            ("address", mds_core::TagScheme::DataAddress),
+        ] {
+            let mut config = MsConfig::paper(8, Policy::Sync);
+            config.tagging = tagging;
+            let r = Multiscalar::new(config).run(&program).expect("runs");
+            t.row([
+                wl.name.to_string(),
+                label.to_string(),
+                fmt_count(r.misspeculations),
+                pct(r.speedup_over(&always)),
+            ]);
+        }
+    }
+    t
+}
+
+/// Ablation: the same policies on the standalone superscalar OOO model —
+/// the paper's "applicable beyond Multiscalar" claim (§6).
+pub fn ablate_ooo(h: &mut Harness) -> Table {
+    let mut t = Table::new(["benchmark", "policy", "IPC", "misspec"]);
+    for wl in int92_suite() {
+        let program = h.program(&wl).clone();
+        for policy in [Policy::Always, Policy::Sync, Policy::PSync] {
+            let mut sim = OooSim::new(OooConfig { policy, ..Default::default() });
+            Emulator::new(&program).run_with(|d| sim.observe(d)).expect("runs");
+            let r = sim.finish();
+            t.row([
+                wl.name.to_string(),
+                policy.to_string(),
+                format!("{:.2}", r.ipc()),
+                fmt_count(r.misspeculations),
+            ]);
+        }
+    }
+    t
+}
+
+/// Every experiment in order: `(id, title, table)`.
+pub fn all_experiments(h: &mut Harness) -> Vec<(&'static str, &'static str, Table)> {
+    vec![
+        ("table1", "Dynamic instruction count per benchmark", table1(h)),
+        ("table2", "Functional unit latencies (configuration)", table2()),
+        ("table3", "Unrealistic OOO: mis-speculations vs window size", table3(h)),
+        (
+            "table4",
+            "Unrealistic OOO: static dependences covering 99.9% of mis-speculations",
+            table4(h),
+        ),
+        ("table5", "Unrealistic OOO: DDC miss rate (%) vs window and DDC size", table5(h)),
+        ("table6", "Multiscalar: mis-speculations under blind speculation", table6(h)),
+        ("table7", "8-stage Multiscalar: DDC miss rate (%) vs DDC size", table7(h)),
+        ("table8", "Dependence prediction breakdown (%)", table8(h)),
+        ("table9", "Mis-speculations per committed load", table9(h)),
+        ("fig5", "Speedup (%) over NEVER: ALWAYS / WAIT / PSYNC", fig5(h)),
+        ("fig6", "Speedup (%) over ALWAYS: SYNC / ESYNC / PSYNC", fig6(h)),
+        ("fig7", "SPEC95 on 8 stages: ESYNC and PSYNC over ALWAYS", fig7(h)),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_memoizes_runs() {
+        let mut h = Harness::new(Scale::Tiny);
+        let wl = mds_workloads::by_name("sc").unwrap();
+        let a = h.run(&wl, 4, Policy::Always);
+        let b = h.run(&wl, 4, Policy::Always);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(h.ms_runs.len(), 1);
+    }
+
+    #[test]
+    fn table2_is_static() {
+        let t = table2();
+        assert_eq!(t.len(), 9);
+        assert!(t.render().contains("divide"));
+    }
+
+    #[test]
+    fn all_experiments_produce_populated_tables() {
+        let mut h = Harness::new(Scale::Tiny);
+        for (id, _title, table) in all_experiments(&mut h) {
+            assert!(!table.is_empty(), "{id} produced an empty table");
+            assert!(table.render().lines().count() >= 3, "{id} too short");
+        }
+    }
+
+    #[test]
+    fn key_shapes_hold_at_tiny_scale() {
+        let mut h = Harness::new(Scale::Tiny);
+        // Table 3 monotonicity: mis-speculations never shrink with WS.
+        for wl in int92_suite() {
+            let r = h.window_report(&wl);
+            let counts: Vec<u64> =
+                WINDOW_SIZES.iter().map(|&ws| r.for_window(ws).unwrap().misspeculations).collect();
+            assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{}: {counts:?}", wl.name);
+        }
+        // Figure 6 envelope: the oracle never loses to blind speculation.
+        for wl in int92_suite() {
+            let always = h.run(&wl, 8, Policy::Always);
+            let psync = h.run(&wl, 8, Policy::PSync);
+            assert!(
+                psync.cycles <= always.cycles + always.cycles / 50,
+                "{}: PSYNC {} vs ALWAYS {}",
+                wl.name,
+                psync.cycles,
+                always.cycles
+            );
+        }
+    }
+
+    #[test]
+    fn window_report_is_cached() {
+        let mut h = Harness::new(Scale::Tiny);
+        let wl = mds_workloads::by_name("compress").unwrap();
+        let _ = h.window_report(&wl);
+        let _ = h.window_report(&wl);
+        assert_eq!(h.window_reports.len(), 1);
+    }
+}

@@ -1,0 +1,155 @@
+//! Predicted-vs-actual dependence prediction accounting (table 8).
+
+use mds_sim::stats::Percent;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The four-way dependence-prediction breakdown of the paper's table 8.
+///
+/// "A dependence prediction has to be classified into one of four possible
+/// categories depending on whether a dependence is predicted and on
+/// whether a dependence actually exists" (§5.5):
+///
+/// - `N/N`: correctly not predicted,
+/// - `N/Y`: missed — may result in a mis-speculation,
+/// - `Y/N`: **false dependence prediction** — may delay the load
+///   unnecessarily,
+/// - `Y/Y`: correctly predicted.
+///
+/// # Examples
+///
+/// ```
+/// use mds_core::PredictionBreakdown;
+/// let mut b = PredictionBreakdown::default();
+/// b.record(false, false);
+/// b.record(true, true);
+/// b.record(true, false); // false dependence prediction
+/// assert_eq!(b.total(), 3);
+/// assert!((b.percent(true, false).value() - 33.33).abs() < 0.01);
+/// assert_eq!(b.correct(), 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PredictionBreakdown {
+    // counts[predicted][actual]
+    counts: [[u64; 2]; 2],
+}
+
+impl PredictionBreakdown {
+    /// Records one load's prediction: `predicted` is whether
+    /// synchronization was predicted, `actual` whether a dependence
+    /// actually manifested.
+    pub fn record(&mut self, predicted: bool, actual: bool) {
+        self.counts[predicted as usize][actual as usize] += 1;
+    }
+
+    /// Raw count for one category.
+    pub fn count(&self, predicted: bool, actual: bool) -> u64 {
+        self.counts[predicted as usize][actual as usize]
+    }
+
+    /// Total predictions recorded.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().flatten().sum()
+    }
+
+    /// Correct predictions (`N/N` + `Y/Y`).
+    pub fn correct(&self) -> u64 {
+        self.count(false, false) + self.count(true, true)
+    }
+
+    /// One category as a percentage of the total (the table 8 format).
+    pub fn percent(&self, predicted: bool, actual: bool) -> Percent {
+        Percent::of(self.count(predicted, actual), self.total())
+    }
+
+    /// The table 8 rows in paper order: `(label, percent)` for
+    /// N/N, N/Y, Y/N, Y/Y.
+    pub fn rows(&self) -> [(&'static str, Percent); 4] {
+        [
+            ("N/N", self.percent(false, false)),
+            ("N/Y", self.percent(false, true)),
+            ("Y/N", self.percent(true, false)),
+            ("Y/Y", self.percent(true, true)),
+        ]
+    }
+
+    /// Merges another breakdown into this one.
+    pub fn merge(&mut self, other: &PredictionBreakdown) {
+        for p in 0..2 {
+            for a in 0..2 {
+                self.counts[p][a] += other.counts[p][a];
+            }
+        }
+    }
+}
+
+impl fmt::Display for PredictionBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (label, pct) in self.rows() {
+            writeln!(f, "{label}: {pct}%")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn categories_are_independent() {
+        let mut b = PredictionBreakdown::default();
+        b.record(false, false);
+        b.record(false, true);
+        b.record(true, false);
+        b.record(true, true);
+        b.record(true, true);
+        assert_eq!(b.count(false, false), 1);
+        assert_eq!(b.count(false, true), 1);
+        assert_eq!(b.count(true, false), 1);
+        assert_eq!(b.count(true, true), 2);
+        assert_eq!(b.total(), 5);
+        assert_eq!(b.correct(), 3);
+    }
+
+    #[test]
+    fn percentages_sum_to_hundred() {
+        let mut b = PredictionBreakdown::default();
+        for i in 0..17u32 {
+            b.record(i % 2 == 0, i % 3 == 0);
+        }
+        let sum: f64 = b.rows().iter().map(|(_, p)| p.value()).sum();
+        assert!((sum - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_breakdown_is_all_zero() {
+        let b = PredictionBreakdown::default();
+        assert_eq!(b.total(), 0);
+        for (_, p) in b.rows() {
+            assert_eq!(p.value(), 0.0);
+        }
+    }
+
+    #[test]
+    fn merge_adds_counts() {
+        let mut a = PredictionBreakdown::default();
+        a.record(true, true);
+        let mut b = PredictionBreakdown::default();
+        b.record(true, true);
+        b.record(false, true);
+        a.merge(&b);
+        assert_eq!(a.count(true, true), 2);
+        assert_eq!(a.count(false, true), 1);
+    }
+
+    #[test]
+    fn display_contains_all_rows() {
+        let mut b = PredictionBreakdown::default();
+        b.record(true, false);
+        let s = b.to_string();
+        for label in ["N/N", "N/Y", "Y/N", "Y/Y"] {
+            assert!(s.contains(label), "missing {label}");
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! The data dependence cache (DDC) used for the temporal-locality studies.
+
+use crate::edge::DepEdge;
+use mds_predict::LruTable;
+use mds_sim::stats::Percent;
+
+/// A data dependence cache of size *n*: it "records the data dependences
+/// that caused the *n* most recent mis-speculations" (§5.3).
+///
+/// On every mis-speculation the offending edge is looked up; a hit means
+/// the edge was seen among the recent mis-speculations (temporal
+/// locality), a miss allocates it. A low miss rate is the paper's evidence
+/// that a small hardware table can capture the dependences that matter —
+/// tables 5 and 7.
+///
+/// # Examples
+///
+/// ```
+/// use mds_core::{Ddc, DepEdge};
+/// let mut ddc = Ddc::new(32);
+/// let e = DepEdge::new(3, 7);
+/// assert!(!ddc.observe(e)); // first mis-speculation on this edge: miss
+/// assert!(ddc.observe(e));  // repeat: hit
+/// assert_eq!(ddc.miss_rate().value(), 50.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ddc {
+    table: LruTable<DepEdge, ()>,
+    hits: u64,
+    misses: u64,
+}
+
+impl Ddc {
+    /// Creates a DDC tracking the `capacity` most recent distinct edges.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0`.
+    pub fn new(capacity: usize) -> Self {
+        Ddc { table: LruTable::new(capacity), hits: 0, misses: 0 }
+    }
+
+    /// Records a mis-speculation on `edge`; returns `true` on a DDC hit.
+    pub fn observe(&mut self, edge: DepEdge) -> bool {
+        if self.table.get(&edge).is_some() {
+            self.hits += 1;
+            true
+        } else {
+            self.misses += 1;
+            self.table.insert(edge, ());
+            false
+        }
+    }
+
+    /// Mis-speculations whose edge was cached.
+    pub fn hits(&self) -> u64 {
+        self.hits
+    }
+
+    /// Mis-speculations whose edge was not cached (then allocated).
+    pub fn misses(&self) -> u64 {
+        self.misses
+    }
+
+    /// Total mis-speculations observed.
+    pub fn observations(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// The miss rate as a percentage — the number reported in tables 5
+    /// and 7.
+    pub fn miss_rate(&self) -> Percent {
+        Percent::of(self.misses, self.observations())
+    }
+
+    /// Capacity in edges.
+    pub fn capacity(&self) -> usize {
+        self.table.capacity()
+    }
+
+    /// Distinct edges currently resident.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// Returns `true` when no edge is resident.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn repeated_edge_hits() {
+        let mut d = Ddc::new(4);
+        let e = DepEdge::new(1, 2);
+        assert!(!d.observe(e));
+        for _ in 0..9 {
+            assert!(d.observe(e));
+        }
+        assert_eq!(d.hits(), 9);
+        assert_eq!(d.misses(), 1);
+        assert_eq!(d.miss_rate().value(), 10.0);
+    }
+
+    #[test]
+    fn capacity_evicts_lru_edge() {
+        let mut d = Ddc::new(2);
+        let a = DepEdge::new(1, 10);
+        let b = DepEdge::new(2, 20);
+        let c = DepEdge::new(3, 30);
+        d.observe(a);
+        d.observe(b);
+        d.observe(c); // evicts a
+        assert!(!d.observe(a)); // miss again
+        assert_eq!(d.len(), 2);
+    }
+
+    #[test]
+    fn empty_ddc_reports_zero_rate() {
+        let d = Ddc::new(8);
+        assert!(d.is_empty());
+        assert_eq!(d.miss_rate().value(), 0.0);
+        assert_eq!(d.capacity(), 8);
+    }
+
+    proptest! {
+        /// Over any mis-speculation stream, a larger DDC never has *more*
+        /// misses than a smaller one — the monotonicity behind tables 5/7.
+        #[test]
+        fn bigger_ddc_never_misses_more(
+            edges in proptest::collection::vec((0u32..20, 0u32..20), 0..300)
+        ) {
+            let mut small = Ddc::new(4);
+            let mut large = Ddc::new(64);
+            for (s, l) in edges {
+                let e = DepEdge::new(s, l);
+                small.observe(e);
+                large.observe(e);
+            }
+            prop_assert!(large.misses() <= small.misses());
+        }
+
+        /// Hits + misses always equals observations.
+        #[test]
+        fn accounting_is_consistent(
+            edges in proptest::collection::vec((0u32..8, 0u32..8), 0..100)
+        ) {
+            let mut d = Ddc::new(3);
+            for (s, l) in &edges {
+                d.observe(DepEdge::new(*s, *l));
+            }
+            prop_assert_eq!(d.observations(), edges.len() as u64);
+            prop_assert_eq!(d.hits() + d.misses(), d.observations());
+        }
+    }
+}

@@ -1,0 +1,301 @@
+//! The distributed MDPT/MDST organization of §4.4.5.
+//!
+//! For wide machines the paper proposes replicating both tables at every
+//! source of memory accesses: *"identical copies of the MDPT and the MDST
+//! provided at each source of memory accesses. Each source need only use
+//! its local copy most of the time. As soon as a mis-speculation is
+//! detected, this fact is broadcast to all copies of the MDPT … In the
+//! event a match for a store is found in a local MDPT, all identifying
+//! information for the entry is broadcast to all copies of the MDST …
+//! any prediction update to an entry of a local MDPT must be broadcast."*
+//!
+//! [`DistributedSyncUnit`] models exactly that: one [`SyncUnit`] replica
+//! per access source, with every state-changing event broadcast so the
+//! replicas stay identical, and counters for the broadcast traffic the
+//! organization costs. Because the replicas receive identical update
+//! streams, lookups against any copy agree — an invariant the unit checks
+//! in debug builds and the tests verify explicitly.
+
+use crate::edge::DepEdge;
+use crate::unit::{LoadDecision, SyncUnit, SyncUnitConfig};
+use mds_isa::Pc;
+
+/// Broadcast-traffic counters for the distributed organization.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BroadcastStats {
+    /// Mis-speculation broadcasts (MDPT allocation in every copy).
+    pub misspeculations: u64,
+    /// Store-match broadcasts (MDST synchronization in every copy).
+    pub store_matches: u64,
+    /// Prediction-update broadcasts (commit-time training).
+    pub prediction_updates: u64,
+    /// Squash-invalidation broadcasts.
+    pub invalidations: u64,
+}
+
+impl BroadcastStats {
+    /// Total broadcast messages on the inter-copy network.
+    pub fn total(&self) -> u64 {
+        self.misspeculations + self.store_matches + self.prediction_updates + self.invalidations
+    }
+}
+
+/// Replicated prediction/synchronization tables, one copy per memory
+/// access source.
+///
+/// The API mirrors [`SyncUnit`], with each call naming the *source*
+/// (load/store queue, reservation-station bank, …) issuing it. Local
+/// operations touch only that source's copy; the events the paper calls
+/// out are broadcast to all copies.
+///
+/// # Examples
+///
+/// ```
+/// use mds_core::{DepEdge, DistributedSyncUnit, LoadDecision, SyncUnitConfig};
+///
+/// let mut unit = DistributedSyncUnit::new(4, SyncUnitConfig::default());
+/// let edge = DepEdge { load_pc: 7, store_pc: 3 };
+///
+/// // A mis-speculation detected at source 2 is broadcast everywhere…
+/// unit.record_misspeculation(2, edge, 1, None);
+/// // …so a load arriving at a different source still predicts.
+/// assert_eq!(unit.on_load_ready(0, 7, 5, 50, None), LoadDecision::Wait);
+/// // The store matches in source 3's local MDPT; the match is broadcast
+/// // and wakes the waiting load.
+/// assert_eq!(unit.on_store_issue(3, 3, 4, 60), vec![50]);
+/// assert_eq!(unit.broadcasts().misspeculations, 1);
+/// assert_eq!(unit.broadcasts().store_matches, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DistributedSyncUnit {
+    copies: Vec<SyncUnit>,
+    broadcasts: BroadcastStats,
+}
+
+impl DistributedSyncUnit {
+    /// Creates `sources` identical table copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sources == 0` or the underlying configuration is
+    /// invalid.
+    pub fn new(sources: usize, config: SyncUnitConfig) -> Self {
+        assert!(sources > 0, "need at least one access source");
+        DistributedSyncUnit {
+            copies: (0..sources).map(|_| SyncUnit::new(config)).collect(),
+            broadcasts: BroadcastStats::default(),
+        }
+    }
+
+    /// Number of replicated copies.
+    pub fn sources(&self) -> usize {
+        self.copies.len()
+    }
+
+    /// Broadcast-traffic counters.
+    pub fn broadcasts(&self) -> BroadcastStats {
+        self.broadcasts
+    }
+
+    /// A mis-speculation detected at `source` — broadcast to every copy.
+    pub fn record_misspeculation(
+        &mut self,
+        source: usize,
+        edge: DepEdge,
+        dist: u32,
+        store_task_pc: Option<Pc>,
+    ) {
+        self.check_source(source);
+        self.broadcasts.misspeculations += 1;
+        for copy in &mut self.copies {
+            copy.record_misspeculation(edge, dist, store_task_pc);
+        }
+    }
+
+    /// A load consults its *local* copy only (the common, broadcast-free
+    /// case). The MDST entry it allocates lives in every copy so a store
+    /// match broadcast from any source can signal it.
+    pub fn on_load_ready(
+        &mut self,
+        source: usize,
+        load_pc: Pc,
+        load_instance: u64,
+        ldid: u32,
+        task_pc_of: Option<&dyn Fn(u64) -> Option<Pc>>,
+    ) -> LoadDecision {
+        self.check_source(source);
+        // The local lookup decides; the allocation is mirrored so remote
+        // store matches can find the waiter. Replicas receive identical
+        // update streams, so their decisions must agree.
+        let decisions: Vec<LoadDecision> = self
+            .copies
+            .iter_mut()
+            .map(|copy| copy.on_load_ready(load_pc, load_instance, ldid, task_pc_of))
+            .collect();
+        debug_assert!(
+            decisions.windows(2).all(|w| w[0] == w[1]),
+            "replicas diverged: {decisions:?}"
+        );
+        decisions[source]
+    }
+
+    /// A store consults its local MDPT; on a match, the identifying
+    /// information is broadcast to all MDST copies (§4.4.5). Returns the
+    /// LDIDs woken (identical in every copy).
+    pub fn on_store_issue(
+        &mut self,
+        source: usize,
+        store_pc: Pc,
+        store_instance: u64,
+        stid: u32,
+    ) -> Vec<u32> {
+        self.check_source(source);
+        let mut woken: Vec<u32> = Vec::new();
+        let mut matched = false;
+        for (i, copy) in self.copies.iter_mut().enumerate() {
+            let w = copy.on_store_issue(store_pc, store_instance, stid);
+            if !w.is_empty() {
+                matched = true;
+            }
+            if i == source {
+                woken = w;
+            }
+        }
+        if matched {
+            self.broadcasts.store_matches += 1;
+        }
+        woken
+    }
+
+    /// Releases a non-speculative load in every copy (§4.4.2).
+    pub fn release_load(&mut self, ldid: u32) -> Vec<DepEdge> {
+        let mut freed = Vec::new();
+        for (i, copy) in self.copies.iter_mut().enumerate() {
+            let f = copy.release_load(ldid);
+            if i == 0 {
+                freed = f;
+            }
+        }
+        freed
+    }
+
+    /// Commit-time prediction training — broadcast so every MDPT copy
+    /// keeps "a similar view" (§4.4.5).
+    pub fn train(&mut self, edge: DepEdge, had_dependence: bool) {
+        self.broadcasts.prediction_updates += 1;
+        for copy in &mut self.copies {
+            copy.train(edge, had_dependence);
+        }
+    }
+
+    /// Squash invalidation — broadcast to every MDST copy.
+    pub fn invalidate_squashed(
+        &mut self,
+        ldid_squashed: impl Fn(u32) -> bool,
+        stid_squashed: impl Fn(u32) -> bool,
+    ) {
+        self.broadcasts.invalidations += 1;
+        for copy in &mut self.copies {
+            copy.invalidate_squashed(&ldid_squashed, &stid_squashed);
+        }
+    }
+
+    /// Whether `ldid` waits in the given source's copy (identical across
+    /// copies by construction).
+    pub fn is_waiting(&self, source: usize, ldid: u32) -> bool {
+        self.copies[source].is_waiting(ldid)
+    }
+
+    fn check_source(&self, source: usize) {
+        assert!(source < self.copies.len(), "source index out of range");
+    }
+}
+
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge() -> DepEdge {
+        DepEdge { load_pc: 7, store_pc: 3 }
+    }
+
+    #[test]
+    fn replicas_agree_after_broadcast() {
+        let mut u = DistributedSyncUnit::new(3, SyncUnitConfig::default());
+        u.record_misspeculation(1, edge(), 1, None);
+        // Every source predicts the dependence.
+        for src in 0..3 {
+            let d = u.on_load_ready(src, 7, 10 + src as u64, 90 + src as u32, None);
+            assert_eq!(d, LoadDecision::Wait, "source {src}");
+        }
+    }
+
+    #[test]
+    fn store_match_wakes_waiter_from_any_source() {
+        let mut u = DistributedSyncUnit::new(4, SyncUnitConfig::default());
+        u.record_misspeculation(0, edge(), 1, None);
+        assert_eq!(u.on_load_ready(2, 7, 5, 50, None), LoadDecision::Wait);
+        assert!(u.is_waiting(2, 50));
+        // The store arrives at a *different* source.
+        assert_eq!(u.on_store_issue(1, 3, 4, 60), vec![50]);
+        for src in 0..4 {
+            assert!(!u.is_waiting(src, 50), "copy {src} still waiting");
+        }
+    }
+
+    #[test]
+    fn broadcast_traffic_is_counted() {
+        let mut u = DistributedSyncUnit::new(2, SyncUnitConfig::default());
+        u.record_misspeculation(0, edge(), 1, None);
+        u.on_load_ready(0, 7, 5, 50, None);
+        u.on_store_issue(1, 3, 4, 60);
+        u.train(edge(), true);
+        u.invalidate_squashed(|_| false, |_| false);
+        let b = u.broadcasts();
+        assert_eq!(b.misspeculations, 1);
+        assert_eq!(b.store_matches, 1);
+        assert_eq!(b.prediction_updates, 1);
+        assert_eq!(b.invalidations, 1);
+        assert_eq!(b.total(), 4);
+    }
+
+    #[test]
+    fn unmatched_stores_do_not_broadcast() {
+        let mut u = DistributedSyncUnit::new(2, SyncUnitConfig::default());
+        // No MDPT entry anywhere: the store stays local.
+        assert!(u.on_store_issue(0, 3, 4, 60).is_empty());
+        assert_eq!(u.broadcasts().store_matches, 0);
+    }
+
+    #[test]
+    fn release_and_training_keep_copies_consistent() {
+        let mut u = DistributedSyncUnit::new(2, SyncUnitConfig::default());
+        u.record_misspeculation(0, edge(), 1, None);
+        u.on_load_ready(0, 7, 5, 50, None);
+        let freed = u.release_load(50);
+        assert_eq!(freed, vec![edge()]);
+        u.train(edge(), false);
+        // Counter fell below threshold in *both* copies.
+        for src in 0..2 {
+            assert_eq!(
+                u.on_load_ready(src, 7, 6, 51, None),
+                LoadDecision::NotPredicted,
+                "copy {src}"
+            );
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one access source")]
+    fn zero_sources_panics() {
+        let _ = DistributedSyncUnit::new(0, SyncUnitConfig::default());
+    }
+
+    #[test]
+    #[should_panic(expected = "source index out of range")]
+    fn bad_source_panics() {
+        let mut u = DistributedSyncUnit::new(2, SyncUnitConfig::default());
+        u.record_misspeculation(5, edge(), 1, None);
+    }
+}

@@ -1,0 +1,62 @@
+//! Static dependence edges.
+
+use mds_isa::Pc;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A static memory dependence edge: the PCs of a store→load pair.
+///
+/// This is the identity the paper's machinery revolves around — MDPT
+/// entries, DDC entries, and mis-speculation profiles are all keyed by the
+/// (LDPC, STPC) pair (§4.1).
+///
+/// # Examples
+///
+/// ```
+/// use mds_core::DepEdge;
+/// let e = DepEdge { load_pc: 12, store_pc: 4 };
+/// assert_eq!(e.to_string(), "st@4 -> ld@12");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct DepEdge {
+    /// PC of the consuming load.
+    pub load_pc: Pc,
+    /// PC of the producing store.
+    pub store_pc: Pc,
+}
+
+impl DepEdge {
+    /// Constructs an edge.
+    pub const fn new(store_pc: Pc, load_pc: Pc) -> Self {
+        DepEdge { load_pc, store_pc }
+    }
+}
+
+impl fmt::Display for DepEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "st@{} -> ld@{}", self.store_pc, self.load_pc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn edges_hash_by_both_pcs() {
+        let mut set = HashSet::new();
+        set.insert(DepEdge::new(1, 2));
+        set.insert(DepEdge::new(1, 3));
+        set.insert(DepEdge::new(2, 2));
+        set.insert(DepEdge::new(1, 2)); // duplicate
+        assert_eq!(set.len(), 3);
+    }
+
+    #[test]
+    fn constructor_order_is_store_then_load() {
+        let e = DepEdge::new(4, 12);
+        assert_eq!(e.store_pc, 4);
+        assert_eq!(e.load_pc, 12);
+    }
+}

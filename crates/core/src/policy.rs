@@ -1,0 +1,171 @@
+//! The data dependence speculation policies compared in §5.4/§5.5.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The realizable predictor variants of §5.5.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PredictorKind {
+    /// Baseline: 3-bit up/down saturating counter per MDPT entry.
+    Sync,
+    /// Enhanced: SYNC plus the store-task-PC path refinement.
+    Esync,
+}
+
+/// A data dependence speculation policy.
+///
+/// The four idealized policies of §5.4 plus the two realizable
+/// predictor-driven mechanisms of §5.5:
+///
+/// | Policy | Loads with no dependence | Loads with a true dependence |
+/// |---|---|---|
+/// | `Never` | wait for all prior stores | wait for all prior stores |
+/// | `Always` (blind) | issue immediately | issue immediately, squash on violation |
+/// | `Wait` (selective, perfect prediction) | issue immediately | wait for all prior stores |
+/// | `PSync` (perfect synchronization) | issue immediately | wait exactly for the producing store |
+/// | `Sync`/`Esync` | predicted by the MDPT, synchronized via the MDST |
+///
+/// # Examples
+///
+/// ```
+/// use mds_core::Policy;
+/// let p: Policy = "esync".parse()?;
+/// assert_eq!(p, Policy::Esync);
+/// assert!(p.uses_predictor());
+/// # Ok::<(), mds_core::ParsePolicyError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Policy {
+    /// No data dependence speculation at all.
+    Never,
+    /// Blind speculation — every load issues as early as possible (the
+    /// policy of the contemporary processors cited in the paper).
+    Always,
+    /// Selective speculation with perfect dependence prediction but no
+    /// synchronization: dependent loads wait until all prior store
+    /// addresses are known.
+    Wait,
+    /// Perfect (oracle) prediction *and* synchronization — the upper bound
+    /// on the proposed mechanism.
+    PSync,
+    /// The proposed mechanism with the baseline counter predictor.
+    Sync,
+    /// The proposed mechanism with the enhanced (task-PC) predictor.
+    Esync,
+}
+
+impl Policy {
+    /// All policies in presentation order (matches the paper's figures).
+    pub const ALL: [Policy; 6] =
+        [Policy::Never, Policy::Always, Policy::Wait, Policy::PSync, Policy::Sync, Policy::Esync];
+
+    /// Whether this policy runs the MDPT/MDST machinery.
+    pub fn uses_predictor(self) -> bool {
+        matches!(self, Policy::Sync | Policy::Esync)
+    }
+
+    /// Whether this policy relies on oracle dependence knowledge.
+    pub fn is_oracle(self) -> bool {
+        matches!(self, Policy::Wait | Policy::PSync)
+    }
+
+    /// The predictor variant for predictor-driven policies.
+    pub fn predictor(self) -> Option<PredictorKind> {
+        match self {
+            Policy::Sync => Some(PredictorKind::Sync),
+            Policy::Esync => Some(PredictorKind::Esync),
+            _ => None,
+        }
+    }
+
+    /// The paper's name for the policy (upper case, as in the figures).
+    pub fn paper_name(self) -> &'static str {
+        match self {
+            Policy::Never => "NEVER",
+            Policy::Always => "ALWAYS",
+            Policy::Wait => "WAIT",
+            Policy::PSync => "PSYNC",
+            Policy::Sync => "SYNC",
+            Policy::Esync => "ESYNC",
+        }
+    }
+}
+
+impl fmt::Display for Policy {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.paper_name())
+    }
+}
+
+/// Error returned when parsing a [`Policy`] from text fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParsePolicyError(String);
+
+impl fmt::Display for ParsePolicyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown policy `{}` (expected one of never/always/wait/psync/sync/esync)", self.0)
+    }
+}
+
+impl std::error::Error for ParsePolicyError {}
+
+impl FromStr for Policy {
+    type Err = ParsePolicyError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "never" => Ok(Policy::Never),
+            "always" | "blind" => Ok(Policy::Always),
+            "wait" | "selective" => Ok(Policy::Wait),
+            "psync" | "perfect" => Ok(Policy::PSync),
+            "sync" => Ok(Policy::Sync),
+            "esync" => Ok(Policy::Esync),
+            other => Err(ParsePolicyError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_all_names_and_aliases() {
+        assert_eq!("never".parse::<Policy>().unwrap(), Policy::Never);
+        assert_eq!("ALWAYS".parse::<Policy>().unwrap(), Policy::Always);
+        assert_eq!("blind".parse::<Policy>().unwrap(), Policy::Always);
+        assert_eq!("selective".parse::<Policy>().unwrap(), Policy::Wait);
+        assert_eq!("perfect".parse::<Policy>().unwrap(), Policy::PSync);
+        assert_eq!("Sync".parse::<Policy>().unwrap(), Policy::Sync);
+        assert_eq!("esync".parse::<Policy>().unwrap(), Policy::Esync);
+        assert!("bogus".parse::<Policy>().is_err());
+    }
+
+    #[test]
+    fn roundtrip_display_parse() {
+        for p in Policy::ALL {
+            assert_eq!(p.paper_name().parse::<Policy>().unwrap(), p);
+            assert_eq!(p.to_string(), p.paper_name());
+        }
+    }
+
+    #[test]
+    fn classification() {
+        assert!(Policy::Sync.uses_predictor());
+        assert!(Policy::Esync.uses_predictor());
+        assert!(!Policy::Always.uses_predictor());
+        assert!(Policy::PSync.is_oracle());
+        assert!(Policy::Wait.is_oracle());
+        assert!(!Policy::Never.is_oracle());
+        assert_eq!(Policy::Sync.predictor(), Some(PredictorKind::Sync));
+        assert_eq!(Policy::Esync.predictor(), Some(PredictorKind::Esync));
+        assert_eq!(Policy::Never.predictor(), None);
+    }
+
+    #[test]
+    fn error_message_names_offender() {
+        let e = "frob".parse::<Policy>().unwrap_err();
+        assert!(e.to_string().contains("frob"));
+    }
+}

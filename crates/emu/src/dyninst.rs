@@ -1,0 +1,122 @@
+//! Committed dynamic instruction records.
+
+use mds_isa::{Addr, Instruction, Pc};
+
+/// A resolved memory access performed by a dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemAccess {
+    /// Effective byte address.
+    pub addr: Addr,
+    /// Access size in bytes (1 or 8).
+    pub size: u8,
+    /// `true` for stores, `false` for loads.
+    pub is_store: bool,
+}
+
+impl MemAccess {
+    /// Returns `true` when the byte ranges of `self` and `other` overlap.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mds_emu::MemAccess;
+    /// let a = MemAccess { addr: 0, size: 8, is_store: true };
+    /// let b = MemAccess { addr: 7, size: 1, is_store: false };
+    /// let c = MemAccess { addr: 8, size: 8, is_store: false };
+    /// assert!(a.overlaps(&b));
+    /// assert!(!a.overlaps(&c));
+    /// ```
+    pub fn overlaps(&self, other: &MemAccess) -> bool {
+        let a_end = self.addr + self.size as Addr;
+        let b_end = other.addr + other.size as Addr;
+        self.addr < b_end && other.addr < a_end
+    }
+}
+
+/// The outcome of a committed control-transfer instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BranchOutcome {
+    /// Whether the branch redirected the PC (unconditional transfers are
+    /// always taken).
+    pub taken: bool,
+    /// The PC the machine continued at.
+    pub next_pc: Pc,
+}
+
+/// One committed dynamic instruction.
+///
+/// The record is intentionally self-contained: consumers never need the
+/// original [`mds_isa::Program`] to reason about dependences or replay
+/// timing.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynInst {
+    /// Position in the committed sequential order (0-based).
+    pub seq: u64,
+    /// The instruction's PC (static identity; the dependence tables key on
+    /// this).
+    pub pc: Pc,
+    /// The static instruction.
+    pub inst: Instruction,
+    /// The memory access, for loads and stores.
+    pub mem: Option<MemAccess>,
+    /// The control outcome, for branches and jumps.
+    pub branch: Option<BranchOutcome>,
+    /// `true` when this instruction begins a new Multiscalar task.
+    pub new_task: bool,
+}
+
+impl DynInst {
+    /// Shorthand: is this a memory load?
+    pub fn is_load(&self) -> bool {
+        matches!(self.mem, Some(m) if !m.is_store)
+    }
+
+    /// Shorthand: is this a memory store?
+    pub fn is_store(&self) -> bool {
+        matches!(self.mem, Some(m) if m.is_store)
+    }
+
+    /// The effective address, if this is a memory operation.
+    pub fn addr(&self) -> Option<Addr> {
+        self.mem.map(|m| m.addr)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overlap_is_symmetric_and_range_based() {
+        let word = |addr| MemAccess { addr, size: 8, is_store: false };
+        let byte = |addr| MemAccess { addr, size: 1, is_store: true };
+        assert!(word(0).overlaps(&word(0)));
+        assert!(word(0).overlaps(&word(4))); // partial overlap
+        assert!(!word(0).overlaps(&word(8)));
+        assert!(byte(3).overlaps(&word(0)));
+        assert!(word(0).overlaps(&byte(3)));
+        assert!(!byte(8).overlaps(&word(0)));
+    }
+
+    #[test]
+    fn dyninst_predicates() {
+        let d = DynInst {
+            seq: 0,
+            pc: 0,
+            inst: Instruction::NOP,
+            mem: Some(MemAccess { addr: 16, size: 8, is_store: false }),
+            branch: None,
+            new_task: false,
+        };
+        assert!(d.is_load());
+        assert!(!d.is_store());
+        assert_eq!(d.addr(), Some(16));
+
+        let s = DynInst { mem: Some(MemAccess { addr: 16, size: 8, is_store: true }), ..d };
+        assert!(s.is_store());
+
+        let n = DynInst { mem: None, ..d };
+        assert!(!n.is_load());
+        assert_eq!(n.addr(), None);
+    }
+}

@@ -1,0 +1,543 @@
+//! A text assembler for the ISA.
+//!
+//! The grammar is exactly what [`crate::Program::disassemble`] emits, plus a
+//! few human conveniences, so assembly text round-trips:
+//!
+//! ```text
+//! # comment                  ; also a comment
+//! .sym  name 0x10000000      # bind a data symbol to an address
+//! .word 0x10000008 42        # initialize a data word
+//! .data name 4 [1 2 3 4]     # bump-allocate, with optional init values
+//! .task                      # next instruction starts a Multiscalar task
+//! loop:                      # label (may precede an instruction inline)
+//!   ld   t0, 0(s0)
+//!   addi t0, t0, 1
+//!   sd   t0, 0(s0)
+//!   bne  s1, zero, loop      # branch targets: label or absolute pc
+//!   li   a0, %name           # %name expands to the symbol's address
+//!   halt
+//! ```
+//!
+//! # Examples
+//!
+//! ```
+//! let p = mds_isa::asm::assemble("li a0, 5\nhalt\n")?;
+//! assert_eq!(p.len(), 2);
+//! # Ok::<(), mds_isa::asm::AsmError>(())
+//! ```
+
+use crate::builder::{ProgramBuilder, Target};
+use crate::inst::Instruction;
+use crate::op::{Format, Opcode};
+use crate::program::Program;
+use crate::reg::Reg;
+use std::fmt;
+
+/// An assembly error, tagged with its 1-based source line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    /// 1-based line number where the error occurred.
+    pub line: usize,
+    /// What went wrong.
+    pub kind: AsmErrorKind,
+}
+
+/// The varieties of assembly error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AsmErrorKind {
+    /// Unknown instruction mnemonic.
+    UnknownMnemonic(String),
+    /// Malformed operand text.
+    BadOperand(String),
+    /// Wrong number of operands for the mnemonic's format.
+    OperandCount {
+        /// Operand count the format requires.
+        expected: usize,
+        /// Operand count actually present.
+        found: usize,
+    },
+    /// Unknown register name.
+    BadRegister(String),
+    /// Malformed directive.
+    BadDirective(String),
+    /// Reference to an undefined data symbol via `%name`.
+    UnknownSymbol(String),
+    /// Error reported by the underlying builder (labels, symbols).
+    Build(String),
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: ", self.line)?;
+        match &self.kind {
+            AsmErrorKind::UnknownMnemonic(m) => write!(f, "unknown mnemonic `{m}`"),
+            AsmErrorKind::BadOperand(o) => write!(f, "bad operand `{o}`"),
+            AsmErrorKind::OperandCount { expected, found } => {
+                write!(f, "expected {expected} operands, found {found}")
+            }
+            AsmErrorKind::BadRegister(r) => write!(f, "bad register `{r}`"),
+            AsmErrorKind::BadDirective(d) => write!(f, "bad directive `{d}`"),
+            AsmErrorKind::UnknownSymbol(s) => write!(f, "unknown data symbol `%{s}`"),
+            AsmErrorKind::Build(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Assembles a complete program from text.
+///
+/// # Errors
+///
+/// Returns the first [`AsmError`] encountered, tagged with its line
+/// number. Numeric control-flow targets are validated against the
+/// program's length (label targets are correct by construction).
+pub fn assemble(text: &str) -> Result<Program, AsmError> {
+    let mut b = ProgramBuilder::new();
+    for (lineno, raw) in text.lines().enumerate() {
+        let line = lineno + 1;
+        parse_line(&mut b, raw, line)?;
+    }
+    let program = b
+        .build()
+        .map_err(|e| AsmError { line: 0, kind: AsmErrorKind::Build(e.to_string()) })?;
+    for inst in program.instructions() {
+        if inst.op.is_control() && inst.op != crate::op::Opcode::Jr {
+            let target = inst.imm as i64;
+            if target < 0 || target as usize >= program.len() {
+                return Err(AsmError {
+                    line: 0,
+                    kind: AsmErrorKind::Build(format!(
+                        "control target {target} outside program of {} instructions",
+                        program.len()
+                    )),
+                });
+            }
+        }
+    }
+    Ok(program)
+}
+
+fn parse_line(b: &mut ProgramBuilder, raw: &str, line: usize) -> Result<(), AsmError> {
+    let err = |kind| AsmError { line, kind };
+    // Strip comments.
+    let code = raw.split(['#', ';']).next().unwrap_or("").trim();
+    if code.is_empty() {
+        return Ok(());
+    }
+    // Labels: `name:` possibly followed by more on the same line.
+    if let Some(colon) = code.find(':') {
+        let (label, rest) = code.split_at(colon);
+        let label = label.trim();
+        if !label.is_empty() && label.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.') {
+            b.label(label);
+            return parse_line(b, &rest[1..], line);
+        }
+    }
+    if let Some(directive) = code.strip_prefix('.') {
+        return parse_directive(b, directive, line);
+    }
+    // Instruction: mnemonic then comma-separated operands.
+    let (mnem, rest) = match code.find(char::is_whitespace) {
+        Some(ws) => code.split_at(ws),
+        None => (code, ""),
+    };
+    let op = Opcode::from_mnemonic(mnem)
+        .ok_or_else(|| err(AsmErrorKind::UnknownMnemonic(mnem.to_string())))?;
+    let operands: Vec<&str> =
+        rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let inst = parse_operands(b, op, &operands, line)?;
+    match inst {
+        Parsed::Plain(i) => {
+            b.emit(i);
+        }
+        Parsed::WithTarget(i, t) => {
+            // Re-emit through the builder so labels get fixed up.
+            emit_with_target(b, i, t);
+        }
+    }
+    Ok(())
+}
+
+enum Parsed {
+    Plain(Instruction),
+    WithTarget(Instruction, Target),
+}
+
+fn emit_with_target(b: &mut ProgramBuilder, inst: Instruction, target: Target) {
+    match target {
+        Target::Pc(pc) => {
+            let mut i = inst;
+            i.imm = pc as i32;
+            b.emit(i);
+        }
+        Target::Label(_) => match inst.op {
+            Opcode::J => {
+                b.j(target);
+            }
+            Opcode::Jal => {
+                b.jal(inst.rd, target);
+            }
+            _ => {
+                // Conditional branch.
+                match inst.op {
+                    Opcode::Beq => b.beq(inst.rs1, inst.rs2, target),
+                    Opcode::Bne => b.bne(inst.rs1, inst.rs2, target),
+                    Opcode::Blt => b.blt(inst.rs1, inst.rs2, target),
+                    Opcode::Bge => b.bge(inst.rs1, inst.rs2, target),
+                    Opcode::Bltu => b.bltu(inst.rs1, inst.rs2, target),
+                    Opcode::Bgeu => b.bgeu(inst.rs1, inst.rs2, target),
+                    _ => unreachable!("only control ops carry targets"),
+                };
+            }
+        },
+    }
+}
+
+fn parse_directive(b: &mut ProgramBuilder, d: &str, line: usize) -> Result<(), AsmError> {
+    let err = |kind| AsmError { line, kind };
+    let parts: Vec<&str> = d.split_whitespace().collect();
+    match parts.first().copied() {
+        Some("task") => {
+            b.task();
+            Ok(())
+        }
+        Some("sym") => {
+            let [_, name, addr] = parts[..] else {
+                return Err(err(AsmErrorKind::BadDirective(d.to_string())));
+            };
+            let addr = parse_u64(addr)
+                .ok_or_else(|| err(AsmErrorKind::BadOperand(addr.to_string())))?;
+            b.define_symbol(name, addr);
+            Ok(())
+        }
+        Some("word") => {
+            let [_, addr, value] = parts[..] else {
+                return Err(err(AsmErrorKind::BadDirective(d.to_string())));
+            };
+            let addr = parse_u64(addr)
+                .ok_or_else(|| err(AsmErrorKind::BadOperand(addr.to_string())))?;
+            let value = parse_u64(value)
+                .ok_or_else(|| err(AsmErrorKind::BadOperand(value.to_string())))?;
+            b.init_word(addr, value);
+            Ok(())
+        }
+        Some("data") => {
+            if parts.len() < 3 {
+                return Err(err(AsmErrorKind::BadDirective(d.to_string())));
+            }
+            let name = parts[1];
+            let count: usize = parts[2]
+                .parse()
+                .map_err(|_| err(AsmErrorKind::BadOperand(parts[2].to_string())))?;
+            let base = b.alloc(name, count);
+            for (i, v) in parts[3..].iter().enumerate() {
+                let value =
+                    parse_u64(v).ok_or_else(|| err(AsmErrorKind::BadOperand(v.to_string())))?;
+                b.init_word(base + (i as u64) * 8, value);
+            }
+            Ok(())
+        }
+        _ => Err(err(AsmErrorKind::BadDirective(d.to_string()))),
+    }
+}
+
+fn parse_operands(
+    b: &ProgramBuilder,
+    op: Opcode,
+    ops: &[&str],
+    line: usize,
+) -> Result<Parsed, AsmError> {
+    let err = |kind| AsmError { line, kind };
+    let need = |n: usize| {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(err(AsmErrorKind::OperandCount { expected: n, found: ops.len() }))
+        }
+    };
+    let int_reg = |s: &str| {
+        Reg::parse(s).ok_or_else(|| err(AsmErrorKind::BadRegister(s.to_string())))
+    };
+    let fp_reg = |s: &str| {
+        Reg::parse_fp(s).ok_or_else(|| err(AsmErrorKind::BadRegister(s.to_string())))
+    };
+    let imm = |s: &str| -> Result<i32, AsmError> {
+        if let Some(sym) = s.strip_prefix('%') {
+            let addr =
+                b.symbol(sym).ok_or_else(|| err(AsmErrorKind::UnknownSymbol(sym.to_string())))?;
+            return Ok(addr as i32);
+        }
+        parse_i64(s)
+            .map(|v| v as i32)
+            .ok_or_else(|| err(AsmErrorKind::BadOperand(s.to_string())))
+    };
+    // `imm(reg)` address operand.
+    let mem = |s: &str| -> Result<(i32, Reg), AsmError> {
+        let open = s.find('(').ok_or_else(|| err(AsmErrorKind::BadOperand(s.to_string())))?;
+        let close = s.rfind(')').ok_or_else(|| err(AsmErrorKind::BadOperand(s.to_string())))?;
+        let disp_text = s[..open].trim();
+        let disp = if disp_text.is_empty() { 0 } else { imm(disp_text)? };
+        let base = int_reg(s[open + 1..close].trim())?;
+        Ok((disp, base))
+    };
+    let target = |s: &str| -> Target {
+        match parse_i64(s) {
+            Some(v) => Target::Pc(v as u32),
+            None => Target::Label(s.to_string()),
+        }
+    };
+
+    use Format::*;
+    let parsed = match op.format() {
+        Rrr => {
+            need(3)?;
+            Parsed::Plain(Instruction::rrr(op, int_reg(ops[0])?, int_reg(ops[1])?, int_reg(ops[2])?))
+        }
+        Rri => {
+            need(3)?;
+            Parsed::Plain(Instruction::rri(op, int_reg(ops[0])?, int_reg(ops[1])?, imm(ops[2])?))
+        }
+        Ri => {
+            need(2)?;
+            Parsed::Plain(Instruction::ri(op, int_reg(ops[0])?, imm(ops[1])?))
+        }
+        Load => {
+            need(2)?;
+            let (disp, base) = mem(ops[1])?;
+            Parsed::Plain(Instruction::load(op, int_reg(ops[0])?, base, disp))
+        }
+        Store => {
+            need(2)?;
+            let (disp, base) = mem(ops[1])?;
+            Parsed::Plain(Instruction::store(op, int_reg(ops[0])?, base, disp))
+        }
+        Branch => {
+            need(3)?;
+            Parsed::WithTarget(
+                Instruction::branch(op, int_reg(ops[0])?, int_reg(ops[1])?, 0),
+                target(ops[2]),
+            )
+        }
+        Jump => {
+            need(1)?;
+            Parsed::WithTarget(Instruction { op, ..Instruction::NOP }, target(ops[0]))
+        }
+        Jal => {
+            need(2)?;
+            Parsed::WithTarget(
+                Instruction { op, rd: int_reg(ops[0])?, ..Instruction::NOP },
+                target(ops[1]),
+            )
+        }
+        JumpReg => {
+            need(1)?;
+            Parsed::Plain(Instruction { op, rs1: int_reg(ops[0])?, ..Instruction::NOP })
+        }
+        Plain => {
+            need(0)?;
+            Parsed::Plain(Instruction { op, ..Instruction::NOP })
+        }
+        Frrr => {
+            need(3)?;
+            Parsed::Plain(Instruction::rrr(op, fp_reg(ops[0])?, fp_reg(ops[1])?, fp_reg(ops[2])?))
+        }
+        Frr => {
+            need(2)?;
+            Parsed::Plain(Instruction::rr(op, fp_reg(ops[0])?, fp_reg(ops[1])?))
+        }
+        FLoad => {
+            need(2)?;
+            let (disp, base) = mem(ops[1])?;
+            Parsed::Plain(Instruction::load(op, fp_reg(ops[0])?, base, disp))
+        }
+        FStore => {
+            need(2)?;
+            let (disp, base) = mem(ops[1])?;
+            Parsed::Plain(Instruction::store(op, fp_reg(ops[0])?, base, disp))
+        }
+        FCmp => {
+            need(3)?;
+            Parsed::Plain(Instruction::rrr(op, int_reg(ops[0])?, fp_reg(ops[1])?, fp_reg(ops[2])?))
+        }
+        FCvtToFp => {
+            need(2)?;
+            Parsed::Plain(Instruction::rr(op, fp_reg(ops[0])?, int_reg(ops[1])?))
+        }
+        FCvtToInt => {
+            need(2)?;
+            Parsed::Plain(Instruction::rr(op, int_reg(ops[0])?, fp_reg(ops[1])?))
+        }
+    };
+    Ok(parsed)
+}
+
+fn parse_i64(s: &str) -> Option<i64> {
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(rest) => (true, rest),
+        None => (false, s),
+    };
+    let v = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(hex, 16).ok()?
+    } else {
+        body.parse::<i64>().ok()?
+    };
+    Some(if neg { -v } else { v })
+}
+
+fn parse_u64(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse::<u64>().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::ProgramBuilder;
+    use crate::program::DATA_BASE;
+
+    #[test]
+    fn assembles_the_module_example() {
+        let text = "
+            .data counter 1 7
+            loop:
+              ld   t0, 0(s0)
+              addi t0, t0, 1
+              sd   t0, 0(s0)
+              bne  s1, zero, loop
+              li   a0, %counter
+              halt
+        ";
+        let p = assemble(text).unwrap();
+        assert_eq!(p.len(), 6);
+        assert_eq!(p.symbol("counter"), Some(DATA_BASE));
+        assert_eq!(p.initial_data().next(), Some((DATA_BASE, 7)));
+        assert_eq!(p.fetch(3).unwrap().imm, 0); // branch back to loop
+        assert_eq!(p.fetch(4).unwrap().imm, DATA_BASE as i32);
+    }
+
+    #[test]
+    fn label_and_instruction_share_a_line() {
+        let p = assemble("start: nop\nj start\nhalt\n").unwrap();
+        assert_eq!(p.fetch(1).unwrap().imm, 0);
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let p = assemble("# header\n\n  ; note\nnop # trailing\nhalt\n").unwrap();
+        assert_eq!(p.len(), 2);
+    }
+
+    #[test]
+    fn unknown_mnemonic_reports_line() {
+        let e = assemble("nop\nfrobnicate t0\n").unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(matches!(e.kind, AsmErrorKind::UnknownMnemonic(ref m) if m == "frobnicate"));
+    }
+
+    #[test]
+    fn operand_count_mismatch() {
+        let e = assemble("add t0, t1\n").unwrap_err();
+        assert_eq!(e.kind, AsmErrorKind::OperandCount { expected: 3, found: 2 });
+    }
+
+    #[test]
+    fn bad_register_reported() {
+        let e = assemble("add t0, t1, bogus\n").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::BadRegister(ref r) if r == "bogus"));
+    }
+
+    #[test]
+    fn unknown_symbol_reported() {
+        let e = assemble("li t0, %ghost\n").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::UnknownSymbol(ref s) if s == "ghost"));
+    }
+
+    #[test]
+    fn numeric_branch_targets_accepted() {
+        let p = assemble("beq t0, t1, 0\nhalt\n").unwrap();
+        assert_eq!(p.fetch(0).unwrap().imm, 0);
+    }
+
+    #[test]
+    fn wild_numeric_branch_targets_rejected() {
+        let e = assemble("beq t0, t1, 99\nhalt\n").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::Build(ref m) if m.contains("outside program")));
+        let e = assemble("j 1000\nhalt\n").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::Build(_)));
+    }
+
+    #[test]
+    fn hex_and_negative_immediates() {
+        let p = assemble("li t0, 0x10\naddi t0, t0, -3\nhalt\n").unwrap();
+        assert_eq!(p.fetch(0).unwrap().imm, 16);
+        assert_eq!(p.fetch(1).unwrap().imm, -3);
+    }
+
+    #[test]
+    fn fp_instructions_parse() {
+        let text = "
+            fld f1, 0(s0)
+            fadd f2, f1, f1
+            fsqrt f3, f2
+            feq t0, f2, f3
+            fcvt.l.d a0, f3
+            fcvt.d.l f4, a0
+            fsd f4, 8(s0)
+            halt
+        ";
+        let p = assemble(text).unwrap();
+        assert_eq!(p.len(), 8);
+        assert_eq!(p.fetch(1).unwrap().op, Opcode::FAdd);
+    }
+
+    #[test]
+    fn task_directive_marks_instruction() {
+        let p = assemble(".task\nnop\nhalt\n").unwrap();
+        assert!(p.is_task_head(0));
+        assert!(!p.is_task_head(1));
+    }
+
+    #[test]
+    fn disassemble_reassemble_roundtrip() {
+        let mut b = ProgramBuilder::new();
+        let t = b.alloc_init("tbl", &[5, 0, 6]);
+        b.li(Reg::S0, t as i32);
+        b.task();
+        b.label("top");
+        b.ld(Reg::T0, Reg::S0, 0);
+        b.fld(Reg::f(1), Reg::S0, 8);
+        b.fadd(Reg::f(2), Reg::f(1), Reg::f(1));
+        b.fsd(Reg::f(2), Reg::S0, 16);
+        b.addi(Reg::T0, Reg::T0, -1);
+        b.bne(Reg::T0, Reg::ZERO, "top");
+        b.call(3u32);
+        b.halt();
+        let p = b.build().unwrap();
+        let p2 = assemble(&p.disassemble()).unwrap();
+        assert_eq!(p.instructions(), p2.instructions());
+        assert_eq!(
+            p.task_heads().collect::<Vec<_>>(),
+            p2.task_heads().collect::<Vec<_>>()
+        );
+        assert_eq!(
+            p.initial_data().collect::<Vec<_>>(),
+            p2.initial_data().collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn bad_directive_reported() {
+        let e = assemble(".frob x\n").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::BadDirective(_)));
+    }
+
+    #[test]
+    fn duplicate_label_surfaces_as_build_error() {
+        let e = assemble("x: nop\nx: halt\n").unwrap_err();
+        assert!(matches!(e.kind, AsmErrorKind::Build(_)));
+    }
+}

@@ -1,0 +1,146 @@
+//! Fixed-width binary instruction encoding.
+//!
+//! Instructions encode into a single little-endian `u64` word:
+//!
+//! ```text
+//!  63      32 31    24 23    16 15     8 7      0
+//! +----------+--------+--------+--------+--------+
+//! |   imm    |  rs2   |  rs1   |   rd   | opcode |
+//! +----------+--------+--------+--------+--------+
+//! ```
+//!
+//! The encoding is used by tests, the assembler's object output, and anyone
+//! who wants to persist programs compactly. [`encode`] and [`decode`] are
+//! exact inverses for every well-formed instruction (checked by property
+//! tests).
+
+use crate::inst::Instruction;
+use crate::op::Opcode;
+use crate::reg::Reg;
+use std::fmt;
+
+/// Error returned by [`decode`] for malformed instruction words.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DecodeError {
+    /// The opcode byte does not name a valid opcode.
+    BadOpcode(u8),
+    /// A register field exceeds 31.
+    BadRegister(u8),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadOpcode(b) => write!(f, "invalid opcode byte {b:#04x}"),
+            DecodeError::BadRegister(b) => write!(f, "register field {b} out of range"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Encodes an instruction into its 64-bit binary form.
+///
+/// # Examples
+///
+/// ```
+/// use mds_isa::{encode, decode, Instruction, Opcode, Reg};
+/// let i = Instruction::rri(Opcode::Addi, Reg::T0, Reg::T1, -7);
+/// assert_eq!(decode(encode(&i))?, i);
+/// # Ok::<(), mds_isa::DecodeError>(())
+/// ```
+pub fn encode(inst: &Instruction) -> u64 {
+    (inst.op as u8 as u64)
+        | ((inst.rd.index() as u64) << 8)
+        | ((inst.rs1.index() as u64) << 16)
+        | ((inst.rs2.index() as u64) << 24)
+        | ((inst.imm as u32 as u64) << 32)
+}
+
+/// Decodes a 64-bit instruction word.
+///
+/// # Errors
+///
+/// Returns [`DecodeError`] when the opcode byte or a register field is out
+/// of range.
+pub fn decode(word: u64) -> Result<Instruction, DecodeError> {
+    let op_byte = (word & 0xff) as u8;
+    let op = opcode_from_byte(op_byte).ok_or(DecodeError::BadOpcode(op_byte))?;
+    let rd = reg_from_byte((word >> 8) as u8)?;
+    let rs1 = reg_from_byte((word >> 16) as u8)?;
+    let rs2 = reg_from_byte((word >> 24) as u8)?;
+    let imm = (word >> 32) as u32 as i32;
+    Ok(Instruction { op, rd, rs1, rs2, imm })
+}
+
+fn opcode_from_byte(b: u8) -> Option<Opcode> {
+    Opcode::ALL.get(b as usize).copied()
+}
+
+fn reg_from_byte(b: u8) -> Result<Reg, DecodeError> {
+    if b < 32 {
+        Ok(Reg::x(b))
+    } else {
+        Err(DecodeError::BadRegister(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::op::Opcode;
+    use proptest::prelude::*;
+
+    #[test]
+    fn opcode_discriminants_are_dense() {
+        for (i, &op) in Opcode::ALL.iter().enumerate() {
+            assert_eq!(op as usize, i, "{op:?} has non-dense discriminant");
+        }
+    }
+
+    #[test]
+    fn decode_rejects_bad_opcode() {
+        let word = 0xffu64;
+        assert_eq!(decode(word), Err(DecodeError::BadOpcode(0xff)));
+    }
+
+    #[test]
+    fn decode_rejects_bad_register() {
+        // opcode 0 (add) with rd = 40
+        let word = (40u64) << 8;
+        assert_eq!(decode(word), Err(DecodeError::BadRegister(40)));
+    }
+
+    #[test]
+    fn error_messages_are_informative() {
+        assert!(DecodeError::BadOpcode(0xff).to_string().contains("0xff"));
+        assert!(DecodeError::BadRegister(40).to_string().contains("40"));
+    }
+
+    fn arb_instruction() -> impl Strategy<Value = Instruction> {
+        (0..Opcode::ALL.len(), 0u8..32, 0u8..32, 0u8..32, any::<i32>()).prop_map(
+            |(op, rd, rs1, rs2, imm)| Instruction {
+                op: Opcode::ALL[op],
+                rd: Reg::x(rd),
+                rs1: Reg::x(rs1),
+                rs2: Reg::x(rs2),
+                imm,
+            },
+        )
+    }
+
+    proptest! {
+        #[test]
+        fn encode_decode_roundtrip(inst in arb_instruction()) {
+            let word = encode(&inst);
+            prop_assert_eq!(decode(word).unwrap(), inst);
+        }
+
+        #[test]
+        fn encoding_is_injective(a in arb_instruction(), b in arb_instruction()) {
+            if a != b {
+                prop_assert_ne!(encode(&a), encode(&b));
+            }
+        }
+    }
+}

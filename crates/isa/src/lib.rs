@@ -1,0 +1,68 @@
+//! A small 64-bit RISC instruction set used by the `mds` suite.
+//!
+//! The ISA exists so the workspace can *execute real programs* rather than
+//! replay canned traces: the synthetic workloads in `mds-workloads` are
+//! written against this instruction set, run on the functional emulator in
+//! `mds-emu`, and the resulting committed instruction streams drive both the
+//! sliding-window dependence analyzer (`mds-ooo`) and the Multiscalar timing
+//! model (`mds-multiscalar`).
+//!
+//! Design points:
+//!
+//! - **Program counters are instruction indices.** `pc + 1` is the next
+//!   instruction; branch targets are absolute indices. This keeps the
+//!   dependence machinery (which keys on instruction PCs) simple without
+//!   losing anything the paper needs.
+//! - **Two register files** of 32 registers each: integer `r0..r31`
+//!   (`r0` is hard-wired zero) and floating point `f0..f31`.
+//! - **Byte-addressed memory** with 8-byte word loads/stores (`ld`/`sd`)
+//!   and byte accesses (`lb`/`sb`). The data segment starts at
+//!   [`DATA_BASE`]; the stack grows down from [`STACK_BASE`].
+//! - **Task annotations.** A [`Program`] carries the set of PCs that begin
+//!   Multiscalar tasks; the emulator emits task boundaries when crossing
+//!   them. This mirrors the task-annotated binaries produced by the
+//!   Multiscalar compiler in the paper.
+//!
+//! # Examples
+//!
+//! Build, disassemble and reassemble a two-instruction program:
+//!
+//! ```
+//! use mds_isa::{ProgramBuilder, Reg};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.li(Reg::T0, 41);
+//! b.addi(Reg::T0, Reg::T0, 1);
+//! b.halt();
+//! let program = b.build()?;
+//! assert_eq!(program.len(), 3);
+//!
+//! let text = program.disassemble();
+//! let reparsed = mds_isa::asm::assemble(&text)?;
+//! assert_eq!(program.instructions(), reparsed.instructions());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod asm;
+pub mod builder;
+pub mod encode;
+pub mod inst;
+pub mod op;
+pub mod program;
+pub mod reg;
+
+pub use builder::{BuildError, ProgramBuilder};
+pub use encode::{decode, encode, DecodeError};
+pub use inst::{Instruction, RegRef};
+pub use op::{FuClass, Opcode};
+pub use program::{InstructionMix, Program, DATA_BASE, STACK_BASE};
+pub use reg::{File, Reg};
+
+/// A program counter: the index of an instruction within a [`Program`].
+pub type Pc = u32;
+
+/// A byte address in the emulated data memory.
+pub type Addr = u64;

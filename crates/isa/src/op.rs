@@ -1,0 +1,294 @@
+//! Opcodes, instruction formats, and functional-unit classes.
+
+use std::fmt;
+
+/// The functional-unit class an instruction executes on.
+///
+/// The Multiscalar timing model configures one latency and an issue-port
+/// count per class (2 simple-integer units, 1 complex-integer unit, 1 FP
+/// unit, 1 branch unit, 1 memory unit per processing element, as in the
+/// paper's §5.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FuClass {
+    /// Single-cycle integer ALU operations.
+    SimpleInt,
+    /// Multi-cycle integer operations (multiply, divide, remainder).
+    ComplexInt,
+    /// Floating-point operations.
+    Fp,
+    /// Loads and stores (address generation + cache access).
+    Mem,
+    /// Control transfers.
+    Branch,
+}
+
+impl fmt::Display for FuClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            FuClass::SimpleInt => "simple-int",
+            FuClass::ComplexInt => "complex-int",
+            FuClass::Fp => "fp",
+            FuClass::Mem => "mem",
+            FuClass::Branch => "branch",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The assembly format of an opcode; drives both disassembly and parsing so
+/// the two cannot drift apart.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Format {
+    /// `op rd, rs1, rs2`
+    Rrr,
+    /// `op rd, rs1, imm`
+    Rri,
+    /// `op rd, imm`
+    Ri,
+    /// `op rd, imm(rs1)` — integer load
+    Load,
+    /// `op rs2, imm(rs1)` — integer store (`rs2` is the data source)
+    Store,
+    /// `op rs1, rs2, target`
+    Branch,
+    /// `op target`
+    Jump,
+    /// `op rd, target`
+    Jal,
+    /// `op rs1`
+    JumpReg,
+    /// `op` with no operands
+    Plain,
+    /// `op fd, fs1, fs2`
+    Frrr,
+    /// `op fd, fs1`
+    Frr,
+    /// `op fd, imm(rs1)` — FP load
+    FLoad,
+    /// `op fs2, imm(rs1)` — FP store
+    FStore,
+    /// `op rd, fs1, fs2` — FP compare writing an integer register
+    FCmp,
+    /// `op fd, rs1` — integer to FP conversion
+    FCvtToFp,
+    /// `op rd, fs1` — FP to integer conversion
+    FCvtToInt,
+}
+
+macro_rules! opcodes {
+    ($( $variant:ident => ($mnem:literal, $fmt:ident, $fu:ident) ),+ $(,)?) => {
+        /// Every operation in the ISA.
+        ///
+        /// See the crate docs for the overall machine model. The mnemonic,
+        /// assembly [`Format`], and [`FuClass`] of each opcode are available
+        /// via [`Opcode::mnemonic`], [`Opcode::format`], and
+        /// [`Opcode::fu_class`].
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+        #[allow(missing_docs)] // the mnemonic table below documents each op
+        #[repr(u8)]
+        pub enum Opcode {
+            $($variant),+
+        }
+
+        impl Opcode {
+            /// All opcodes, in encoding order.
+            pub const ALL: &'static [Opcode] = &[$(Opcode::$variant),+];
+
+            /// The assembler mnemonic.
+            pub const fn mnemonic(self) -> &'static str {
+                match self { $(Opcode::$variant => $mnem),+ }
+            }
+
+            /// The assembly/operand format.
+            pub const fn format(self) -> Format {
+                match self { $(Opcode::$variant => Format::$fmt),+ }
+            }
+
+            /// The functional-unit class.
+            pub const fn fu_class(self) -> FuClass {
+                match self { $(Opcode::$variant => FuClass::$fu),+ }
+            }
+
+            /// Looks an opcode up by mnemonic.
+            pub fn from_mnemonic(m: &str) -> Option<Opcode> {
+                match m { $($mnem => Some(Opcode::$variant),)+ _ => None }
+            }
+        }
+    };
+}
+
+opcodes! {
+    // Integer register-register.
+    Add  => ("add",  Rrr, SimpleInt),
+    Sub  => ("sub",  Rrr, SimpleInt),
+    Mul  => ("mul",  Rrr, ComplexInt),
+    Div  => ("div",  Rrr, ComplexInt),
+    Rem  => ("rem",  Rrr, ComplexInt),
+    And  => ("and",  Rrr, SimpleInt),
+    Or   => ("or",   Rrr, SimpleInt),
+    Xor  => ("xor",  Rrr, SimpleInt),
+    Sll  => ("sll",  Rrr, SimpleInt),
+    Srl  => ("srl",  Rrr, SimpleInt),
+    Sra  => ("sra",  Rrr, SimpleInt),
+    Slt  => ("slt",  Rrr, SimpleInt),
+    Sltu => ("sltu", Rrr, SimpleInt),
+    // Integer register-immediate.
+    Addi => ("addi", Rri, SimpleInt),
+    Andi => ("andi", Rri, SimpleInt),
+    Ori  => ("ori",  Rri, SimpleInt),
+    Xori => ("xori", Rri, SimpleInt),
+    Slli => ("slli", Rri, SimpleInt),
+    Srli => ("srli", Rri, SimpleInt),
+    Srai => ("srai", Rri, SimpleInt),
+    Slti => ("slti", Rri, SimpleInt),
+    // Immediate load.
+    Li   => ("li",   Ri, SimpleInt),
+    // Integer memory.
+    Ld   => ("ld", Load,  Mem),
+    Lb   => ("lb", Load,  Mem),
+    Sd   => ("sd", Store, Mem),
+    Sb   => ("sb", Store, Mem),
+    // Conditional branches.
+    Beq  => ("beq",  Branch, Branch),
+    Bne  => ("bne",  Branch, Branch),
+    Blt  => ("blt",  Branch, Branch),
+    Bge  => ("bge",  Branch, Branch),
+    Bltu => ("bltu", Branch, Branch),
+    Bgeu => ("bgeu", Branch, Branch),
+    // Unconditional control flow.
+    J    => ("j",   Jump,    Branch),
+    Jal  => ("jal", Jal,     Branch),
+    Jr   => ("jr",  JumpReg, Branch),
+    // Floating point arithmetic.
+    FAdd  => ("fadd",  Frrr, Fp),
+    FSub  => ("fsub",  Frrr, Fp),
+    FMul  => ("fmul",  Frrr, Fp),
+    FDiv  => ("fdiv",  Frrr, Fp),
+    FSqrt => ("fsqrt", Frr,  Fp),
+    FMov  => ("fmov",  Frr,  Fp),
+    FNeg  => ("fneg",  Frr,  Fp),
+    // Floating point memory.
+    Fld => ("fld", FLoad,  Mem),
+    Fsd => ("fsd", FStore, Mem),
+    // Floating point compares (write an integer register).
+    Feq => ("feq", FCmp, Fp),
+    Flt => ("flt", FCmp, Fp),
+    Fle => ("fle", FCmp, Fp),
+    // Conversions.
+    FCvtDl => ("fcvt.d.l", FCvtToFp,  Fp),
+    FCvtLd => ("fcvt.l.d", FCvtToInt, Fp),
+    // Miscellaneous.
+    Nop  => ("nop",  Plain, SimpleInt),
+    Halt => ("halt", Plain, Branch),
+}
+
+impl Opcode {
+    /// Returns `true` for memory loads (`ld`, `lb`, `fld`).
+    pub const fn is_load(self) -> bool {
+        matches!(self, Opcode::Ld | Opcode::Lb | Opcode::Fld)
+    }
+
+    /// Returns `true` for memory stores (`sd`, `sb`, `fsd`).
+    pub const fn is_store(self) -> bool {
+        matches!(self, Opcode::Sd | Opcode::Sb | Opcode::Fsd)
+    }
+
+    /// Returns `true` for any memory access.
+    pub const fn is_mem(self) -> bool {
+        self.is_load() || self.is_store()
+    }
+
+    /// Returns `true` for conditional branches.
+    pub const fn is_cond_branch(self) -> bool {
+        matches!(
+            self,
+            Opcode::Beq | Opcode::Bne | Opcode::Blt | Opcode::Bge | Opcode::Bltu | Opcode::Bgeu
+        )
+    }
+
+    /// Returns `true` for any control transfer (conditional or not).
+    pub const fn is_control(self) -> bool {
+        self.is_cond_branch() || matches!(self, Opcode::J | Opcode::Jal | Opcode::Jr)
+    }
+
+    /// The access size in bytes for memory opcodes, 0 otherwise.
+    pub const fn access_bytes(self) -> u8 {
+        match self {
+            Opcode::Ld | Opcode::Sd | Opcode::Fld | Opcode::Fsd => 8,
+            Opcode::Lb | Opcode::Sb => 1,
+            _ => 0,
+        }
+    }
+}
+
+impl fmt::Display for Opcode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mnemonic_lookup_roundtrips() {
+        for &op in Opcode::ALL {
+            assert_eq!(Opcode::from_mnemonic(op.mnemonic()), Some(op), "{op:?}");
+        }
+        assert_eq!(Opcode::from_mnemonic("bogus"), None);
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let mut seen = std::collections::HashSet::new();
+        for &op in Opcode::ALL {
+            assert!(seen.insert(op.mnemonic()), "duplicate mnemonic {}", op.mnemonic());
+        }
+    }
+
+    #[test]
+    fn memory_predicates() {
+        assert!(Opcode::Ld.is_load());
+        assert!(Opcode::Fld.is_load());
+        assert!(!Opcode::Ld.is_store());
+        assert!(Opcode::Sb.is_store());
+        assert!(Opcode::Fsd.is_mem());
+        assert!(!Opcode::Add.is_mem());
+    }
+
+    #[test]
+    fn control_predicates() {
+        assert!(Opcode::Beq.is_cond_branch());
+        assert!(!Opcode::J.is_cond_branch());
+        assert!(Opcode::J.is_control());
+        assert!(Opcode::Jal.is_control());
+        assert!(Opcode::Jr.is_control());
+        assert!(!Opcode::Halt.is_control());
+        assert!(!Opcode::Add.is_control());
+    }
+
+    #[test]
+    fn access_sizes() {
+        assert_eq!(Opcode::Ld.access_bytes(), 8);
+        assert_eq!(Opcode::Lb.access_bytes(), 1);
+        assert_eq!(Opcode::Fsd.access_bytes(), 8);
+        assert_eq!(Opcode::Add.access_bytes(), 0);
+    }
+
+    #[test]
+    fn fu_classes_match_paper_configuration() {
+        assert_eq!(Opcode::Add.fu_class(), FuClass::SimpleInt);
+        assert_eq!(Opcode::Mul.fu_class(), FuClass::ComplexInt);
+        assert_eq!(Opcode::Div.fu_class(), FuClass::ComplexInt);
+        assert_eq!(Opcode::FMul.fu_class(), FuClass::Fp);
+        assert_eq!(Opcode::Ld.fu_class(), FuClass::Mem);
+        assert_eq!(Opcode::Beq.fu_class(), FuClass::Branch);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Opcode::FCvtDl.to_string(), "fcvt.d.l");
+        assert_eq!(FuClass::ComplexInt.to_string(), "complex-int");
+    }
+}

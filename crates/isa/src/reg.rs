@@ -1,0 +1,235 @@
+//! Register names and files.
+
+use std::fmt;
+
+/// Which architectural register file a register belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum File {
+    /// Integer registers `r0..r31` (`r0` reads as zero).
+    Int,
+    /// Floating-point registers `f0..f31`.
+    Fp,
+}
+
+impl fmt::Display for File {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            File::Int => write!(f, "int"),
+            File::Fp => write!(f, "fp"),
+        }
+    }
+}
+
+/// An architectural register index (0–31) within either file.
+///
+/// The conventional integer-register aliases are provided as associated
+/// constants; floating-point code just uses [`Reg::f`]/[`Reg::x`] indices.
+///
+/// # Examples
+///
+/// ```
+/// use mds_isa::Reg;
+/// assert_eq!(Reg::ZERO.index(), 0);
+/// assert_eq!(Reg::T0, Reg::x(5));
+/// assert_eq!(Reg::x(5).to_string(), "t0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(u8);
+
+impl Reg {
+    /// Hard-wired zero.
+    pub const ZERO: Reg = Reg(0);
+    /// Return address (link register for `jal`).
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(2);
+    /// Global pointer.
+    pub const GP: Reg = Reg(3);
+    /// Scratch/temporary registers.
+    pub const T0: Reg = Reg(5);
+    /// Temporary register 1.
+    pub const T1: Reg = Reg(6);
+    /// Temporary register 2.
+    pub const T2: Reg = Reg(7);
+    /// Temporary register 3.
+    pub const T3: Reg = Reg(28);
+    /// Temporary register 4.
+    pub const T4: Reg = Reg(29);
+    /// Temporary register 5.
+    pub const T5: Reg = Reg(30);
+    /// Temporary register 6.
+    pub const T6: Reg = Reg(31);
+    /// Callee-saved register 0.
+    pub const S0: Reg = Reg(8);
+    /// Callee-saved register 1.
+    pub const S1: Reg = Reg(9);
+    /// Callee-saved register 2.
+    pub const S2: Reg = Reg(18);
+    /// Callee-saved register 3.
+    pub const S3: Reg = Reg(19);
+    /// Callee-saved register 4.
+    pub const S4: Reg = Reg(20);
+    /// Callee-saved register 5.
+    pub const S5: Reg = Reg(21);
+    /// Callee-saved register 6.
+    pub const S6: Reg = Reg(22);
+    /// Callee-saved register 7.
+    pub const S7: Reg = Reg(23);
+    /// Callee-saved register 8.
+    pub const S8: Reg = Reg(24);
+    /// Callee-saved register 9.
+    pub const S9: Reg = Reg(25);
+    /// Callee-saved register 10.
+    pub const S10: Reg = Reg(26);
+    /// Callee-saved register 11.
+    pub const S11: Reg = Reg(27);
+    /// Argument/result register 0.
+    pub const A0: Reg = Reg(10);
+    /// Argument register 1.
+    pub const A1: Reg = Reg(11);
+    /// Argument register 2.
+    pub const A2: Reg = Reg(12);
+    /// Argument register 3.
+    pub const A3: Reg = Reg(13);
+    /// Argument register 4.
+    pub const A4: Reg = Reg(14);
+    /// Argument register 5.
+    pub const A5: Reg = Reg(15);
+    /// Argument register 6.
+    pub const A6: Reg = Reg(16);
+    /// Argument register 7.
+    pub const A7: Reg = Reg(17);
+
+    /// Constructs a register from a raw index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub const fn x(index: u8) -> Reg {
+        assert!(index < 32, "register index out of range");
+        Reg(index)
+    }
+
+    /// Alias of [`Reg::x`] used when naming floating-point registers for
+    /// readability at call sites (`Reg::f(2)` reads as `f2`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= 32`.
+    pub const fn f(index: u8) -> Reg {
+        Reg::x(index)
+    }
+
+    /// The raw index (0–31).
+    pub const fn index(self) -> u8 {
+        self.0
+    }
+
+    /// Returns `true` for the hard-wired zero register.
+    pub const fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The canonical ABI name, e.g. `t0`, `s3`, `a1`, `zero`.
+    pub fn abi_name(self) -> &'static str {
+        ABI_NAMES[self.0 as usize]
+    }
+
+    /// Parses an integer-register name: an ABI alias (`t0`, `sp`, …) or a
+    /// raw `rN`/`xN` form. Returns `None` for anything else.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use mds_isa::Reg;
+    /// assert_eq!(Reg::parse("t0"), Some(Reg::T0));
+    /// assert_eq!(Reg::parse("r31"), Some(Reg::x(31)));
+    /// assert_eq!(Reg::parse("bogus"), None);
+    /// ```
+    pub fn parse(name: &str) -> Option<Reg> {
+        if let Some(pos) = ABI_NAMES.iter().position(|&n| n == name) {
+            return Some(Reg(pos as u8));
+        }
+        let rest = name.strip_prefix('r').or_else(|| name.strip_prefix('x'))?;
+        let idx: u8 = rest.parse().ok()?;
+        (idx < 32).then_some(Reg(idx))
+    }
+
+    /// Parses a floating-point register name `fN`.
+    pub fn parse_fp(name: &str) -> Option<Reg> {
+        let rest = name.strip_prefix('f')?;
+        let idx: u8 = rest.parse().ok()?;
+        (idx < 32).then_some(Reg(idx))
+    }
+
+    /// Formats the register as an FP register name (`f7`).
+    pub fn fp_name(self) -> String {
+        format!("f{}", self.0)
+    }
+}
+
+const ABI_NAMES: [&str; 32] = [
+    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1", "a0", "a1", "a2", "a3", "a4",
+    "a5", "a6", "a7", "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+    "t5", "t6",
+];
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aliases_match_indices() {
+        assert_eq!(Reg::ZERO.index(), 0);
+        assert_eq!(Reg::RA.index(), 1);
+        assert_eq!(Reg::SP.index(), 2);
+        assert_eq!(Reg::T0.index(), 5);
+        assert_eq!(Reg::S0.index(), 8);
+        assert_eq!(Reg::A0.index(), 10);
+        assert_eq!(Reg::T6.index(), 31);
+    }
+
+    #[test]
+    fn parse_roundtrips_all_abi_names() {
+        for i in 0..32u8 {
+            let r = Reg::x(i);
+            assert_eq!(Reg::parse(r.abi_name()), Some(r), "alias {}", r.abi_name());
+            assert_eq!(Reg::parse(&format!("r{i}")), Some(r));
+            assert_eq!(Reg::parse(&format!("x{i}")), Some(r));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_out_of_range() {
+        assert_eq!(Reg::parse("r32"), None);
+        assert_eq!(Reg::parse("f2"), None);
+        assert_eq!(Reg::parse(""), None);
+        assert_eq!(Reg::parse_fp("f32"), None);
+        assert_eq!(Reg::parse_fp("f7"), Some(Reg::f(7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "register index out of range")]
+    fn x_panics_out_of_range() {
+        let _ = Reg::x(32);
+    }
+
+    #[test]
+    fn display_uses_abi_name() {
+        assert_eq!(Reg::ZERO.to_string(), "zero");
+        assert_eq!(Reg::A3.to_string(), "a3");
+        assert_eq!(Reg::f(9).fp_name(), "f9");
+    }
+
+    #[test]
+    fn is_zero_only_for_r0() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::RA.is_zero());
+    }
+}

@@ -1,0 +1,352 @@
+//! The Address Resolution Buffer (ARB), after Franklin & Sohi.
+//!
+//! The ARB is the Multiscalar mechanism that makes memory dependence
+//! speculation *safe*: every speculative load and store deposits its
+//! address, and when a store from an older task executes, the ARB reports
+//! any younger-task loads to the same address that have already executed —
+//! a memory dependence violation that forces those tasks to squash.
+//!
+//! Stages (processing units) are arranged on a ring; `head` names the
+//! oldest (non-speculative) stage and age increases along the ring. The
+//! timing model advances the head as tasks commit and clears per-stage
+//! state on commit and squash.
+
+use std::collections::HashMap;
+
+type Addr = u64;
+
+/// Counters describing ARB traffic.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ArbStats {
+    /// Load addresses recorded.
+    pub loads: u64,
+    /// Store addresses recorded.
+    pub stores: u64,
+    /// Violations detected (younger load before older store, same address).
+    pub violations: u64,
+    /// Entry allocations that exceeded the configured capacity.
+    pub overflows: u64,
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Entry {
+    load_mask: u32,
+    store_mask: u32,
+    last_touch: u64,
+}
+
+impl Entry {
+    fn is_empty(&self) -> bool {
+        self.load_mask == 0 && self.store_mask == 0
+    }
+}
+
+/// An address resolution buffer over `stages` ring-ordered stages.
+///
+/// # Examples
+///
+/// A younger task's load executes before an older task's store to the same
+/// address — the ARB flags the violation:
+///
+/// ```
+/// use mds_mem::Arb;
+/// let mut arb = Arb::new(4, 32);
+/// arb.load(2, 0x100);            // stage 2 (younger) loads first
+/// let v = arb.store(0, 0x100);   // stage 0 (head/oldest) stores after
+/// assert_eq!(v, vec![2]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Arb {
+    entries: HashMap<Addr, Entry>,
+    stages: usize,
+    head: usize,
+    capacity: usize,
+    tick: u64,
+    stats: ArbStats,
+}
+
+impl Arb {
+    /// Creates an ARB for `stages` stages with room for `capacity`
+    /// addresses.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= stages <= 32` and `capacity > 0`.
+    pub fn new(stages: usize, capacity: usize) -> Self {
+        assert!((1..=32).contains(&stages), "ARB supports 1..=32 stages");
+        assert!(capacity > 0, "ARB capacity must be positive");
+        Arb {
+            entries: HashMap::with_capacity(capacity),
+            stages,
+            head: 0,
+            capacity,
+            tick: 0,
+            stats: ArbStats::default(),
+        }
+    }
+
+    /// The oldest (non-speculative) stage.
+    pub fn head(&self) -> usize {
+        self.head
+    }
+
+    /// Number of stages on the ring.
+    pub fn stages(&self) -> usize {
+        self.stages
+    }
+
+    /// Live address entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` when no addresses are tracked.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Traffic counters.
+    pub fn stats(&self) -> ArbStats {
+        self.stats
+    }
+
+    /// Age of `stage` relative to the head (0 = oldest).
+    fn position(&self, stage: usize) -> usize {
+        (stage + self.stages - self.head) % self.stages
+    }
+
+    fn entry_mut(&mut self, addr: Addr) -> &mut Entry {
+        self.tick += 1;
+        if !self.entries.contains_key(&addr) && self.entries.len() >= self.capacity {
+            self.stats.overflows += 1;
+            // Prefer evicting an empty entry; otherwise the least recently
+            // touched (the hardware would stall — we approximate and count).
+            let victim = self
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| (!e.is_empty(), e.last_touch))
+                .map(|(&a, _)| a)
+                .expect("capacity > 0");
+            self.entries.remove(&victim);
+        }
+        let tick = self.tick;
+        let e = self.entries.entry(addr).or_default();
+        e.last_touch = tick;
+        e
+    }
+
+    /// Records a speculative load by `stage` to `addr`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    pub fn load(&mut self, stage: usize, addr: Addr) {
+        assert!(stage < self.stages, "stage out of range");
+        self.stats.loads += 1;
+        self.entry_mut(addr).load_mask |= 1 << stage;
+    }
+
+    /// Records a store by `stage` to `addr` and returns the stages (in age
+    /// order, oldest first) whose already-executed loads it violates.
+    ///
+    /// A younger load is shadowed — not violated — when a store from a
+    /// stage strictly between the storing stage and the loading stage has
+    /// already executed to the same address. A stage with both a load and
+    /// its own store is conservatively treated as violated (the intra-task
+    /// order is not visible to the ARB).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `stage` is out of range.
+    pub fn store(&mut self, stage: usize, addr: Addr) -> Vec<usize> {
+        assert!(stage < self.stages, "stage out of range");
+        self.stats.stores += 1;
+        let stages = self.stages;
+        let head = self.head;
+        let e = self.entry_mut(addr);
+        let mut violations = Vec::new();
+        let my_pos = (stage + stages - head) % stages;
+        for pos in my_pos + 1..stages {
+            let s = (head + pos) % stages;
+            if e.load_mask & (1 << s) != 0 {
+                violations.push(s);
+            }
+            if e.store_mask & (1 << s) != 0 {
+                break; // younger store shadows everything beyond it
+            }
+        }
+        e.store_mask |= 1 << stage;
+        self.stats.violations += violations.len() as u64;
+        violations
+    }
+
+    /// Clears all state belonging to `stage` (task commit or squash of one
+    /// stage) and drops entries that become empty.
+    pub fn clear_stage(&mut self, stage: usize) {
+        assert!(stage < self.stages, "stage out of range");
+        let bit = !(1u32 << stage);
+        self.entries.retain(|_, e| {
+            e.load_mask &= bit;
+            e.store_mask &= bit;
+            !e.is_empty()
+        });
+    }
+
+    /// Commits the head task: clears the head stage and advances the ring.
+    pub fn commit_head(&mut self) {
+        self.clear_stage(self.head);
+        self.head = (self.head + 1) % self.stages;
+    }
+
+    /// Squashes `stage` and everything younger than it.
+    pub fn squash_from(&mut self, stage: usize) {
+        assert!(stage < self.stages, "stage out of range");
+        let from = self.position(stage);
+        for pos in from..self.stages {
+            let s = (self.head + pos) % self.stages;
+            self.clear_stage(s);
+        }
+    }
+
+    /// Drops every entry (full reset).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn no_violation_when_store_precedes_load() {
+        let mut arb = Arb::new(4, 16);
+        assert!(arb.store(0, 0x10).is_empty());
+        arb.load(2, 0x10);
+        // The load came after; nothing further stores, so no violation is
+        // ever reported for it.
+        assert!(arb.store(0, 0x20).is_empty());
+    }
+
+    #[test]
+    fn violation_when_younger_load_ran_first() {
+        let mut arb = Arb::new(4, 16);
+        arb.load(1, 0x10);
+        arb.load(3, 0x10);
+        let v = arb.store(0, 0x10);
+        assert_eq!(v, vec![1, 3]);
+        assert_eq!(arb.stats().violations, 2);
+    }
+
+    #[test]
+    fn intervening_store_shadows_younger_loads() {
+        let mut arb = Arb::new(4, 16);
+        arb.store(2, 0x10); // stage 2 stored already
+        arb.load(3, 0x10); // stage 3 loaded (from stage 2's value)
+        arb.load(1, 0x10); // stage 1 loaded speculatively
+        let v = arb.store(0, 0x10);
+        // Stage 1 is violated; stage 3 is shadowed by stage 2's store.
+        assert_eq!(v, vec![1]);
+    }
+
+    #[test]
+    fn different_addresses_do_not_interact() {
+        let mut arb = Arb::new(4, 16);
+        arb.load(2, 0x10);
+        assert!(arb.store(0, 0x18).is_empty());
+    }
+
+    #[test]
+    fn ring_order_respects_head() {
+        let mut arb = Arb::new(4, 16);
+        // Advance head to 2: age order is 2, 3, 0, 1.
+        arb.commit_head();
+        arb.commit_head();
+        assert_eq!(arb.head(), 2);
+        arb.load(0, 0x10); // stage 0 is younger than stage 3 now
+        let v = arb.store(3, 0x10);
+        assert_eq!(v, vec![0]);
+        // Stage 2 is the oldest; a store from 2 scans 3, 0, 1 — but stage
+        // 3 already stored to this address, shadowing stages 0 and 1.
+        arb.load(1, 0x10);
+        let v = arb.store(2, 0x10);
+        assert_eq!(v, Vec::<usize>::new());
+        // At a different address nothing shadows: both loads are flagged.
+        arb.load(0, 0x40);
+        arb.load(1, 0x40);
+        let v = arb.store(2, 0x40);
+        assert_eq!(v, vec![0, 1]);
+    }
+
+    #[test]
+    fn commit_clears_head_state() {
+        let mut arb = Arb::new(4, 16);
+        arb.load(0, 0x10);
+        arb.store(0, 0x20);
+        arb.commit_head();
+        assert!(arb.is_empty());
+        assert_eq!(arb.head(), 1);
+    }
+
+    #[test]
+    fn squash_clears_younger_stages_only() {
+        let mut arb = Arb::new(4, 16);
+        arb.load(1, 0x10);
+        arb.load(2, 0x10);
+        arb.load(3, 0x10);
+        arb.squash_from(2);
+        let v = arb.store(0, 0x10);
+        assert_eq!(v, vec![1]); // stages 2 and 3 were squashed
+    }
+
+    #[test]
+    fn capacity_overflow_is_counted() {
+        let mut arb = Arb::new(2, 2);
+        arb.load(0, 0x10);
+        arb.load(0, 0x20);
+        arb.load(0, 0x30); // exceeds capacity
+        assert_eq!(arb.stats().overflows, 1);
+        assert_eq!(arb.len(), 2);
+    }
+
+    #[test]
+    fn empty_entries_are_garbage_collected() {
+        let mut arb = Arb::new(2, 8);
+        arb.load(1, 0x10);
+        arb.clear_stage(1);
+        assert!(arb.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "stage out of range")]
+    fn out_of_range_stage_panics() {
+        let mut arb = Arb::new(2, 8);
+        arb.load(2, 0x10);
+    }
+
+    proptest! {
+        /// A store never reports a violation for a stage at or older than
+        /// itself, and all reported stages actually loaded the address.
+        #[test]
+        fn violations_are_younger_loads(
+            ops in proptest::collection::vec((0usize..4, 0u64..8, any::<bool>()), 0..100)
+        ) {
+            let mut arb = Arb::new(4, 64);
+            let mut loaded: Vec<(usize, u64)> = Vec::new();
+            for (stage, addr, is_store) in ops {
+                if is_store {
+                    let v = arb.store(stage, addr);
+                    for s in v {
+                        prop_assert!(s != stage);
+                        // Reported stage must have an outstanding load there.
+                        prop_assert!(loaded.iter().any(|&(ls, la)| ls == s && la == addr));
+                    }
+                } else {
+                    arb.load(stage, addr);
+                    loaded.push((stage, addr));
+                }
+            }
+        }
+    }
+}

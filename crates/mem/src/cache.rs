@@ -1,0 +1,273 @@
+//! A set-associative cache model with LRU replacement.
+
+use serde::{Deserialize, Serialize};
+
+type Addr = u64;
+
+/// Geometry of a [`Cache`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: usize,
+    /// Associativity (1 = direct mapped).
+    pub ways: usize,
+    /// Line size in bytes (power of two).
+    pub block_bytes: usize,
+}
+
+impl CacheConfig {
+    /// Number of sets implied by the geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (non-power-of-two block, or
+    /// size not divisible by `ways * block_bytes`).
+    pub fn sets(&self) -> usize {
+        assert!(self.block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(self.ways > 0, "associativity must be positive");
+        let per_way = self.size_bytes / self.ways;
+        assert!(
+            per_way.is_multiple_of(self.block_bytes) && per_way > 0,
+            "cache size must be divisible by ways * block"
+        );
+        let sets = per_way / self.block_bytes;
+        assert!(sets.is_power_of_two(), "set count must be a power of two");
+        sets
+    }
+}
+
+/// Hit/miss counters for a cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Accesses that hit.
+    pub hits: u64,
+    /// Accesses that missed (line then allocated).
+    pub misses: u64,
+}
+
+impl CacheStats {
+    /// Total accesses.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Miss ratio in `[0, 1]` (0 when no accesses).
+    pub fn miss_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: Addr,
+    valid: bool,
+    last_use: u64,
+}
+
+/// A behavioral set-associative cache: tags and LRU state only (data lives
+/// in the functional emulator). Misses allocate on both reads and writes.
+///
+/// Latency is the caller's concern — see [`crate::BankedCache`] for the
+/// timed wrapper.
+///
+/// # Examples
+///
+/// ```
+/// use mds_mem::{Cache, CacheConfig};
+/// // The paper's data bank: 8 KiB direct-mapped, 64-byte blocks.
+/// let mut bank = Cache::new(CacheConfig { size_bytes: 8 * 1024, ways: 1, block_bytes: 64 });
+/// bank.access(0, true);
+/// assert_eq!(bank.stats().misses, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    sets: Vec<Vec<Line>>,
+    set_mask: Addr,
+    block_shift: u32,
+    tick: u64,
+    stats: CacheStats,
+}
+
+impl Cache {
+    /// Builds a cache with the given geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an inconsistent [`CacheConfig`] (see [`CacheConfig::sets`]).
+    pub fn new(config: CacheConfig) -> Self {
+        let sets = config.sets();
+        Cache {
+            config,
+            sets: vec![
+                vec![Line { tag: 0, valid: false, last_use: 0 }; config.ways];
+                sets
+            ],
+            set_mask: (sets - 1) as Addr,
+            block_shift: config.block_bytes.trailing_zeros(),
+            tick: 0,
+            stats: CacheStats::default(),
+        }
+    }
+
+    /// The geometry this cache was built with.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Accumulated hit/miss counts.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Accesses `addr`; returns `true` on a hit. A miss allocates the line
+    /// (evicting LRU). `is_write` is accepted for symmetry/statistics; the
+    /// model is write-allocate and tag behavior is identical.
+    pub fn access(&mut self, addr: Addr, is_write: bool) -> bool {
+        let _ = is_write;
+        self.tick += 1;
+        let block = addr >> self.block_shift;
+        let set_idx = (block & self.set_mask) as usize;
+        let tag = block >> self.set_mask.count_ones();
+        let set = &mut self.sets[set_idx];
+        if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.last_use = self.tick;
+            self.stats.hits += 1;
+            return true;
+        }
+        self.stats.misses += 1;
+        let victim = set
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.last_use } else { 0 })
+            .expect("ways > 0");
+        victim.tag = tag;
+        victim.valid = true;
+        victim.last_use = self.tick;
+        false
+    }
+
+    /// Probes without modifying state; returns `true` if `addr` is present.
+    pub fn probe(&self, addr: Addr) -> bool {
+        let block = addr >> self.block_shift;
+        let set_idx = (block & self.set_mask) as usize;
+        let tag = block >> self.set_mask.count_ones();
+        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Invalidates everything (e.g. between independent simulations).
+    pub fn flush(&mut self) {
+        for set in &mut self.sets {
+            for line in set {
+                line.valid = false;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn tiny() -> Cache {
+        // 2 sets x 2 ways x 16-byte blocks = 64 bytes.
+        Cache::new(CacheConfig { size_bytes: 64, ways: 2, block_bytes: 16 })
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = tiny();
+        assert!(!c.access(0, false));
+        assert!(c.access(0, false));
+        assert!(c.access(15, false)); // same block
+        assert!(!c.access(16, false)); // next block, other set
+        assert_eq!(c.stats(), CacheStats { hits: 2, misses: 2 });
+    }
+
+    #[test]
+    fn lru_eviction_within_set() {
+        let mut c = tiny();
+        // Set 0 holds blocks whose (block % 2 == 0): addresses 0, 32, 64...
+        c.access(0, false); // A
+        c.access(32, false); // B
+        c.access(0, false); // touch A; B is LRU
+        c.access(64, false); // evicts B
+        assert!(c.probe(0));
+        assert!(!c.probe(32));
+        assert!(c.probe(64));
+    }
+
+    #[test]
+    fn direct_mapped_conflicts() {
+        let mut c = Cache::new(CacheConfig { size_bytes: 32, ways: 1, block_bytes: 16 });
+        assert!(!c.access(0, false));
+        assert!(!c.access(32, false)); // same set, evicts
+        assert!(!c.access(0, false)); // conflict miss
+        assert_eq!(c.stats().hits, 0);
+    }
+
+    #[test]
+    fn flush_invalidates() {
+        let mut c = tiny();
+        c.access(0, true);
+        c.flush();
+        assert!(!c.probe(0));
+        assert!(!c.access(0, false));
+    }
+
+    #[test]
+    fn miss_rate_computation() {
+        let mut c = tiny();
+        c.access(0, false);
+        c.access(0, false);
+        c.access(0, false);
+        c.access(16, false);
+        assert_eq!(c.stats().accesses(), 4);
+        assert_eq!(c.stats().miss_rate(), 0.5);
+        assert_eq!(CacheStats::default().miss_rate(), 0.0);
+    }
+
+    #[test]
+    fn paper_bank_geometry_is_valid() {
+        let c = CacheConfig { size_bytes: 8 * 1024, ways: 1, block_bytes: 64 };
+        assert_eq!(c.sets(), 128);
+        let i = CacheConfig { size_bytes: 32 * 1024, ways: 2, block_bytes: 64 };
+        assert_eq!(i.sets(), 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_block_size_panics() {
+        let _ = Cache::new(CacheConfig { size_bytes: 64, ways: 1, block_bytes: 24 });
+    }
+
+    proptest! {
+        /// A cache larger than the touched footprint never misses twice on
+        /// the same block.
+        #[test]
+        fn no_capacity_misses_when_footprint_fits(
+            addrs in proptest::collection::vec(0u64..1024, 1..200)
+        ) {
+            // 4 KiB, fully covers 1 KiB of addresses at 16-byte blocks.
+            let mut c = Cache::new(CacheConfig { size_bytes: 4096, ways: 4, block_bytes: 16 });
+            let mut seen = std::collections::HashSet::new();
+            for a in addrs {
+                let hit = c.access(a, false);
+                let block = a >> 4;
+                prop_assert_eq!(hit, !seen.insert(block));
+            }
+        }
+
+        /// Probe agrees with the most recent access outcome.
+        #[test]
+        fn probe_after_access_is_true(a in any::<u64>()) {
+            let mut c = tiny();
+            c.access(a, false);
+            prop_assert!(c.probe(a));
+        }
+    }
+}

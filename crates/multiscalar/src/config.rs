@@ -1,0 +1,241 @@
+//! Multiscalar processor configuration (the paper's §5.2).
+
+use mds_core::{MdptConfig, Policy, TagScheme};
+use mds_isa::Opcode;
+use mds_mem::{BankedCacheConfig, CacheConfig};
+
+/// Functional-unit latencies in cycles — the paper's table 2 (the exact
+/// table is OCR-garbled in the source; these are the values legible there
+/// plus the standard Multiscalar-literature latencies, documented in
+/// DESIGN.md).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FuLatencies {
+    /// Simple integer ALU (add, logic, shifts, compares).
+    pub simple_int: u64,
+    /// Integer multiply.
+    pub int_mul: u64,
+    /// Integer divide/remainder.
+    pub int_div: u64,
+    /// FP add/subtract.
+    pub fp_add: u64,
+    /// FP multiply.
+    pub fp_mul: u64,
+    /// FP divide.
+    pub fp_div: u64,
+    /// FP square root.
+    pub fp_sqrt: u64,
+    /// FP compares, moves, negation, conversions.
+    pub fp_misc: u64,
+    /// Branch resolution.
+    pub branch: u64,
+}
+
+impl Default for FuLatencies {
+    fn default() -> Self {
+        FuLatencies {
+            simple_int: 1,
+            int_mul: 4,
+            int_div: 12,
+            fp_add: 2,
+            fp_mul: 4,
+            fp_div: 12,
+            fp_sqrt: 18,
+            fp_misc: 2,
+            branch: 1,
+        }
+    }
+}
+
+impl FuLatencies {
+    /// The execution latency of one opcode (memory ops return 0 — their
+    /// latency comes from the cache model).
+    pub fn of(&self, op: Opcode) -> u64 {
+        use Opcode::*;
+        match op {
+            Mul => self.int_mul,
+            Div | Rem => self.int_div,
+            FAdd | FSub => self.fp_add,
+            FMul => self.fp_mul,
+            FDiv => self.fp_div,
+            FSqrt => self.fp_sqrt,
+            FMov | FNeg | Feq | Flt | Fle | FCvtDl | FCvtLd => self.fp_misc,
+            Beq | Bne | Blt | Bge | Bltu | Bgeu | J | Jal | Jr | Halt => self.branch,
+            Ld | Lb | Sd | Sb | Fld | Fsd => 0,
+            _ => self.simple_int,
+        }
+    }
+
+    /// Rows for the table 2 reproduction: `(unit, operation, latency)`.
+    pub fn table_rows(&self) -> Vec<(&'static str, &'static str, u64)> {
+        vec![
+            ("simple integer", "add/logic/shift/compare", self.simple_int),
+            ("complex integer", "multiply", self.int_mul),
+            ("complex integer", "divide/remainder", self.int_div),
+            ("floating point", "add/subtract", self.fp_add),
+            ("floating point", "multiply", self.fp_mul),
+            ("floating point", "divide", self.fp_div),
+            ("floating point", "square root", self.fp_sqrt),
+            ("floating point", "compare/move/convert", self.fp_misc),
+            ("branch", "resolve", self.branch),
+        ]
+    }
+}
+
+/// Full configuration of a [`crate::Multiscalar`] simulator.
+#[derive(Debug, Clone)]
+pub struct MsConfig {
+    /// Number of processing units (the paper simulates 4 and 8).
+    pub stages: usize,
+    /// The memory dependence speculation policy.
+    pub policy: Policy,
+    /// Instructions issued per cycle per unit (paper: 2-way OOO issue).
+    pub issue_width: u32,
+    /// Instructions fetched per cycle per unit (paper: an I-cache access
+    /// returns 4 words in 1 cycle).
+    pub fetch_width: u32,
+    /// Per-unit instruction window entries.
+    pub window: usize,
+    /// Functional-unit counts per unit, in the paper's mix.
+    pub simple_int_units: u32,
+    /// Complex-integer units per stage.
+    pub complex_int_units: u32,
+    /// FP units per stage.
+    pub fp_units: u32,
+    /// Branch units per stage.
+    pub branch_units: u32,
+    /// Memory (address) units per stage.
+    pub mem_units: u32,
+    /// Functional-unit latencies.
+    pub latencies: FuLatencies,
+    /// Per-unit instruction cache (paper: 32 KiB, 2-way, 64-byte blocks).
+    pub icache: CacheConfig,
+    /// Shared banked data cache (paper: 2×units banks of 8 KiB direct
+    /// mapped, 2-cycle hits).
+    pub dcache: BankedCacheConfig,
+    /// Ring hop latency between adjacent units (paper: 1 cycle).
+    pub ring_latency: u64,
+    /// Cycles from violation detection until the squashed task restarts.
+    pub squash_penalty: u64,
+    /// Extra cycles before a mispredicted task can start (after the
+    /// previous task's last branch resolves).
+    pub mispredict_penalty: u64,
+    /// Task-descriptor cache entries (paper: 1024, 2-way); a miss delays
+    /// task startup by `descriptor_miss_penalty`.
+    pub descriptor_cache: usize,
+    /// Cycles added on a descriptor-cache miss.
+    pub descriptor_miss_penalty: u64,
+    /// Path-history depth for the sequencer's control predictor.
+    pub path_depth: usize,
+    /// MDPT configuration for the SYNC/ESYNC policies (paper: 64 entries,
+    /// 3-bit counters, threshold 3).
+    pub mdpt: MdptConfig,
+    /// How dynamic dependence instances are tagged (§3): the paper's
+    /// dependence-distance scheme, or the data-address alternative.
+    pub tagging: TagScheme,
+    /// Cycles for an MDST signal to reach a waiting load.
+    pub signal_latency: u64,
+    /// Optional DDC sizes to measure on the mis-speculation stream
+    /// (tables 7); empty to skip.
+    pub ddc_sizes: Vec<usize>,
+}
+
+impl Default for MsConfig {
+    fn default() -> Self {
+        let stages = 4;
+        MsConfig {
+            stages,
+            policy: Policy::Always,
+            issue_width: 2,
+            fetch_width: 4,
+            window: 32,
+            simple_int_units: 2,
+            complex_int_units: 1,
+            fp_units: 1,
+            branch_units: 1,
+            mem_units: 1,
+            latencies: FuLatencies::default(),
+            icache: CacheConfig { size_bytes: 32 * 1024, ways: 2, block_bytes: 64 },
+            dcache: BankedCacheConfig::paper_default(stages),
+            ring_latency: 1,
+            squash_penalty: 5,
+            mispredict_penalty: 3,
+            descriptor_cache: 1024,
+            descriptor_miss_penalty: 2,
+            path_depth: 4,
+            mdpt: MdptConfig::default(),
+            tagging: TagScheme::default(),
+            signal_latency: 1,
+            ddc_sizes: Vec::new(),
+        }
+    }
+}
+
+impl MsConfig {
+    /// A paper-faithful configuration with the given unit count and
+    /// policy, scaling the data banks with the units as in §5.2.
+    pub fn paper(stages: usize, policy: Policy) -> Self {
+        MsConfig {
+            stages,
+            policy,
+            dcache: BankedCacheConfig::paper_default(stages),
+            ..Default::default()
+        }
+    }
+
+    /// Enables DDC measurement at the given sizes.
+    pub fn with_ddc_sizes(mut self, sizes: &[usize]) -> Self {
+        self.ddc_sizes = sizes.to_vec();
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_table_covers_all_opcodes() {
+        let l = FuLatencies::default();
+        for &op in Opcode::ALL {
+            let lat = l.of(op);
+            if op.is_mem() {
+                assert_eq!(lat, 0, "{op}: memory latency comes from the cache model");
+            } else {
+                assert!(lat >= 1, "{op} must take at least a cycle");
+            }
+        }
+    }
+
+    #[test]
+    fn specific_latencies_match_table2() {
+        let l = FuLatencies::default();
+        assert_eq!(l.of(Opcode::Add), 1);
+        assert_eq!(l.of(Opcode::Mul), 4);
+        assert_eq!(l.of(Opcode::Div), 12);
+        assert_eq!(l.of(Opcode::FAdd), 2);
+        assert_eq!(l.of(Opcode::FMul), 4);
+        assert_eq!(l.of(Opcode::FDiv), 12);
+        assert_eq!(l.of(Opcode::FSqrt), 18);
+        assert_eq!(l.of(Opcode::Beq), 1);
+    }
+
+    #[test]
+    fn table_rows_render() {
+        assert_eq!(FuLatencies::default().table_rows().len(), 9);
+    }
+
+    #[test]
+    fn paper_config_scales_banks() {
+        let c4 = MsConfig::paper(4, Policy::Always);
+        let c8 = MsConfig::paper(8, Policy::Always);
+        assert_eq!(c4.dcache.banks, 8);
+        assert_eq!(c8.dcache.banks, 16);
+        assert_eq!(c4.issue_width, 2);
+    }
+
+    #[test]
+    fn with_ddc_sizes_sets_sizes() {
+        let c = MsConfig::default().with_ddc_sizes(&[16, 64]);
+        assert_eq!(c.ddc_sizes, vec![16, 64]);
+    }
+}

@@ -1,0 +1,129 @@
+//! Aggregate results of a Multiscalar simulation run.
+
+use mds_core::PredictionBreakdown;
+use mds_mem::CacheStats;
+use mds_sim::stats::Percent;
+use serde::{Deserialize, Serialize};
+
+/// Everything a Multiscalar run measures.
+///
+/// The reproduction harness derives every Multiscalar table/figure of the
+/// paper from these fields: mis-speculation counts (table 6), DDC miss
+/// rates (table 7), the prediction breakdown (table 8), mis-speculations
+/// per committed load (table 9), and IPC/speedups (figures 5–7).
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MsResult {
+    /// Total cycles (commit time of the last task).
+    pub cycles: u64,
+    /// Committed dynamic instructions.
+    pub instructions: u64,
+    /// Committed loads.
+    pub committed_loads: u64,
+    /// Committed stores.
+    pub committed_stores: u64,
+    /// Dynamic tasks executed.
+    pub tasks: u64,
+    /// Memory dependence mis-speculations (squash events).
+    pub misspeculations: u64,
+    /// Task-level control predictions made.
+    pub control_predictions: u64,
+    /// Task-level control mispredictions.
+    pub control_mispredicts: u64,
+    /// Loads delayed by MDST synchronization (committed attempts).
+    pub synchronized_loads: u64,
+    /// Loads released by the deadlock-avoidance rule (incomplete
+    /// synchronization, a false dependence prediction this instance).
+    pub false_dep_releases: u64,
+    /// Dependence-prediction breakdown (predictor policies only).
+    pub breakdown: PredictionBreakdown,
+    /// Shared data-cache hit/miss totals.
+    pub dcache: CacheStats,
+    /// Aggregate per-unit instruction-cache hit/miss totals.
+    pub icache: CacheStats,
+    /// Memory-bus transactions served.
+    pub bus_transactions: u64,
+    /// `(ddc_size, hits, misses)` measured on the mis-speculation stream.
+    pub ddc: Vec<(usize, u64, u64)>,
+}
+
+impl MsResult {
+    /// Instructions per cycle.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0 {
+            0.0
+        } else {
+            self.instructions as f64 / self.cycles as f64
+        }
+    }
+
+    /// Mis-speculations per committed load — the table 9 metric.
+    pub fn misspec_per_committed_load(&self) -> f64 {
+        if self.committed_loads == 0 {
+            0.0
+        } else {
+            self.misspeculations as f64 / self.committed_loads as f64
+        }
+    }
+
+    /// Task-prediction accuracy in percent.
+    pub fn control_accuracy(&self) -> Percent {
+        Percent::of(
+            self.control_predictions - self.control_mispredicts,
+            self.control_predictions,
+        )
+    }
+
+    /// DDC miss rate for one configured size (table 7 cell).
+    pub fn ddc_miss_rate(&self, size: usize) -> Option<Percent> {
+        self.ddc
+            .iter()
+            .find(|(s, _, _)| *s == size)
+            .map(|&(_, h, m)| Percent::of(m, h + m))
+    }
+
+    /// Percentage speedup of this run over a baseline run of the same
+    /// workload (positive = this run is faster).
+    pub fn speedup_over(&self, baseline: &MsResult) -> f64 {
+        mds_sim::stats::speedup_percent(baseline.cycles, self.cycles)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derived_metrics() {
+        let r = MsResult {
+            cycles: 1000,
+            instructions: 2500,
+            committed_loads: 500,
+            misspeculations: 50,
+            control_predictions: 100,
+            control_mispredicts: 10,
+            ddc: vec![(64, 90, 10)],
+            ..Default::default()
+        };
+        assert_eq!(r.ipc(), 2.5);
+        assert_eq!(r.misspec_per_committed_load(), 0.1);
+        assert_eq!(r.control_accuracy().value(), 90.0);
+        assert_eq!(r.ddc_miss_rate(64).unwrap().value(), 10.0);
+        assert!(r.ddc_miss_rate(128).is_none());
+    }
+
+    #[test]
+    fn zero_safe() {
+        let r = MsResult::default();
+        assert_eq!(r.ipc(), 0.0);
+        assert_eq!(r.misspec_per_committed_load(), 0.0);
+        assert_eq!(r.control_accuracy().value(), 0.0);
+    }
+
+    #[test]
+    fn speedup_is_relative_to_baseline_cycles() {
+        let fast = MsResult { cycles: 500, ..Default::default() };
+        let slow = MsResult { cycles: 1000, ..Default::default() };
+        assert_eq!(fast.speedup_over(&slow), 100.0);
+        assert!(slow.speedup_over(&fast) < 0.0);
+    }
+}

@@ -1,0 +1,154 @@
+//! Task extraction from the committed instruction stream.
+
+use mds_emu::DynInst;
+use mds_isa::Pc;
+
+/// One dynamic Multiscalar task: a contiguous chunk of the committed
+/// instruction stream beginning at a task-head annotation.
+#[derive(Debug, Clone)]
+pub struct Task {
+    /// Global dynamic task sequence number (0-based).
+    pub seq: u64,
+    /// The task's start PC (its identity for control prediction and for
+    /// the ESYNC store-task-PC refinement).
+    pub start_pc: Pc,
+    /// The committed instructions of the task, in program order.
+    pub insts: Vec<DynInst>,
+}
+
+impl Task {
+    /// Number of dynamic instructions in the task.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// A task always has at least its head instruction.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+}
+
+/// Splits a committed [`DynInst`] stream into [`Task`]s at `new_task`
+/// markers, optionally force-splitting oversized tasks.
+///
+/// # Examples
+///
+/// ```
+/// use mds_multiscalar::TaskSplitter;
+/// use mds_emu::DynInst;
+/// use mds_isa::Instruction;
+///
+/// let mut splitter = TaskSplitter::new(None);
+/// let make = |seq, new_task| DynInst {
+///     seq, pc: seq as u32, inst: Instruction::NOP,
+///     mem: None, branch: None, new_task,
+/// };
+/// assert!(splitter.push(make(0, true)).is_none());
+/// assert!(splitter.push(make(1, false)).is_none());
+/// let first = splitter.push(make(2, true)).unwrap();
+/// assert_eq!(first.len(), 2);
+/// let last = splitter.finish().unwrap();
+/// assert_eq!(last.len(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TaskSplitter {
+    current: Vec<DynInst>,
+    start_pc: Pc,
+    next_seq: u64,
+    max_task_size: Option<usize>,
+}
+
+impl TaskSplitter {
+    /// Creates a splitter. `max_task_size` force-splits larger tasks (to
+    /// bound simulator memory on unannotated programs); `None` is
+    /// faithful to the annotations.
+    pub fn new(max_task_size: Option<usize>) -> Self {
+        TaskSplitter { current: Vec::new(), start_pc: 0, next_seq: 0, max_task_size }
+    }
+
+    /// Feeds one committed instruction; returns the *previous* task when
+    /// this instruction starts a new one.
+    pub fn push(&mut self, d: DynInst) -> Option<Task> {
+        let force_split =
+            self.max_task_size.is_some_and(|max| self.current.len() >= max);
+        let completed = if (d.new_task || force_split) && !self.current.is_empty() {
+            let task = Task {
+                seq: self.next_seq,
+                start_pc: self.start_pc,
+                insts: std::mem::take(&mut self.current),
+            };
+            self.next_seq += 1;
+            Some(task)
+        } else {
+            None
+        };
+        if self.current.is_empty() {
+            self.start_pc = d.pc;
+        }
+        self.current.push(d);
+        completed
+    }
+
+    /// Flushes the final task at end of stream.
+    pub fn finish(&mut self) -> Option<Task> {
+        if self.current.is_empty() {
+            return None;
+        }
+        let task = Task {
+            seq: self.next_seq,
+            start_pc: self.start_pc,
+            insts: std::mem::take(&mut self.current),
+        };
+        self.next_seq += 1;
+        Some(task)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mds_isa::Instruction;
+
+    fn di(seq: u64, pc: Pc, new_task: bool) -> DynInst {
+        DynInst { seq, pc, inst: Instruction::NOP, mem: None, branch: None, new_task }
+    }
+
+    #[test]
+    fn splits_on_markers() {
+        let mut s = TaskSplitter::new(None);
+        assert!(s.push(di(0, 10, true)).is_none());
+        assert!(s.push(di(1, 11, false)).is_none());
+        assert!(s.push(di(2, 12, false)).is_none());
+        let t0 = s.push(di(3, 10, true)).unwrap();
+        assert_eq!(t0.seq, 0);
+        assert_eq!(t0.start_pc, 10);
+        assert_eq!(t0.len(), 3);
+        let t1 = s.finish().unwrap();
+        assert_eq!(t1.seq, 1);
+        assert_eq!(t1.len(), 1);
+        assert!(s.finish().is_none());
+    }
+
+    #[test]
+    fn force_split_bounds_task_size() {
+        let mut s = TaskSplitter::new(Some(2));
+        assert!(s.push(di(0, 5, true)).is_none());
+        assert!(s.push(di(1, 6, false)).is_none());
+        let t = s.push(di(2, 7, false)).unwrap(); // forced
+        assert_eq!(t.len(), 2);
+        let t = s.finish().unwrap();
+        assert_eq!(t.len(), 1);
+        assert_eq!(t.start_pc, 7);
+    }
+
+    #[test]
+    fn stream_without_markers_is_one_task() {
+        let mut s = TaskSplitter::new(None);
+        for i in 0..5 {
+            assert!(s.push(di(i, i as Pc, i == 0)).is_none());
+        }
+        let t = s.finish().unwrap();
+        assert_eq!(t.len(), 5);
+        assert_eq!(t.seq, 0);
+    }
+}

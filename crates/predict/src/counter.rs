@@ -1,0 +1,175 @@
+//! N-bit up/down saturating counters.
+
+use std::fmt;
+
+/// An n-bit up/down saturating counter (1 ≤ n ≤ 16).
+///
+/// This is the MDPT prediction field of the paper: a 3-bit counter taking
+/// values 0–7, predicting "synchronize" when the value is at or above the
+/// threshold (3 in the paper's evaluation). It is equally usable as a
+/// 2-bit branch-style confidence counter.
+///
+/// # Examples
+///
+/// ```
+/// use mds_predict::SatCounter;
+/// let mut c = SatCounter::new(3, 4);
+/// c.decr();
+/// assert_eq!(c.value(), 3);
+/// for _ in 0..20 { c.decr(); }
+/// assert_eq!(c.value(), 0); // saturates low
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SatCounter {
+    value: u16,
+    max: u16,
+}
+
+impl SatCounter {
+    /// Creates a counter with `bits` bits of state starting at `initial`
+    /// (clamped to the representable range).
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `1 <= bits <= 16`.
+    pub fn new(bits: u8, initial: u16) -> Self {
+        assert!((1..=16).contains(&bits), "counter width must be 1..=16 bits");
+        let max = if bits == 16 { u16::MAX } else { (1u16 << bits) - 1 };
+        SatCounter { value: initial.min(max), max }
+    }
+
+    /// Current value.
+    #[inline]
+    pub fn value(&self) -> u16 {
+        self.value
+    }
+
+    /// Largest representable value (`2^bits - 1`).
+    #[inline]
+    pub fn max(&self) -> u16 {
+        self.max
+    }
+
+    /// Increments, saturating at the maximum.
+    #[inline]
+    pub fn incr(&mut self) {
+        if self.value < self.max {
+            self.value += 1;
+        }
+    }
+
+    /// Decrements, saturating at zero.
+    #[inline]
+    pub fn decr(&mut self) {
+        if self.value > 0 {
+            self.value -= 1;
+        }
+    }
+
+    /// Returns `true` when the value is at or above `threshold`.
+    #[inline]
+    pub fn is_at_least(&self, threshold: u16) -> bool {
+        self.value >= threshold
+    }
+
+    /// Forces the counter to its maximum (used when a mis-speculation must
+    /// immediately establish a strong "synchronize" prediction).
+    pub fn saturate(&mut self) {
+        self.value = self.max;
+    }
+
+    /// Resets to zero.
+    pub fn reset(&mut self) {
+        self.value = 0;
+    }
+}
+
+impl fmt::Display for SatCounter {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}/{}", self.value, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn saturates_both_ends() {
+        let mut c = SatCounter::new(2, 0);
+        c.decr();
+        assert_eq!(c.value(), 0);
+        for _ in 0..10 {
+            c.incr();
+        }
+        assert_eq!(c.value(), 3);
+    }
+
+    #[test]
+    fn initial_value_is_clamped() {
+        let c = SatCounter::new(2, 100);
+        assert_eq!(c.value(), 3);
+    }
+
+    #[test]
+    fn threshold_comparison() {
+        let c = SatCounter::new(3, 3);
+        assert!(c.is_at_least(3));
+        assert!(!c.is_at_least(4));
+    }
+
+    #[test]
+    fn saturate_and_reset() {
+        let mut c = SatCounter::new(3, 1);
+        c.saturate();
+        assert_eq!(c.value(), 7);
+        c.reset();
+        assert_eq!(c.value(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter width")]
+    fn zero_bits_panics() {
+        let _ = SatCounter::new(0, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "counter width")]
+    fn too_wide_panics() {
+        let _ = SatCounter::new(17, 0);
+    }
+
+    #[test]
+    fn sixteen_bit_counter_works() {
+        let mut c = SatCounter::new(16, u16::MAX - 1);
+        c.incr();
+        c.incr();
+        assert_eq!(c.value(), u16::MAX);
+    }
+
+    #[test]
+    fn display_shows_value_and_max() {
+        assert_eq!(SatCounter::new(3, 4).to_string(), "4/7");
+    }
+
+    proptest! {
+        #[test]
+        fn value_always_in_range(bits in 1u8..=16, ops in proptest::collection::vec(any::<bool>(), 0..200)) {
+            let mut c = SatCounter::new(bits, 0);
+            for up in ops {
+                if up { c.incr() } else { c.decr() }
+                prop_assert!(c.value() <= c.max());
+            }
+        }
+
+        #[test]
+        fn incr_then_decr_is_identity_away_from_bounds(bits in 2u8..=8, start in 1u16..5) {
+            let mut c = SatCounter::new(bits, start.min((1 << bits) - 2));
+            let before = c.value();
+            c.incr();
+            c.decr();
+            prop_assert_eq!(c.value(), before);
+        }
+    }
+}

@@ -1,0 +1,274 @@
+//! Path-based next-target prediction (after Jacobson et al., HPCA 1997).
+//!
+//! The Multiscalar sequencer must guess the *next task's* start PC from the
+//! current task and the recent control-flow path. We implement the scheme
+//! the paper cites for its control-flow predictor: a prediction table
+//! indexed by a hash of the last few task targets (the *path*), with a
+//! short confidence counter per entry.
+
+use crate::counter::SatCounter;
+
+/// A rolling hash over the last `depth` control-flow targets.
+///
+/// Updating folds the newest target into the register and ages older ones
+/// out, so equal paths hash equal and different recent histories (almost
+/// always) hash different.
+///
+/// # Examples
+///
+/// ```
+/// use mds_predict::PathHistory;
+/// let mut a = PathHistory::new(4);
+/// let mut b = PathHistory::new(4);
+/// for t in [1u32, 2, 3] { a.push(t); b.push(t); }
+/// assert_eq!(a.hash(), b.hash());
+/// b.push(9);
+/// assert_ne!(a.hash(), b.hash());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PathHistory {
+    targets: Vec<u32>,
+    depth: usize,
+}
+
+impl PathHistory {
+    /// Creates an empty history remembering the last `depth` targets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "path depth must be positive");
+        PathHistory { targets: Vec::with_capacity(depth), depth }
+    }
+
+    /// Records a new target, forgetting the oldest once `depth` is reached.
+    pub fn push(&mut self, target: u32) {
+        if self.targets.len() == self.depth {
+            self.targets.remove(0);
+        }
+        self.targets.push(target);
+    }
+
+    /// The current path hash.
+    pub fn hash(&self) -> u64 {
+        // FNV-1a over the targets with their position mixed in.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for (i, &t) in self.targets.iter().enumerate() {
+            h ^= (t as u64).wrapping_add((i as u64) << 32);
+            h = h.wrapping_mul(0x1000_0000_01b3);
+        }
+        h
+    }
+
+    /// Clears the history (used after a squash to a known point).
+    pub fn clear(&mut self) {
+        self.targets.clear();
+    }
+}
+
+#[derive(Debug, Clone)]
+struct Entry {
+    tag: u64,
+    target: u32,
+    confidence: SatCounter,
+}
+
+/// A path-indexed next-target predictor with confidence counters.
+///
+/// `predict` hashes (current PC, path) into a direct-mapped table and
+/// returns the stored target when the tag matches; `update` trains the
+/// entry with the actual outcome, strengthening on agreement and replacing
+/// the target once confidence decays to zero.
+///
+/// # Examples
+///
+/// ```
+/// use mds_predict::{PathHistory, PathPredictor};
+/// let mut p = PathPredictor::new(256, 4);
+/// let mut hist = PathHistory::new(4);
+/// hist.push(5);
+/// // Teach the predictor that task 5 under this path flows to task 9.
+/// p.update(5, hist.hash(), 9);
+/// assert_eq!(p.predict(5, hist.hash()), Some(9));
+/// ```
+#[derive(Debug, Clone)]
+pub struct PathPredictor {
+    entries: Vec<Option<Entry>>,
+    mask: u64,
+    counter_bits: u8,
+}
+
+impl PathPredictor {
+    /// Creates a predictor with `slots` entries (rounded up to a power of
+    /// two) and the given path depth hint (unused directly; callers keep
+    /// their own [`PathHistory`] of that depth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `slots == 0`.
+    pub fn new(slots: usize, _path_depth: usize) -> Self {
+        assert!(slots > 0, "predictor must have at least one slot");
+        let n = slots.next_power_of_two();
+        PathPredictor { entries: vec![None; n], mask: (n - 1) as u64, counter_bits: 2 }
+    }
+
+    fn index(&self, pc: u32, path_hash: u64) -> (usize, u64) {
+        let key = path_hash ^ ((pc as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15));
+        ((key & self.mask) as usize, key >> 16)
+    }
+
+    /// Predicts the next target for `pc` under the given path, or `None`
+    /// when no confident entry exists.
+    pub fn predict(&self, pc: u32, path_hash: u64) -> Option<u32> {
+        let (idx, tag) = self.index(pc, path_hash);
+        match &self.entries[idx] {
+            Some(e) if e.tag == tag => Some(e.target),
+            _ => None,
+        }
+    }
+
+    /// Trains the predictor with the actual next target.
+    pub fn update(&mut self, pc: u32, path_hash: u64, actual: u32) {
+        let (idx, tag) = self.index(pc, path_hash);
+        match &mut self.entries[idx] {
+            Some(e) if e.tag == tag => {
+                if e.target == actual {
+                    e.confidence.incr();
+                } else if e.confidence.value() == 0 {
+                    e.target = actual;
+                    e.confidence = SatCounter::new(self.counter_bits, 1);
+                } else {
+                    e.confidence.decr();
+                }
+            }
+            slot => {
+                *slot = Some(Entry {
+                    tag,
+                    target: actual,
+                    confidence: SatCounter::new(self.counter_bits, 1),
+                });
+            }
+        }
+    }
+
+    /// Number of slots in the table.
+    pub fn capacity(&self) -> usize {
+        self.entries.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn learns_a_stable_mapping() {
+        let mut p = PathPredictor::new(64, 2);
+        let h = 42u64;
+        assert_eq!(p.predict(10, h), None);
+        p.update(10, h, 20);
+        assert_eq!(p.predict(10, h), Some(20));
+    }
+
+    #[test]
+    fn hysteresis_before_retarget() {
+        let mut p = PathPredictor::new(64, 2);
+        let h = 7;
+        p.update(1, h, 100);
+        p.update(1, h, 100); // confidence 2
+        p.update(1, h, 200); // decay to 1, keep 100
+        assert_eq!(p.predict(1, h), Some(100));
+        p.update(1, h, 200); // decay to 0, keep 100
+        assert_eq!(p.predict(1, h), Some(100));
+        p.update(1, h, 200); // confidence 0 -> replace
+        assert_eq!(p.predict(1, h), Some(200));
+    }
+
+    #[test]
+    fn distinct_paths_predict_distinct_targets() {
+        let mut p = PathPredictor::new(1024, 4);
+        let mut ha = PathHistory::new(4);
+        let mut hb = PathHistory::new(4);
+        ha.push(1);
+        hb.push(2);
+        for _ in 0..3 {
+            p.update(50, ha.hash(), 60);
+            p.update(50, hb.hash(), 70);
+        }
+        assert_eq!(p.predict(50, ha.hash()), Some(60));
+        assert_eq!(p.predict(50, hb.hash()), Some(70));
+    }
+
+    #[test]
+    fn learns_alternating_sequence_with_path() {
+        // Task 5's successor alternates 8, 9, 8, 9 — a counter-only scheme
+        // mispredicts half the time, but the path disambiguates.
+        let mut p = PathPredictor::new(256, 4);
+        let hist = PathHistory::new(4);
+        let seq = [8u32, 9, 8, 9, 8, 9, 8, 9, 8, 9, 8, 9];
+        // Two training passes.
+        for _ in 0..2 {
+            let mut h = hist.clone();
+            for &next in &seq {
+                p.update(5, h.hash(), next);
+                h.push(next);
+            }
+        }
+        // Now verify predictions along the path.
+        let mut correct = 0;
+        let mut h = hist.clone();
+        for &next in &seq {
+            if p.predict(5, h.hash()) == Some(next) {
+                correct += 1;
+            }
+            h.push(next);
+        }
+        assert!(correct >= 10, "path predictor should capture alternation, got {correct}/12");
+    }
+
+    #[test]
+    fn history_depth_limits_memory() {
+        let mut h = PathHistory::new(2);
+        h.push(1);
+        h.push(2);
+        let h12 = h.hash();
+        h.push(3); // forgets 1
+        let mut h2 = PathHistory::new(2);
+        h2.push(2);
+        h2.push(3);
+        assert_eq!(h.hash(), h2.hash());
+        assert_ne!(h.hash(), h12);
+    }
+
+    #[test]
+    fn clear_resets_history() {
+        let mut h = PathHistory::new(3);
+        let empty = h.hash();
+        h.push(4);
+        assert_ne!(h.hash(), empty);
+        h.clear();
+        assert_eq!(h.hash(), empty);
+    }
+
+    #[test]
+    #[should_panic(expected = "path depth")]
+    fn zero_depth_panics() {
+        let _ = PathHistory::new(0);
+    }
+
+    #[test]
+    fn capacity_rounds_to_power_of_two() {
+        assert_eq!(PathPredictor::new(100, 2).capacity(), 128);
+    }
+
+    proptest! {
+        #[test]
+        fn update_then_predict_same_key(pc in any::<u32>(), h in any::<u64>(), t in any::<u32>()) {
+            let mut p = PathPredictor::new(16, 2);
+            p.update(pc, h, t);
+            prop_assert_eq!(p.predict(pc, h), Some(t));
+        }
+    }
+}

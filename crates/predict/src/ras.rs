@@ -1,0 +1,157 @@
+//! A fixed-depth return address stack.
+
+/// A hardware return-address stack of bounded depth.
+///
+/// The Multiscalar sequencer in the paper includes a 64-entry RAS; calls
+/// push the return target, returns pop it. On overflow the oldest entry is
+/// dropped (wrap-around), matching real hardware rather than growing.
+///
+/// # Examples
+///
+/// ```
+/// use mds_predict::ReturnAddressStack;
+/// let mut ras = ReturnAddressStack::new(4);
+/// ras.push(10);
+/// ras.push(20);
+/// assert_eq!(ras.pop(), Some(20));
+/// assert_eq!(ras.pop(), Some(10));
+/// assert_eq!(ras.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ReturnAddressStack {
+    slots: Vec<u32>,
+    top: usize,   // index of next free slot (modular)
+    count: usize, // live entries, <= depth
+}
+
+impl ReturnAddressStack {
+    /// Creates a RAS with `depth` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `depth == 0`.
+    pub fn new(depth: usize) -> Self {
+        assert!(depth > 0, "RAS depth must be positive");
+        ReturnAddressStack { slots: vec![0; depth], top: 0, count: 0 }
+    }
+
+    /// Maximum depth.
+    pub fn depth(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Live entries (saturates at `depth`).
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Returns `true` when no live entries remain.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Pushes a return address; overwrites the oldest entry when full.
+    pub fn push(&mut self, addr: u32) {
+        self.slots[self.top] = addr;
+        self.top = (self.top + 1) % self.slots.len();
+        self.count = (self.count + 1).min(self.slots.len());
+    }
+
+    /// Pops the most recent return address.
+    pub fn pop(&mut self) -> Option<u32> {
+        if self.count == 0 {
+            return None;
+        }
+        self.top = (self.top + self.slots.len() - 1) % self.slots.len();
+        self.count -= 1;
+        Some(self.slots[self.top])
+    }
+
+    /// Reads the most recent return address without popping.
+    pub fn peek(&self) -> Option<u32> {
+        if self.count == 0 {
+            return None;
+        }
+        let idx = (self.top + self.slots.len() - 1) % self.slots.len();
+        Some(self.slots[idx])
+    }
+
+    /// Discards all entries (after a squash past unknown call depth).
+    pub fn clear(&mut self) {
+        self.count = 0;
+        self.top = 0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn lifo_order() {
+        let mut r = ReturnAddressStack::new(8);
+        for a in [1, 2, 3] {
+            r.push(a);
+        }
+        assert_eq!(r.peek(), Some(3));
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), Some(1));
+        assert!(r.is_empty());
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let mut r = ReturnAddressStack::new(2);
+        r.push(1);
+        r.push(2);
+        r.push(3); // overwrites 1
+        assert_eq!(r.len(), 2);
+        assert_eq!(r.pop(), Some(3));
+        assert_eq!(r.pop(), Some(2));
+        assert_eq!(r.pop(), None);
+    }
+
+    #[test]
+    fn clear_discards() {
+        let mut r = ReturnAddressStack::new(4);
+        r.push(9);
+        r.clear();
+        assert_eq!(r.pop(), None);
+        assert_eq!(r.peek(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "RAS depth")]
+    fn zero_depth_panics() {
+        let _ = ReturnAddressStack::new(0);
+    }
+
+    proptest! {
+        #[test]
+        fn matches_vec_model_when_within_depth(
+            depth in 1usize..16,
+            ops in proptest::collection::vec(proptest::option::of(any::<u32>()), 0..100),
+        ) {
+            let mut ras = ReturnAddressStack::new(depth);
+            let mut model: Vec<u32> = Vec::new();
+            for op in ops {
+                match op {
+                    Some(a) => {
+                        ras.push(a);
+                        model.push(a);
+                        if model.len() > depth {
+                            model.remove(0); // oldest dropped
+                        }
+                    }
+                    None => {
+                        prop_assert_eq!(ras.pop(), model.pop());
+                    }
+                }
+                prop_assert_eq!(ras.len(), model.len());
+                prop_assert_eq!(ras.peek(), model.last().copied());
+            }
+        }
+    }
+}

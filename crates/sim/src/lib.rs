@@ -1,0 +1,35 @@
+//! Simulation bedrock for the `mds` suite.
+//!
+//! This crate holds the pieces every simulator and experiment harness in the
+//! workspace shares: event counters and derived statistics ([`stats`]),
+//! histograms ([`stats::Histogram`]), plain-text and Markdown table
+//! rendering ([`table`]), and small numeric helpers such as
+//! [`stats::geometric_mean`] used when aggregating speedups.
+//!
+//! Everything here is deterministic and allocation-light; simulators hold
+//! these types by value.
+//!
+//! # Examples
+//!
+//! ```
+//! use mds_sim::stats::Counter;
+//! use mds_sim::table::Table;
+//!
+//! let mut loads = Counter::new("committed loads");
+//! loads.add(3);
+//! loads.incr();
+//! assert_eq!(loads.value(), 4);
+//!
+//! let mut t = Table::new(["bench", "loads"]);
+//! t.row(["compress", "4"]);
+//! assert!(t.render().contains("compress"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod stats;
+pub mod table;
+
+pub use stats::{geometric_mean, Counter, Histogram, MovingMax, Percent};
+pub use table::Table;

@@ -1,0 +1,248 @@
+//! Aligned plain-text and Markdown table rendering for experiment output.
+//!
+//! The reproduction harness prints one table per paper table/figure; this
+//! module keeps that output readable and consistent.
+
+use std::fmt;
+
+/// A simple column-aligned table builder.
+///
+/// The first column is left-aligned (row labels); the remaining columns are
+/// right-aligned (numbers).
+///
+/// # Examples
+///
+/// ```
+/// use mds_sim::table::Table;
+/// let mut t = Table::new(["bench", "WS=8", "WS=16"]);
+/// t.row(["compress", "181000", "320000"]);
+/// t.row(["xlisp", "59", "1500"]);
+/// let text = t.render();
+/// assert!(text.lines().count() >= 4); // header + rule + 2 rows
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given header cells.
+    pub fn new<I, S>(header: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table { header: header.into_iter().map(Into::into).collect(), rows: Vec::new() }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row length differs from the header length.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let row: Vec<String> = cells.into_iter().map(Into::into).collect();
+        assert_eq!(
+            row.len(),
+            self.header.len(),
+            "table row has {} cells but header has {}",
+            row.len(),
+            self.header.len()
+        );
+        self.rows.push(row);
+        self
+    }
+
+    /// Number of data rows added so far.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when no data rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    fn widths(&self) -> Vec<usize> {
+        let mut w: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                w[i] = w[i].max(cell.len());
+            }
+        }
+        w
+    }
+
+    /// Renders the table as aligned plain text (ends with a newline).
+    pub fn render(&self) -> String {
+        let w = self.widths();
+        let mut out = String::new();
+        render_line(&mut out, &self.header, &w);
+        let rule_len = w.iter().sum::<usize>() + 2 * w.len().saturating_sub(1);
+        out.push_str(&"-".repeat(rule_len));
+        out.push('\n');
+        for row in &self.rows {
+            render_line(&mut out, row, &w);
+        }
+        out
+    }
+
+    /// Renders the table as GitHub-flavored Markdown (ends with a newline).
+    pub fn render_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| ");
+        out.push_str(&self.header.join(" | "));
+        out.push_str(" |\n|");
+        for (i, _) in self.header.iter().enumerate() {
+            out.push_str(if i == 0 { "---|" } else { "---:|" });
+        }
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str("| ");
+            out.push_str(&row.join(" | "));
+            out.push_str(" |\n");
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+fn render_line(out: &mut String, cells: &[String], widths: &[usize]) {
+    for (i, cell) in cells.iter().enumerate() {
+        if i > 0 {
+            out.push_str("  ");
+        }
+        if i == 0 {
+            out.push_str(&format!("{:<width$}", cell, width = widths[i]));
+        } else {
+            out.push_str(&format!("{:>width$}", cell, width = widths[i]));
+        }
+    }
+    // Trim trailing padding on the last cell.
+    while out.ends_with(' ') {
+        out.pop();
+    }
+    out.push('\n');
+}
+
+/// Formats a count with thousands separators, e.g. `1234567 -> "1,234,567"`.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(mds_sim::table::fmt_count(1234567), "1,234,567");
+/// assert_eq!(mds_sim::table::fmt_count(42), "42");
+/// ```
+pub fn fmt_count(n: u64) -> String {
+    let digits = n.to_string();
+    let mut out = String::with_capacity(digits.len() + digits.len() / 3);
+    let offset = digits.len() % 3;
+    for (i, ch) in digits.chars().enumerate() {
+        if i != 0 && (i + 3 - offset).is_multiple_of(3) {
+            out.push(',');
+        }
+        out.push(ch);
+    }
+    out
+}
+
+/// Formats a count in the paper's abbreviated style: `4.31 M`, `848 K`,
+/// or the plain number below 1000.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(mds_sim::table::fmt_abbrev(4_310_000), "4.31 M");
+/// assert_eq!(mds_sim::table::fmt_abbrev(84_800), "84.8 K");
+/// assert_eq!(mds_sim::table::fmt_abbrev(848), "848");
+/// ```
+pub fn fmt_abbrev(n: u64) -> String {
+    const K: f64 = 1_000.0;
+    const M: f64 = 1_000_000.0;
+    const G: f64 = 1_000_000_000.0;
+    let v = n as f64;
+    if v >= G {
+        format!("{:.2} G", v / G)
+    } else if v >= M {
+        format!("{:.2} M", v / M)
+    } else if v >= K {
+        format!("{:.1} K", v / K)
+    } else {
+        n.to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_aligned_columns() {
+        let mut t = Table::new(["name", "v"]);
+        t.row(["a", "1"]);
+        t.row(["longer", "22"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        // header then rule then rows
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        // numbers right-aligned to the same column
+        let c1 = lines[2].rfind('1').unwrap();
+        let c2 = lines[3].rfind('2').unwrap();
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    #[should_panic(expected = "table row has")]
+    fn row_length_mismatch_panics() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["only-one"]);
+    }
+
+    #[test]
+    fn markdown_has_separator_row() {
+        let mut t = Table::new(["x", "y"]);
+        t.row(["1", "2"]);
+        let md = t.render_markdown();
+        assert!(md.starts_with("| x | y |"));
+        assert!(md.contains("|---|---:|"));
+        assert!(md.contains("| 1 | 2 |"));
+    }
+
+    #[test]
+    fn empty_and_len() {
+        let mut t = Table::new(["a"]);
+        assert!(t.is_empty());
+        t.row(["r"]);
+        assert_eq!(t.len(), 1);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn fmt_count_groups_digits() {
+        assert_eq!(fmt_count(0), "0");
+        assert_eq!(fmt_count(999), "999");
+        assert_eq!(fmt_count(1000), "1,000");
+        assert_eq!(fmt_count(1234567890), "1,234,567,890");
+    }
+
+    #[test]
+    fn fmt_abbrev_selects_scale() {
+        assert_eq!(fmt_abbrev(0), "0");
+        assert_eq!(fmt_abbrev(999), "999");
+        assert_eq!(fmt_abbrev(1_000), "1.0 K");
+        assert_eq!(fmt_abbrev(2_500_000), "2.50 M");
+        assert_eq!(fmt_abbrev(3_000_000_000), "3.00 G");
+    }
+}

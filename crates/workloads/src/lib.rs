@@ -1,0 +1,194 @@
+//! Synthetic benchmark programs with documented memory-dependence
+//! phenotypes.
+//!
+//! The paper evaluates on SPECint92 (compress, espresso, gcc, sc, xlisp)
+//! and SPEC95 binaries compiled by the Multiscalar compiler. Those
+//! binaries and that compiler are not available, so this crate substitutes
+//! **hand-written synthetic programs** in the `mds` ISA, one per paper
+//! benchmark, each constructed to exhibit the *dependence phenotype* the
+//! paper reports for its counterpart:
+//!
+//! - few hot store→load pairs on globals with strong temporal locality
+//!   (compress-like), and hit/miss *path-dependent* dependences that
+//!   defeat a plain counter predictor but not ESYNC;
+//! - pointer-walk tasks of ~100 instructions whose mis-speculations are
+//!   simple recurrences (espresso-like);
+//! - irregular code with many static dependence edges and poor locality
+//!   (gcc-like, go-like);
+//! - loop-carried recurrences through memory at short and medium task
+//!   distances (sc-like, tomcatv-like, applu-like);
+//! - allocator/stack churn (xlisp-like, li-like);
+//! - dependence working sets that overflow a 64-entry MDPT inside huge
+//!   tasks (fpppp-like, su2cor-like);
+//! - saturated streaming codes with nothing for dependence speculation to
+//!   gain (swim-like, mgrid-like).
+//!
+//! Every workload is deterministic: in-program "randomness" comes from an
+//! xorshift generator computed in registers, and initial data is generated
+//! from a fixed per-workload seed.
+//!
+//! # Examples
+//!
+//! ```
+//! use mds_workloads::{by_name, Scale};
+//! use mds_emu::Emulator;
+//!
+//! let wl = by_name("compress").expect("registered workload");
+//! let program = (wl.build)(Scale::Tiny);
+//! let summary = Emulator::new(&program).run_with(|_| {})?;
+//! assert!(summary.tasks > 10);
+//! assert!(summary.loads > 0 && summary.stores > 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod int92;
+pub mod spec95fp;
+pub mod spec95int;
+pub mod util;
+
+use mds_isa::Program;
+
+/// How big a run to generate.
+///
+/// `Tiny` keeps unit tests fast; `Small` is the default for the
+/// reproduction harness; `Full` approaches the paper's run lengths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Scale {
+    /// A few hundred tasks — unit tests.
+    Tiny,
+    /// Tens of thousands of tasks — the reproduction harness default.
+    Small,
+    /// Hundreds of thousands of tasks — closest to the paper's runs.
+    Full,
+}
+
+impl Scale {
+    /// Multiplies a workload's base iteration count.
+    pub fn iterations(self, base: i32) -> i32 {
+        match self {
+            Scale::Tiny => base / 64,
+            Scale::Small => base,
+            Scale::Full => base.saturating_mul(8),
+        }
+        .max(16)
+    }
+}
+
+/// Which paper suite a workload substitutes for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Suite {
+    /// SPECint92 (the paper's primary five programs).
+    Int92,
+    /// SPECint95 (figure 7, integer half).
+    Spec95Int,
+    /// SPECfp95 (figure 7, floating-point half).
+    Spec95Fp,
+}
+
+/// A registered synthetic workload.
+#[derive(Debug, Clone, Copy)]
+pub struct Workload {
+    /// Short name (the paper benchmark it substitutes for).
+    pub name: &'static str,
+    /// Which suite it belongs to.
+    pub suite: Suite,
+    /// What the original program does.
+    pub description: &'static str,
+    /// The dependence phenotype this synthetic program reproduces.
+    pub phenotype: &'static str,
+    /// Builds the program at the given scale.
+    pub build: fn(Scale) -> Program,
+}
+
+/// All workloads, int92 suite first, then SPEC95 int, then SPEC95 fp.
+pub fn all() -> Vec<Workload> {
+    let mut v = int92::workloads();
+    v.extend(spec95int::workloads());
+    v.extend(spec95fp::workloads());
+    v
+}
+
+/// The SPECint92-substitute suite (the paper's five primary programs).
+pub fn int92_suite() -> Vec<Workload> {
+    int92::workloads()
+}
+
+/// The SPEC95-substitute suite (figure 7).
+pub fn spec95_suite() -> Vec<Workload> {
+    let mut v = spec95int::workloads();
+    v.extend(spec95fp::workloads());
+    v
+}
+
+/// Looks up a workload by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    all().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mds_emu::Emulator;
+
+    #[test]
+    fn registry_has_expected_sizes() {
+        assert_eq!(int92_suite().len(), 5);
+        assert_eq!(spec95_suite().len(), 18);
+        assert_eq!(all().len(), 23);
+    }
+
+    #[test]
+    fn names_are_unique() {
+        let mut names: Vec<&str> = all().iter().map(|w| w.name).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all().len());
+    }
+
+    #[test]
+    fn by_name_finds_and_misses() {
+        assert!(by_name("compress").is_some());
+        assert!(by_name("tomcatv").is_some());
+        assert!(by_name("nonesuch").is_none());
+    }
+
+    #[test]
+    fn every_workload_builds_and_halts_at_tiny_scale() {
+        for wl in all() {
+            let p = (wl.build)(Scale::Tiny);
+            let mut emu = Emulator::new(&p).with_limit(20_000_000);
+            let sum = emu
+                .run_with(|_| {})
+                .unwrap_or_else(|e| panic!("{} failed: {e}", wl.name));
+            assert!(sum.instructions > 500, "{}: too few instructions", wl.name);
+            assert!(sum.tasks > 8, "{}: too few tasks ({})", wl.name, sum.tasks);
+            assert!(sum.loads > 0, "{}: no loads", wl.name);
+            assert!(sum.stores > 0, "{}: no stores", wl.name);
+        }
+    }
+
+    #[test]
+    fn scale_multiplies_iterations() {
+        assert!(Scale::Tiny.iterations(6400) < Scale::Small.iterations(6400));
+        assert!(Scale::Small.iterations(6400) < Scale::Full.iterations(6400));
+        assert_eq!(Scale::Tiny.iterations(1), 16); // floor
+    }
+
+    #[test]
+    fn workloads_are_deterministic() {
+        for wl in [by_name("compress").unwrap(), by_name("gcc").unwrap()] {
+            let a = (wl.build)(Scale::Tiny);
+            let b = (wl.build)(Scale::Tiny);
+            assert_eq!(a.instructions(), b.instructions(), "{}", wl.name);
+            assert_eq!(
+                a.initial_data().collect::<Vec<_>>(),
+                b.initial_data().collect::<Vec<_>>(),
+                "{}",
+                wl.name
+            );
+        }
+    }
+}

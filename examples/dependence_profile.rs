@@ -1,0 +1,71 @@
+//! Profile a workload's dynamic memory dependence behavior under the
+//! paper's "unrealistic OOO" model — a miniature of tables 3, 4, and 5.
+//!
+//! ```sh
+//! cargo run --release --example dependence_profile -- [workload]
+//! cargo run --release --example dependence_profile -- gcc
+//! ```
+
+use mds::emu::Emulator;
+use mds::ooo::{WindowAnalyzer, WindowConfig};
+use mds::sim::table::{fmt_count, Table};
+use mds::workloads::{by_name, Scale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "gcc".to_string());
+    let workload = by_name(&name)
+        .ok_or_else(|| format!("unknown workload `{name}` — see mds::workloads::all()"))?;
+
+    println!("workload : {} — {}", workload.name, workload.description);
+    let program = (workload.build)(Scale::Small);
+
+    let mut analyzer = WindowAnalyzer::new(WindowConfig::default());
+    Emulator::new(&program).run_with(|d| analyzer.observe(d))?;
+    let report = analyzer.finish();
+
+    println!(
+        "trace    : {} instructions, {} loads, {} stores\n",
+        fmt_count(report.instructions),
+        fmt_count(report.loads),
+        fmt_count(report.stores)
+    );
+
+    let mut table = Table::new([
+        "window",
+        "mis-speculations",
+        "static edges",
+        "edges for 99.9%",
+        "DDC-32 miss %",
+        "DDC-512 miss %",
+    ]);
+    for w in report.windows() {
+        table.row([
+            w.window_size.to_string(),
+            fmt_count(w.misspeculations),
+            w.static_edges().to_string(),
+            w.edges_covering(0.999).to_string(),
+            w.ddc_miss_rate(32).map(|p| p.to_string()).unwrap_or_default(),
+            w.ddc_miss_rate(512).map(|p| p.to_string()).unwrap_or_default(),
+        ]);
+    }
+    println!("{table}");
+
+    let d = &report.dependence_distances;
+    println!(
+        "store->load distances: {} dependent loads, mean {:.0} instructions, max {}",
+        fmt_count(d.count()),
+        d.mean(),
+        fmt_count(d.max())
+    );
+    let mut dist_table = Table::new(["distance <=", "dependent loads"]);
+    for (bound, count) in d.iter() {
+        dist_table.row([bound.to_string(), fmt_count(count)]);
+    }
+    println!("{dist_table}");
+    println!(
+        "The paper's observation: mis-speculations grow with the window, but\n\
+         few static edges cause most of them, and a small dependence cache\n\
+         (DDC) captures those edges — which is what makes the MDPT practical."
+    );
+    Ok(())
+}

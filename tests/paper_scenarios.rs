@@ -1,0 +1,176 @@
+//! The paper's worked examples and design-issue scenarios, reproduced as
+//! executable tests against the public API. Section numbers refer to the
+//! ISCA 1997 paper.
+
+use mds::core::{DepEdge, LoadDecision, Mdst, Policy, SyncUnit, SyncUnitConfig};
+use mds::isa::{ProgramBuilder, Reg};
+use mds::multiscalar::{MsConfig, Multiscalar};
+
+/// §2, figure 1: ideal dependence speculation lets the independent load go
+/// early and synchronizes only the dependent one; selective (WAIT) delays
+/// the dependent load behind unrelated stores.
+#[test]
+fn figure1_selective_overdelays_dependent_loads() {
+    // Two stores per task: ST_1 (the true producer, early address) and
+    // ST_2 (unrelated, very late address via a divide). LD_1 in the next
+    // task depends on ST_1 only.
+    let mut b = ProgramBuilder::new();
+    b.alloc("x", 1);
+    b.alloc("unrelated", 512);
+    b.la(Reg::S0, "x");
+    b.la(Reg::S1, "unrelated");
+    b.li(Reg::T6, 1);
+    b.li(Reg::T0, 400);
+    b.label("loop");
+    b.task();
+    b.ld(Reg::T1, Reg::S0, 0); // LD_1: depends on previous ST_1
+    b.addi(Reg::T1, Reg::T1, 1);
+    b.sd(Reg::T1, Reg::S0, 0); // ST_1 (early address)
+    b.div(Reg::T2, Reg::T0, Reg::T6); // 12-cycle address computation
+    b.andi(Reg::T2, Reg::T2, 511);
+    b.slli(Reg::T2, Reg::T2, 3);
+    b.add(Reg::T2, Reg::S1, Reg::T2);
+    b.sd(Reg::T0, Reg::T2, 0); // ST_2 (unrelated, late address)
+    b.addi(Reg::T0, Reg::T0, -1);
+    b.bne(Reg::T0, Reg::ZERO, "loop");
+    b.halt();
+    let program = b.build().unwrap();
+
+    let run = |p| Multiscalar::new(MsConfig::paper(4, p)).run(&program).unwrap();
+    let wait = run(Policy::Wait);
+    let psync = run(Policy::PSync);
+    // PSYNC waits only for ST_1; WAIT additionally waits for ST_2's late
+    // address on every dependent load — the figure 1(d) over-delay.
+    assert!(
+        psync.cycles < wait.cycles,
+        "PSYNC {} must beat WAIT {}",
+        psync.cycles,
+        wait.cycles
+    );
+}
+
+/// §3, figure 2: the condition variable works in both execution orders.
+#[test]
+fn figure2_condition_variable_both_orders() {
+    let mut mdst = Mdst::new(8);
+    let edge = DepEdge { load_pc: 10, store_pc: 4 };
+    // Load first: test fails, the load waits; the store signals it.
+    assert_eq!(mdst.sync_load(edge, 7, 1), mds::core::LoadSync::Wait);
+    assert_eq!(mdst.sync_store(edge, 7, 2), mds::core::StoreSync::Woke(1));
+    // Store first: the signal is recorded; the load continues untouched.
+    assert_eq!(mdst.sync_store(edge, 8, 3), mds::core::StoreSync::Recorded);
+    assert_eq!(mdst.sync_load(edge, 8, 4), mds::core::LoadSync::Proceed);
+}
+
+/// §4.3, figure 4: the full working example — mis-speculation allocates
+/// the MDPT entry; the next dynamic instance synchronizes through the
+/// MDST whichever side arrives first.
+#[test]
+fn figure4_working_example() {
+    let mut unit = SyncUnit::new(SyncUnitConfig { stages: 4, ..Default::default() });
+    let edge = DepEdge { load_pc: 7, store_pc: 3 };
+
+    // Part (b): ST1–LD2 mis-speculation allocates the entry with DIST 1.
+    unit.record_misspeculation(edge, 1, None);
+
+    // Parts (c)/(d): LD3 arrives first, waits; ST2 signals it.
+    assert_eq!(unit.on_load_ready(7, 3, 30, None), LoadDecision::Wait);
+    assert_eq!(unit.on_store_issue(3, 2, 20), vec![30]);
+
+    // Parts (e)/(f): ST3 arrives first; LD4 continues without delay.
+    assert!(unit.on_store_issue(3, 3, 21).is_empty());
+    assert_eq!(unit.on_load_ready(7, 4, 31, None), LoadDecision::Proceed);
+}
+
+/// §4.4.2: incomplete synchronization — the predicted store never comes;
+/// the load is released when it becomes non-speculative and the predictor
+/// is weakened so the false prediction dies out.
+#[test]
+fn incomplete_synchronization_releases_and_decays() {
+    let mut unit = SyncUnit::new(SyncUnitConfig { stages: 4, ..Default::default() });
+    let edge = DepEdge { load_pc: 7, store_pc: 3 };
+    unit.record_misspeculation(edge, 1, None);
+
+    assert_eq!(unit.on_load_ready(7, 5, 50, None), LoadDecision::Wait);
+    assert!(unit.is_waiting(50));
+    let freed = unit.release_load(50);
+    assert_eq!(freed, vec![edge]);
+    for e in freed {
+        unit.train(e, false);
+    }
+    // The counter fell below threshold: the next instance speculates.
+    assert_eq!(unit.on_load_ready(7, 6, 51, None), LoadDecision::NotPredicted);
+}
+
+/// §4.4.3: squash invalidation drops the MDST entries of squashed loads
+/// and stores without touching the others.
+#[test]
+fn squash_invalidation_by_identifier() {
+    let mut unit = SyncUnit::new(SyncUnitConfig { stages: 4, ..Default::default() });
+    let e1 = DepEdge { load_pc: 7, store_pc: 3 };
+    let e2 = DepEdge { load_pc: 9, store_pc: 3 };
+    unit.record_misspeculation(e1, 1, None);
+    unit.record_misspeculation(e2, 1, None);
+    assert_eq!(unit.on_load_ready(7, 4, 40, None), LoadDecision::Wait);
+    assert_eq!(unit.on_load_ready(9, 5, 41, None), LoadDecision::Wait);
+    // Squash the task holding LDID 41.
+    unit.invalidate_squashed(|ldid| ldid == 41, |_| false);
+    assert!(unit.is_waiting(40));
+    assert!(!unit.is_waiting(41));
+}
+
+/// §4.4.4: multiple dependences per static load — the load must wait for
+/// all of them, and the MDPT tracks each edge separately.
+#[test]
+fn multiple_dependences_per_load_wait_for_all() {
+    let mut unit = SyncUnit::new(SyncUnitConfig { stages: 8, ..Default::default() });
+    let from_a = DepEdge { load_pc: 20, store_pc: 3 };
+    let from_b = DepEdge { load_pc: 20, store_pc: 5 };
+    unit.record_misspeculation(from_a, 1, None);
+    unit.record_misspeculation(from_b, 3, None);
+
+    assert_eq!(unit.on_load_ready(20, 10, 99, None), LoadDecision::Wait);
+    // One signal is not enough.
+    assert_eq!(unit.on_store_issue(3, 9, 1), vec![99]);
+    assert!(unit.is_waiting(99), "still blocked on the second edge");
+    assert_eq!(unit.on_store_issue(5, 7, 2), vec![99]);
+    assert!(!unit.is_waiting(99));
+}
+
+/// §6 (future work): the tables are general over "PC pairs" — register
+/// dependence speculation works by keying edges on producer/consumer
+/// instruction PCs instead of memory instructions.
+#[test]
+fn register_dependence_speculation_reuses_the_tables() {
+    let mut unit = SyncUnit::new(SyncUnitConfig { stages: 4, ..Default::default() });
+    // "Store PC" = the producing instruction; "load PC" = the consumer.
+    let reg_edge = DepEdge { load_pc: 101, store_pc: 42 };
+    unit.record_misspeculation(reg_edge, 2, None);
+    assert_eq!(unit.on_load_ready(101, 6, 7, None), LoadDecision::Wait);
+    assert_eq!(unit.on_store_issue(42, 4, 8), vec![7]);
+}
+
+/// §5.5: prediction updates are non-speculative — a squashed attempt's
+/// events must not corrupt the counters (exercised here through the
+/// timing model's determinism across replay-heavy runs).
+#[test]
+fn replay_heavy_run_remains_stable() {
+    let mut b = ProgramBuilder::new();
+    b.alloc("hot", 1);
+    b.la(Reg::S0, "hot");
+    b.li(Reg::T0, 600);
+    b.label("loop");
+    b.task();
+    b.ld(Reg::T1, Reg::S0, 0);
+    b.mul(Reg::T2, Reg::T1, Reg::T1);
+    b.sd(Reg::T1, Reg::S0, 0);
+    b.addi(Reg::T0, Reg::T0, -1);
+    b.bne(Reg::T0, Reg::ZERO, "loop");
+    b.halt();
+    let program = b.build().unwrap();
+    let r = Multiscalar::new(MsConfig::paper(8, Policy::Esync)).run(&program).unwrap();
+    // The hot edge must be captured: a handful of cold mis-speculations,
+    // then synchronization.
+    assert!(r.misspeculations < 20, "got {}", r.misspeculations);
+    assert!(r.synchronized_loads > 400, "got {}", r.synchronized_loads);
+}
