@@ -1,0 +1,16 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate (see ROADMAP.md).
+#
+# The workspace is dependency-free by design, so everything here runs with
+# --offline: a clean checkout must build and test with no registry access.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release --offline"
+cargo build --release --offline
+
+echo "==> cargo test -q --offline"
+cargo test -q --offline
+
+echo "tier-1 gate: OK"

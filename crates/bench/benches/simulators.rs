@@ -1,9 +1,13 @@
-//! Criterion benchmarks for the simulators themselves (throughput of the
-//! emulator, the window analyzer, and the Multiscalar timing model).
+//! Benchmarks for the simulators themselves (throughput of the emulator,
+//! the window analyzer, and the Multiscalar timing model).
+//!
+//! Run with `cargo bench --bench simulators -- --scale small`; results are
+//! written to `BENCH_simulators.json` at the workspace root. The `--scale`
+//! argument picks the workload scale (tiny/small/full, default tiny).
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 use mds_core::Policy;
 use mds_emu::Emulator;
+use mds_harness::bench::Harness;
 use mds_multiscalar::{MsConfig, Multiscalar};
 use mds_ooo::{WindowAnalyzer, WindowConfig};
 use mds_workloads::{by_name, Scale};
@@ -13,49 +17,42 @@ fn trace_len(p: &mds_isa::Program) -> u64 {
     Emulator::new(p).run_with(|_| {}).unwrap().instructions
 }
 
-fn bench_emulator(c: &mut Criterion) {
-    let p = (by_name("compress").unwrap().build)(Scale::Tiny);
+fn main() {
+    let mut h = Harness::new("simulators");
+    let (scale, tag) = match h.scale() {
+        "small" => (Scale::Small, "small"),
+        "full" => (Scale::Full, "full"),
+        _ => (Scale::Tiny, "tiny"),
+    };
+    let p = (by_name("compress").unwrap().build)(scale);
     let n = trace_len(&p);
-    let mut g = c.benchmark_group("emulator");
-    g.throughput(Throughput::Elements(n));
-    g.bench_function("compress_tiny", |b| {
+
+    h.bench_with_throughput(&format!("emulator/compress_{tag}"), n, |b| {
         b.iter(|| {
             let mut count = 0u64;
             Emulator::new(&p).run_with(|_| count += 1).unwrap();
             black_box(count)
         });
     });
-    g.finish();
-}
 
-fn bench_window_analyzer(c: &mut Criterion) {
-    let p = (by_name("compress").unwrap().build)(Scale::Tiny);
-    let n = trace_len(&p);
-    let mut g = c.benchmark_group("window_analyzer");
-    g.throughput(Throughput::Elements(n));
-    g.bench_function("compress_tiny_7ws", |b| {
+    h.bench_with_throughput(&format!("window_analyzer/compress_{tag}_7ws"), n, |b| {
         b.iter(|| {
             let mut a = WindowAnalyzer::new(WindowConfig::default());
             Emulator::new(&p).run_with(|d| a.observe(d)).unwrap();
             black_box(a.finish().instructions)
         });
     });
-    g.finish();
-}
 
-fn bench_multiscalar(c: &mut Criterion) {
-    let p = (by_name("compress").unwrap().build)(Scale::Tiny);
-    let n = trace_len(&p);
-    let mut g = c.benchmark_group("multiscalar");
-    g.throughput(Throughput::Elements(n));
     for policy in [Policy::Always, Policy::Esync] {
-        g.bench_function(format!("compress_tiny_8st_{policy}"), |b| {
-            let sim = Multiscalar::new(MsConfig::paper(8, policy));
-            b.iter(|| black_box(sim.run(&p).unwrap().cycles));
-        });
+        h.bench_with_throughput(
+            &format!("multiscalar/compress_{tag}_8st_{policy}"),
+            n,
+            |b| {
+                let sim = Multiscalar::new(MsConfig::paper(8, policy));
+                b.iter(|| black_box(sim.run(&p).unwrap().cycles));
+            },
+        );
     }
-    g.finish();
-}
 
-criterion_group!(benches, bench_emulator, bench_window_analyzer, bench_multiscalar);
-criterion_main!(benches);
+    h.finish();
+}

@@ -1,13 +1,18 @@
-//! Criterion micro-benchmarks for the core hardware structures.
+//! Micro-benchmarks for the core hardware structures.
+//!
+//! Run with `cargo bench --bench structures`; results are written to
+//! `BENCH_structures.json` at the workspace root.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use mds_core::{Ddc, DepEdge, Mdpt, MdptConfig, Mdst, SyncUnit, SyncUnitConfig};
+use mds_harness::bench::Harness;
 use mds_mem::{BankedCache, BankedCacheConfig, Bus, Cache, CacheConfig};
 use mds_predict::{LruTable, PathHistory, PathPredictor, SatCounter};
 use std::hint::black_box;
 
-fn bench_mdpt(c: &mut Criterion) {
-    c.bench_function("mdpt_lookup_hit", |b| {
+fn main() {
+    let mut h = Harness::new("structures");
+
+    h.bench("mdpt_lookup_hit", |b| {
         let mut mdpt = Mdpt::new(MdptConfig::default());
         for i in 0..64u32 {
             mdpt.allocate(DepEdge::new(i, i + 1000), 1, None);
@@ -18,18 +23,20 @@ fn bench_mdpt(c: &mut Criterion) {
             black_box(mdpt.predicting_for_load(black_box(pc)).len())
         });
     });
-    c.bench_function("mdpt_allocate_evict", |b| {
-        let mut mdpt = Mdpt::new(MdptConfig { capacity: 64, ..Default::default() });
+
+    h.bench("mdpt_allocate_evict", |b| {
+        let mut mdpt = Mdpt::new(MdptConfig {
+            capacity: 64,
+            ..Default::default()
+        });
         let mut i = 0u32;
         b.iter(|| {
             i = i.wrapping_add(1);
             mdpt.allocate(DepEdge::new(i % 1000, (i % 1000) + 1000), 1, None);
         });
     });
-}
 
-fn bench_mdst(c: &mut Criterion) {
-    c.bench_function("mdst_sync_roundtrip", |b| {
+    h.bench("mdst_sync_roundtrip", |b| {
         let mut mdst = Mdst::new(512);
         let edge = DepEdge::new(3, 7);
         let mut inst = 0u64;
@@ -39,11 +46,12 @@ fn bench_mdst(c: &mut Criterion) {
             black_box(mdst.sync_store(edge, inst, 2));
         });
     });
-}
 
-fn bench_sync_unit(c: &mut Criterion) {
-    c.bench_function("sync_unit_load_store", |b| {
-        let mut unit = SyncUnit::new(SyncUnitConfig { stages: 8, ..Default::default() });
+    h.bench("sync_unit_load_store", |b| {
+        let mut unit = SyncUnit::new(SyncUnitConfig {
+            stages: 8,
+            ..Default::default()
+        });
         unit.record_misspeculation(DepEdge::new(3, 7), 1, None);
         let mut inst = 1u64;
         b.iter(|| {
@@ -53,10 +61,8 @@ fn bench_sync_unit(c: &mut Criterion) {
             unit.release_load(inst as u32);
         });
     });
-}
 
-fn bench_ddc(c: &mut Criterion) {
-    c.bench_function("ddc_observe", |b| {
+    h.bench("ddc_observe", |b| {
         let mut ddc = Ddc::new(128);
         let mut i = 0u32;
         b.iter(|| {
@@ -64,10 +70,8 @@ fn bench_ddc(c: &mut Criterion) {
             black_box(ddc.observe(DepEdge::new(i % 200, i % 200 + 1)));
         });
     });
-}
 
-fn bench_predict(c: &mut Criterion) {
-    c.bench_function("sat_counter", |b| {
+    h.bench("sat_counter", |b| {
         let mut ctr = SatCounter::new(3, 3);
         b.iter(|| {
             ctr.incr();
@@ -75,7 +79,8 @@ fn bench_predict(c: &mut Criterion) {
             black_box(ctr.is_at_least(3))
         });
     });
-    c.bench_function("lru_table_get_insert", |b| {
+
+    h.bench("lru_table_get_insert", |b| {
         let mut t: LruTable<u64, u64> = LruTable::new(1024);
         let mut i = 0u64;
         b.iter(|| {
@@ -84,7 +89,8 @@ fn bench_predict(c: &mut Criterion) {
             black_box(t.get(&(i % 2048)).copied())
         });
     });
-    c.bench_function("path_predictor", |b| {
+
+    h.bench("path_predictor", |b| {
         let mut p = PathPredictor::new(4096, 4);
         let mut hist = PathHistory::new(4);
         let mut i = 0u32;
@@ -97,19 +103,21 @@ fn bench_predict(c: &mut Criterion) {
             black_box(pred)
         });
     });
-}
 
-fn bench_caches(c: &mut Criterion) {
-    c.bench_function("cache_access", |b| {
-        let mut cache =
-            Cache::new(CacheConfig { size_bytes: 8 * 1024, ways: 1, block_bytes: 64 });
+    h.bench("cache_access", |b| {
+        let mut cache = Cache::new(CacheConfig {
+            size_bytes: 8 * 1024,
+            ways: 1,
+            block_bytes: 64,
+        });
         let mut addr = 0u64;
         b.iter(|| {
             addr = addr.wrapping_add(64) % (64 * 1024);
             black_box(cache.access(addr, false))
         });
     });
-    c.bench_function("banked_cache_access", |b| {
+
+    h.bench("banked_cache_access", |b| {
         let mut dc = BankedCache::new(BankedCacheConfig::paper_default(8));
         let mut bus = Bus::paper_default();
         let mut now = 0u64;
@@ -120,15 +128,6 @@ fn bench_caches(c: &mut Criterion) {
             black_box(dc.access(now, addr, false, &mut bus).done_at)
         });
     });
-}
 
-criterion_group!(
-    benches,
-    bench_mdpt,
-    bench_mdst,
-    bench_sync_unit,
-    bench_ddc,
-    bench_predict,
-    bench_caches
-);
-criterion_main!(benches);
+    h.finish();
+}

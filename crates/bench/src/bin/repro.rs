@@ -77,7 +77,11 @@ fn main() -> ExitCode {
                 }
             }
             "ablations" => {
-                emit("ablate-mdpt: MDPT capacity sweep", &mds_bench::ablate_mdpt(&mut h), markdown);
+                emit(
+                    "ablate-mdpt: MDPT capacity sweep",
+                    &mds_bench::ablate_mdpt(&mut h),
+                    markdown,
+                );
                 emit(
                     "ablate-tagging: distance vs address instance tags",
                     &mds_bench::ablate_tagging(&mut h),
@@ -94,34 +98,86 @@ fn main() -> ExitCode {
                     markdown,
                 );
             }
-            "table1" => emit("table1: dynamic instruction counts", &mds_bench::table1(&mut h), markdown),
-            "table2" => emit("table2: functional unit latencies", &mds_bench::table2(), markdown),
-            "table3" => emit("table3: mis-speculations vs window size", &mds_bench::table3(&mut h), markdown),
+            "table1" => emit(
+                "table1: dynamic instruction counts",
+                &mds_bench::table1(&mut h),
+                markdown,
+            ),
+            "table2" => emit(
+                "table2: functional unit latencies",
+                &mds_bench::table2(),
+                markdown,
+            ),
+            "table3" => emit(
+                "table3: mis-speculations vs window size",
+                &mds_bench::table3(&mut h),
+                markdown,
+            ),
             "table4" => emit(
                 "table4: static dependences covering 99.9% of mis-speculations",
                 &mds_bench::table4(&mut h),
                 markdown,
             ),
-            "table5" => emit("table5: DDC miss rates (unrealistic OOO)", &mds_bench::table5(&mut h), markdown),
-            "table6" => emit("table6: Multiscalar mis-speculations", &mds_bench::table6(&mut h), markdown),
-            "table7" => emit("table7: Multiscalar DDC miss rates", &mds_bench::table7(&mut h), markdown),
-            "table8" => emit("table8: prediction breakdown", &mds_bench::table8(&mut h), markdown),
-            "table9" => emit("table9: mis-speculations per committed load", &mds_bench::table9(&mut h), markdown),
-            "fig5" => emit("fig5: ALWAYS/WAIT/PSYNC over NEVER", &mds_bench::fig5(&mut h), markdown),
-            "fig6" => emit("fig6: SYNC/ESYNC/PSYNC over ALWAYS", &mds_bench::fig6(&mut h), markdown),
-            "fig7" => emit("fig7: SPEC95 over ALWAYS (8 stages)", &mds_bench::fig7(&mut h), markdown),
-            "ablate-mdpt" => emit("ablate-mdpt: MDPT capacity sweep", &mds_bench::ablate_mdpt(&mut h), markdown),
+            "table5" => emit(
+                "table5: DDC miss rates (unrealistic OOO)",
+                &mds_bench::table5(&mut h),
+                markdown,
+            ),
+            "table6" => emit(
+                "table6: Multiscalar mis-speculations",
+                &mds_bench::table6(&mut h),
+                markdown,
+            ),
+            "table7" => emit(
+                "table7: Multiscalar DDC miss rates",
+                &mds_bench::table7(&mut h),
+                markdown,
+            ),
+            "table8" => emit(
+                "table8: prediction breakdown",
+                &mds_bench::table8(&mut h),
+                markdown,
+            ),
+            "table9" => emit(
+                "table9: mis-speculations per committed load",
+                &mds_bench::table9(&mut h),
+                markdown,
+            ),
+            "fig5" => emit(
+                "fig5: ALWAYS/WAIT/PSYNC over NEVER",
+                &mds_bench::fig5(&mut h),
+                markdown,
+            ),
+            "fig6" => emit(
+                "fig6: SYNC/ESYNC/PSYNC over ALWAYS",
+                &mds_bench::fig6(&mut h),
+                markdown,
+            ),
+            "fig7" => emit(
+                "fig7: SPEC95 over ALWAYS (8 stages)",
+                &mds_bench::fig7(&mut h),
+                markdown,
+            ),
+            "ablate-mdpt" => emit(
+                "ablate-mdpt: MDPT capacity sweep",
+                &mds_bench::ablate_mdpt(&mut h),
+                markdown,
+            ),
             "ablate-tagging" => emit(
                 "ablate-tagging: distance vs address instance tags",
                 &mds_bench::ablate_tagging(&mut h),
                 markdown,
             ),
-            "ablate-counter" => {
-                emit("ablate-counter: prediction counter sweep", &mds_bench::ablate_counter(&mut h), markdown)
-            }
-            "ablate-ooo" => {
-                emit("ablate-ooo: policies on the superscalar model", &mds_bench::ablate_ooo(&mut h), markdown)
-            }
+            "ablate-counter" => emit(
+                "ablate-counter: prediction counter sweep",
+                &mds_bench::ablate_counter(&mut h),
+                markdown,
+            ),
+            "ablate-ooo" => emit(
+                "ablate-ooo: policies on the superscalar model",
+                &mds_bench::ablate_ooo(&mut h),
+                markdown,
+            ),
             _ => return usage(),
         }
     }

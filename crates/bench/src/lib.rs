@@ -63,7 +63,9 @@ impl Harness {
     /// The program for a workload (built once).
     pub fn program(&mut self, wl: &Workload) -> &Program {
         let scale = self.scale;
-        self.programs.entry(wl.name).or_insert_with(|| (wl.build)(scale))
+        self.programs
+            .entry(wl.name)
+            .or_insert_with(|| (wl.build)(scale))
     }
 
     /// A memoized Multiscalar run. ALWAYS runs carry the table 7 DDC
@@ -111,8 +113,12 @@ fn pct(v: f64) -> String {
 /// Table 1: committed dynamic instruction counts per benchmark (plus the
 /// average task size, which the paper discusses per benchmark in §5.5).
 pub fn table1(h: &mut Harness) -> Table {
-    let mut t =
-        Table::new(["benchmark", "suite", "committed instructions", "avg task size"]);
+    let mut t = Table::new([
+        "benchmark",
+        "suite",
+        "committed instructions",
+        "avg task size",
+    ]);
     for wl in mds_workloads::all() {
         let program = h.program(&wl).clone();
         let sum = Emulator::new(&program).run_with(|_| {}).expect("runs");
@@ -154,7 +160,9 @@ pub fn table3(h: &mut Harness) -> Table {
         let mut row = vec![ws.to_string()];
         for wl in int92_suite() {
             let r = h.window_report(&wl);
-            row.push(fmt_abbrev(r.for_window(ws).expect("configured ws").misspeculations));
+            row.push(fmt_abbrev(
+                r.for_window(ws).expect("configured ws").misspeculations,
+            ));
         }
         t.row(row);
     }
@@ -171,7 +179,12 @@ pub fn table4(h: &mut Harness) -> Table {
         let mut row = vec![ws.to_string()];
         for wl in int92_suite() {
             let r = h.window_report(&wl);
-            row.push(r.for_window(ws).expect("configured ws").edges_covering(0.999).to_string());
+            row.push(
+                r.for_window(ws)
+                    .expect("configured ws")
+                    .edges_covering(0.999)
+                    .to_string(),
+            );
         }
         t.row(row);
     }
@@ -250,7 +263,11 @@ pub fn table8(h: &mut Harness) -> Table {
             .enumerate()
         {
             let mut row = vec![
-                if pi == 0 { format!("{stages}-stage {policy}") } else { String::new() },
+                if pi == 0 {
+                    format!("{stages}-stage {policy}")
+                } else {
+                    String::new()
+                },
                 label.to_string(),
             ];
             for wl in int92_suite() {
@@ -291,7 +308,12 @@ pub fn table9(h: &mut Harness) -> Table {
 /// over NEVER, for 4- and 8-stage machines.
 pub fn fig5(h: &mut Harness) -> Table {
     let mut t = Table::new([
-        "config", "benchmark", "NEVER IPC", "ALWAYS %", "WAIT %", "PSYNC %",
+        "config",
+        "benchmark",
+        "NEVER IPC",
+        "ALWAYS %",
+        "WAIT %",
+        "PSYNC %",
     ]);
     for stages in [4usize, 8] {
         for wl in int92_suite() {
@@ -315,8 +337,7 @@ pub fn fig5(h: &mut Harness) -> Table {
 /// Figure 6: speedups (%) of SYNC / ESYNC / PSYNC over blind speculation
 /// (ALWAYS) on the int92 suite.
 pub fn fig6(h: &mut Harness) -> Table {
-    let mut t =
-        Table::new(["config", "benchmark", "SYNC %", "ESYNC %", "PSYNC %"]);
+    let mut t = Table::new(["config", "benchmark", "SYNC %", "ESYNC %", "PSYNC %"]);
     for stages in [4usize, 8] {
         for wl in int92_suite() {
             let always = h.run(&wl, stages, Policy::Always);
@@ -361,9 +382,17 @@ pub fn fig7(h: &mut Harness) -> Table {
 /// Ablation: MDPT capacity sweep (ESYNC mis-speculations and speedup over
 /// ALWAYS) on workloads with small and large dependence working sets.
 pub fn ablate_mdpt(h: &mut Harness) -> Table {
-    let mut t = Table::new(["benchmark", "MDPT entries", "misspec", "speedup over ALWAYS %"]);
+    let mut t = Table::new([
+        "benchmark",
+        "MDPT entries",
+        "misspec",
+        "speedup over ALWAYS %",
+    ]);
     let interesting = ["compress", "gcc", "su2cor"];
-    for wl in mds_workloads::all().into_iter().filter(|w| interesting.contains(&w.name)) {
+    for wl in mds_workloads::all()
+        .into_iter()
+        .filter(|w| interesting.contains(&w.name))
+    {
         let program = h.program(&wl).clone();
         let always = h.run(&wl, 8, Policy::Always);
         for entries in [16usize, 32, 64, 128, 256] {
@@ -384,7 +413,12 @@ pub fn ablate_mdpt(h: &mut Harness) -> Table {
 /// Ablation: prediction-counter width/threshold sweep on the compress
 /// workload (where the paper shows counter quality matters most).
 pub fn ablate_counter(h: &mut Harness) -> Table {
-    let mut t = Table::new(["counter bits", "threshold", "misspec", "speedup over ALWAYS %"]);
+    let mut t = Table::new([
+        "counter bits",
+        "threshold",
+        "misspec",
+        "speedup over ALWAYS %",
+    ]);
     let wl = mds_workloads::by_name("compress").expect("registered");
     let program = h.program(&wl).clone();
     let always = h.run(&wl, 8, Policy::Always);
@@ -439,8 +473,13 @@ pub fn ablate_ooo(h: &mut Harness) -> Table {
     for wl in int92_suite() {
         let program = h.program(&wl).clone();
         for policy in [Policy::Always, Policy::Sync, Policy::PSync] {
-            let mut sim = OooSim::new(OooConfig { policy, ..Default::default() });
-            Emulator::new(&program).run_with(|d| sim.observe(d)).expect("runs");
+            let mut sim = OooSim::new(OooConfig {
+                policy,
+                ..Default::default()
+            });
+            Emulator::new(&program)
+                .run_with(|d| sim.observe(d))
+                .expect("runs");
             let r = sim.finish();
             t.row([
                 wl.name.to_string(),
@@ -456,22 +495,58 @@ pub fn ablate_ooo(h: &mut Harness) -> Table {
 /// Every experiment in order: `(id, title, table)`.
 pub fn all_experiments(h: &mut Harness) -> Vec<(&'static str, &'static str, Table)> {
     vec![
-        ("table1", "Dynamic instruction count per benchmark", table1(h)),
-        ("table2", "Functional unit latencies (configuration)", table2()),
-        ("table3", "Unrealistic OOO: mis-speculations vs window size", table3(h)),
+        (
+            "table1",
+            "Dynamic instruction count per benchmark",
+            table1(h),
+        ),
+        (
+            "table2",
+            "Functional unit latencies (configuration)",
+            table2(),
+        ),
+        (
+            "table3",
+            "Unrealistic OOO: mis-speculations vs window size",
+            table3(h),
+        ),
         (
             "table4",
             "Unrealistic OOO: static dependences covering 99.9% of mis-speculations",
             table4(h),
         ),
-        ("table5", "Unrealistic OOO: DDC miss rate (%) vs window and DDC size", table5(h)),
-        ("table6", "Multiscalar: mis-speculations under blind speculation", table6(h)),
-        ("table7", "8-stage Multiscalar: DDC miss rate (%) vs DDC size", table7(h)),
+        (
+            "table5",
+            "Unrealistic OOO: DDC miss rate (%) vs window and DDC size",
+            table5(h),
+        ),
+        (
+            "table6",
+            "Multiscalar: mis-speculations under blind speculation",
+            table6(h),
+        ),
+        (
+            "table7",
+            "8-stage Multiscalar: DDC miss rate (%) vs DDC size",
+            table7(h),
+        ),
         ("table8", "Dependence prediction breakdown (%)", table8(h)),
         ("table9", "Mis-speculations per committed load", table9(h)),
-        ("fig5", "Speedup (%) over NEVER: ALWAYS / WAIT / PSYNC", fig5(h)),
-        ("fig6", "Speedup (%) over ALWAYS: SYNC / ESYNC / PSYNC", fig6(h)),
-        ("fig7", "SPEC95 on 8 stages: ESYNC and PSYNC over ALWAYS", fig7(h)),
+        (
+            "fig5",
+            "Speedup (%) over NEVER: ALWAYS / WAIT / PSYNC",
+            fig5(h),
+        ),
+        (
+            "fig6",
+            "Speedup (%) over ALWAYS: SYNC / ESYNC / PSYNC",
+            fig6(h),
+        ),
+        (
+            "fig7",
+            "SPEC95 on 8 stages: ESYNC and PSYNC over ALWAYS",
+            fig7(h),
+        ),
     ]
 }
 
@@ -511,9 +586,15 @@ mod tests {
         // Table 3 monotonicity: mis-speculations never shrink with WS.
         for wl in int92_suite() {
             let r = h.window_report(&wl);
-            let counts: Vec<u64> =
-                WINDOW_SIZES.iter().map(|&ws| r.for_window(ws).unwrap().misspeculations).collect();
-            assert!(counts.windows(2).all(|w| w[0] <= w[1]), "{}: {counts:?}", wl.name);
+            let counts: Vec<u64> = WINDOW_SIZES
+                .iter()
+                .map(|&ws| r.for_window(ws).unwrap().misspeculations)
+                .collect();
+            assert!(
+                counts.windows(2).all(|w| w[0] <= w[1]),
+                "{}: {counts:?}",
+                wl.name
+            );
         }
         // Figure 6 envelope: the oracle never loses to blind speculation.
         for wl in int92_suite() {

@@ -1,7 +1,7 @@
 //! Predicted-vs-actual dependence prediction accounting (table 8).
 
+use mds_harness::json::{Json, ToJson};
 use mds_sim::stats::Percent;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// The four-way dependence-prediction breakdown of the paper's table 8.
@@ -28,7 +28,7 @@ use std::fmt;
 /// assert!((b.percent(true, false).value() - 33.33).abs() < 0.01);
 /// assert_eq!(b.correct(), 2);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct PredictionBreakdown {
     // counts[predicted][actual]
     counts: [[u64; 2]; 2],
@@ -80,6 +80,16 @@ impl PredictionBreakdown {
                 self.counts[p][a] += other.counts[p][a];
             }
         }
+    }
+}
+
+impl ToJson for PredictionBreakdown {
+    fn to_json(&self) -> Json {
+        let mut obj = Json::object();
+        for (label, pct) in self.rows() {
+            obj = obj.field(label, pct.value());
+        }
+        obj.field("total", self.total())
     }
 }
 

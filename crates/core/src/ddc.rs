@@ -37,7 +37,11 @@ impl Ddc {
     ///
     /// Panics if `capacity == 0`.
     pub fn new(capacity: usize) -> Self {
-        Ddc { table: LruTable::new(capacity), hits: 0, misses: 0 }
+        Ddc {
+            table: LruTable::new(capacity),
+            hits: 0,
+            misses: 0,
+        }
     }
 
     /// Records a mis-speculation on `edge`; returns `true` on a DDC hit.
@@ -92,7 +96,7 @@ impl Ddc {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mds_harness::prelude::*;
 
     #[test]
     fn repeated_edge_hits() {
@@ -128,12 +132,12 @@ mod tests {
         assert_eq!(d.capacity(), 8);
     }
 
-    proptest! {
+    properties! {
         /// Over any mis-speculation stream, a larger DDC never has *more*
         /// misses than a smaller one — the monotonicity behind tables 5/7.
         #[test]
         fn bigger_ddc_never_misses_more(
-            edges in proptest::collection::vec((0u32..20, 0u32..20), 0..300)
+            edges in vec_of((0u32..20, 0u32..20), 0..300)
         ) {
             let mut small = Ddc::new(4);
             let mut large = Ddc::new(64);
@@ -148,7 +152,7 @@ mod tests {
         /// Hits + misses always equals observations.
         #[test]
         fn accounting_is_consistent(
-            edges in proptest::collection::vec((0u32..8, 0u32..8), 0..100)
+            edges in vec_of((0u32..8, 0u32..8), 0..100)
         ) {
             let mut d = Ddc::new(3);
             for (s, l) in &edges {

@@ -211,13 +211,15 @@ impl DistributedSyncUnit {
     }
 }
 
-
 #[cfg(test)]
 mod tests {
     use super::*;
 
     fn edge() -> DepEdge {
-        DepEdge { load_pc: 7, store_pc: 3 }
+        DepEdge {
+            load_pc: 7,
+            store_pc: 3,
+        }
     }
 
     #[test]

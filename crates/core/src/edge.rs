@@ -1,7 +1,7 @@
 //! Static dependence edges.
 
+use mds_harness::json::{Json, ToJson};
 use mds_isa::Pc;
-use serde::{Deserialize, Serialize};
 use std::fmt;
 
 /// A static memory dependence edge: the PCs of a store→load pair.
@@ -17,7 +17,7 @@ use std::fmt;
 /// let e = DepEdge { load_pc: 12, store_pc: 4 };
 /// assert_eq!(e.to_string(), "st@4 -> ld@12");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct DepEdge {
     /// PC of the consuming load.
     pub load_pc: Pc,
@@ -29,6 +29,14 @@ impl DepEdge {
     /// Constructs an edge.
     pub const fn new(store_pc: Pc, load_pc: Pc) -> Self {
         DepEdge { load_pc, store_pc }
+    }
+}
+
+impl ToJson for DepEdge {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("load_pc", self.load_pc)
+            .field("store_pc", self.store_pc)
     }
 }
 

@@ -75,8 +75,8 @@
 #![warn(missing_docs)]
 
 pub mod breakdown;
-pub mod distributed;
 pub mod ddc;
+pub mod distributed;
 pub mod edge;
 pub mod mdpt;
 pub mod mdst;
@@ -84,8 +84,8 @@ pub mod policy;
 pub mod unit;
 
 pub use breakdown::PredictionBreakdown;
-pub use distributed::{BroadcastStats, DistributedSyncUnit};
 pub use ddc::Ddc;
+pub use distributed::{BroadcastStats, DistributedSyncUnit};
 pub use edge::DepEdge;
 pub use mdpt::{Mdpt, MdptConfig, MdptEntry};
 pub use mdst::{LoadSync, Mdst, MdstReplacement, StoreSync};

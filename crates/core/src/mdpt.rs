@@ -1,13 +1,13 @@
 //! The Memory Dependence Prediction Table (MDPT), §4.1 of the paper.
 
 use crate::edge::DepEdge;
+use mds_harness::json::{Json, ToJson};
 use mds_isa::Pc;
 use mds_predict::{LruTable, SatCounter};
-use serde::{Deserialize, Serialize};
 use std::collections::{BTreeSet, HashMap};
 
 /// Configuration of an [`Mdpt`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct MdptConfig {
     /// Number of prediction entries (the paper evaluates 64).
     pub capacity: usize,
@@ -25,7 +25,22 @@ pub struct MdptConfig {
 
 impl Default for MdptConfig {
     fn default() -> Self {
-        MdptConfig { capacity: 64, counter_bits: 3, threshold: 3, initial: 3 }
+        MdptConfig {
+            capacity: 64,
+            counter_bits: 3,
+            threshold: 3,
+            initial: 3,
+        }
+    }
+}
+
+impl ToJson for MdptConfig {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("capacity", self.capacity)
+            .field("counter_bits", u64::from(self.counter_bits))
+            .field("threshold", u64::from(self.threshold))
+            .field("initial", u64::from(self.initial))
     }
 }
 
@@ -97,8 +112,14 @@ impl Mdpt {
     /// inconsistent (initial/threshold beyond the counter range).
     pub fn new(config: MdptConfig) -> Self {
         let max = (1u32 << config.counter_bits) - 1;
-        assert!(config.threshold as u32 <= max, "threshold exceeds counter range");
-        assert!(config.initial as u32 <= max, "initial value exceeds counter range");
+        assert!(
+            config.threshold as u32 <= max,
+            "threshold exceeds counter range"
+        );
+        assert!(
+            config.initial as u32 <= max,
+            "initial value exceeds counter range"
+        );
         Mdpt {
             table: LruTable::new(config.capacity),
             by_load: HashMap::new(),
@@ -196,7 +217,11 @@ impl Mdpt {
     }
 
     fn matching(&mut self, pc: Pc, by_load: bool) -> Vec<MdptEntry> {
-        let index = if by_load { &self.by_load } else { &self.by_store };
+        let index = if by_load {
+            &self.by_load
+        } else {
+            &self.by_store
+        };
         let edges: Vec<DepEdge> = match index.get(&pc) {
             Some(set) => set.iter().copied().collect(),
             None => return Vec::new(),
@@ -310,7 +335,10 @@ mod tests {
 
     #[test]
     fn eviction_cleans_indexes() {
-        let mut m = Mdpt::new(MdptConfig { capacity: 2, ..Default::default() });
+        let mut m = Mdpt::new(MdptConfig {
+            capacity: 2,
+            ..Default::default()
+        });
         m.allocate(edge(1, 10), 1, None);
         m.allocate(edge(2, 20), 1, None);
         m.allocate(edge(3, 30), 1, None); // evicts edge(1,10)
@@ -322,7 +350,10 @@ mod tests {
 
     #[test]
     fn lru_keeps_hot_edges() {
-        let mut m = Mdpt::new(MdptConfig { capacity: 2, ..Default::default() });
+        let mut m = Mdpt::new(MdptConfig {
+            capacity: 2,
+            ..Default::default()
+        });
         let hot = edge(1, 10);
         m.allocate(hot, 1, None);
         m.allocate(edge(2, 20), 1, None);
@@ -364,7 +395,11 @@ mod tests {
     #[test]
     #[should_panic(expected = "threshold exceeds")]
     fn inconsistent_config_panics() {
-        let _ = Mdpt::new(MdptConfig { counter_bits: 2, threshold: 4, ..Default::default() });
+        let _ = Mdpt::new(MdptConfig {
+            counter_bits: 2,
+            threshold: 4,
+            ..Default::default()
+        });
     }
 
     #[test]

@@ -241,7 +241,13 @@ impl Mdst {
             self.stats.waits += 1;
             return LoadSync::Wait;
         }
-        let ok = self.put(MdstEntry { edge, instance, ldid: Some(ldid), stid: None, full: false });
+        let ok = self.put(MdstEntry {
+            edge,
+            instance,
+            ldid: Some(ldid),
+            stid: None,
+            full: false,
+        });
         if ok {
             self.stats.waits += 1;
             LoadSync::Wait
@@ -253,7 +259,11 @@ impl Mdst {
     /// A store signals `(edge, instance)` (§4.3, actions 5–8).
     pub fn sync_store(&mut self, edge: DepEdge, instance: u64, stid: u32) -> StoreSync {
         if let Some(idx) = self.find(edge, instance) {
-            let has_waiter = self.entries[idx].as_ref().expect("live entry").ldid.is_some();
+            let has_waiter = self.entries[idx]
+                .as_ref()
+                .expect("live entry")
+                .ldid
+                .is_some();
             if has_waiter {
                 let e = self.take(idx);
                 self.stats.wakes += 1;
@@ -265,7 +275,13 @@ impl Mdst {
             self.stats.early_signals += 1;
             return StoreSync::Recorded;
         }
-        let ok = self.put(MdstEntry { edge, instance, ldid: None, stid: Some(stid), full: true });
+        let ok = self.put(MdstEntry {
+            edge,
+            instance,
+            ldid: None,
+            stid: Some(stid),
+            full: true,
+        });
         if ok {
             self.stats.early_signals += 1;
             StoreSync::Recorded
@@ -328,7 +344,10 @@ mod tests {
     use super::*;
 
     fn edge() -> DepEdge {
-        DepEdge { load_pc: 7, store_pc: 3 }
+        DepEdge {
+            load_pc: 7,
+            store_pc: 3,
+        }
     }
 
     #[test]
@@ -368,7 +387,10 @@ mod tests {
     #[test]
     fn different_edges_do_not_alias() {
         let mut m = Mdst::new(4);
-        let other = DepEdge { load_pc: 7, store_pc: 9 }; // same load, other store
+        let other = DepEdge {
+            load_pc: 7,
+            store_pc: 9,
+        }; // same load, other store
         m.sync_load(edge(), 1, 10);
         assert_eq!(m.sync_store(other, 1, 20), StoreSync::Recorded);
         assert!(m.is_waiting(10));
@@ -377,7 +399,10 @@ mod tests {
     #[test]
     fn release_frees_and_reports_edges() {
         let mut m = Mdst::new(4);
-        let e2 = DepEdge { load_pc: 7, store_pc: 9 };
+        let e2 = DepEdge {
+            load_pc: 7,
+            store_pc: 9,
+        };
         m.sync_load(edge(), 1, 10);
         m.sync_load(e2, 1, 10); // same load waits on two dependences
         let freed = m.release_load(10);
@@ -399,7 +424,10 @@ mod tests {
     fn table_full_fails_allocation_for_loads() {
         let mut m = Mdst::new(1);
         assert_eq!(m.sync_load(edge(), 1, 10), LoadSync::Wait);
-        let e2 = DepEdge { load_pc: 8, store_pc: 3 };
+        let e2 = DepEdge {
+            load_pc: 8,
+            store_pc: 3,
+        };
         assert_eq!(m.sync_load(e2, 1, 11), LoadSync::NoEntry);
         assert_eq!(m.stats().alloc_failures, 1);
     }
@@ -410,7 +438,10 @@ mod tests {
         // entry is needed.
         let mut m = Mdst::new(1);
         assert_eq!(m.sync_store(edge(), 1, 20), StoreSync::Recorded);
-        let e2 = DepEdge { load_pc: 8, store_pc: 3 };
+        let e2 = DepEdge {
+            load_pc: 8,
+            store_pc: 3,
+        };
         assert_eq!(m.sync_load(e2, 1, 11), LoadSync::Wait); // reclaimed the slot
         assert_eq!(m.len(), 1);
         assert!(m.is_waiting(11));
@@ -419,8 +450,14 @@ mod tests {
     #[test]
     fn lru_replacement_evicts_the_oldest_waiter() {
         let mut m = Mdst::with_replacement(2, MdstReplacement::Lru);
-        let e2 = DepEdge { load_pc: 8, store_pc: 3 };
-        let e3 = DepEdge { load_pc: 9, store_pc: 3 };
+        let e2 = DepEdge {
+            load_pc: 8,
+            store_pc: 3,
+        };
+        let e3 = DepEdge {
+            load_pc: 9,
+            store_pc: 3,
+        };
         assert_eq!(m.sync_load(edge(), 1, 10), LoadSync::Wait);
         assert_eq!(m.sync_load(e2, 1, 11), LoadSync::Wait);
         // Table full of waiters: LRU evicts the first allocation.
@@ -435,7 +472,10 @@ mod tests {
     fn waiting_entries_are_not_reclaimed() {
         let mut m = Mdst::new(1);
         m.sync_load(edge(), 1, 10);
-        let e2 = DepEdge { load_pc: 8, store_pc: 3 };
+        let e2 = DepEdge {
+            load_pc: 8,
+            store_pc: 3,
+        };
         assert_eq!(m.sync_store(e2, 1, 21), StoreSync::NoEntry);
         assert!(m.is_waiting(10)); // untouched
     }

@@ -1,11 +1,11 @@
 //! The data dependence speculation policies compared in §5.4/§5.5.
 
-use serde::{Deserialize, Serialize};
+use mds_harness::json::{Json, ToJson};
 use std::fmt;
 use std::str::FromStr;
 
 /// The realizable predictor variants of §5.5.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum PredictorKind {
     /// Baseline: 3-bit up/down saturating counter per MDPT entry.
     Sync,
@@ -35,7 +35,7 @@ pub enum PredictorKind {
 /// assert!(p.uses_predictor());
 /// # Ok::<(), mds_core::ParsePolicyError>(())
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Policy {
     /// No data dependence speculation at all.
     Never,
@@ -57,8 +57,14 @@ pub enum Policy {
 
 impl Policy {
     /// All policies in presentation order (matches the paper's figures).
-    pub const ALL: [Policy; 6] =
-        [Policy::Never, Policy::Always, Policy::Wait, Policy::PSync, Policy::Sync, Policy::Esync];
+    pub const ALL: [Policy; 6] = [
+        Policy::Never,
+        Policy::Always,
+        Policy::Wait,
+        Policy::PSync,
+        Policy::Sync,
+        Policy::Esync,
+    ];
 
     /// Whether this policy runs the MDPT/MDST machinery.
     pub fn uses_predictor(self) -> bool {
@@ -92,6 +98,24 @@ impl Policy {
     }
 }
 
+impl ToJson for Policy {
+    fn to_json(&self) -> Json {
+        Json::Str(self.paper_name().to_string())
+    }
+}
+
+impl ToJson for PredictorKind {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                PredictorKind::Sync => "SYNC",
+                PredictorKind::Esync => "ESYNC",
+            }
+            .to_string(),
+        )
+    }
+}
+
 impl fmt::Display for Policy {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(self.paper_name())
@@ -104,7 +128,11 @@ pub struct ParsePolicyError(String);
 
 impl fmt::Display for ParsePolicyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "unknown policy `{}` (expected one of never/always/wait/psync/sync/esync)", self.0)
+        write!(
+            f,
+            "unknown policy `{}` (expected one of never/always/wait/psync/sync/esync)",
+            self.0
+        )
     }
 }
 

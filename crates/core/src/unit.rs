@@ -3,8 +3,8 @@
 use crate::edge::DepEdge;
 use crate::mdpt::{Mdpt, MdptConfig};
 use crate::mdst::{LoadSync, Mdst, MdstStats, StoreSync};
+use mds_harness::json::{Json, ToJson};
 use mds_isa::Pc;
-use serde::{Deserialize, Serialize};
 
 /// How dynamic instances of a static dependence edge are tagged in the
 /// MDST (§3 of the paper).
@@ -16,7 +16,7 @@ use serde::{Deserialize, Serialize};
 /// where the other succeeds — the distance may change unpredictably, or
 /// the address may be shared beyond the pair. Both are implemented; the
 /// `ablate-tagging` experiment compares them.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum TagScheme {
     /// Tag instances with instance numbers and synchronize the load at
     /// `store_instance + DIST` (the paper's evaluated scheme).
@@ -25,6 +25,18 @@ pub enum TagScheme {
     /// Tag instances with the data address: a load waits on
     /// (edge, address) and the store signals (edge, address).
     DataAddress,
+}
+
+impl ToJson for TagScheme {
+    fn to_json(&self) -> Json {
+        Json::Str(
+            match self {
+                TagScheme::DependenceDistance => "dependence_distance",
+                TagScheme::DataAddress => "data_address",
+            }
+            .to_string(),
+        )
+    }
 }
 
 /// Configuration of a [`SyncUnit`].
@@ -290,11 +302,17 @@ mod tests {
     use super::*;
 
     fn unit() -> SyncUnit {
-        SyncUnit::new(SyncUnitConfig { stages: 4, ..Default::default() })
+        SyncUnit::new(SyncUnitConfig {
+            stages: 4,
+            ..Default::default()
+        })
     }
 
     fn edge() -> DepEdge {
-        DepEdge { load_pc: 7, store_pc: 3 }
+        DepEdge {
+            load_pc: 7,
+            store_pc: 3,
+        }
     }
 
     #[test]
@@ -360,8 +378,14 @@ mod tests {
     fn multiple_dependences_wait_for_all() {
         // §4.4.4: a load with two predicted stores waits for both.
         let mut u = unit();
-        let e1 = DepEdge { load_pc: 7, store_pc: 3 };
-        let e2 = DepEdge { load_pc: 7, store_pc: 5 };
+        let e1 = DepEdge {
+            load_pc: 7,
+            store_pc: 3,
+        };
+        let e2 = DepEdge {
+            load_pc: 7,
+            store_pc: 5,
+        };
         u.record_misspeculation(e1, 1, None);
         u.record_misspeculation(e2, 2, None);
         assert_eq!(u.on_load_ready(7, 5, 50, None), LoadDecision::Wait);
@@ -425,7 +449,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "stages must be positive")]
     fn zero_stages_panics() {
-        let _ = SyncUnit::new(SyncUnitConfig { stages: 0, ..Default::default() });
+        let _ = SyncUnit::new(SyncUnitConfig {
+            stages: 0,
+            ..Default::default()
+        });
     }
 
     #[test]

@@ -88,8 +88,16 @@ mod tests {
 
     #[test]
     fn overlap_is_symmetric_and_range_based() {
-        let word = |addr| MemAccess { addr, size: 8, is_store: false };
-        let byte = |addr| MemAccess { addr, size: 1, is_store: true };
+        let word = |addr| MemAccess {
+            addr,
+            size: 8,
+            is_store: false,
+        };
+        let byte = |addr| MemAccess {
+            addr,
+            size: 1,
+            is_store: true,
+        };
         assert!(word(0).overlaps(&word(0)));
         assert!(word(0).overlaps(&word(4))); // partial overlap
         assert!(!word(0).overlaps(&word(8)));
@@ -104,7 +112,11 @@ mod tests {
             seq: 0,
             pc: 0,
             inst: Instruction::NOP,
-            mem: Some(MemAccess { addr: 16, size: 8, is_store: false }),
+            mem: Some(MemAccess {
+                addr: 16,
+                size: 8,
+                is_store: false,
+            }),
             branch: None,
             new_task: false,
         };
@@ -112,7 +124,14 @@ mod tests {
         assert!(!d.is_store());
         assert_eq!(d.addr(), Some(16));
 
-        let s = DynInst { mem: Some(MemAccess { addr: 16, size: 8, is_store: true }), ..d };
+        let s = DynInst {
+            mem: Some(MemAccess {
+                addr: 16,
+                size: 8,
+                is_store: true,
+            }),
+            ..d
+        };
         assert!(s.is_store());
 
         let n = DynInst { mem: None, ..d };

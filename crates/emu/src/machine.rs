@@ -133,7 +133,13 @@ impl<'p> Emulator<'p> {
         for (addr, value) in program.initial_data() {
             state.mem.write_u64(addr, value);
         }
-        Emulator { program, state, seq: 0, limit: DEFAULT_LIMIT, summary: TraceSummary::default() }
+        Emulator {
+            program,
+            state,
+            seq: 0,
+            limit: DEFAULT_LIMIT,
+            summary: TraceSummary::default(),
+        }
     }
 
     /// Sets the instruction budget (default [`DEFAULT_LIMIT`]).
@@ -167,11 +173,21 @@ impl<'p> Emulator<'p> {
             return Err(EmuError::InstructionLimit { executed: self.seq });
         }
         let pc = self.state.pc;
-        let inst = *self.program.fetch(pc).ok_or(EmuError::PcOutOfRange { pc })?;
+        let inst = *self
+            .program
+            .fetch(pc)
+            .ok_or(EmuError::PcOutOfRange { pc })?;
         let new_task = self.seq == 0 || self.program.is_task_head(pc);
         let (mem, branch) = self.execute(pc, &inst);
 
-        let rec = DynInst { seq: self.seq, pc, inst, mem, branch, new_task };
+        let rec = DynInst {
+            seq: self.seq,
+            pc,
+            inst,
+            mem,
+            branch,
+            new_task,
+        };
         self.seq += 1;
         self.summary.instructions += 1;
         if rec.is_load() {
@@ -265,7 +281,10 @@ impl<'p> Emulator<'p> {
                 if taken {
                     new_pc = inst.imm as Pc;
                 }
-                branch = Some(BranchOutcome { taken, next_pc: new_pc });
+                branch = Some(BranchOutcome {
+                    taken,
+                    next_pc: new_pc,
+                });
             }};
         }
 
@@ -295,22 +314,38 @@ impl<'p> Emulator<'p> {
             Ld => {
                 let addr = effective(s, inst);
                 s.set_reg(inst.rd, s.mem.read_u64(addr) as i64);
-                mem = Some(MemAccess { addr, size: 8, is_store: false });
+                mem = Some(MemAccess {
+                    addr,
+                    size: 8,
+                    is_store: false,
+                });
             }
             Lb => {
                 let addr = effective(s, inst);
                 s.set_reg(inst.rd, s.mem.read_u8(addr) as i64);
-                mem = Some(MemAccess { addr, size: 1, is_store: false });
+                mem = Some(MemAccess {
+                    addr,
+                    size: 1,
+                    is_store: false,
+                });
             }
             Sd => {
                 let addr = effective(s, inst);
                 s.mem.write_u64(addr, s.reg(inst.rs2) as u64);
-                mem = Some(MemAccess { addr, size: 8, is_store: true });
+                mem = Some(MemAccess {
+                    addr,
+                    size: 8,
+                    is_store: true,
+                });
             }
             Sb => {
                 let addr = effective(s, inst);
                 s.mem.write_u8(addr, s.reg(inst.rs2) as u8);
-                mem = Some(MemAccess { addr, size: 1, is_store: true });
+                mem = Some(MemAccess {
+                    addr,
+                    size: 1,
+                    is_store: true,
+                });
             }
             Beq => cond!(|a, b| a == b),
             Bne => cond!(|a, b| a != b),
@@ -320,16 +355,25 @@ impl<'p> Emulator<'p> {
             Bgeu => cond!(|a: i64, b: i64| (a as u64) >= (b as u64)),
             J => {
                 new_pc = inst.imm as Pc;
-                branch = Some(BranchOutcome { taken: true, next_pc: new_pc });
+                branch = Some(BranchOutcome {
+                    taken: true,
+                    next_pc: new_pc,
+                });
             }
             Jal => {
                 s.set_reg(inst.rd, next as i64);
                 new_pc = inst.imm as Pc;
-                branch = Some(BranchOutcome { taken: true, next_pc: new_pc });
+                branch = Some(BranchOutcome {
+                    taken: true,
+                    next_pc: new_pc,
+                });
             }
             Jr => {
                 new_pc = s.reg(inst.rs1) as Pc;
-                branch = Some(BranchOutcome { taken: true, next_pc: new_pc });
+                branch = Some(BranchOutcome {
+                    taken: true,
+                    next_pc: new_pc,
+                });
             }
             FAdd => falu!(|a: f64, b: f64| a + b),
             FSub => falu!(|a: f64, b: f64| a - b),
@@ -350,12 +394,20 @@ impl<'p> Emulator<'p> {
             Fld => {
                 let addr = effective(s, inst);
                 s.set_freg(inst.rd, s.mem.read_f64(addr));
-                mem = Some(MemAccess { addr, size: 8, is_store: false });
+                mem = Some(MemAccess {
+                    addr,
+                    size: 8,
+                    is_store: false,
+                });
             }
             Fsd => {
                 let addr = effective(s, inst);
                 s.mem.write_f64(addr, s.freg(inst.rs2));
-                mem = Some(MemAccess { addr, size: 8, is_store: true });
+                mem = Some(MemAccess {
+                    addr,
+                    size: 8,
+                    is_store: true,
+                });
             }
             Feq => {
                 let r = (s.freg(inst.rs1) == s.freg(inst.rs2)) as i64;
@@ -481,8 +533,22 @@ mod tests {
         assert_eq!(s.reg(Reg::A1), 0x5a);
         let mems: Vec<MemAccess> = t.iter().filter_map(|d| d.mem).collect();
         assert_eq!(mems.len(), 4);
-        assert_eq!(mems[0], MemAccess { addr: base, size: 8, is_store: true });
-        assert_eq!(mems[1], MemAccess { addr: base + 8, size: 1, is_store: true });
+        assert_eq!(
+            mems[0],
+            MemAccess {
+                addr: base,
+                size: 8,
+                is_store: true
+            }
+        );
+        assert_eq!(
+            mems[1],
+            MemAccess {
+                addr: base + 8,
+                size: 1,
+                is_store: true
+            }
+        );
         assert!(!mems[2].is_store);
         assert_eq!(mems[3].size, 1);
     }
@@ -514,8 +580,10 @@ mod tests {
         assert_eq!(s.reg(Reg::A0), 10);
         // 2 setup + 5 * 3 loop + 1 halt
         assert_eq!(t.len(), 18);
-        let taken: Vec<bool> =
-            t.iter().filter_map(|d| d.branch.map(|br| br.taken)).collect();
+        let taken: Vec<bool> = t
+            .iter()
+            .filter_map(|d| d.branch.map(|br| br.taken))
+            .collect();
         assert_eq!(taken, vec![true, true, true, true, false]);
     }
 
@@ -568,8 +636,7 @@ mod tests {
         b.halt();
         let (t, _) = run(b);
         // seq 0 is always a boundary; each iteration head too.
-        let boundaries: Vec<u64> =
-            t.iter().filter(|d| d.new_task).map(|d| d.seq).collect();
+        let boundaries: Vec<u64> = t.iter().filter(|d| d.new_task).map(|d| d.seq).collect();
         assert_eq!(boundaries, vec![0, 1, 3, 5]);
     }
 

@@ -104,14 +104,16 @@ impl Memory {
 
     fn page_mut(&mut self, page_no: Addr) -> &mut [u8; PAGE_SIZE] {
         self.last_page = Some(page_no);
-        self.pages.entry(page_no).or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
+        self.pages
+            .entry(page_no)
+            .or_insert_with(|| Box::new([0u8; PAGE_SIZE]))
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mds_harness::prelude::*;
 
     #[test]
     fn unmapped_reads_zero() {
@@ -154,7 +156,7 @@ mod tests {
         assert_eq!(m.read_f64(64), 3.25);
     }
 
-    proptest! {
+    properties! {
         #[test]
         fn write_then_read_anywhere(addr in 0u64..1u64 << 40, value: u64) {
             let mut m = Memory::new();

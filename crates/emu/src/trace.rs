@@ -33,7 +33,13 @@ pub fn format_dyninst(d: &DynInst) -> String {
     if d.new_task {
         line.push_str("==task== ");
     }
-    let _ = write!(line, "{:>8}  pc={:<5} {:<28}", d.seq, d.pc, d.inst.to_string());
+    let _ = write!(
+        line,
+        "{:>8}  pc={:<5} {:<28}",
+        d.seq,
+        d.pc,
+        d.inst.to_string()
+    );
     if let Some(m) = d.mem {
         let kind = if m.is_store { "store" } else { "load" };
         let _ = write!(line, " [{kind} @{:#x}", m.addr);

@@ -1,0 +1,796 @@
+//! A minimal property-based testing runner with shrinking.
+//!
+//! The in-tree replacement for the slice of `proptest` this workspace
+//! used. A [`Strategy`] describes how to generate a value from a stream
+//! of random words; the [`properties!`](crate::properties) macro wraps a
+//! test body into a standard `#[test]` that runs the body over many
+//! generated cases and, on failure, shrinks the input to a minimal
+//! counterexample before panicking.
+//!
+//! # Design: word-stream shrinking
+//!
+//! Generation draws `u64` words from a [`DataSource`]; every strategy is
+//! a pure function of that stream. A failing case is therefore fully
+//! described by its recorded word buffer, and shrinking operates on the
+//! buffer alone (delete blocks of words, minimize individual words by
+//! binary search) while re-running generation to obtain candidate values
+//! — the Hypothesis approach. This gives every strategy, including
+//! [`prop_map`](StrategyExt::prop_map)ped and
+//! [`prop_oneof!`](crate::prop_oneof) composites, shrinking for free:
+//! bounded draws record their *reduced* word, so minimizing a word
+//! minimizes the generated value directly.
+//!
+//! # Determinism
+//!
+//! Case seeds derive from the test name by default, so a test run is
+//! exactly reproducible without any persisted state. A failure report
+//! prints the case seed; `MDS_PROP_SEED=<seed>` replays that single case.
+//!
+//! # Examples
+//!
+//! ```
+//! use mds_harness::prelude::*;
+//!
+//! // In a test module each `fn` would also carry `#[test]`.
+//! properties! {
+//!     fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+//!         prop_assert_eq!(a + b, b + a);
+//!     }
+//! }
+//! addition_commutes();
+//! ```
+
+use crate::rng::{splitmix64, Rng};
+use std::cell::Cell;
+use std::fmt;
+use std::ops::{Range, RangeInclusive};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Once;
+
+/// Configuration for one property test.
+#[derive(Debug, Clone)]
+pub struct PropConfig {
+    /// Number of random cases to run (default 64).
+    pub cases: u32,
+    /// Base seed; defaults to a hash of the test name so runs are
+    /// reproducible with no recorded state.
+    pub seed: Option<u64>,
+    /// Upper bound on test executions spent shrinking a failure.
+    pub max_shrink_iters: u32,
+}
+
+impl Default for PropConfig {
+    fn default() -> Self {
+        PropConfig {
+            cases: 64,
+            seed: None,
+            max_shrink_iters: 4096,
+        }
+    }
+}
+
+/// The word stream strategies draw from.
+///
+/// In live mode words come from the PRNG and are recorded; in replay mode
+/// they come from a buffer (the shrinker's candidate), with draws past
+/// the end yielding zero.
+#[derive(Debug)]
+pub struct DataSource {
+    replay: Vec<u64>,
+    pos: usize,
+    live: Option<Rng>,
+    record: Vec<u64>,
+}
+
+impl DataSource {
+    /// A live source seeded with `seed`.
+    pub fn live(seed: u64) -> Self {
+        DataSource {
+            replay: Vec::new(),
+            pos: 0,
+            live: Some(Rng::seed_from_u64(seed)),
+            record: Vec::new(),
+        }
+    }
+
+    /// A replay source that reads `words`, then zeros.
+    pub fn replay(words: Vec<u64>) -> Self {
+        DataSource {
+            replay: words,
+            pos: 0,
+            live: None,
+            record: Vec::new(),
+        }
+    }
+
+    /// The words drawn so far.
+    pub fn record(&self) -> &[u64] {
+        &self.record
+    }
+
+    /// Draws a full 64-bit word.
+    pub fn draw(&mut self) -> u64 {
+        let w = if self.pos < self.replay.len() {
+            self.replay[self.pos]
+        } else if let Some(rng) = &mut self.live {
+            rng.next_u64()
+        } else {
+            0
+        };
+        self.pos += 1;
+        self.record.push(w);
+        w
+    }
+
+    /// Draws a word uniformly below `n` (`n >= 1`).
+    ///
+    /// The *reduced* word is recorded, so the shrinker's word-minimization
+    /// maps monotonically onto the generated value.
+    pub fn draw_below(&mut self, n: u64) -> u64 {
+        let w = if self.pos < self.replay.len() {
+            self.replay[self.pos]
+        } else if let Some(rng) = &mut self.live {
+            rng.next_u64()
+        } else {
+            0
+        };
+        let reduced = if n <= 1 { 0 } else { w % n };
+        self.pos += 1;
+        self.record.push(reduced);
+        reduced
+    }
+}
+
+/// A recipe for generating test values from a [`DataSource`].
+pub trait Strategy {
+    /// The type of generated values.
+    type Value: fmt::Debug;
+    /// Generates one value by drawing from `source`.
+    fn generate(&self, source: &mut DataSource) -> Self::Value;
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, source: &mut DataSource) -> Self::Value {
+        (**self).generate(source)
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, source: &mut DataSource) -> $t {
+                assert!(self.start < self.end, "strategy range is empty");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = if span > u64::MAX as u128 {
+                    source.draw() as u128
+                } else {
+                    source.draw_below(span as u64) as u128
+                };
+                (self.start as i128).wrapping_add(off as i128) as $t
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, source: &mut DataSource) -> $t {
+                assert!(self.start() <= self.end(), "strategy range is empty");
+                let span = (*self.end() as i128 - *self.start() as i128) as u128 + 1;
+                let off = if span > u64::MAX as u128 {
+                    source.draw() as u128
+                } else {
+                    source.draw_below(span as u64) as u128
+                };
+                (*self.start() as i128).wrapping_add(off as i128) as $t
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types with a canonical full-domain strategy, via [`any`].
+pub trait Arbitrary: fmt::Debug + Sized {
+    /// Builds a value from one uniformly distributed word.
+    fn from_word(word: u64) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn from_word(word: u64) -> Self {
+                word as $t
+            }
+        }
+    )*};
+}
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn from_word(word: u64) -> Self {
+        word & 1 == 1
+    }
+}
+
+/// The strategy returned by [`any`].
+#[derive(Debug, Clone, Copy)]
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+/// A strategy producing any value of `T` (the full domain).
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, source: &mut DataSource) -> T {
+        T::from_word(source.draw())
+    }
+}
+
+/// A strategy that always yields a clone of one value.
+#[derive(Debug, Clone, Copy)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone + fmt::Debug> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _source: &mut DataSource) -> T {
+        self.0.clone()
+    }
+}
+
+/// The strategy returned by [`vec_of`].
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    elem: S,
+    len: Range<usize>,
+}
+
+/// A strategy for vectors whose length is drawn from `len` and whose
+/// elements come from `elem`.
+pub fn vec_of<S: Strategy>(elem: S, len: Range<usize>) -> VecStrategy<S> {
+    assert!(len.start < len.end, "vec_of length range is empty");
+    VecStrategy { elem, len }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+    fn generate(&self, source: &mut DataSource) -> Vec<S::Value> {
+        let span = (self.len.end - self.len.start) as u64;
+        let n = self.len.start + source.draw_below(span) as usize;
+        (0..n).map(|_| self.elem.generate(source)).collect()
+    }
+}
+
+/// The strategy returned by [`option_of`].
+#[derive(Debug, Clone)]
+pub struct OptionStrategy<S>(S);
+
+/// A strategy yielding `None` or `Some` of the inner strategy's values.
+///
+/// Shrinks toward `None`.
+pub fn option_of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+    OptionStrategy(inner)
+}
+
+impl<S: Strategy> Strategy for OptionStrategy<S> {
+    type Value = Option<S::Value>;
+    fn generate(&self, source: &mut DataSource) -> Option<S::Value> {
+        if source.draw_below(2) == 1 {
+            Some(self.0.generate(source))
+        } else {
+            None
+        }
+    }
+}
+
+/// The strategy returned by [`StrategyExt::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+    O: fmt::Debug,
+{
+    type Value = O;
+    fn generate(&self, source: &mut DataSource) -> O {
+        (self.f)(self.inner.generate(source))
+    }
+}
+
+/// Combinator methods on every [`Strategy`].
+pub trait StrategyExt: Strategy + Sized {
+    /// Applies `f` to every generated value.
+    ///
+    /// Shrinking passes through: the underlying stream shrinks and the
+    /// mapped value is regenerated.
+    fn prop_map<O: fmt::Debug, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F> {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + Sized> StrategyExt for S {}
+
+/// A choice among several strategies with a common value type; built by
+/// [`prop_oneof!`](crate::prop_oneof).
+///
+/// Shrinks toward earlier alternatives.
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T: fmt::Debug> Union<T> {
+    /// An empty union; must gain at least one alternative via [`Union::or`]
+    /// before generating.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Union {
+            options: Vec::new(),
+        }
+    }
+
+    /// Adds one alternative.
+    pub fn or(mut self, option: impl Strategy<Value = T> + 'static) -> Self {
+        self.options.push(Box::new(option));
+        self
+    }
+}
+
+impl<T: fmt::Debug> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, source: &mut DataSource) -> T {
+        assert!(
+            !self.options.is_empty(),
+            "prop_oneof! needs at least one alternative"
+        );
+        let i = source.draw_below(self.options.len() as u64) as usize;
+        self.options[i].generate(source)
+    }
+}
+
+impl<T> fmt::Debug for Union<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Union({} options)", self.options.len())
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, source: &mut DataSource) -> Self::Value {
+                #[allow(non_snake_case)]
+                let ($($name,)+) = self;
+                ($($name.generate(source),)+)
+            }
+        }
+    };
+}
+impl_tuple_strategy!(A);
+impl_tuple_strategy!(A, B);
+impl_tuple_strategy!(A, B, C);
+impl_tuple_strategy!(A, B, C, D);
+impl_tuple_strategy!(A, B, C, D, E);
+impl_tuple_strategy!(A, B, C, D, E, F);
+
+thread_local! {
+    static SILENCE_PANICS: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once) a panic hook that suppresses reports from expected
+/// panics while the runner probes failing cases.
+fn install_quiet_hook() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !SILENCE_PANICS.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "<non-string panic payload>".to_string()
+    }
+}
+
+/// Runs `test` on one value, capturing a panic as `Err(message)`.
+fn run_case<S: Strategy>(strat: &S, test: &impl Fn(S::Value), words: &[u64]) -> Result<(), String> {
+    let mut source = DataSource::replay(words.to_vec());
+    let value = strat.generate(&mut source);
+    SILENCE_PANICS.with(|s| s.set(true));
+    let outcome = catch_unwind(AssertUnwindSafe(|| test(value)));
+    SILENCE_PANICS.with(|s| s.set(false));
+    outcome.map_err(panic_message)
+}
+
+/// FNV-1a hash of the test name, for the default base seed.
+fn name_seed(name: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+struct Shrinker<'a, S: Strategy, F: Fn(S::Value)> {
+    strat: &'a S,
+    test: &'a F,
+    runs: u32,
+    max_runs: u32,
+}
+
+impl<'a, S: Strategy, F: Fn(S::Value)> Shrinker<'a, S, F> {
+    /// Tests a candidate buffer; `Some(message)` if it still fails.
+    fn attempt(&mut self, words: &[u64]) -> Option<String> {
+        if self.runs >= self.max_runs {
+            return None;
+        }
+        self.runs += 1;
+        run_case(self.strat, self.test, words).err()
+    }
+
+    fn shrink(&mut self, mut best: Vec<u64>, mut message: String) -> (Vec<u64>, String) {
+        loop {
+            let mut improved = false;
+
+            // Pass 1: delete blocks of words, large to small. Deleting a
+            // span both shortens collections and simplifies whatever the
+            // following words used to mean.
+            let mut size = (best.len() / 2).max(1);
+            loop {
+                let mut i = 0;
+                while i + size <= best.len() && self.runs < self.max_runs {
+                    let mut candidate = best.clone();
+                    candidate.drain(i..i + size);
+                    if let Some(m) = self.attempt(&candidate) {
+                        best = candidate;
+                        message = m;
+                        improved = true;
+                    } else {
+                        i += size;
+                    }
+                }
+                if size == 1 {
+                    break;
+                }
+                size /= 2;
+            }
+
+            // Pass 2: minimize each word — zero first, then binary search
+            // for the smallest still-failing value.
+            for i in 0..best.len() {
+                if best[i] == 0 || self.runs >= self.max_runs {
+                    continue;
+                }
+                let mut candidate = best.clone();
+                candidate[i] = 0;
+                if let Some(m) = self.attempt(&candidate) {
+                    best = candidate;
+                    message = m;
+                    improved = true;
+                    continue;
+                }
+                let (mut lo, mut hi) = (1u64, best[i]);
+                while lo < hi && self.runs < self.max_runs {
+                    let mid = lo + (hi - lo) / 2;
+                    let mut candidate = best.clone();
+                    candidate[i] = mid;
+                    if let Some(m) = self.attempt(&candidate) {
+                        hi = mid;
+                        message = m;
+                    } else {
+                        lo = mid + 1;
+                    }
+                }
+                if hi < best[i] {
+                    best[i] = hi;
+                    improved = true;
+                }
+            }
+
+            if !improved || self.runs >= self.max_runs {
+                break;
+            }
+        }
+        // Trim trailing zeros: replay pads with zeros anyway, so they are
+        // pure noise in the report.
+        while best.last() == Some(&0) {
+            best.pop();
+        }
+        (best, message)
+    }
+}
+
+/// Runs a property: `cfg.cases` random cases of `strat`, shrinking and
+/// reporting the first failure.
+///
+/// This is the function the [`properties!`](crate::properties) macro
+/// expands into; call it directly for programmatic use.
+///
+/// # Panics
+///
+/// Panics (failing the surrounding `#[test]`) if any case fails, after
+/// shrinking the counterexample.
+pub fn run<S: Strategy>(name: &str, cfg: &PropConfig, strat: &S, test: impl Fn(S::Value)) {
+    install_quiet_hook();
+    let env_seed = std::env::var("MDS_PROP_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok());
+    let base = env_seed.or(cfg.seed).unwrap_or_else(|| name_seed(name));
+    let cases = if env_seed.is_some() { 1 } else { cfg.cases };
+    for case in 0..cases {
+        let case_seed = if env_seed.is_some() {
+            base
+        } else {
+            let mut mix = base ^ (case as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+            splitmix64(&mut mix)
+        };
+        let mut source = DataSource::live(case_seed);
+        let value = strat.generate(&mut source);
+        SILENCE_PANICS.with(|s| s.set(true));
+        let outcome = catch_unwind(AssertUnwindSafe(|| test(value)));
+        SILENCE_PANICS.with(|s| s.set(false));
+        if let Err(payload) = outcome {
+            let message = panic_message(payload);
+            let words = source.record().to_vec();
+            let mut shrinker = Shrinker {
+                strat,
+                test: &test,
+                runs: 0,
+                max_runs: cfg.max_shrink_iters,
+            };
+            let (minimal, message) = shrinker.shrink(words, message);
+            let shrink_runs = shrinker.runs;
+            let minimal_value = strat.generate(&mut DataSource::replay(minimal));
+            panic!(
+                "property '{name}' failed on case {case} (seed {case_seed}).\n\
+                 minimal failing input (after {shrink_runs} shrink runs):\n\
+                 {minimal_value:#?}\n\
+                 failure: {message}\n\
+                 replay this case alone with MDS_PROP_SEED={case_seed}"
+            );
+        }
+    }
+}
+
+/// Declares property tests (in-tree replacement for `proptest!`).
+///
+/// Each `fn` takes arguments of the form `name in strategy` or
+/// `name: Type` (shorthand for `name in any::<Type>()`) and becomes a
+/// regular `#[test]` running [`run`] over the tuple of strategies. An
+/// optional leading `#![config(expr)]` supplies a [`PropConfig`].
+///
+/// ```
+/// use mds_harness::prelude::*;
+///
+/// // In a test module each `fn` would also carry `#[test]`.
+/// properties! {
+///     #![config(PropConfig { cases: 16, ..PropConfig::default() })]
+///     fn reverse_is_involutive(v in vec_of(any::<u32>(), 0..50)) {
+///         let mut w = v.clone();
+///         w.reverse();
+///         w.reverse();
+///         prop_assert_eq!(v, w);
+///     }
+/// }
+/// reverse_is_involutive();
+/// ```
+#[macro_export]
+macro_rules! properties {
+    (
+        #![config($cfg:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__properties_inner! { ($cfg) $($rest)* }
+    };
+    ( $($rest:tt)* ) => {
+        $crate::__properties_inner! {
+            (<$crate::prop::PropConfig as ::core::default::Default>::default())
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __properties_inner {
+    ( ($cfg:expr) $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($args:tt)* ) $body:block
+    )* ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __cfg: $crate::prop::PropConfig = $cfg;
+                $crate::__prop_case! { __cfg, $name, [] [] ($($args)*) $body }
+            }
+        )*
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __prop_case {
+    ($cfg:ident, $tname:ident, [$($n:ident)*] [$($s:expr;)*] () $body:block) => {{
+        let __strategy = ( $($s,)* );
+        $crate::prop::run(
+            ::core::stringify!($tname),
+            &$cfg,
+            &__strategy,
+            move |($($n,)*)| $body,
+        );
+    }};
+    ($cfg:ident, $tname:ident, [$($n:ident)*] [$($s:expr;)*] ($arg:ident in $strat:expr, $($rest:tt)*) $body:block) => {
+        $crate::__prop_case! { $cfg, $tname, [$($n)* $arg] [$($s;)* $strat;] ($($rest)*) $body }
+    };
+    ($cfg:ident, $tname:ident, [$($n:ident)*] [$($s:expr;)*] ($arg:ident in $strat:expr) $body:block) => {
+        $crate::__prop_case! { $cfg, $tname, [$($n)* $arg] [$($s;)* $strat;] () $body }
+    };
+    ($cfg:ident, $tname:ident, [$($n:ident)*] [$($s:expr;)*] ($arg:ident : $ty:ty, $($rest:tt)*) $body:block) => {
+        $crate::__prop_case! { $cfg, $tname, [$($n)* $arg] [$($s;)* $crate::prop::any::<$ty>();] ($($rest)*) $body }
+    };
+    ($cfg:ident, $tname:ident, [$($n:ident)*] [$($s:expr;)*] ($arg:ident : $ty:ty) $body:block) => {
+        $crate::__prop_case! { $cfg, $tname, [$($n)* $arg] [$($s;)* $crate::prop::any::<$ty>();] () $body }
+    };
+}
+
+/// Asserts a condition inside a property body (alias of `assert!` whose
+/// panic the runner catches and shrinks).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($t:tt)*) => { ::core::assert!($($t)*) };
+}
+
+/// Asserts equality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($t:tt)*) => { ::core::assert_eq!($($t)*) };
+}
+
+/// Asserts inequality inside a property body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($t:tt)*) => { ::core::assert_ne!($($t)*) };
+}
+
+/// Builds a [`Union`] strategy choosing uniformly among alternatives.
+///
+/// ```
+/// use mds_harness::prelude::*;
+/// let digit_or_big = prop_oneof![0u64..10, 1000u64..2000];
+/// # let _ = &digit_or_big;
+/// ```
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($option:expr),+ $(,)?) => {
+        $crate::prop::Union::new()$(.or($option))+
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut source = DataSource::live(1);
+        for _ in 0..500 {
+            let v = (10u64..20).generate(&mut source);
+            assert!((10..20).contains(&v));
+            let w = (1u8..=16).generate(&mut source);
+            assert!((1..=16).contains(&w));
+            let s = (-4i32..4).generate(&mut source);
+            assert!((-4..4).contains(&s));
+        }
+    }
+
+    #[test]
+    fn generation_is_a_pure_function_of_the_stream() {
+        let strat = vec_of((0u64..100, any::<bool>()), 0..20);
+        let mut live = DataSource::live(77);
+        let first = strat.generate(&mut live);
+        let words = live.record().to_vec();
+        let second = strat.generate(&mut DataSource::replay(words));
+        assert_eq!(first, second);
+    }
+
+    #[test]
+    fn replay_past_end_yields_zeros() {
+        let strat = vec_of(0u64..100, 3..4);
+        let v = strat.generate(&mut DataSource::replay(vec![]));
+        assert_eq!(v, vec![0, 0, 0]);
+    }
+
+    #[test]
+    fn oneof_and_map_compose() {
+        let strat = prop_oneof![(0u32..10).prop_map(|x| x * 2), Just(99u32),];
+        let mut source = DataSource::live(5);
+        for _ in 0..100 {
+            let v = strat.generate(&mut source);
+            assert!(v == 99 || (v % 2 == 0 && v < 20), "{v}");
+        }
+    }
+
+    #[test]
+    fn passing_property_runs_all_cases() {
+        let mut count = 0u32;
+        let counter = std::cell::Cell::new(0u32);
+        run(
+            "passing",
+            &PropConfig {
+                cases: 10,
+                ..Default::default()
+            },
+            &(0u64..5),
+            |_| {
+                counter.set(counter.get() + 1);
+            },
+        );
+        count += counter.get();
+        assert_eq!(count, 10);
+    }
+
+    #[test]
+    fn failing_property_reports_minimal_case() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run("threshold", &PropConfig::default(), &(0u64..1000), |v| {
+                assert!(v < 417, "too big");
+            });
+        }));
+        let message = panic_message(result.unwrap_err());
+        assert!(
+            message.contains("417"),
+            "shrinking should reach 417 exactly:\n{message}"
+        );
+        assert!(message.contains("MDS_PROP_SEED="), "{message}");
+    }
+
+    #[test]
+    fn failing_vec_property_shrinks_length() {
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            run(
+                "vec_len",
+                &PropConfig::default(),
+                &vec_of(0u64..100, 0..50),
+                |v: Vec<u64>| assert!(v.len() < 3, "long vec"),
+            );
+        }));
+        let message = panic_message(result.unwrap_err());
+        // Minimal counterexample is a vector of exactly 3 zeros.
+        assert!(
+            message.contains("0,\n    0,\n    0,\n"),
+            "expected [0, 0, 0] in:\n{message}"
+        );
+    }
+
+    #[test]
+    fn option_of_covers_both_variants() {
+        let strat = option_of(1u32..5);
+        let mut source = DataSource::live(3);
+        let mut some = 0;
+        let mut none = 0;
+        for _ in 0..100 {
+            match strat.generate(&mut source) {
+                Some(v) => {
+                    assert!((1..5).contains(&v));
+                    some += 1;
+                }
+                None => none += 1,
+            }
+        }
+        assert!(some > 20 && none > 20, "{some} Some / {none} None");
+    }
+}

@@ -1,0 +1,229 @@
+//! Seedable, reproducible pseudo-random number generation.
+//!
+//! The generator is xoshiro256** (Blackman & Vigna) seeded through
+//! SplitMix64, the standard pairing: SplitMix64 decorrelates nearby seeds
+//! so that `seed_from_u64(1)` and `seed_from_u64(2)` produce unrelated
+//! streams, while xoshiro256** provides a fast, high-quality 256-bit-state
+//! stream for everything downstream.
+//!
+//! The API mirrors the small slice of `rand` this workspace used —
+//! [`Rng::seed_from_u64`], [`Rng::gen`], [`Rng::gen_range`] — so call
+//! sites read identically, but the implementation is in-tree and the
+//! streams are stable across releases: a seed recorded in a test failure
+//! or an experiment log replays the exact same values forever.
+//!
+//! # Examples
+//!
+//! ```
+//! use mds_harness::rng::Rng;
+//! let mut a = Rng::seed_from_u64(7);
+//! let mut b = Rng::seed_from_u64(7);
+//! assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+//! let x: u64 = a.gen_range(10..20);
+//! assert!((10..20).contains(&x));
+//! ```
+
+use std::ops::Range;
+
+/// Advances a SplitMix64 state and returns the next output.
+///
+/// Exposed because the property-testing shrinker and the case scheduler
+/// also use it to derive independent per-case seeds.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A deterministic xoshiro256** generator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    s: [u64; 4],
+}
+
+impl Rng {
+    /// Creates a generator whose stream is a pure function of `seed`.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let mut s = [0u64; 4];
+        for slot in &mut s {
+            *slot = splitmix64(&mut sm);
+        }
+        // xoshiro256** is ill-defined on the all-zero state; SplitMix64
+        // cannot produce four zero outputs in a row, but guard anyway.
+        if s == [0; 4] {
+            s[0] = 0x9e37_79b9_7f4a_7c15;
+        }
+        Rng { s }
+    }
+
+    /// Returns the next 64 uniformly distributed bits.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        let result = self.s[1].wrapping_mul(5).rotate_left(7).wrapping_mul(9);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+
+    /// Generates a uniformly distributed value of a primitive type.
+    #[inline]
+    pub fn gen<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Generates a value uniformly distributed over `range`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    pub fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+}
+
+/// Primitive types [`Rng::gen`] can produce.
+pub trait FromRng {
+    /// Draws one uniformly distributed value from `rng`.
+    fn from_rng(rng: &mut Rng) -> Self;
+}
+
+macro_rules! impl_from_rng_int {
+    ($($t:ty),*) => {$(
+        impl FromRng for $t {
+            #[inline]
+            fn from_rng(rng: &mut Rng) -> Self {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+impl_from_rng_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl FromRng for bool {
+    #[inline]
+    fn from_rng(rng: &mut Rng) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl FromRng for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn from_rng(rng: &mut Rng) -> Self {
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// Ranges [`Rng::gen_range`] can sample values of `T` from.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample(self, rng: &mut Rng) -> T;
+}
+
+macro_rules! impl_sample_range_int {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            #[inline]
+            fn sample(self, rng: &mut Rng) -> $t {
+                assert!(self.start < self.end, "gen_range called with empty range");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = if span > u64::MAX as u128 {
+                    rng.next_u64() as u128
+                } else {
+                    (rng.next_u64() % span as u64) as u128
+                };
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+impl_sample_range_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl SampleRange<f64> for Range<f64> {
+    #[inline]
+    fn sample(self, rng: &mut Rng) -> f64 {
+        assert!(self.start < self.end, "gen_range called with empty range");
+        self.start + (self.end - self.start) * rng.gen::<f64>()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = Rng::seed_from_u64(42);
+        let mut b = Rng::seed_from_u64(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn nearby_seeds_diverge() {
+        let mut a = Rng::seed_from_u64(1);
+        let mut b = Rng::seed_from_u64(2);
+        let same = (0..64).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert_eq!(same, 0);
+    }
+
+    #[test]
+    fn range_bounds_are_respected() {
+        let mut rng = Rng::seed_from_u64(9);
+        for _ in 0..10_000 {
+            let v: u64 = rng.gen_range(10..20);
+            assert!((10..20).contains(&v));
+            let s: i64 = rng.gen_range(-5..5);
+            assert!((-5..5).contains(&s));
+            let f: f64 = rng.gen_range(0.5..2.0);
+            assert!((0.5..2.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn range_covers_all_values() {
+        let mut rng = Rng::seed_from_u64(3);
+        let mut seen = [false; 8];
+        for _ in 0..256 {
+            seen[rng.gen_range(0..8u64) as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn f64_is_unit_interval() {
+        let mut rng = Rng::seed_from_u64(5);
+        for _ in 0..1000 {
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn stream_is_pinned() {
+        // The exact stream is part of the reproducibility contract: if
+        // this test fails, recorded seeds everywhere replay differently.
+        let mut rng = Rng::seed_from_u64(0);
+        let first: Vec<u64> = (0..4).map(|_| rng.next_u64()).collect();
+        assert_eq!(
+            first,
+            vec![
+                11091344671253066420,
+                13793997310169335082,
+                1900383378846508768,
+                7684712102626143532
+            ]
+        );
+    }
+}

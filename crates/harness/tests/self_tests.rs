@@ -1,0 +1,185 @@
+//! End-to-end self-tests for the dev harness: the reproducibility,
+//! shrinking, and serialization guarantees the rest of the workspace
+//! relies on.
+
+use mds_harness::bench::{BenchConfig, BenchReport, BenchResult};
+use mds_harness::json::ToJson;
+use mds_harness::prelude::*;
+use mds_harness::prop;
+use mds_harness::rng::Rng;
+use std::panic::catch_unwind;
+
+// --- PRNG reproducibility ---------------------------------------------
+
+#[test]
+fn prng_is_reproducible_for_any_seed() {
+    for seed in [0u64, 1, 42, 0xdead_beef, u64::MAX] {
+        let a: Vec<u64> = {
+            let mut rng = Rng::seed_from_u64(seed);
+            (0..256).map(|_| rng.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut rng = Rng::seed_from_u64(seed);
+            (0..256).map(|_| rng.next_u64()).collect()
+        };
+        assert_eq!(a, b, "seed {seed} must replay identically");
+    }
+}
+
+#[test]
+fn prng_distinct_seeds_are_decorrelated() {
+    let mut streams: Vec<Vec<u64>> = (0..8u64)
+        .map(|seed| {
+            let mut rng = Rng::seed_from_u64(seed);
+            (0..32).map(|_| rng.next_u64()).collect()
+        })
+        .collect();
+    streams.sort();
+    streams.dedup();
+    assert_eq!(
+        streams.len(),
+        8,
+        "consecutive seeds must give distinct streams"
+    );
+}
+
+// --- Property runner and shrinking ------------------------------------
+
+fn failure_message(f: impl Fn() + std::panic::UnwindSafe) -> String {
+    let payload = catch_unwind(f).expect_err("property should fail");
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        panic!("non-string panic payload")
+    }
+}
+
+#[test]
+fn shrinking_converges_to_minimal_scalar() {
+    let msg = failure_message(|| {
+        prop::run(
+            "minimal_scalar",
+            &PropConfig::default(),
+            &(0u64..100_000),
+            |v| assert!(v < 7777, "got {v}"),
+        );
+    });
+    // The minimal counterexample is exactly the boundary value.
+    assert!(
+        msg.contains("7777"),
+        "expected boundary 7777 in report:\n{msg}"
+    );
+    assert!(msg.contains("minimal failing input"), "{msg}");
+    assert!(msg.contains("MDS_PROP_SEED="), "{msg}");
+}
+
+#[test]
+fn shrinking_converges_to_minimal_vec() {
+    let msg = failure_message(|| {
+        prop::run(
+            "minimal_vec",
+            &PropConfig::default(),
+            &vec_of(0u64..1000, 0..50),
+            |v: Vec<u64>| assert!(v.iter().all(|&x| x < 100)),
+        );
+    });
+    // Minimal counterexample: a single-element vector holding exactly the
+    // smallest offending value.
+    assert!(
+        msg.contains("[\n    100,\n]"),
+        "expected the one-element vector [100] in report:\n{msg}"
+    );
+}
+
+#[test]
+fn failing_runs_are_reproducible_with_a_pinned_seed() {
+    let cfg = PropConfig {
+        seed: Some(12345),
+        ..PropConfig::default()
+    };
+    let run_once = || {
+        failure_message(|| {
+            prop::run("pinned_seed", &cfg, &(0u64..1_000_000), |v| {
+                assert!(v % 3 != 0)
+            });
+        })
+    };
+    assert_eq!(
+        run_once(),
+        run_once(),
+        "same seed must reproduce the same report"
+    );
+}
+
+#[test]
+fn passing_properties_run_quietly() {
+    prop::run("tautology", &PropConfig::default(), &any::<u64>(), |v| {
+        assert_eq!(v, v);
+    });
+}
+
+// The macro surface, exercised from outside the defining crate (this is
+// what every other crate's test modules use).
+properties! {
+    #![config(PropConfig { cases: 32, ..PropConfig::default() })]
+
+    #[test]
+    fn macro_tuple_and_shorthand_args(a in 0u32..100, b: bool) {
+        prop_assert!(a < 100);
+        let _ = b;
+    }
+
+    #[test]
+    fn macro_composite_strategies(
+        v in vec_of(prop_oneof![Just(1u8), Just(2u8)], 0..10),
+        o in option_of(any::<u16>()),
+    ) {
+        prop_assert!(v.iter().all(|&x| x == 1 || x == 2));
+        let _ = o;
+    }
+}
+
+// --- Bench JSON round-trip --------------------------------------------
+
+#[test]
+fn bench_report_round_trips_through_json() {
+    let report = BenchReport {
+        suite: "selftest".into(),
+        scale: "small".into(),
+        config: BenchConfig::default(),
+        results: vec![BenchResult {
+            name: "roundtrip".into(),
+            iters_per_batch: 4096,
+            batches: 25,
+            median_ns: 17.5,
+            mad_ns: 0.25,
+            min_ns: 16.0,
+            max_ns: 21.75,
+            throughput_elems: Some(1_000_000),
+        }],
+    };
+    let parsed = BenchReport::parse(&report.to_json().pretty()).unwrap();
+    assert_eq!(parsed, report);
+    assert_eq!(
+        parsed.results[0].elems_per_sec(),
+        report.results[0].elems_per_sec()
+    );
+}
+
+#[test]
+fn committed_baselines_parse() {
+    // The BENCH_*.json files at the workspace root are the canonical
+    // performance record; they must stay readable by the in-tree parser.
+    let root = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+    for suite in ["structures", "simulators"] {
+        let path = root.join(format!("BENCH_{suite}.json"));
+        let text = std::fs::read_to_string(&path)
+            .unwrap_or_else(|e| panic!("missing baseline {}: {e}", path.display()));
+        let report = BenchReport::parse(&text)
+            .unwrap_or_else(|e| panic!("unparseable baseline {}: {e}", path.display()));
+        assert_eq!(report.suite, suite);
+        assert!(!report.results.is_empty(), "empty baseline {suite}");
+    }
+}

@@ -98,9 +98,10 @@ pub fn assemble(text: &str) -> Result<Program, AsmError> {
         let line = lineno + 1;
         parse_line(&mut b, raw, line)?;
     }
-    let program = b
-        .build()
-        .map_err(|e| AsmError { line: 0, kind: AsmErrorKind::Build(e.to_string()) })?;
+    let program = b.build().map_err(|e| AsmError {
+        line: 0,
+        kind: AsmErrorKind::Build(e.to_string()),
+    })?;
     for inst in program.instructions() {
         if inst.op.is_control() && inst.op != crate::op::Opcode::Jr {
             let target = inst.imm as i64;
@@ -129,7 +130,11 @@ fn parse_line(b: &mut ProgramBuilder, raw: &str, line: usize) -> Result<(), AsmE
     if let Some(colon) = code.find(':') {
         let (label, rest) = code.split_at(colon);
         let label = label.trim();
-        if !label.is_empty() && label.chars().all(|c| c.is_alphanumeric() || c == '_' || c == '.') {
+        if !label.is_empty()
+            && label
+                .chars()
+                .all(|c| c.is_alphanumeric() || c == '_' || c == '.')
+        {
             b.label(label);
             return parse_line(b, &rest[1..], line);
         }
@@ -144,8 +149,11 @@ fn parse_line(b: &mut ProgramBuilder, raw: &str, line: usize) -> Result<(), AsmE
     };
     let op = Opcode::from_mnemonic(mnem)
         .ok_or_else(|| err(AsmErrorKind::UnknownMnemonic(mnem.to_string())))?;
-    let operands: Vec<&str> =
-        rest.split(',').map(str::trim).filter(|s| !s.is_empty()).collect();
+    let operands: Vec<&str> = rest
+        .split(',')
+        .map(str::trim)
+        .filter(|s| !s.is_empty())
+        .collect();
     let inst = parse_operands(b, op, &operands, line)?;
     match inst {
         Parsed::Plain(i) => {
@@ -206,8 +214,8 @@ fn parse_directive(b: &mut ProgramBuilder, d: &str, line: usize) -> Result<(), A
             let [_, name, addr] = parts[..] else {
                 return Err(err(AsmErrorKind::BadDirective(d.to_string())));
             };
-            let addr = parse_u64(addr)
-                .ok_or_else(|| err(AsmErrorKind::BadOperand(addr.to_string())))?;
+            let addr =
+                parse_u64(addr).ok_or_else(|| err(AsmErrorKind::BadOperand(addr.to_string())))?;
             b.define_symbol(name, addr);
             Ok(())
         }
@@ -215,10 +223,10 @@ fn parse_directive(b: &mut ProgramBuilder, d: &str, line: usize) -> Result<(), A
             let [_, addr, value] = parts[..] else {
                 return Err(err(AsmErrorKind::BadDirective(d.to_string())));
             };
-            let addr = parse_u64(addr)
-                .ok_or_else(|| err(AsmErrorKind::BadOperand(addr.to_string())))?;
-            let value = parse_u64(value)
-                .ok_or_else(|| err(AsmErrorKind::BadOperand(value.to_string())))?;
+            let addr =
+                parse_u64(addr).ok_or_else(|| err(AsmErrorKind::BadOperand(addr.to_string())))?;
+            let value =
+                parse_u64(value).ok_or_else(|| err(AsmErrorKind::BadOperand(value.to_string())))?;
             b.init_word(addr, value);
             Ok(())
         }
@@ -253,19 +261,21 @@ fn parse_operands(
         if ops.len() == n {
             Ok(())
         } else {
-            Err(err(AsmErrorKind::OperandCount { expected: n, found: ops.len() }))
+            Err(err(AsmErrorKind::OperandCount {
+                expected: n,
+                found: ops.len(),
+            }))
         }
     };
-    let int_reg = |s: &str| {
-        Reg::parse(s).ok_or_else(|| err(AsmErrorKind::BadRegister(s.to_string())))
-    };
-    let fp_reg = |s: &str| {
-        Reg::parse_fp(s).ok_or_else(|| err(AsmErrorKind::BadRegister(s.to_string())))
-    };
+    let int_reg =
+        |s: &str| Reg::parse(s).ok_or_else(|| err(AsmErrorKind::BadRegister(s.to_string())));
+    let fp_reg =
+        |s: &str| Reg::parse_fp(s).ok_or_else(|| err(AsmErrorKind::BadRegister(s.to_string())));
     let imm = |s: &str| -> Result<i32, AsmError> {
         if let Some(sym) = s.strip_prefix('%') {
-            let addr =
-                b.symbol(sym).ok_or_else(|| err(AsmErrorKind::UnknownSymbol(sym.to_string())))?;
+            let addr = b
+                .symbol(sym)
+                .ok_or_else(|| err(AsmErrorKind::UnknownSymbol(sym.to_string())))?;
             return Ok(addr as i32);
         }
         parse_i64(s)
@@ -274,10 +284,18 @@ fn parse_operands(
     };
     // `imm(reg)` address operand.
     let mem = |s: &str| -> Result<(i32, Reg), AsmError> {
-        let open = s.find('(').ok_or_else(|| err(AsmErrorKind::BadOperand(s.to_string())))?;
-        let close = s.rfind(')').ok_or_else(|| err(AsmErrorKind::BadOperand(s.to_string())))?;
+        let open = s
+            .find('(')
+            .ok_or_else(|| err(AsmErrorKind::BadOperand(s.to_string())))?;
+        let close = s
+            .rfind(')')
+            .ok_or_else(|| err(AsmErrorKind::BadOperand(s.to_string())))?;
         let disp_text = s[..open].trim();
-        let disp = if disp_text.is_empty() { 0 } else { imm(disp_text)? };
+        let disp = if disp_text.is_empty() {
+            0
+        } else {
+            imm(disp_text)?
+        };
         let base = int_reg(s[open + 1..close].trim())?;
         Ok((disp, base))
     };
@@ -292,11 +310,21 @@ fn parse_operands(
     let parsed = match op.format() {
         Rrr => {
             need(3)?;
-            Parsed::Plain(Instruction::rrr(op, int_reg(ops[0])?, int_reg(ops[1])?, int_reg(ops[2])?))
+            Parsed::Plain(Instruction::rrr(
+                op,
+                int_reg(ops[0])?,
+                int_reg(ops[1])?,
+                int_reg(ops[2])?,
+            ))
         }
         Rri => {
             need(3)?;
-            Parsed::Plain(Instruction::rri(op, int_reg(ops[0])?, int_reg(ops[1])?, imm(ops[2])?))
+            Parsed::Plain(Instruction::rri(
+                op,
+                int_reg(ops[0])?,
+                int_reg(ops[1])?,
+                imm(ops[2])?,
+            ))
         }
         Ri => {
             need(2)?;
@@ -321,26 +349,48 @@ fn parse_operands(
         }
         Jump => {
             need(1)?;
-            Parsed::WithTarget(Instruction { op, ..Instruction::NOP }, target(ops[0]))
+            Parsed::WithTarget(
+                Instruction {
+                    op,
+                    ..Instruction::NOP
+                },
+                target(ops[0]),
+            )
         }
         Jal => {
             need(2)?;
             Parsed::WithTarget(
-                Instruction { op, rd: int_reg(ops[0])?, ..Instruction::NOP },
+                Instruction {
+                    op,
+                    rd: int_reg(ops[0])?,
+                    ..Instruction::NOP
+                },
                 target(ops[1]),
             )
         }
         JumpReg => {
             need(1)?;
-            Parsed::Plain(Instruction { op, rs1: int_reg(ops[0])?, ..Instruction::NOP })
+            Parsed::Plain(Instruction {
+                op,
+                rs1: int_reg(ops[0])?,
+                ..Instruction::NOP
+            })
         }
         Plain => {
             need(0)?;
-            Parsed::Plain(Instruction { op, ..Instruction::NOP })
+            Parsed::Plain(Instruction {
+                op,
+                ..Instruction::NOP
+            })
         }
         Frrr => {
             need(3)?;
-            Parsed::Plain(Instruction::rrr(op, fp_reg(ops[0])?, fp_reg(ops[1])?, fp_reg(ops[2])?))
+            Parsed::Plain(Instruction::rrr(
+                op,
+                fp_reg(ops[0])?,
+                fp_reg(ops[1])?,
+                fp_reg(ops[2])?,
+            ))
         }
         Frr => {
             need(2)?;
@@ -358,7 +408,12 @@ fn parse_operands(
         }
         FCmp => {
             need(3)?;
-            Parsed::Plain(Instruction::rrr(op, int_reg(ops[0])?, fp_reg(ops[1])?, fp_reg(ops[2])?))
+            Parsed::Plain(Instruction::rrr(
+                op,
+                int_reg(ops[0])?,
+                fp_reg(ops[1])?,
+                fp_reg(ops[2])?,
+            ))
         }
         FCvtToFp => {
             need(2)?;
@@ -441,7 +496,13 @@ mod tests {
     #[test]
     fn operand_count_mismatch() {
         let e = assemble("add t0, t1\n").unwrap_err();
-        assert_eq!(e.kind, AsmErrorKind::OperandCount { expected: 3, found: 2 });
+        assert_eq!(
+            e.kind,
+            AsmErrorKind::OperandCount {
+                expected: 3,
+                found: 2
+            }
+        );
     }
 
     #[test]

@@ -110,7 +110,10 @@ pub struct ProgramBuilder {
 impl ProgramBuilder {
     /// Creates an empty builder; data allocation starts at [`DATA_BASE`].
     pub fn new() -> Self {
-        ProgramBuilder { next_data: DATA_BASE, ..Default::default() }
+        ProgramBuilder {
+            next_data: DATA_BASE,
+            ..Default::default()
+        }
     }
 
     /// The PC the next emitted instruction will occupy.
@@ -167,7 +170,8 @@ impl ProgramBuilder {
     /// Binds `name` to an explicit address (used by the assembler's `.sym`).
     pub fn define_symbol(&mut self, name: &str, addr: Addr) {
         if self.symbols.insert(name.to_string(), addr).is_some() {
-            self.duplicate_symbol.get_or_insert_with(|| name.to_string());
+            self.duplicate_symbol
+                .get_or_insert_with(|| name.to_string());
         }
         self.next_data = self.next_data.max(addr);
     }
@@ -211,7 +215,13 @@ impl ProgramBuilder {
                 .ok_or_else(|| BuildError::UnknownLabel(label.clone()))?;
             self.insts[*idx].imm = pc as i32;
         }
-        Ok(Program::from_parts(self.insts, self.data, self.symbols, self.task_heads, 0))
+        Ok(Program::from_parts(
+            self.insts,
+            self.data,
+            self.symbols,
+            self.task_heads,
+            0,
+        ))
     }
 }
 
@@ -356,7 +366,10 @@ impl ProgramBuilder {
     /// Unconditional jump.
     pub fn j(&mut self, target: impl Into<Target>) -> &mut Self {
         self.emit_target(
-            Instruction { op: Opcode::J, ..Instruction::NOP },
+            Instruction {
+                op: Opcode::J,
+                ..Instruction::NOP
+            },
             target.into(),
         )
     }
@@ -364,14 +377,22 @@ impl ProgramBuilder {
     /// Jump and link: `rd <- pc + 1; pc <- target`.
     pub fn jal(&mut self, rd: Reg, target: impl Into<Target>) -> &mut Self {
         self.emit_target(
-            Instruction { op: Opcode::Jal, rd, ..Instruction::NOP },
+            Instruction {
+                op: Opcode::Jal,
+                rd,
+                ..Instruction::NOP
+            },
             target.into(),
         )
     }
 
     /// Indirect jump through a register.
     pub fn jr(&mut self, rs1: Reg) -> &mut Self {
-        self.emit(Instruction { op: Opcode::Jr, rs1, ..Instruction::NOP })
+        self.emit(Instruction {
+            op: Opcode::Jr,
+            rs1,
+            ..Instruction::NOP
+        })
     }
 
     /// Call a subroutine (`jal ra, target`).
@@ -391,7 +412,10 @@ impl ProgramBuilder {
 
     /// Stops the machine; every workload ends with `halt`.
     pub fn halt(&mut self) -> &mut Self {
-        self.emit(Instruction { op: Opcode::Halt, ..Instruction::NOP })
+        self.emit(Instruction {
+            op: Opcode::Halt,
+            ..Instruction::NOP
+        })
     }
 }
 

@@ -70,7 +70,13 @@ pub fn decode(word: u64) -> Result<Instruction, DecodeError> {
     let rs1 = reg_from_byte((word >> 16) as u8)?;
     let rs2 = reg_from_byte((word >> 24) as u8)?;
     let imm = (word >> 32) as u32 as i32;
-    Ok(Instruction { op, rd, rs1, rs2, imm })
+    Ok(Instruction {
+        op,
+        rd,
+        rs1,
+        rs2,
+        imm,
+    })
 }
 
 fn opcode_from_byte(b: u8) -> Option<Opcode> {
@@ -89,7 +95,7 @@ fn reg_from_byte(b: u8) -> Result<Reg, DecodeError> {
 mod tests {
     use super::*;
     use crate::op::Opcode;
-    use proptest::prelude::*;
+    use mds_harness::prelude::*;
 
     #[test]
     fn opcode_discriminants_are_dense() {
@@ -118,18 +124,23 @@ mod tests {
     }
 
     fn arb_instruction() -> impl Strategy<Value = Instruction> {
-        (0..Opcode::ALL.len(), 0u8..32, 0u8..32, 0u8..32, any::<i32>()).prop_map(
-            |(op, rd, rs1, rs2, imm)| Instruction {
+        (
+            0..Opcode::ALL.len(),
+            0u8..32,
+            0u8..32,
+            0u8..32,
+            any::<i32>(),
+        )
+            .prop_map(|(op, rd, rs1, rs2, imm)| Instruction {
                 op: Opcode::ALL[op],
                 rd: Reg::x(rd),
                 rs1: Reg::x(rs1),
                 rs2: Reg::x(rs2),
                 imm,
-            },
-        )
+            })
     }
 
-    proptest! {
+    properties! {
         #[test]
         fn encode_decode_roundtrip(inst in arb_instruction()) {
             let word = encode(&inst);

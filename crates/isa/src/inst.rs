@@ -19,12 +19,18 @@ pub struct RegRef {
 impl RegRef {
     /// An integer-file register reference.
     pub const fn int(reg: Reg) -> RegRef {
-        RegRef { file: File::Int, reg }
+        RegRef {
+            file: File::Int,
+            reg,
+        }
     }
 
     /// A floating-point-file register reference.
     pub const fn fp(reg: Reg) -> RegRef {
-        RegRef { file: File::Fp, reg }
+        RegRef {
+            file: File::Fp,
+            reg,
+        }
     }
 
     /// A dense index in `0..64` (int file first), handy for lookup tables.
@@ -91,37 +97,79 @@ impl Instruction {
 
     /// Builds a three-register instruction (`Rrr`, `Frrr`, or `FCmp` format).
     pub const fn rrr(op: Opcode, rd: Reg, rs1: Reg, rs2: Reg) -> Instruction {
-        Instruction { op, rd, rs1, rs2, imm: 0 }
+        Instruction {
+            op,
+            rd,
+            rs1,
+            rs2,
+            imm: 0,
+        }
     }
 
     /// Builds a register-register-immediate instruction.
     pub const fn rri(op: Opcode, rd: Reg, rs1: Reg, imm: i32) -> Instruction {
-        Instruction { op, rd, rs1, rs2: Reg::ZERO, imm }
+        Instruction {
+            op,
+            rd,
+            rs1,
+            rs2: Reg::ZERO,
+            imm,
+        }
     }
 
     /// Builds a register-immediate instruction (`li`).
     pub const fn ri(op: Opcode, rd: Reg, imm: i32) -> Instruction {
-        Instruction { op, rd, rs1: Reg::ZERO, rs2: Reg::ZERO, imm }
+        Instruction {
+            op,
+            rd,
+            rs1: Reg::ZERO,
+            rs2: Reg::ZERO,
+            imm,
+        }
     }
 
     /// Builds a load: `rd <- [rs1 + imm]`.
     pub const fn load(op: Opcode, rd: Reg, base: Reg, disp: i32) -> Instruction {
-        Instruction { op, rd, rs1: base, rs2: Reg::ZERO, imm: disp }
+        Instruction {
+            op,
+            rd,
+            rs1: base,
+            rs2: Reg::ZERO,
+            imm: disp,
+        }
     }
 
     /// Builds a store: `[rs1 + imm] <- rs2`.
     pub const fn store(op: Opcode, src: Reg, base: Reg, disp: i32) -> Instruction {
-        Instruction { op, rd: Reg::ZERO, rs1: base, rs2: src, imm: disp }
+        Instruction {
+            op,
+            rd: Reg::ZERO,
+            rs1: base,
+            rs2: src,
+            imm: disp,
+        }
     }
 
     /// Builds a conditional branch to absolute target `target`.
     pub const fn branch(op: Opcode, rs1: Reg, rs2: Reg, target: i32) -> Instruction {
-        Instruction { op, rd: Reg::ZERO, rs1, rs2, imm: target }
+        Instruction {
+            op,
+            rd: Reg::ZERO,
+            rs1,
+            rs2,
+            imm: target,
+        }
     }
 
     /// Builds a two-operand register instruction (`Frr`, conversions, `jr`).
     pub const fn rr(op: Opcode, rd: Reg, rs1: Reg) -> Instruction {
-        Instruction { op, rd, rs1, rs2: Reg::ZERO, imm: 0 }
+        Instruction {
+            op,
+            rd,
+            rs1,
+            rs2: Reg::ZERO,
+            imm: 0,
+        }
     }
 
     /// The architectural register this instruction writes, if any.
@@ -162,9 +210,7 @@ impl Instruction {
             FCvtToFp => [Some(RegRef::int(self.rs1)), None],
             FCvtToInt => [Some(RegRef::fp(self.rs1)), None],
         };
-        raw.map(|slot| {
-            slot.filter(|r| !(r.file == File::Int && r.reg.is_zero()))
-        })
+        raw.map(|slot| slot.filter(|r| !(r.file == File::Int && r.reg.is_zero())))
     }
 
     /// Shorthand for `self.op.is_load()`.
@@ -199,11 +245,23 @@ impl fmt::Display for Instruction {
             Jal => write!(f, "{m} {}, {}", self.rd, self.imm),
             JumpReg => write!(f, "{m} {}", self.rs1),
             Plain => write!(f, "{m}"),
-            Frrr => write!(f, "{m} {}, {}, {}", self.rd.fp_name(), self.rs1.fp_name(), self.rs2.fp_name()),
+            Frrr => write!(
+                f,
+                "{m} {}, {}, {}",
+                self.rd.fp_name(),
+                self.rs1.fp_name(),
+                self.rs2.fp_name()
+            ),
             Frr => write!(f, "{m} {}, {}", self.rd.fp_name(), self.rs1.fp_name()),
             FLoad => write!(f, "{m} {}, {}({})", self.rd.fp_name(), self.imm, self.rs1),
             FStore => write!(f, "{m} {}, {}({})", self.rs2.fp_name(), self.imm, self.rs1),
-            FCmp => write!(f, "{m} {}, {}, {}", self.rd, self.rs1.fp_name(), self.rs2.fp_name()),
+            FCmp => write!(
+                f,
+                "{m} {}, {}, {}",
+                self.rd,
+                self.rs1.fp_name(),
+                self.rs2.fp_name()
+            ),
             FCvtToFp => write!(f, "{m} {}, {}", self.rd.fp_name(), self.rs1),
             FCvtToInt => write!(f, "{m} {}, {}", self.rd, self.rs1.fp_name()),
         }
@@ -232,13 +290,19 @@ mod tests {
     fn store_reads_base_and_data() {
         let i = Instruction::store(Opcode::Sd, Reg::T0, Reg::S0, 16);
         assert_eq!(i.writes(), None);
-        assert_eq!(i.reads(), [Some(RegRef::int(Reg::S0)), Some(RegRef::int(Reg::T0))]);
+        assert_eq!(
+            i.reads(),
+            [Some(RegRef::int(Reg::S0)), Some(RegRef::int(Reg::T0))]
+        );
     }
 
     #[test]
     fn fp_store_reads_fp_data() {
         let i = Instruction::store(Opcode::Fsd, Reg::f(3), Reg::S0, 0);
-        assert_eq!(i.reads(), [Some(RegRef::int(Reg::S0)), Some(RegRef::fp(Reg::f(3)))]);
+        assert_eq!(
+            i.reads(),
+            [Some(RegRef::int(Reg::S0)), Some(RegRef::fp(Reg::f(3)))]
+        );
     }
 
     #[test]
@@ -252,7 +316,10 @@ mod tests {
     fn fcmp_writes_int_reads_fp() {
         let i = Instruction::rrr(Opcode::Flt, Reg::T0, Reg::f(1), Reg::f(2));
         assert_eq!(i.writes(), Some(RegRef::int(Reg::T0)));
-        assert_eq!(i.reads(), [Some(RegRef::fp(Reg::f(1))), Some(RegRef::fp(Reg::f(2)))]);
+        assert_eq!(
+            i.reads(),
+            [Some(RegRef::fp(Reg::f(1))), Some(RegRef::fp(Reg::f(2)))]
+        );
     }
 
     #[test]

@@ -86,7 +86,13 @@ impl Program {
         task_heads: BTreeSet<Pc>,
         entry: Pc,
     ) -> Program {
-        Program { insts, data, symbols, task_heads, entry }
+        Program {
+            insts,
+            data,
+            symbols,
+            task_heads,
+            entry,
+        }
     }
 
     /// The instruction at `pc`, or `None` past the end of the program.
@@ -196,7 +202,10 @@ mod tests {
         let insts = vec![
             Instruction::ri(Opcode::Li, Reg::T0, 1),
             Instruction::NOP,
-            Instruction { op: Opcode::Halt, ..Instruction::NOP },
+            Instruction {
+                op: Opcode::Halt,
+                ..Instruction::NOP
+            },
         ];
         let mut data = BTreeMap::new();
         data.insert(DATA_BASE, 99);

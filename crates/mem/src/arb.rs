@@ -217,7 +217,7 @@ impl Arb {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mds_harness::prelude::*;
 
     #[test]
     fn no_violation_when_store_precedes_load() {
@@ -325,12 +325,12 @@ mod tests {
         arb.load(2, 0x10);
     }
 
-    proptest! {
+    properties! {
         /// A store never reports a violation for a stage at or older than
         /// itself, and all reported stages actually loaded the address.
         #[test]
         fn violations_are_younger_loads(
-            ops in proptest::collection::vec((0usize..4, 0u64..8, any::<bool>()), 0..100)
+            ops in vec_of((0usize..4, 0u64..8, any::<bool>()), 0..100)
         ) {
             let mut arb = Arb::new(4, 64);
             let mut loaded: Vec<(usize, u64)> = Vec::new();

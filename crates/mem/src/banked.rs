@@ -2,12 +2,12 @@
 
 use crate::bus::Bus;
 use crate::cache::{Cache, CacheConfig, CacheStats};
-use serde::{Deserialize, Serialize};
+use mds_harness::json::{Json, ToJson};
 
 type Addr = u64;
 
 /// Configuration for a [`BankedCache`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct BankedCacheConfig {
     /// Number of interleaved banks (power of two). The paper uses twice as
     /// many banks as processing units.
@@ -27,10 +27,24 @@ impl BankedCacheConfig {
     pub fn paper_default(units: usize) -> Self {
         BankedCacheConfig {
             banks: (2 * units).next_power_of_two(),
-            bank_config: CacheConfig { size_bytes: 8 * 1024, ways: 1, block_bytes: 64 },
+            bank_config: CacheConfig {
+                size_bytes: 8 * 1024,
+                ways: 1,
+                block_bytes: 64,
+            },
             hit_latency: 2,
             fill_words: 16,
         }
+    }
+}
+
+impl ToJson for BankedCacheConfig {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("banks", self.banks)
+            .field("bank_config", self.bank_config)
+            .field("hit_latency", self.hit_latency)
+            .field("fill_words", self.fill_words)
     }
 }
 
@@ -82,9 +96,14 @@ impl BankedCache {
     /// Panics if `banks` is not a positive power of two, or on an invalid
     /// bank geometry.
     pub fn new(config: BankedCacheConfig) -> Self {
-        assert!(config.banks.is_power_of_two() && config.banks > 0, "banks must be a power of two");
+        assert!(
+            config.banks.is_power_of_two() && config.banks > 0,
+            "banks must be a power of two"
+        );
         BankedCache {
-            banks: (0..config.banks).map(|_| Cache::new(config.bank_config)).collect(),
+            banks: (0..config.banks)
+                .map(|_| Cache::new(config.bank_config))
+                .collect(),
             busy_until: vec![0; config.banks],
             block_shift: config.bank_config.block_bytes.trailing_zeros(),
             bank_mask: (config.banks - 1) as u64,
@@ -148,7 +167,11 @@ mod tests {
     fn small() -> (BankedCache, Bus) {
         let cfg = BankedCacheConfig {
             banks: 4,
-            bank_config: CacheConfig { size_bytes: 1024, ways: 1, block_bytes: 64 },
+            bank_config: CacheConfig {
+                size_bytes: 1024,
+                ways: 1,
+                block_bytes: 64,
+            },
             hit_latency: 2,
             fill_words: 16,
         };
@@ -240,7 +263,11 @@ mod tests {
     fn non_power_of_two_banks_panics() {
         let cfg = BankedCacheConfig {
             banks: 3,
-            bank_config: CacheConfig { size_bytes: 1024, ways: 1, block_bytes: 64 },
+            bank_config: CacheConfig {
+                size_bytes: 1024,
+                ways: 1,
+                block_bytes: 64,
+            },
             hit_latency: 2,
             fill_words: 16,
         };

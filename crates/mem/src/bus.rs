@@ -39,7 +39,14 @@ impl Bus {
     /// Panics if `words_per_beat == 0`.
     pub fn new(first_latency: u64, extra_latency: u64, words_per_beat: u64) -> Self {
         assert!(words_per_beat > 0, "bus beat width must be positive");
-        Bus { free_at: 0, first_latency, extra_latency, words_per_beat, transactions: 0, busy_cycles: 0 }
+        Bus {
+            free_at: 0,
+            first_latency,
+            extra_latency,
+            words_per_beat,
+            transactions: 0,
+            busy_cycles: 0,
+        }
     }
 
     /// The paper's memory bus: 10-cycle first beat, 1 cycle per extra
@@ -88,7 +95,7 @@ impl Bus {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mds_harness::prelude::*;
 
     #[test]
     fn block_fill_matches_paper_miss_penalty() {
@@ -131,10 +138,10 @@ mod tests {
         let _ = Bus::new(10, 1, 0);
     }
 
-    proptest! {
+    properties! {
         /// Completion times are monotone in request order.
         #[test]
-        fn completions_are_monotone(reqs in proptest::collection::vec((0u64..1000, 1u64..64), 1..50)) {
+        fn completions_are_monotone(reqs in vec_of((0u64..1000, 1u64..64), 1..50)) {
             let mut bus = Bus::paper_default();
             let mut sorted = reqs.clone();
             sorted.sort_by_key(|&(t, _)| t);

@@ -1,11 +1,11 @@
 //! A set-associative cache model with LRU replacement.
 
-use serde::{Deserialize, Serialize};
+use mds_harness::json::{Json, ToJson};
 
 type Addr = u64;
 
 /// Geometry of a [`Cache`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Total capacity in bytes.
     pub size_bytes: usize,
@@ -23,7 +23,10 @@ impl CacheConfig {
     /// Panics if the geometry is inconsistent (non-power-of-two block, or
     /// size not divisible by `ways * block_bytes`).
     pub fn sets(&self) -> usize {
-        assert!(self.block_bytes.is_power_of_two(), "block size must be a power of two");
+        assert!(
+            self.block_bytes.is_power_of_two(),
+            "block size must be a power of two"
+        );
         assert!(self.ways > 0, "associativity must be positive");
         let per_way = self.size_bytes / self.ways;
         assert!(
@@ -36,8 +39,17 @@ impl CacheConfig {
     }
 }
 
+impl ToJson for CacheConfig {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("size_bytes", self.size_bytes)
+            .field("ways", self.ways)
+            .field("block_bytes", self.block_bytes)
+    }
+}
+
 /// Hit/miss counters for a cache.
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Accesses that hit.
     pub hits: u64,
@@ -58,6 +70,15 @@ impl CacheStats {
         } else {
             self.misses as f64 / self.accesses() as f64
         }
+    }
+}
+
+impl ToJson for CacheStats {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("hits", self.hits)
+            .field("misses", self.misses)
+            .field("miss_rate", self.miss_rate())
     }
 }
 
@@ -104,7 +125,14 @@ impl Cache {
         Cache {
             config,
             sets: vec![
-                vec![Line { tag: 0, valid: false, last_use: 0 }; config.ways];
+                vec![
+                    Line {
+                        tag: 0,
+                        valid: false,
+                        last_use: 0
+                    };
+                    config.ways
+                ];
                 sets
             ],
             set_mask: (sets - 1) as Addr,
@@ -171,11 +199,15 @@ impl Cache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mds_harness::prelude::*;
 
     fn tiny() -> Cache {
         // 2 sets x 2 ways x 16-byte blocks = 64 bytes.
-        Cache::new(CacheConfig { size_bytes: 64, ways: 2, block_bytes: 16 })
+        Cache::new(CacheConfig {
+            size_bytes: 64,
+            ways: 2,
+            block_bytes: 16,
+        })
     }
 
     #[test]
@@ -203,7 +235,11 @@ mod tests {
 
     #[test]
     fn direct_mapped_conflicts() {
-        let mut c = Cache::new(CacheConfig { size_bytes: 32, ways: 1, block_bytes: 16 });
+        let mut c = Cache::new(CacheConfig {
+            size_bytes: 32,
+            ways: 1,
+            block_bytes: 16,
+        });
         assert!(!c.access(0, false));
         assert!(!c.access(32, false)); // same set, evicts
         assert!(!c.access(0, false)); // conflict miss
@@ -233,24 +269,36 @@ mod tests {
 
     #[test]
     fn paper_bank_geometry_is_valid() {
-        let c = CacheConfig { size_bytes: 8 * 1024, ways: 1, block_bytes: 64 };
+        let c = CacheConfig {
+            size_bytes: 8 * 1024,
+            ways: 1,
+            block_bytes: 64,
+        };
         assert_eq!(c.sets(), 128);
-        let i = CacheConfig { size_bytes: 32 * 1024, ways: 2, block_bytes: 64 };
+        let i = CacheConfig {
+            size_bytes: 32 * 1024,
+            ways: 2,
+            block_bytes: 64,
+        };
         assert_eq!(i.sets(), 256);
     }
 
     #[test]
     #[should_panic(expected = "power of two")]
     fn bad_block_size_panics() {
-        let _ = Cache::new(CacheConfig { size_bytes: 64, ways: 1, block_bytes: 24 });
+        let _ = Cache::new(CacheConfig {
+            size_bytes: 64,
+            ways: 1,
+            block_bytes: 24,
+        });
     }
 
-    proptest! {
+    properties! {
         /// A cache larger than the touched footprint never misses twice on
         /// the same block.
         #[test]
         fn no_capacity_misses_when_footprint_fits(
-            addrs in proptest::collection::vec(0u64..1024, 1..200)
+            addrs in vec_of(0u64..1024, 1..200)
         ) {
             // 4 KiB, fully covers 1 KiB of addresses at 16-byte blocks.
             let mut c = Cache::new(CacheConfig { size_bytes: 4096, ways: 4, block_bytes: 16 });

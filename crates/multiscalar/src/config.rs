@@ -154,7 +154,11 @@ impl Default for MsConfig {
             branch_units: 1,
             mem_units: 1,
             latencies: FuLatencies::default(),
-            icache: CacheConfig { size_bytes: 32 * 1024, ways: 2, block_bytes: 64 },
+            icache: CacheConfig {
+                size_bytes: 32 * 1024,
+                ways: 2,
+                block_bytes: 64,
+            },
             dcache: BankedCacheConfig::paper_default(stages),
             ring_latency: 1,
             squash_penalty: 5,

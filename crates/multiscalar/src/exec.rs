@@ -107,7 +107,10 @@ struct Ports {
 
 impl Ports {
     fn new(width: u32, _t0: u64) -> Self {
-        Ports { width: width.max(1), used: HashMap::new() }
+        Ports {
+            width: width.max(1),
+            used: HashMap::new(),
+        }
     }
 
     /// Claims the earliest cycle at or after `ready` with a free slot.
@@ -171,8 +174,11 @@ pub(crate) fn execute_attempt(
     let mut synced_edges: std::collections::HashSet<DepEdge> = std::collections::HashSet::new();
 
     // Window-derived aggregates.
-    let window_addr_ready =
-        window.iter().map(|r| r.max_store_addr_ready).max().unwrap_or(0);
+    let window_addr_ready = window
+        .iter()
+        .map(|r| r.max_store_addr_ready)
+        .max()
+        .unwrap_or(0);
 
     for (idx, d) in task.insts.iter().enumerate() {
         // ---- Fetch through the per-unit I-cache ------------------------
@@ -405,7 +411,11 @@ fn schedule_mem(
         let start = mem_ports.claim(issue_ports.claim(ready, 1), 1);
         let access = shared.dcache.access(start, mem.addr, true, shared.bus);
         let complete = access.done_at;
-        let info = StoreInfo { pc: d.pc, complete, idx };
+        let info = StoreInfo {
+            pc: d.pc,
+            complete,
+            idx,
+        };
         if mem.size == 1 {
             ctx.my_byte_stores.insert(mem.addr, info);
         } else {
@@ -422,8 +432,7 @@ fn schedule_mem(
     // Intra-task disambiguation: never speculated. Wait for all earlier
     // same-task store addresses; forward from a matching earlier store.
     let mut ready_mem = ready.max(*ctx.intra_addr_ready);
-    if let Some(fwd) = intra_forward(ctx.my_word_stores, ctx.my_byte_stores, mem.addr, mem.size)
-    {
+    if let Some(fwd) = intra_forward(ctx.my_word_stores, ctx.my_byte_stores, mem.addr, mem.size) {
         ready_mem = ready_mem.max(fwd.complete);
     }
 
@@ -454,14 +463,11 @@ fn schedule_mem(
             may_violate = true;
         }
         Policy::Sync | Policy::Esync => {
-            let task_pcs: Vec<(u64, Pc)> =
-                window.iter().map(|r| (r.seq, r.start_pc)).collect();
-            let lookup = move |seq: u64| {
-                task_pcs.iter().find(|(s, _)| *s == seq).map(|(_, pc)| *pc)
-            };
+            let task_pcs: Vec<(u64, Pc)> = window.iter().map(|r| (r.seq, r.start_pc)).collect();
+            let lookup =
+                move |seq: u64| task_pcs.iter().find(|(s, _)| *s == seq).map(|(_, pc)| *pc);
             let unit = shared.unit.as_mut().expect("sync policy has a unit");
-            let mut entries =
-                unit.predicted_entries_for_load(d.pc, task.seq, Some(&lookup));
+            let mut entries = unit.predicted_entries_for_load(d.pc, task.seq, Some(&lookup));
             // Combined-structure slot limit: one sync entry per edge per
             // stage; later instances in the same task go unsynchronized.
             entries.retain(|e| ctx.synced_edges.insert(e.edge));
@@ -478,15 +484,13 @@ fn schedule_mem(
                     // store with this edge's PC to the load's address.
                     let producer_seq = task.seq.checked_sub(e.dist as u64);
                     let signal = match config.tagging {
-                        mds_core::TagScheme::DependenceDistance => {
-                            producer_seq.and_then(|ps| {
-                                window
-                                    .iter()
-                                    .find(|r| r.seq == ps)
-                                    .and_then(|r| r.stores_by_pc.get(&e.edge.store_pc))
-                                    .copied()
-                            })
-                        }
+                        mds_core::TagScheme::DependenceDistance => producer_seq.and_then(|ps| {
+                            window
+                                .iter()
+                                .find(|r| r.seq == ps)
+                                .and_then(|r| r.stores_by_pc.get(&e.edge.store_pc))
+                                .copied()
+                        }),
                         mds_core::TagScheme::DataAddress => producer
                             .filter(|(_, info)| info.pc == e.edge.store_pc)
                             .map(|(_, info)| info.complete),
@@ -556,7 +560,10 @@ fn schedule_mem(
         if let Some((rec, s)) = producer {
             if s.complete > start {
                 ctx.violations.push(Violation {
-                    edge: DepEdge { load_pc: d.pc, store_pc: s.pc },
+                    edge: DepEdge {
+                        load_pc: d.pc,
+                        store_pc: s.pc,
+                    },
                     producer_task: rec.seq,
                     producer_task_pc: rec.start_pc,
                     detect: s.complete,
@@ -575,7 +582,11 @@ fn schedule_mem(
         }
     }
     if event.is_none() && config.policy.uses_predictor() {
-        event = Some(LoadEvent { edges: Vec::new(), predicted: false, actual_dependence: false });
+        event = Some(LoadEvent {
+            edges: Vec::new(),
+            predicted: false,
+            actual_dependence: false,
+        });
     }
     (complete, event)
 }
@@ -623,10 +634,31 @@ mod tests {
     #[test]
     fn producer_in_window_prefers_youngest_task_and_store() {
         let mut older = record(1, 1);
-        older.word_stores.insert(0x100, StoreInfo { pc: 4, complete: 50, idx: 2 });
-        older.word_stores.insert(0x100 & !7, StoreInfo { pc: 9, complete: 60, idx: 7 });
+        older.word_stores.insert(
+            0x100,
+            StoreInfo {
+                pc: 4,
+                complete: 50,
+                idx: 2,
+            },
+        );
+        older.word_stores.insert(
+            0x100 & !7,
+            StoreInfo {
+                pc: 9,
+                complete: 60,
+                idx: 7,
+            },
+        );
         let mut newer = record(2, 2);
-        newer.byte_stores.insert(0x103, StoreInfo { pc: 5, complete: 70, idx: 1 });
+        newer.byte_stores.insert(
+            0x103,
+            StoreInfo {
+                pc: 5,
+                complete: 70,
+                idx: 1,
+            },
+        );
         let window: VecDeque<TaskRecord> = [older, newer].into_iter().collect();
         // The byte store in the NEWER task overlaps the word load.
         let (rec, info) = producer_in_window(&window, 0x100, 8).expect("found");
@@ -640,8 +672,22 @@ mod tests {
     fn intra_forward_finds_youngest_overlapping_store() {
         let mut words = HashMap::new();
         let mut bytes = HashMap::new();
-        words.insert(0x40u64, StoreInfo { pc: 1, complete: 10, idx: 3 });
-        bytes.insert(0x44u64, StoreInfo { pc: 2, complete: 20, idx: 5 });
+        words.insert(
+            0x40u64,
+            StoreInfo {
+                pc: 1,
+                complete: 10,
+                idx: 3,
+            },
+        );
+        bytes.insert(
+            0x44u64,
+            StoreInfo {
+                pc: 2,
+                complete: 20,
+                idx: 5,
+            },
+        );
         // The byte store is younger (idx 5) and overlaps the word load.
         let f = intra_forward(&words, &bytes, 0x40, 8).expect("forward");
         assert_eq!(f.idx, 5);

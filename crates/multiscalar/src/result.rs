@@ -1,9 +1,9 @@
 //! Aggregate results of a Multiscalar simulation run.
 
 use mds_core::PredictionBreakdown;
+use mds_harness::json::{Json, ToJson};
 use mds_mem::CacheStats;
 use mds_sim::stats::Percent;
-use serde::{Deserialize, Serialize};
 
 /// Everything a Multiscalar run measures.
 ///
@@ -11,7 +11,7 @@ use serde::{Deserialize, Serialize};
 /// paper from these fields: mis-speculation counts (table 6), DDC miss
 /// rates (table 7), the prediction breakdown (table 8), mis-speculations
 /// per committed load (table 9), and IPC/speedups (figures 5–7).
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default)]
 pub struct MsResult {
     /// Total cycles (commit time of the last task).
     pub cycles: u64,
@@ -88,6 +88,45 @@ impl MsResult {
     }
 }
 
+impl ToJson for MsResult {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("cycles", self.cycles)
+            .field("instructions", self.instructions)
+            .field("ipc", self.ipc())
+            .field("committed_loads", self.committed_loads)
+            .field("committed_stores", self.committed_stores)
+            .field("tasks", self.tasks)
+            .field("misspeculations", self.misspeculations)
+            .field(
+                "misspec_per_committed_load",
+                self.misspec_per_committed_load(),
+            )
+            .field("control_predictions", self.control_predictions)
+            .field("control_mispredicts", self.control_mispredicts)
+            .field("synchronized_loads", self.synchronized_loads)
+            .field("false_dep_releases", self.false_dep_releases)
+            .field("breakdown", self.breakdown)
+            .field("dcache", self.dcache)
+            .field("icache", self.icache)
+            .field("bus_transactions", self.bus_transactions)
+            .field(
+                "ddc",
+                Json::Array(
+                    self.ddc
+                        .iter()
+                        .map(|&(size, hits, misses)| {
+                            Json::object()
+                                .field("size", size)
+                                .field("hits", hits)
+                                .field("misses", misses)
+                        })
+                        .collect(),
+                ),
+            )
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -120,9 +159,32 @@ mod tests {
     }
 
     #[test]
+    fn json_includes_core_fields() {
+        let r = MsResult {
+            cycles: 10,
+            instructions: 20,
+            ddc: vec![(64, 9, 1)],
+            ..Default::default()
+        };
+        let j = r.to_json();
+        assert_eq!(j.get("cycles").and_then(Json::as_u64), Some(10));
+        assert_eq!(j.get("ipc").and_then(Json::as_f64), Some(2.0));
+        assert_eq!(
+            j.get("ddc").and_then(Json::as_array).map(<[Json]>::len),
+            Some(1)
+        );
+    }
+
+    #[test]
     fn speedup_is_relative_to_baseline_cycles() {
-        let fast = MsResult { cycles: 500, ..Default::default() };
-        let slow = MsResult { cycles: 1000, ..Default::default() };
+        let fast = MsResult {
+            cycles: 500,
+            ..Default::default()
+        };
+        let slow = MsResult {
+            cycles: 1000,
+            ..Default::default()
+        };
         assert_eq!(fast.speedup_over(&slow), 100.0);
         assert!(slow.speedup_over(&fast) < 0.0);
     }

@@ -128,7 +128,9 @@ impl<'c> SimState<'c> {
             config,
             dcache: BankedCache::new(config.dcache),
             bus: Bus::paper_default(),
-            icaches: (0..config.stages).map(|_| Cache::new(config.icache)).collect(),
+            icaches: (0..config.stages)
+                .map(|_| Cache::new(config.icache))
+                .collect(),
             unit,
             predictor: PathPredictor::new(4096, config.path_depth),
             history: PathHistory::new(config.path_depth),
@@ -156,7 +158,8 @@ impl<'c> SimState<'c> {
                 self.result.control_mispredicts += 1;
                 mispredicted = true;
             }
-            self.predictor.update(prev_pc, self.history.hash(), task.start_pc);
+            self.predictor
+                .update(prev_pc, self.history.hash(), task.start_pc);
         }
         self.history.push(task.start_pc);
         let descriptor_hit = self.descriptor_cache.get(&task.start_pc).is_some();
@@ -184,7 +187,9 @@ impl<'c> SimState<'c> {
                 unit: self.unit.as_mut(),
             };
             let outcome = execute_attempt(&task, t0, stage, &self.window, &mut shared);
-            let Some(v) = outcome.violation else { break outcome };
+            let Some(v) = outcome.violation else {
+                break outcome;
+            };
             violated_edges.push(v.edge);
             self.result.misspeculations += 1;
             for (_, ddc) in &mut self.ddcs {
@@ -213,15 +218,16 @@ impl<'c> SimState<'c> {
         // --- Non-speculative prediction updates at commit ----------------
         if let Some(unit) = &mut self.unit {
             for ev in &outcome.load_events {
-                self.result.breakdown.record(ev.predicted, ev.actual_dependence);
+                self.result
+                    .breakdown
+                    .record(ev.predicted, ev.actual_dependence);
                 for &(edge, found, waited) in &ev.edges {
                     // An edge that violated during any attempt of this task
                     // definitely carried a dependence — the committed
                     // (post-replay) attempt just re-issued the load after
                     // the store and saw no wait, which must not weaken the
                     // prediction.
-                    let had_dependence =
-                        (found && waited) || violated_edges.contains(&edge);
+                    let had_dependence = (found && waited) || violated_edges.contains(&edge);
                     unit.train(edge, had_dependence);
                 }
             }
@@ -255,8 +261,11 @@ impl<'c> SimState<'c> {
         }
         self.result.icache = ic;
         self.result.bus_transactions = self.bus.transactions();
-        self.result.ddc =
-            self.ddcs.into_iter().map(|(s, d)| (s, d.hits(), d.misses())).collect();
+        self.result.ddc = self
+            .ddcs
+            .into_iter()
+            .map(|(s, d)| (s, d.hits(), d.misses()))
+            .collect();
         self.result
     }
 }
@@ -350,7 +359,9 @@ mod tests {
     }
 
     fn run(p: &Program, stages: usize, policy: Policy) -> MsResult {
-        Multiscalar::new(MsConfig::paper(stages, policy)).run(p).unwrap()
+        Multiscalar::new(MsConfig::paper(stages, policy))
+            .run(p)
+            .unwrap()
     }
 
     #[test]

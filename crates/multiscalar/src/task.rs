@@ -63,14 +63,20 @@ impl TaskSplitter {
     /// bound simulator memory on unannotated programs); `None` is
     /// faithful to the annotations.
     pub fn new(max_task_size: Option<usize>) -> Self {
-        TaskSplitter { current: Vec::new(), start_pc: 0, next_seq: 0, max_task_size }
+        TaskSplitter {
+            current: Vec::new(),
+            start_pc: 0,
+            next_seq: 0,
+            max_task_size,
+        }
     }
 
     /// Feeds one committed instruction; returns the *previous* task when
     /// this instruction starts a new one.
     pub fn push(&mut self, d: DynInst) -> Option<Task> {
-        let force_split =
-            self.max_task_size.is_some_and(|max| self.current.len() >= max);
+        let force_split = self
+            .max_task_size
+            .is_some_and(|max| self.current.len() >= max);
         let completed = if (d.new_task || force_split) && !self.current.is_empty() {
             let task = Task {
                 seq: self.next_seq,
@@ -110,7 +116,14 @@ mod tests {
     use mds_isa::Instruction;
 
     fn di(seq: u64, pc: Pc, new_task: bool) -> DynInst {
-        DynInst { seq, pc, inst: Instruction::NOP, mem: None, branch: None, new_task }
+        DynInst {
+            seq,
+            pc,
+            inst: Instruction::NOP,
+            mem: None,
+            branch: None,
+            new_task,
+        }
     }
 
     #[test]

@@ -303,8 +303,7 @@ impl OooSim {
         latency: u64,
     ) -> u64 {
         let producer = self.producer_of(mem.addr, mem.size);
-        let in_window =
-            producer.is_some_and(|p| d.seq - p.seq < self.config.window as u64);
+        let in_window = producer.is_some_and(|p| d.seq - p.seq < self.config.window as u64);
         let actual_dependence = in_window && producer.is_some_and(|p| p.complete > ready);
 
         match self.config.policy {
@@ -349,10 +348,13 @@ impl OooSim {
                 if predicted {
                     self.result.synchronized_loads += 1;
                     let predicted_right = producer.is_some_and(|p| {
-                        self.unit
-                            .mdpt()
-                            .iter()
-                            .any(|e| e.edge == DepEdge { load_pc: d.pc, store_pc: p.pc })
+                        self.unit.mdpt().iter().any(|e| {
+                            e.edge
+                                == DepEdge {
+                                    load_pc: d.pc,
+                                    store_pc: p.pc,
+                                }
+                        })
                     });
                     if predicted_right && in_window {
                         // Successful synchronization: wake at the store's
@@ -360,8 +362,13 @@ impl OooSim {
                         let p = producer.expect("checked");
                         ready = ready.max(p.complete);
                         self.unit.release_load(ldid);
-                        self.unit
-                            .train(DepEdge { load_pc: d.pc, store_pc: p.pc }, actual_dependence);
+                        self.unit.train(
+                            DepEdge {
+                                load_pc: d.pc,
+                                store_pc: p.pc,
+                            },
+                            actual_dependence,
+                        );
                     } else {
                         // False dependence prediction: the load stalls
                         // until the deadlock-avoidance release (all prior
@@ -395,12 +402,17 @@ impl OooSim {
 
     fn violate(&mut self, d: &DynInst, p: &StoreRecord) {
         self.result.misspeculations += 1;
-        self.restart_after = self.restart_after.max(p.complete + self.config.squash_penalty);
+        self.restart_after = self
+            .restart_after
+            .max(p.complete + self.config.squash_penalty);
         if self.config.policy.uses_predictor() {
             let load_instance = self.instance_no.get(&d.pc).copied().unwrap_or(1);
             let dist = load_instance.saturating_sub(p.instance).max(1) as u32;
             self.unit.record_misspeculation(
-                DepEdge { load_pc: d.pc, store_pc: p.pc },
+                DepEdge {
+                    load_pc: d.pc,
+                    store_pc: p.pc,
+                },
                 dist,
                 None,
             );
@@ -435,7 +447,7 @@ impl Reads for DynInst {
 mod tests {
     use super::*;
     use mds_emu::Emulator;
-    use mds_isa::{ProgramBuilder, Program, Reg};
+    use mds_isa::{Program, ProgramBuilder, Reg};
 
     /// A loop whose loads are independent of its stores, but whose store
     /// addresses resolve slowly (through a divide) — exactly the situation
@@ -482,7 +494,10 @@ mod tests {
     }
 
     fn run(p: &Program, policy: Policy) -> OooResult {
-        let mut sim = OooSim::new(OooConfig { policy, ..Default::default() });
+        let mut sim = OooSim::new(OooConfig {
+            policy,
+            ..Default::default()
+        });
         Emulator::new(p).run_with(|d| sim.observe(d)).unwrap();
         sim.finish()
     }
@@ -505,7 +520,11 @@ mod tests {
     fn blind_speculation_squashes_on_recurrences() {
         let p = recurrence_loop(500);
         let always = run(&p, Policy::Always);
-        assert!(always.misspeculations > 100, "got {}", always.misspeculations);
+        assert!(
+            always.misspeculations > 100,
+            "got {}",
+            always.misspeculations
+        );
     }
 
     #[test]
@@ -540,8 +559,10 @@ mod tests {
     #[test]
     fn instructions_counted_identically_across_policies() {
         let p = recurrence_loop(100);
-        let counts: Vec<u64> =
-            Policy::ALL.iter().map(|&pol| run(&p, pol).instructions).collect();
+        let counts: Vec<u64> = Policy::ALL
+            .iter()
+            .map(|&pol| run(&p, pol).instructions)
+            .collect();
         assert!(counts.windows(2).all(|w| w[0] == w[1]), "{counts:?}");
     }
 

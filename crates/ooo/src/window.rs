@@ -92,7 +92,9 @@ pub struct WindowReport {
 impl WindowReport {
     /// Stats for one window size, if it was configured.
     pub fn for_window(&self, window_size: u32) -> Option<&WindowStats> {
-        self.per_window.iter().find(|w| w.window_size == window_size)
+        self.per_window
+            .iter()
+            .find(|w| w.window_size == window_size)
     }
 
     /// All per-window stats in configuration order.
@@ -140,7 +142,10 @@ impl WindowAnalyzer {
     ///
     /// Panics if no window sizes are configured.
     pub fn new(config: WindowConfig) -> Self {
-        assert!(!config.window_sizes.is_empty(), "need at least one window size");
+        assert!(
+            !config.window_sizes.is_empty(),
+            "need at least one window size"
+        );
         let per_window = config
             .window_sizes
             .iter()
@@ -148,7 +153,11 @@ impl WindowAnalyzer {
                 window_size: ws,
                 misspecs: 0,
                 edges: HashMap::new(),
-                ddcs: config.ddc_sizes.iter().map(|&cs| (cs, Ddc::new(cs))).collect(),
+                ddcs: config
+                    .ddc_sizes
+                    .iter()
+                    .map(|&cs| (cs, Ddc::new(cs)))
+                    .collect(),
             })
             .collect();
         WindowAnalyzer {
@@ -168,7 +177,10 @@ impl WindowAnalyzer {
         let Some(mem) = d.mem else { return };
         if mem.is_store {
             self.stores += 1;
-            let rec = LastStore { seq: d.seq, pc: d.pc };
+            let rec = LastStore {
+                seq: d.seq,
+                pc: d.pc,
+            };
             if mem.size == 1 {
                 self.byte_stores.insert(mem.addr, rec);
             } else {
@@ -204,7 +216,10 @@ impl WindowAnalyzer {
         let Some(st) = producer else { return };
         let distance = d.seq - st.seq;
         self.distances.record(distance);
-        let edge = DepEdge { load_pc: d.pc, store_pc: st.pc };
+        let edge = DepEdge {
+            load_pc: d.pc,
+            store_pc: st.pc,
+        };
         for w in &mut self.per_window {
             if distance < w.window_size as u64 {
                 w.misspecs += 1;
@@ -252,7 +267,11 @@ mod tests {
             seq,
             pc,
             inst: Instruction::NOP,
-            mem: Some(MemAccess { addr, size, is_store }),
+            mem: Some(MemAccess {
+                addr,
+                size,
+                is_store,
+            }),
             branch: None,
             new_task: false,
         }
@@ -309,7 +328,10 @@ mod tests {
         let r = a.finish();
         let w = r.for_window(64).unwrap();
         assert_eq!(w.misspeculations, 1);
-        let edge = DepEdge { load_pc: 9, store_pc: 3 };
+        let edge = DepEdge {
+            load_pc: 9,
+            store_pc: 3,
+        };
         assert_eq!(w.edge_counts.get(&edge), Some(&1));
     }
 
@@ -421,6 +443,9 @@ mod tests {
     #[test]
     #[should_panic(expected = "at least one window size")]
     fn empty_config_panics() {
-        let _ = WindowAnalyzer::new(WindowConfig { window_sizes: vec![], ddc_sizes: vec![] });
+        let _ = WindowAnalyzer::new(WindowConfig {
+            window_sizes: vec![],
+            ddc_sizes: vec![],
+        });
     }
 }

@@ -33,9 +33,19 @@ impl SatCounter {
     ///
     /// Panics unless `1 <= bits <= 16`.
     pub fn new(bits: u8, initial: u16) -> Self {
-        assert!((1..=16).contains(&bits), "counter width must be 1..=16 bits");
-        let max = if bits == 16 { u16::MAX } else { (1u16 << bits) - 1 };
-        SatCounter { value: initial.min(max), max }
+        assert!(
+            (1..=16).contains(&bits),
+            "counter width must be 1..=16 bits"
+        );
+        let max = if bits == 16 {
+            u16::MAX
+        } else {
+            (1u16 << bits) - 1
+        };
+        SatCounter {
+            value: initial.min(max),
+            max,
+        }
     }
 
     /// Current value.
@@ -93,7 +103,7 @@ impl fmt::Display for SatCounter {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mds_harness::prelude::*;
 
     #[test]
     fn saturates_both_ends() {
@@ -153,9 +163,9 @@ mod tests {
         assert_eq!(SatCounter::new(3, 4).to_string(), "4/7");
     }
 
-    proptest! {
+    properties! {
         #[test]
-        fn value_always_in_range(bits in 1u8..=16, ops in proptest::collection::vec(any::<bool>(), 0..200)) {
+        fn value_always_in_range(bits in 1u8..=16, ops in vec_of(any::<bool>(), 0..200)) {
             let mut c = SatCounter::new(bits, 0);
             for up in ops {
                 if up { c.incr() } else { c.decr() }

@@ -129,7 +129,11 @@ impl<K: Eq + Hash + Clone, V> LruTable<K, V> {
                 slot
             }
             None => {
-                self.nodes.push(Node { entry: Some((key.clone(), value)), prev: NIL, next: NIL });
+                self.nodes.push(Node {
+                    entry: Some((key.clone(), value)),
+                    prev: NIL,
+                    next: NIL,
+                });
                 self.nodes.len() - 1
             }
         };
@@ -165,7 +169,10 @@ impl<K: Eq + Hash + Clone, V> LruTable<K, V> {
 
     /// Iterates over entries from most to least recently used.
     pub fn iter(&self) -> Iter<'_, K, V> {
-        Iter { table: self, cursor: self.head }
+        Iter {
+            table: self,
+            cursor: self.head,
+        }
     }
 
     /// Retains only entries for which the predicate holds.
@@ -241,7 +248,7 @@ impl<'a, K: Eq + Hash + Clone, V> Iterator for Iter<'a, K, V> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mds_harness::prelude::*;
     use std::collections::VecDeque;
 
     #[test]
@@ -367,8 +374,11 @@ mod tests {
                 self.order.push_front((k, v));
                 return None;
             }
-            let evicted =
-                if self.order.len() == self.cap { self.order.pop_back() } else { None };
+            let evicted = if self.order.len() == self.cap {
+                self.order.pop_back()
+            } else {
+                None
+            };
             self.order.push_front((k, v));
             evicted
         }
@@ -393,11 +403,11 @@ mod tests {
         ]
     }
 
-    proptest! {
+    properties! {
         #[test]
         fn behaves_like_reference_model(
             cap in 1usize..8,
-            ops in proptest::collection::vec(arb_op(), 0..200),
+            ops in vec_of(arb_op(), 0..200),
         ) {
             let mut table = LruTable::new(cap);
             let mut model = Model { order: VecDeque::new(), cap };

@@ -39,7 +39,10 @@ impl PathHistory {
     /// Panics if `depth == 0`.
     pub fn new(depth: usize) -> Self {
         assert!(depth > 0, "path depth must be positive");
-        PathHistory { targets: Vec::with_capacity(depth), depth }
+        PathHistory {
+            targets: Vec::with_capacity(depth),
+            depth,
+        }
     }
 
     /// Records a new target, forgetting the oldest once `depth` is reached.
@@ -110,7 +113,11 @@ impl PathPredictor {
     pub fn new(slots: usize, _path_depth: usize) -> Self {
         assert!(slots > 0, "predictor must have at least one slot");
         let n = slots.next_power_of_two();
-        PathPredictor { entries: vec![None; n], mask: (n - 1) as u64, counter_bits: 2 }
+        PathPredictor {
+            entries: vec![None; n],
+            mask: (n - 1) as u64,
+            counter_bits: 2,
+        }
     }
 
     fn index(&self, pc: u32, path_hash: u64) -> (usize, u64) {
@@ -161,7 +168,7 @@ impl PathPredictor {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mds_harness::prelude::*;
 
     #[test]
     fn learns_a_stable_mapping() {
@@ -225,7 +232,10 @@ mod tests {
             }
             h.push(next);
         }
-        assert!(correct >= 10, "path predictor should capture alternation, got {correct}/12");
+        assert!(
+            correct >= 10,
+            "path predictor should capture alternation, got {correct}/12"
+        );
     }
 
     #[test]
@@ -263,7 +273,7 @@ mod tests {
         assert_eq!(PathPredictor::new(100, 2).capacity(), 128);
     }
 
-    proptest! {
+    properties! {
         #[test]
         fn update_then_predict_same_key(pc in any::<u32>(), h in any::<u64>(), t in any::<u32>()) {
             let mut p = PathPredictor::new(16, 2);

@@ -32,7 +32,11 @@ impl ReturnAddressStack {
     /// Panics if `depth == 0`.
     pub fn new(depth: usize) -> Self {
         assert!(depth > 0, "RAS depth must be positive");
-        ReturnAddressStack { slots: vec![0; depth], top: 0, count: 0 }
+        ReturnAddressStack {
+            slots: vec![0; depth],
+            top: 0,
+            count: 0,
+        }
     }
 
     /// Maximum depth.
@@ -86,7 +90,7 @@ impl ReturnAddressStack {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use mds_harness::prelude::*;
 
     #[test]
     fn lifo_order() {
@@ -128,11 +132,11 @@ mod tests {
         let _ = ReturnAddressStack::new(0);
     }
 
-    proptest! {
+    properties! {
         #[test]
         fn matches_vec_model_when_within_depth(
             depth in 1usize..16,
-            ops in proptest::collection::vec(proptest::option::of(any::<u32>()), 0..100),
+            ops in vec_of(option_of(any::<u32>()), 0..100),
         ) {
             let mut ras = ReturnAddressStack::new(depth);
             let mut model: Vec<u32> = Vec::new();

@@ -1,6 +1,6 @@
 //! Event counters, histograms, and numeric aggregation helpers.
 
-use serde::{Deserialize, Serialize};
+use mds_harness::json::{Json, ToJson};
 use std::fmt;
 
 /// A named monotonically increasing event counter.
@@ -18,7 +18,7 @@ use std::fmt;
 /// assert_eq!(c.value(), 3);
 /// assert_eq!(c.name(), "misses");
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Counter {
     name: String,
     value: u64,
@@ -27,7 +27,10 @@ pub struct Counter {
 impl Counter {
     /// Creates a counter with the given display name, starting at zero.
     pub fn new(name: impl Into<String>) -> Self {
-        Counter { name: name.into(), value: 0 }
+        Counter {
+            name: name.into(),
+            value: 0,
+        }
     }
 
     /// Increments the counter by one.
@@ -97,7 +100,7 @@ pub fn ratio(num: u64, denom: u64) -> f64 {
 /// assert_eq!(p.value(), 12.5);
 /// assert_eq!(p.to_string(), "12.50");
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
 pub struct Percent(f64);
 
 impl Percent {
@@ -138,7 +141,7 @@ impl fmt::Display for Percent {
 /// assert_eq!(h.count(), 4);
 /// assert_eq!(h.max(), 100);
 /// ```
-#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     name: String,
     buckets: Vec<u64>,
@@ -150,7 +153,13 @@ pub struct Histogram {
 impl Histogram {
     /// Creates an empty histogram with the given display name.
     pub fn new(name: impl Into<String>) -> Self {
-        Histogram { name: name.into(), buckets: Vec::new(), count: 0, sum: 0, max: 0 }
+        Histogram {
+            name: name.into(),
+            buckets: Vec::new(),
+            count: 0,
+            sum: 0,
+            max: 0,
+        }
     }
 
     /// Records one sample.
@@ -228,7 +237,7 @@ fn bucket_upper_bound(i: usize) -> u64 {
 /// m.observe(1);
 /// assert_eq!(m.get(), 3);
 /// ```
-#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct MovingMax(u64);
 
 impl MovingMax {
@@ -243,6 +252,39 @@ impl MovingMax {
     }
 }
 
+impl ToJson for Counter {
+    fn to_json(&self) -> Json {
+        Json::object()
+            .field("name", &self.name)
+            .field("value", self.value)
+    }
+}
+
+impl ToJson for Percent {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
+impl ToJson for Histogram {
+    fn to_json(&self) -> Json {
+        let buckets: Vec<(u64, u64)> = self.iter().collect();
+        Json::object()
+            .field("name", &self.name)
+            .field("count", self.count)
+            .field("sum", self.sum)
+            .field("max", self.max)
+            .field("mean", self.mean())
+            .field("buckets", buckets)
+    }
+}
+
+impl ToJson for MovingMax {
+    fn to_json(&self) -> Json {
+        self.0.to_json()
+    }
+}
+
 /// Geometric mean of a slice of positive values; returns 0.0 for an empty
 /// slice and ignores non-positive entries (they would make the result
 /// meaningless for speedup aggregation).
@@ -254,7 +296,12 @@ impl MovingMax {
 /// assert!((g - 2.0).abs() < 1e-12);
 /// ```
 pub fn geometric_mean(values: &[f64]) -> f64 {
-    let logs: Vec<f64> = values.iter().copied().filter(|v| *v > 0.0).map(f64::ln).collect();
+    let logs: Vec<f64> = values
+        .iter()
+        .copied()
+        .filter(|v| *v > 0.0)
+        .map(f64::ln)
+        .collect();
     if logs.is_empty() {
         return 0.0;
     }

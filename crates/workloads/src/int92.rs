@@ -22,9 +22,7 @@
 //!    dependences (compress), the paths are separate task types so the
 //!    ESYNC predictor has task PCs to key on.
 
-use crate::util::{
-    alloc_linked_ring, alloc_random, loop_epilogue, task_hash, HASH_K,
-};
+use crate::util::{alloc_linked_ring, alloc_random, loop_epilogue, task_hash, HASH_K};
 use crate::{Scale, Suite, Workload};
 use mds_isa::{Program, ProgramBuilder, Reg};
 
@@ -113,8 +111,8 @@ pub fn compress(scale: Scale) -> Program {
     b.addi(Reg::A4, Reg::A4, 1);
     b.xor(Reg::A7, Reg::A0, Reg::A4); // data-driven "entropy" word
     b.andi(Reg::T2, Reg::A7, 0x3f); // next input symbol (64-symbol alphabet)
-    // key = prefix << 8 | symbol; probe at key % 509 so hits find what
-    // the (late) insert below stored.
+                                    // key = prefix << 8 | symbol; probe at key % 509 so hits find what
+                                    // the (late) insert below stored.
     b.slli(Reg::A5, Reg::A6, 8);
     b.or(Reg::A5, Reg::A5, Reg::T2);
     b.rem(Reg::T3, Reg::A5, Reg::S5);
@@ -512,7 +510,11 @@ mod tests {
         let w = r.for_window(256).unwrap();
         assert!(w.misspeculations > 1000, "misspecs: {}", w.misspeculations);
         // Few static edges responsible for nearly everything.
-        assert!(w.edges_covering(0.999) <= 64, "edges: {}", w.edges_covering(0.999));
+        assert!(
+            w.edges_covering(0.999) <= 64,
+            "edges: {}",
+            w.edges_covering(0.999)
+        );
         assert!(w.ddc_miss_rate(64).unwrap().value() < 10.0);
     }
 
@@ -581,11 +583,16 @@ mod tests {
         // every task.
         use mds_core::Policy;
         use mds_multiscalar::{MsConfig, Multiscalar};
-        for (name, build) in
-            [("compress", compress as fn(Scale) -> Program), ("espresso", espresso), ("sc", sc), ("xlisp", xlisp)]
-        {
+        for (name, build) in [
+            ("compress", compress as fn(Scale) -> Program),
+            ("espresso", espresso),
+            ("sc", sc),
+            ("xlisp", xlisp),
+        ] {
             let p = build(Scale::Tiny);
-            let r = Multiscalar::new(MsConfig::paper(4, Policy::Always)).run(&p).unwrap();
+            let r = Multiscalar::new(MsConfig::paper(4, Policy::Always))
+                .run(&p)
+                .unwrap();
             let rate = r.misspec_per_committed_load();
             assert!(
                 rate > 0.001 && rate < 0.25,

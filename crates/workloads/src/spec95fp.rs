@@ -3,9 +3,8 @@
 
 use crate::util::{loop_epilogue, xorshift};
 use crate::{Scale, Suite, Workload};
+use mds_harness::rng::Rng;
 use mds_isa::{Program, ProgramBuilder, Reg};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// The ten SPECfp95 workloads in the paper's order.
 pub fn workloads() -> Vec<Workload> {
@@ -92,9 +91,10 @@ pub fn workloads() -> Vec<Workload> {
 }
 
 fn alloc_fp(b: &mut ProgramBuilder, name: &str, words: usize, seed: u64) -> u64 {
-    let mut rng = SmallRng::seed_from_u64(seed);
-    let values: Vec<u64> =
-        (0..words).map(|_| f64::to_bits(rng.gen_range(0.5..2.0))).collect();
+    let mut rng = Rng::seed_from_u64(seed);
+    let values: Vec<u64> = (0..words)
+        .map(|_| f64::to_bits(rng.gen_range(0.5..2.0)))
+        .collect();
     b.alloc_init(name, &values)
 }
 

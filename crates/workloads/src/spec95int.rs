@@ -472,6 +472,10 @@ mod tests {
         let sum = e.run_with(|_| {}).unwrap();
         let ptr = e.state().mem.read_u64(p.symbol("vtxglobals").unwrap());
         // Commits are sampled at roughly one task in four.
-        assert!(ptr > 0 && ptr < sum.tasks, "log ptr {ptr} of {} tasks", sum.tasks);
+        assert!(
+            ptr > 0 && ptr < sum.tasks,
+            "log ptr {ptr} of {} tasks",
+            sum.tasks
+        );
     }
 }

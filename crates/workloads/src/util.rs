@@ -1,8 +1,7 @@
 //! Shared emission helpers for the synthetic workloads.
 
+use mds_harness::rng::Rng;
 use mds_isa::{ProgramBuilder, Reg};
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
 /// Emits an xorshift64 step on `state` (must be seeded non-zero), using
 /// `tmp` as scratch: `s ^= s<<13; s ^= s>>7; s ^= s<<17`.
@@ -28,9 +27,15 @@ pub fn alloc_random(
     bound: u64,
     seed: u64,
 ) -> u64 {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let values: Vec<u64> = (0..words)
-        .map(|_| if bound == 0 { rng.gen::<u64>() } else { rng.gen_range(0..bound) })
+        .map(|_| {
+            if bound == 0 {
+                rng.gen::<u64>()
+            } else {
+                rng.gen_range(0..bound)
+            }
+        })
         .collect();
     b.alloc_init(name, &values)
 }
@@ -47,7 +52,7 @@ pub fn alloc_linked_ring(
     next_slot: usize,
     seed: u64,
 ) -> u64 {
-    let mut rng = SmallRng::seed_from_u64(seed);
+    let mut rng = Rng::seed_from_u64(seed);
     let base = b.alloc(name, nodes * node_words);
     for i in 0..nodes {
         let node = base + (i * node_words * 8) as u64;
@@ -117,12 +122,18 @@ mod tests {
         let p = b.build().unwrap();
         let mut e = Emulator::new(&p);
         e.run().unwrap();
-        let vals: Vec<u64> = (0..8).map(|i| e.state().mem.read_u64(out + i * 8)).collect();
+        let vals: Vec<u64> = (0..8)
+            .map(|i| e.state().mem.read_u64(out + i * 8))
+            .collect();
         assert!(vals.iter().all(|&v| v != 0));
         let mut uniq = vals.clone();
         uniq.sort_unstable();
         uniq.dedup();
-        assert_eq!(uniq.len(), 8, "xorshift must not cycle immediately: {vals:?}");
+        assert_eq!(
+            uniq.len(),
+            8,
+            "xorshift must not cycle immediately: {vals:?}"
+        );
     }
 
     #[test]

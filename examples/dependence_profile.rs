@@ -44,8 +44,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             fmt_count(w.misspeculations),
             w.static_edges().to_string(),
             w.edges_covering(0.999).to_string(),
-            w.ddc_miss_rate(32).map(|p| p.to_string()).unwrap_or_default(),
-            w.ddc_miss_rate(512).map(|p| p.to_string()).unwrap_or_default(),
+            w.ddc_miss_rate(32)
+                .map(|p| p.to_string())
+                .unwrap_or_default(),
+            w.ddc_miss_rate(512)
+                .map(|p| p.to_string())
+                .unwrap_or_default(),
         ]);
     }
     println!("{table}");

@@ -36,7 +36,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // 1. Functional execution: the committed instruction stream.
     let summary = Emulator::new(&program).run_with(|_| {})?;
-    println!("functional run : {} instructions, {} tasks", summary.instructions, summary.tasks);
+    println!(
+        "functional run : {} instructions, {} tasks",
+        summary.instructions, summary.tasks
+    );
 
     // 2. The paper's "unrealistic OOO" question: how many loads have a
     //    producing store within an n-instruction window?

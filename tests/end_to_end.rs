@@ -57,7 +57,9 @@ fn assembly_text_flows_through_the_whole_stack() {
     assert_eq!(emu.state().mem.read_u64(acc), 400);
 
     // The timing model executes the identical committed stream.
-    let r = Multiscalar::new(MsConfig::paper(4, Policy::Esync)).run(&program).unwrap();
+    let r = Multiscalar::new(MsConfig::paper(4, Policy::Esync))
+        .run(&program)
+        .unwrap();
     assert_eq!(r.instructions, emu.summary().instructions);
     assert!(r.cycles > 0);
 }
@@ -65,10 +67,15 @@ fn assembly_text_flows_through_the_whole_stack() {
 #[test]
 fn every_policy_commits_the_same_instruction_stream() {
     let program = recurrence_program(300);
-    let reference = Emulator::new(&program).run_with(|_| {}).unwrap().instructions;
+    let reference = Emulator::new(&program)
+        .run_with(|_| {})
+        .unwrap()
+        .instructions;
     for policy in Policy::ALL {
         for stages in [1usize, 2, 4, 8] {
-            let r = Multiscalar::new(MsConfig::paper(stages, policy)).run(&program).unwrap();
+            let r = Multiscalar::new(MsConfig::paper(stages, policy))
+                .run(&program)
+                .unwrap();
             assert_eq!(r.instructions, reference, "{policy} at {stages} stages");
         }
     }
@@ -77,7 +84,11 @@ fn every_policy_commits_the_same_instruction_stream() {
 #[test]
 fn policy_cycle_ordering_holds_on_a_recurrence() {
     let program = recurrence_program(500);
-    let run = |p| Multiscalar::new(MsConfig::paper(4, p)).run(&program).unwrap();
+    let run = |p| {
+        Multiscalar::new(MsConfig::paper(4, p))
+            .run(&program)
+            .unwrap()
+    };
     let always = run(Policy::Always);
     let psync = run(Policy::PSync);
     let esync = run(Policy::Esync);
@@ -123,15 +134,24 @@ fn window_analysis_matches_timing_model_intuition() {
         window_sizes: vec![16, 128],
         ddc_sizes: vec![],
     });
-    Emulator::new(&program).run_with(|d| analyzer.observe(d)).unwrap();
+    Emulator::new(&program)
+        .run_with(|d| analyzer.observe(d))
+        .unwrap();
     let report = analyzer.finish();
     assert_eq!(report.for_window(16).unwrap().misspeculations, 0);
     assert!(report.for_window(128).unwrap().misspeculations > 300);
 
     // Timing model agrees.
-    let four = Multiscalar::new(MsConfig::paper(4, Policy::Always)).run(&program).unwrap();
-    let eight = Multiscalar::new(MsConfig::paper(8, Policy::Always)).run(&program).unwrap();
-    assert_eq!(four.misspeculations, 0, "distance-5 edge outside a 4-stage window");
+    let four = Multiscalar::new(MsConfig::paper(4, Policy::Always))
+        .run(&program)
+        .unwrap();
+    let eight = Multiscalar::new(MsConfig::paper(8, Policy::Always))
+        .run(&program)
+        .unwrap();
+    assert_eq!(
+        four.misspeculations, 0,
+        "distance-5 edge outside a 4-stage window"
+    );
     assert!(eight.misspeculations > 100, "got {}", eight.misspeculations);
 }
 
@@ -153,10 +173,12 @@ fn fig5_shape_always_beats_never_on_the_int92_suite() {
     // speculation (gcc, the paper's worst case, is allowed to tie).
     for wl in mds::workloads::int92_suite() {
         let program = (wl.build)(Scale::Tiny);
-        let never =
-            Multiscalar::new(MsConfig::paper(8, Policy::Never)).run(&program).unwrap();
-        let always =
-            Multiscalar::new(MsConfig::paper(8, Policy::Always)).run(&program).unwrap();
+        let never = Multiscalar::new(MsConfig::paper(8, Policy::Never))
+            .run(&program)
+            .unwrap();
+        let always = Multiscalar::new(MsConfig::paper(8, Policy::Always))
+            .run(&program)
+            .unwrap();
         let speedup = always.speedup_over(&never);
         assert!(speedup > -8.0, "{}: ALWAYS {speedup:.1}% vs NEVER", wl.name);
     }
@@ -166,10 +188,12 @@ fn fig5_shape_always_beats_never_on_the_int92_suite() {
 fn fig6_shape_psync_dominates_always_on_the_int92_suite() {
     for wl in mds::workloads::int92_suite() {
         let program = (wl.build)(Scale::Tiny);
-        let always =
-            Multiscalar::new(MsConfig::paper(8, Policy::Always)).run(&program).unwrap();
-        let psync =
-            Multiscalar::new(MsConfig::paper(8, Policy::PSync)).run(&program).unwrap();
+        let always = Multiscalar::new(MsConfig::paper(8, Policy::Always))
+            .run(&program)
+            .unwrap();
+        let psync = Multiscalar::new(MsConfig::paper(8, Policy::PSync))
+            .run(&program)
+            .unwrap();
         assert!(
             psync.cycles <= always.cycles + always.cycles / 50,
             "{}: PSYNC {} vs ALWAYS {}",
@@ -184,9 +208,15 @@ fn fig6_shape_psync_dominates_always_on_the_int92_suite() {
 #[test]
 fn espresso_mechanism_recovers_nearly_all_of_the_oracle() {
     let program = (by_name("espresso").unwrap().build)(Scale::Tiny);
-    let always = Multiscalar::new(MsConfig::paper(8, Policy::Always)).run(&program).unwrap();
-    let esync = Multiscalar::new(MsConfig::paper(8, Policy::Esync)).run(&program).unwrap();
-    let psync = Multiscalar::new(MsConfig::paper(8, Policy::PSync)).run(&program).unwrap();
+    let always = Multiscalar::new(MsConfig::paper(8, Policy::Always))
+        .run(&program)
+        .unwrap();
+    let esync = Multiscalar::new(MsConfig::paper(8, Policy::Esync))
+        .run(&program)
+        .unwrap();
+    let psync = Multiscalar::new(MsConfig::paper(8, Policy::PSync))
+        .run(&program)
+        .unwrap();
     let gain_esync = esync.speedup_over(&always);
     let gain_psync = psync.speedup_over(&always);
     assert!(gain_psync > 10.0, "oracle gain {gain_psync:.1}%");

@@ -9,8 +9,12 @@ use mds::workloads::{by_name, Scale};
 #[test]
 fn esync_filter_engages_on_multi_task_type_workloads() {
     let program = (by_name("go").unwrap().build)(Scale::Tiny);
-    let sync = Multiscalar::new(MsConfig::paper(8, Policy::Sync)).run(&program).unwrap();
-    let esync = Multiscalar::new(MsConfig::paper(8, Policy::Esync)).run(&program).unwrap();
+    let sync = Multiscalar::new(MsConfig::paper(8, Policy::Sync))
+        .run(&program)
+        .unwrap();
+    let esync = Multiscalar::new(MsConfig::paper(8, Policy::Esync))
+        .run(&program)
+        .unwrap();
     // Both must run the same committed stream and stay in the same
     // performance neighborhood; ESYNC must never be grossly worse.
     assert_eq!(sync.instructions, esync.instructions);
@@ -28,13 +32,17 @@ fn go_is_control_bound() {
     // The paper: go "is limited by poor control prediction". Three
     // pseudo-randomly selected task types defeat the path predictor.
     let program = (by_name("go").unwrap().build)(Scale::Tiny);
-    let r = Multiscalar::new(MsConfig::paper(8, Policy::Always)).run(&program).unwrap();
+    let r = Multiscalar::new(MsConfig::paper(8, Policy::Always))
+        .run(&program)
+        .unwrap();
     assert!(
         r.control_accuracy().value() < 75.0,
         "accuracy {} should be poor",
         r.control_accuracy()
     );
     // And the dependence mechanism's headroom is accordingly small.
-    let psync = Multiscalar::new(MsConfig::paper(8, Policy::PSync)).run(&program).unwrap();
+    let psync = Multiscalar::new(MsConfig::paper(8, Policy::PSync))
+        .run(&program)
+        .unwrap();
     assert!(psync.speedup_over(&r) < 30.0);
 }

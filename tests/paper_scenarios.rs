@@ -36,7 +36,11 @@ fn figure1_selective_overdelays_dependent_loads() {
     b.halt();
     let program = b.build().unwrap();
 
-    let run = |p| Multiscalar::new(MsConfig::paper(4, p)).run(&program).unwrap();
+    let run = |p| {
+        Multiscalar::new(MsConfig::paper(4, p))
+            .run(&program)
+            .unwrap()
+    };
     let wait = run(Policy::Wait);
     let psync = run(Policy::PSync);
     // PSYNC waits only for ST_1; WAIT additionally waits for ST_2's late
@@ -53,7 +57,10 @@ fn figure1_selective_overdelays_dependent_loads() {
 #[test]
 fn figure2_condition_variable_both_orders() {
     let mut mdst = Mdst::new(8);
-    let edge = DepEdge { load_pc: 10, store_pc: 4 };
+    let edge = DepEdge {
+        load_pc: 10,
+        store_pc: 4,
+    };
     // Load first: test fails, the load waits; the store signals it.
     assert_eq!(mdst.sync_load(edge, 7, 1), mds::core::LoadSync::Wait);
     assert_eq!(mdst.sync_store(edge, 7, 2), mds::core::StoreSync::Woke(1));
@@ -67,8 +74,14 @@ fn figure2_condition_variable_both_orders() {
 /// MDST whichever side arrives first.
 #[test]
 fn figure4_working_example() {
-    let mut unit = SyncUnit::new(SyncUnitConfig { stages: 4, ..Default::default() });
-    let edge = DepEdge { load_pc: 7, store_pc: 3 };
+    let mut unit = SyncUnit::new(SyncUnitConfig {
+        stages: 4,
+        ..Default::default()
+    });
+    let edge = DepEdge {
+        load_pc: 7,
+        store_pc: 3,
+    };
 
     // Part (b): ST1–LD2 mis-speculation allocates the entry with DIST 1.
     unit.record_misspeculation(edge, 1, None);
@@ -87,8 +100,14 @@ fn figure4_working_example() {
 /// is weakened so the false prediction dies out.
 #[test]
 fn incomplete_synchronization_releases_and_decays() {
-    let mut unit = SyncUnit::new(SyncUnitConfig { stages: 4, ..Default::default() });
-    let edge = DepEdge { load_pc: 7, store_pc: 3 };
+    let mut unit = SyncUnit::new(SyncUnitConfig {
+        stages: 4,
+        ..Default::default()
+    });
+    let edge = DepEdge {
+        load_pc: 7,
+        store_pc: 3,
+    };
     unit.record_misspeculation(edge, 1, None);
 
     assert_eq!(unit.on_load_ready(7, 5, 50, None), LoadDecision::Wait);
@@ -99,16 +118,28 @@ fn incomplete_synchronization_releases_and_decays() {
         unit.train(e, false);
     }
     // The counter fell below threshold: the next instance speculates.
-    assert_eq!(unit.on_load_ready(7, 6, 51, None), LoadDecision::NotPredicted);
+    assert_eq!(
+        unit.on_load_ready(7, 6, 51, None),
+        LoadDecision::NotPredicted
+    );
 }
 
 /// §4.4.3: squash invalidation drops the MDST entries of squashed loads
 /// and stores without touching the others.
 #[test]
 fn squash_invalidation_by_identifier() {
-    let mut unit = SyncUnit::new(SyncUnitConfig { stages: 4, ..Default::default() });
-    let e1 = DepEdge { load_pc: 7, store_pc: 3 };
-    let e2 = DepEdge { load_pc: 9, store_pc: 3 };
+    let mut unit = SyncUnit::new(SyncUnitConfig {
+        stages: 4,
+        ..Default::default()
+    });
+    let e1 = DepEdge {
+        load_pc: 7,
+        store_pc: 3,
+    };
+    let e2 = DepEdge {
+        load_pc: 9,
+        store_pc: 3,
+    };
     unit.record_misspeculation(e1, 1, None);
     unit.record_misspeculation(e2, 1, None);
     assert_eq!(unit.on_load_ready(7, 4, 40, None), LoadDecision::Wait);
@@ -123,9 +154,18 @@ fn squash_invalidation_by_identifier() {
 /// all of them, and the MDPT tracks each edge separately.
 #[test]
 fn multiple_dependences_per_load_wait_for_all() {
-    let mut unit = SyncUnit::new(SyncUnitConfig { stages: 8, ..Default::default() });
-    let from_a = DepEdge { load_pc: 20, store_pc: 3 };
-    let from_b = DepEdge { load_pc: 20, store_pc: 5 };
+    let mut unit = SyncUnit::new(SyncUnitConfig {
+        stages: 8,
+        ..Default::default()
+    });
+    let from_a = DepEdge {
+        load_pc: 20,
+        store_pc: 3,
+    };
+    let from_b = DepEdge {
+        load_pc: 20,
+        store_pc: 5,
+    };
     unit.record_misspeculation(from_a, 1, None);
     unit.record_misspeculation(from_b, 3, None);
 
@@ -142,9 +182,15 @@ fn multiple_dependences_per_load_wait_for_all() {
 /// instruction PCs instead of memory instructions.
 #[test]
 fn register_dependence_speculation_reuses_the_tables() {
-    let mut unit = SyncUnit::new(SyncUnitConfig { stages: 4, ..Default::default() });
+    let mut unit = SyncUnit::new(SyncUnitConfig {
+        stages: 4,
+        ..Default::default()
+    });
     // "Store PC" = the producing instruction; "load PC" = the consumer.
-    let reg_edge = DepEdge { load_pc: 101, store_pc: 42 };
+    let reg_edge = DepEdge {
+        load_pc: 101,
+        store_pc: 42,
+    };
     unit.record_misspeculation(reg_edge, 2, None);
     assert_eq!(unit.on_load_ready(101, 6, 7, None), LoadDecision::Wait);
     assert_eq!(unit.on_store_issue(42, 4, 8), vec![7]);
@@ -168,7 +214,9 @@ fn replay_heavy_run_remains_stable() {
     b.bne(Reg::T0, Reg::ZERO, "loop");
     b.halt();
     let program = b.build().unwrap();
-    let r = Multiscalar::new(MsConfig::paper(8, Policy::Esync)).run(&program).unwrap();
+    let r = Multiscalar::new(MsConfig::paper(8, Policy::Esync))
+        .run(&program)
+        .unwrap();
     // The hot edge must be captured: a handful of cold mis-speculations,
     // then synchronization.
     assert!(r.misspeculations < 20, "got {}", r.misspeculations);

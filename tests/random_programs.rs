@@ -7,7 +7,7 @@ use mds::core::Policy;
 use mds::emu::Emulator;
 use mds::isa::{Program, ProgramBuilder, Reg};
 use mds::multiscalar::{MsConfig, Multiscalar};
-use proptest::prelude::*;
+use mds_harness::prelude::*;
 
 /// One random task-body operation.
 #[derive(Debug, Clone)]
@@ -71,13 +71,13 @@ fn build_program(ops: &[Op], iters: u8) -> Program {
     b.build().expect("generated program builds")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, ..ProptestConfig::default() })]
+properties! {
+    #![config(PropConfig { cases: 24, ..PropConfig::default() })]
 
     /// Every policy commits exactly the functional instruction stream.
     #[test]
     fn all_policies_commit_the_functional_stream(
-        ops in proptest::collection::vec(arb_op(), 1..12),
+        ops in vec_of(arb_op(), 1..12),
         iters in 4u8..40,
     ) {
         let program = build_program(&ops, iters);
@@ -92,7 +92,7 @@ proptest! {
     /// The oracle policies never mis-speculate, on any program.
     #[test]
     fn oracles_never_misspeculate(
-        ops in proptest::collection::vec(arb_op(), 1..12),
+        ops in vec_of(arb_op(), 1..12),
         iters in 4u8..40,
     ) {
         let program = build_program(&ops, iters);
@@ -105,7 +105,7 @@ proptest! {
     /// Timing is a pure function of (program, config).
     #[test]
     fn timing_is_deterministic(
-        ops in proptest::collection::vec(arb_op(), 1..10),
+        ops in vec_of(arb_op(), 1..10),
         iters in 4u8..24,
     ) {
         let program = build_program(&ops, iters);
@@ -120,7 +120,7 @@ proptest! {
     /// is consumed (collected vs streamed).
     #[test]
     fn collected_and_streamed_traces_agree(
-        ops in proptest::collection::vec(arb_op(), 1..10),
+        ops in vec_of(arb_op(), 1..10),
         iters in 4u8..24,
     ) {
         let program = build_program(&ops, iters);
