@@ -1,185 +1,184 @@
 //! `repro` — regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--scale tiny|small|full] [--markdown] <experiment>...
-//!
-//! experiments:
-//!   table1 table2 table3 table4 table5 table6 table7 table8 table9
-//!   fig5 fig6 fig7
-//!   ablate-mdpt ablate-counter ablate-tagging ablate-ooo
-//!   all          every table and figure above
-//!   ablations    the four ablation studies
+//! repro [options] <experiment>...
+//! repro list
 //! ```
+//!
+//! All requested experiments are expanded first, their simulation demands
+//! merged into one grid, and that grid fanned out across worker threads
+//! with each workload emulated exactly once. Tables are printed in
+//! request order; output is byte-identical at any `--jobs` level.
 //!
 //! The default scale is `small` (the reproduction default documented in
 //! EXPERIMENTS.md); `tiny` is for smoke tests, `full` approaches the
 //! paper's run lengths.
 
 use mds_bench::Harness;
-use mds_sim::table::Table;
+use mds_runner::Runner;
 use mds_workloads::Scale;
 use std::process::ExitCode;
 
-fn usage() -> ExitCode {
-    eprintln!(
-        "usage: repro [--scale tiny|small|full] [--markdown] <experiment>...\n\
-         experiments: table1..table9 fig5 fig6 fig7 ablate-mdpt ablate-counter \
-         ablate-tagging ablate-ooo all ablations"
+/// Exit code for usage errors and unknown experiment ids.
+const EXIT_USAGE: u8 = 1;
+/// Exit code for I/O failures while writing `--json` results.
+const EXIT_IO: u8 = 2;
+
+fn print_help() {
+    println!(
+        "usage: repro [options] <experiment>...\n\
+         \n\
+         subcommands:\n\
+         \x20 list                    print every experiment id, one per line\n\
+         \n\
+         options:\n\
+         \x20 --scale tiny|small|full  workload scale (default: small)\n\
+         \x20 --jobs N                 worker threads (default: $MDS_JOBS, else\n\
+         \x20                          available parallelism; 1 = fully serial)\n\
+         \x20 --markdown               render tables as GitHub Markdown\n\
+         \x20 --json                   also write RESULTS_<experiment>.json\n\
+         \x20                          (to $MDS_RESULTS_DIR, default repo root)\n\
+         \x20 --help, -h               this help\n\
+         \n\
+         experiments:\n\
+         \x20 table1..table9 fig5 fig6 fig7\n\
+         \x20 ablate-mdpt ablate-counter ablate-tagging ablate-ooo\n\
+         \x20 all          every table and figure of the paper\n\
+         \x20 ablations    the four ablation studies\n\
+         \n\
+         Tables print to stdout; run statistics (wall time, trace-cache\n\
+         traffic, worker utilization) print to stderr. Table output is\n\
+         deterministic: byte-identical at every --jobs level.\n\
+         \n\
+         exit codes:\n\
+         \x20 0  success\n\
+         \x20 {EXIT_USAGE}  usage error or unknown experiment id\n\
+         \x20 {EXIT_IO}  I/O error writing --json results"
     );
-    ExitCode::FAILURE
+}
+
+fn usage_error(msg: &str) -> ExitCode {
+    eprintln!("repro: {msg}");
+    eprintln!("run `repro --help` for usage, or `repro list` for experiment ids");
+    ExitCode::from(EXIT_USAGE)
+}
+
+fn unknown_experiment(id: &str) -> ExitCode {
+    eprintln!("repro: unknown experiment '{id}'");
+    eprintln!("valid experiments:");
+    for id in mds_bench::EXPERIMENT_IDS {
+        eprintln!("  {id}");
+    }
+    eprintln!("  all        (expands to every table and figure)");
+    eprintln!("  ablations  (expands to the four ablation studies)");
+    ExitCode::from(EXIT_USAGE)
 }
 
 fn main() -> ExitCode {
     let mut scale = Scale::Small;
     let mut markdown = false;
+    let mut json = false;
+    let mut jobs: Option<usize> = None;
     let mut wanted: Vec<String> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
-                let Some(v) = args.next() else { return usage() };
+                let Some(v) = args.next() else {
+                    return usage_error("--scale needs a value (tiny|small|full)");
+                };
                 scale = match v.as_str() {
                     "tiny" => Scale::Tiny,
                     "small" => Scale::Small,
                     "full" => Scale::Full,
-                    _ => return usage(),
+                    other => {
+                        return usage_error(&format!(
+                            "invalid scale '{other}' (expected tiny|small|full)"
+                        ))
+                    }
                 };
             }
+            "--jobs" => {
+                let Some(v) = args.next() else {
+                    return usage_error("--jobs needs a positive integer");
+                };
+                match v.parse::<usize>() {
+                    Ok(n) if n >= 1 => jobs = Some(n),
+                    _ => return usage_error(&format!("invalid job count '{v}'")),
+                }
+            }
             "--markdown" => markdown = true,
+            "--json" => json = true,
             "--help" | "-h" => {
-                usage();
+                print_help();
                 return ExitCode::SUCCESS;
             }
-            other if other.starts_with('-') => return usage(),
+            other if other.starts_with('-') => {
+                return usage_error(&format!("unknown option '{other}'"));
+            }
             other => wanted.push(other.to_string()),
         }
     }
+
+    if wanted.iter().any(|w| w == "list") {
+        for id in mds_bench::EXPERIMENT_IDS {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
     if wanted.is_empty() {
-        return usage();
+        return usage_error("no experiments requested");
     }
 
-    let mut h = Harness::new(scale);
-    let emit = |title: &str, table: &Table, markdown: bool| {
-        println!("## {title}\n");
+    // Expand the group keywords, reject unknown ids up front, and dedupe
+    // while preserving first-mention order.
+    let mut ids: Vec<&'static str> = Vec::new();
+    for want in &wanted {
+        let expansion: &[&'static str] = match want.as_str() {
+            "all" => &mds_bench::PAPER_IDS,
+            "ablations" => &mds_bench::ABLATION_IDS,
+            other => match mds_bench::EXPERIMENT_IDS.iter().find(|id| **id == other) {
+                Some(id) => std::slice::from_ref(id),
+                None => return unknown_experiment(other),
+            },
+        };
+        for &id in expansion {
+            if !ids.contains(&id) {
+                ids.push(id);
+            }
+        }
+    }
+
+    let mut h = Harness::with_runner(scale, Runner::from_env(jobs));
+
+    // One grid for everything requested: maximum fan-out, and each
+    // workload is emulated exactly once across all experiments.
+    let union: Vec<mds_bench::Demand> = ids.iter().flat_map(|id| mds_bench::demands(id)).collect();
+    h.prefetch(&union);
+
+    for &id in &ids {
+        let title = mds_bench::experiment_title(id).expect("validated above");
+        let table = mds_bench::experiment(&mut h, id).expect("validated above");
+        println!("## {id}: {title}\n");
         if markdown {
             println!("{}", table.render_markdown());
         } else {
             println!("{}", table.render());
         }
-    };
-
-    for want in &wanted {
-        match want.as_str() {
-            "all" => {
-                for (id, title, table) in mds_bench::all_experiments(&mut h) {
-                    emit(&format!("{id}: {title}"), &table, markdown);
+        if json {
+            match mds_bench::write_results(id, title, scale, &table) {
+                Ok(path) => eprintln!("repro: wrote {}", path.display()),
+                Err(e) => {
+                    eprintln!("repro: failed to write results for {id}: {e}");
+                    return ExitCode::from(EXIT_IO);
                 }
             }
-            "ablations" => {
-                emit(
-                    "ablate-mdpt: MDPT capacity sweep",
-                    &mds_bench::ablate_mdpt(&mut h),
-                    markdown,
-                );
-                emit(
-                    "ablate-tagging: distance vs address instance tags",
-                    &mds_bench::ablate_tagging(&mut h),
-                    markdown,
-                );
-                emit(
-                    "ablate-counter: prediction counter sweep",
-                    &mds_bench::ablate_counter(&mut h),
-                    markdown,
-                );
-                emit(
-                    "ablate-ooo: policies on the superscalar model",
-                    &mds_bench::ablate_ooo(&mut h),
-                    markdown,
-                );
-            }
-            "table1" => emit(
-                "table1: dynamic instruction counts",
-                &mds_bench::table1(&mut h),
-                markdown,
-            ),
-            "table2" => emit(
-                "table2: functional unit latencies",
-                &mds_bench::table2(),
-                markdown,
-            ),
-            "table3" => emit(
-                "table3: mis-speculations vs window size",
-                &mds_bench::table3(&mut h),
-                markdown,
-            ),
-            "table4" => emit(
-                "table4: static dependences covering 99.9% of mis-speculations",
-                &mds_bench::table4(&mut h),
-                markdown,
-            ),
-            "table5" => emit(
-                "table5: DDC miss rates (unrealistic OOO)",
-                &mds_bench::table5(&mut h),
-                markdown,
-            ),
-            "table6" => emit(
-                "table6: Multiscalar mis-speculations",
-                &mds_bench::table6(&mut h),
-                markdown,
-            ),
-            "table7" => emit(
-                "table7: Multiscalar DDC miss rates",
-                &mds_bench::table7(&mut h),
-                markdown,
-            ),
-            "table8" => emit(
-                "table8: prediction breakdown",
-                &mds_bench::table8(&mut h),
-                markdown,
-            ),
-            "table9" => emit(
-                "table9: mis-speculations per committed load",
-                &mds_bench::table9(&mut h),
-                markdown,
-            ),
-            "fig5" => emit(
-                "fig5: ALWAYS/WAIT/PSYNC over NEVER",
-                &mds_bench::fig5(&mut h),
-                markdown,
-            ),
-            "fig6" => emit(
-                "fig6: SYNC/ESYNC/PSYNC over ALWAYS",
-                &mds_bench::fig6(&mut h),
-                markdown,
-            ),
-            "fig7" => emit(
-                "fig7: SPEC95 over ALWAYS (8 stages)",
-                &mds_bench::fig7(&mut h),
-                markdown,
-            ),
-            "ablate-mdpt" => emit(
-                "ablate-mdpt: MDPT capacity sweep",
-                &mds_bench::ablate_mdpt(&mut h),
-                markdown,
-            ),
-            "ablate-tagging" => emit(
-                "ablate-tagging: distance vs address instance tags",
-                &mds_bench::ablate_tagging(&mut h),
-                markdown,
-            ),
-            "ablate-counter" => emit(
-                "ablate-counter: prediction counter sweep",
-                &mds_bench::ablate_counter(&mut h),
-                markdown,
-            ),
-            "ablate-ooo" => emit(
-                "ablate-ooo: policies on the superscalar model",
-                &mds_bench::ablate_ooo(&mut h),
-                markdown,
-            ),
-            _ => return usage(),
         }
+    }
+
+    for stats in h.run_stats() {
+        eprint!("{}", stats.render());
     }
     ExitCode::SUCCESS
 }

@@ -1,10 +1,14 @@
 //! The reproduction harness: one generator per table and figure of the
 //! paper, shared by the `repro` binary and the integration tests.
 //!
-//! Everything is driven by a [`Harness`], which builds each workload once
-//! per scale and memoizes Multiscalar runs keyed by
-//! `(workload, stages, policy)` — the same run feeds several tables, and
-//! the full reproduction reuses it everywhere.
+//! Everything is driven by a [`Harness`], which executes simulations
+//! through the `mds-runner` experiment engine: the demands of each
+//! experiment are declared up front ([`demands`]), batched into one
+//! [`mds_runner::Grid`], and fanned out across worker threads with every
+//! workload emulated exactly once behind the runner's shared trace
+//! cache. Results are memoized in the harness, so the same Multiscalar
+//! run feeds several tables and the full reproduction reuses it
+//! everywhere.
 //!
 //! # Examples
 //!
@@ -15,19 +19,24 @@
 //! let mut h = Harness::new(Scale::Tiny);
 //! let t3 = mds_bench::table3(&mut h);
 //! assert!(t3.render().contains("compress"));
+//! // Tables 3-5 share one window analysis per workload, and every
+//! // simulation over a workload shares a single emulated trace.
+//! assert_eq!(h.trace_emulations(), 5);
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use mds_core::Policy;
-use mds_emu::Emulator;
-use mds_isa::Program;
-use mds_multiscalar::{FuLatencies, MsConfig, MsResult, Multiscalar};
-use mds_ooo::{OooConfig, OooSim, WindowAnalyzer, WindowConfig, WindowReport};
+use mds_emu::TraceSummary;
+use mds_harness::json::Json;
+use mds_multiscalar::{FuLatencies, MsConfig, MsResult};
+use mds_ooo::{OooConfig, OooResult, WindowConfig, WindowReport};
+use mds_runner::{Grid, Job, JobKind, JobOutput, RunStats, Runner};
 use mds_sim::table::{fmt_abbrev, fmt_count, Table};
-use mds_workloads::{int92_suite, spec95_suite, Scale, Workload};
+use mds_workloads::{by_name, int92_suite, spec95_suite, Scale, Workload};
 use std::collections::HashMap;
+use std::path::PathBuf;
 
 /// The DDC sizes measured in tables 5 and 7.
 pub const DDC_SIZES_TABLE5: [usize; 3] = [32, 128, 512];
@@ -36,21 +45,148 @@ pub const DDC_SIZES_TABLE7: [usize; 7] = [16, 32, 64, 128, 256, 512, 1024];
 /// The window sizes of the unrealistic-OOO studies (tables 3–5).
 pub const WINDOW_SIZES: [u32; 7] = [8, 16, 32, 64, 128, 256, 512];
 
-/// Builds programs once and memoizes every simulation run.
+/// Workloads swept by the MDPT-capacity ablation (small and large
+/// dependence working sets).
+const MDPT_SWEEP_WORKLOADS: [&str; 3] = ["compress", "gcc", "su2cor"];
+/// MDPT capacities swept by the MDPT ablation.
+const MDPT_SWEEP_ENTRIES: [usize; 5] = [16, 32, 64, 128, 256];
+/// `(counter bits, threshold)` points of the counter ablation.
+const COUNTER_SWEEP: [(u8, u16); 5] = [(1, 1), (2, 2), (3, 3), (3, 5), (4, 8)];
+/// Policies compared on the standalone superscalar model.
+const OOO_POLICIES: [Policy; 3] = [Policy::Always, Policy::Sync, Policy::PSync];
+
+/// The Multiscalar configuration every paper experiment uses for
+/// `(stages, policy)`. ALWAYS runs carry the table 7 DDC sweep so
+/// mis-speculation locality comes for free.
+pub fn ms_config_for(stages: usize, policy: Policy) -> MsConfig {
+    let mut config = MsConfig::paper(stages, policy);
+    if policy == Policy::Always {
+        config = config.with_ddc_sizes(&DDC_SIZES_TABLE7);
+    }
+    config
+}
+
+/// The window-analysis configuration of tables 3–5.
+pub fn window_config() -> WindowConfig {
+    WindowConfig {
+        window_sizes: WINDOW_SIZES.to_vec(),
+        ddc_sizes: DDC_SIZES_TABLE5.to_vec(),
+    }
+}
+
+fn mdpt_sweep_config(entries: usize) -> MsConfig {
+    let mut config = MsConfig::paper(8, Policy::Esync);
+    config.mdpt.capacity = entries;
+    config
+}
+
+fn counter_sweep_config(bits: u8, threshold: u16) -> MsConfig {
+    let mut config = MsConfig::paper(8, Policy::Sync);
+    config.mdpt.counter_bits = bits;
+    config.mdpt.threshold = threshold;
+    config.mdpt.initial = threshold;
+    config
+}
+
+fn tagging_sweep_config(tagging: mds_core::TagScheme) -> MsConfig {
+    let mut config = MsConfig::paper(8, Policy::Sync);
+    config.tagging = tagging;
+    config
+}
+
+fn ooo_sweep_config(policy: Policy) -> OooConfig {
+    OooConfig {
+        policy,
+        ..Default::default()
+    }
+}
+
+/// One simulation an experiment needs: the declarative unit [`Harness`]
+/// batches into runner grids.
+// An experiment declares at most a few hundred demands, so the variant
+// size spread is irrelevant.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum Demand {
+    /// Trace aggregate counts for a workload (table 1).
+    Summary(Workload),
+    /// The unrealistic-OOO window analysis (tables 3–5).
+    Window(Workload),
+    /// A paper-configuration Multiscalar run (`ms_config_for`).
+    Ms(Workload, usize, Policy),
+    /// A Multiscalar run with a custom configuration, keyed by a stable
+    /// id (the ablation sweeps).
+    CustomMs(String, Workload, MsConfig),
+    /// A standalone superscalar run, keyed by a stable id.
+    Ooo(String, Workload, OooConfig),
+}
+
+impl Demand {
+    /// The grid job id for this demand; stable and unique per demand.
+    fn id(&self) -> String {
+        match self {
+            Demand::Summary(wl) => format!("summary/{}", wl.name),
+            Demand::Window(wl) => format!("window/{}", wl.name),
+            Demand::Ms(wl, stages, policy) => format!("ms/{}/{stages}/{policy}", wl.name),
+            Demand::CustomMs(id, _, _) => format!("custom/{id}"),
+            Demand::Ooo(id, _, _) => format!("ooo/{id}"),
+        }
+    }
+
+    fn workload(&self) -> &Workload {
+        match self {
+            Demand::Summary(wl)
+            | Demand::Window(wl)
+            | Demand::Ms(wl, _, _)
+            | Demand::CustomMs(_, wl, _)
+            | Demand::Ooo(_, wl, _) => wl,
+        }
+    }
+
+    fn kind(&self) -> JobKind {
+        match self {
+            Demand::Summary(_) => JobKind::Summary,
+            Demand::Window(_) => JobKind::Window(window_config()),
+            Demand::Ms(_, stages, policy) => JobKind::Multiscalar(ms_config_for(*stages, *policy)),
+            Demand::CustomMs(_, _, config) => JobKind::Multiscalar(config.clone()),
+            Demand::Ooo(_, _, config) => JobKind::Superscalar(*config),
+        }
+    }
+}
+
+/// Executes experiments through the runner and memoizes every result.
 pub struct Harness {
     scale: Scale,
-    programs: HashMap<&'static str, Program>,
+    runner: Runner,
+    trace_emulations: u64,
+    trace_reuses: u64,
+    run_stats: Vec<RunStats>,
+    summaries: HashMap<&'static str, TraceSummary>,
     ms_runs: HashMap<(&'static str, usize, Policy), MsResult>,
+    custom_runs: HashMap<String, MsResult>,
+    ooo_runs: HashMap<String, OooResult>,
     window_reports: HashMap<&'static str, WindowReport>,
 }
 
 impl Harness {
-    /// Creates a harness at the given workload scale.
+    /// A harness at the given workload scale, sized from `MDS_JOBS` or the
+    /// machine's available parallelism.
     pub fn new(scale: Scale) -> Self {
+        Harness::with_runner(scale, Runner::from_env(None))
+    }
+
+    /// A harness with an explicit runner (e.g. `--jobs N`).
+    pub fn with_runner(scale: Scale, runner: Runner) -> Self {
         Harness {
             scale,
-            programs: HashMap::new(),
+            runner,
+            trace_emulations: 0,
+            trace_reuses: 0,
+            run_stats: Vec::new(),
+            summaries: HashMap::new(),
             ms_runs: HashMap::new(),
+            custom_runs: HashMap::new(),
+            ooo_runs: HashMap::new(),
             window_reports: HashMap::new(),
         }
     }
@@ -60,49 +196,129 @@ impl Harness {
         self.scale
     }
 
-    /// The program for a workload (built once).
-    pub fn program(&mut self, wl: &Workload) -> &Program {
-        let scale = self.scale;
-        self.programs
-            .entry(wl.name)
-            .or_insert_with(|| (wl.build)(scale))
+    /// Worker threads the underlying runner uses.
+    pub fn workers(&self) -> usize {
+        self.runner.workers()
     }
 
-    /// A memoized Multiscalar run. ALWAYS runs carry the table 7 DDC
-    /// sweep so mis-speculation locality comes for free.
+    /// Total emulations performed so far (runner trace-cache misses).
+    pub fn trace_emulations(&self) -> u64 {
+        self.trace_emulations
+    }
+
+    /// Total trace-cache reuses so far (simulations that replayed an
+    /// already-captured trace instead of re-emulating).
+    pub fn trace_reuses(&self) -> u64 {
+        self.trace_reuses
+    }
+
+    /// Observability for every grid this harness has run, in order —
+    /// wall time, cache traffic, and per-worker utilization.
+    pub fn run_stats(&self) -> &[RunStats] {
+        &self.run_stats
+    }
+
+    fn is_satisfied(&self, demand: &Demand) -> bool {
+        match demand {
+            Demand::Summary(wl) => self.summaries.contains_key(wl.name),
+            Demand::Window(wl) => self.window_reports.contains_key(wl.name),
+            Demand::Ms(wl, stages, policy) => {
+                self.ms_runs.contains_key(&(wl.name, *stages, *policy))
+            }
+            Demand::CustomMs(id, _, _) => self.custom_runs.contains_key(id),
+            Demand::Ooo(id, _, _) => self.ooo_runs.contains_key(id),
+        }
+    }
+
+    /// Runs every not-yet-memoized demand as one parallel grid.
+    ///
+    /// Batching matters twice over: jobs fan out across workers, and all
+    /// demands on the same workload share a single emulated trace.
+    pub fn prefetch(&mut self, demands: &[Demand]) {
+        let mut grid = Grid::new(self.scale);
+        let mut pending: Vec<Demand> = Vec::new();
+        let mut queued: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for demand in demands {
+            if self.is_satisfied(demand) || !queued.insert(demand.id()) {
+                continue;
+            }
+            grid.push(Job {
+                id: demand.id(),
+                workload: *demand.workload(),
+                scale: self.scale,
+                kind: demand.kind(),
+            });
+            pending.push(demand.clone());
+        }
+        if grid.is_empty() {
+            return;
+        }
+        let outcome = self.runner.run(&grid);
+        self.trace_emulations += outcome.stats.cache_misses;
+        self.trace_reuses += outcome.stats.cache_hits;
+        self.run_stats.push(outcome.stats.clone());
+        for (demand, result) in pending.into_iter().zip(outcome.results) {
+            match (demand, result.output) {
+                (Demand::Summary(wl), JobOutput::Summary(s)) => {
+                    self.summaries.insert(wl.name, s);
+                }
+                (Demand::Window(wl), JobOutput::Window(r)) => {
+                    self.window_reports.insert(wl.name, r);
+                }
+                (Demand::Ms(wl, stages, policy), JobOutput::Multiscalar(r)) => {
+                    self.ms_runs.insert((wl.name, stages, policy), r);
+                }
+                (Demand::CustomMs(id, _, _), JobOutput::Multiscalar(r)) => {
+                    self.custom_runs.insert(id, r);
+                }
+                (Demand::Ooo(id, _, _), JobOutput::Superscalar(r)) => {
+                    self.ooo_runs.insert(id, r);
+                }
+                (demand, _) => unreachable!("job output mismatches demand {}", demand.id()),
+            }
+        }
+    }
+
+    /// A memoized paper-configuration Multiscalar run.
     pub fn run(&mut self, wl: &Workload, stages: usize, policy: Policy) -> MsResult {
         let key = (wl.name, stages, policy);
-        if let Some(r) = self.ms_runs.get(&key) {
-            return r.clone();
+        if !self.ms_runs.contains_key(&key) {
+            self.prefetch(&[Demand::Ms(*wl, stages, policy)]);
         }
-        let program = self.program(wl).clone();
-        let mut config = MsConfig::paper(stages, policy);
-        if policy == Policy::Always {
-            config = config.with_ddc_sizes(&DDC_SIZES_TABLE7);
+        self.ms_runs[&key].clone()
+    }
+
+    /// A memoized Multiscalar run with a custom configuration, keyed by a
+    /// caller-chosen stable id (the ablation sweeps).
+    pub fn run_custom(&mut self, id: &str, wl: &Workload, config: MsConfig) -> MsResult {
+        if !self.custom_runs.contains_key(id) {
+            self.prefetch(&[Demand::CustomMs(id.to_string(), *wl, config)]);
         }
-        let result = Multiscalar::new(config)
-            .run(&program)
-            .expect("workloads run to completion");
-        self.ms_runs.insert(key, result.clone());
-        result
+        self.custom_runs[id].clone()
+    }
+
+    /// A memoized standalone-superscalar run, keyed by a stable id.
+    pub fn run_ooo(&mut self, id: &str, wl: &Workload, config: OooConfig) -> OooResult {
+        if !self.ooo_runs.contains_key(id) {
+            self.prefetch(&[Demand::Ooo(id.to_string(), *wl, config)]);
+        }
+        self.ooo_runs[id].clone()
     }
 
     /// A memoized unrealistic-OOO window analysis (tables 3–5).
     pub fn window_report(&mut self, wl: &Workload) -> WindowReport {
-        if let Some(r) = self.window_reports.get(wl.name) {
-            return r.clone();
+        if !self.window_reports.contains_key(wl.name) {
+            self.prefetch(&[Demand::Window(*wl)]);
         }
-        let program = self.program(wl).clone();
-        let mut analyzer = WindowAnalyzer::new(WindowConfig {
-            window_sizes: WINDOW_SIZES.to_vec(),
-            ddc_sizes: DDC_SIZES_TABLE5.to_vec(),
-        });
-        Emulator::new(&program)
-            .run_with(|d| analyzer.observe(d))
-            .expect("workloads run to completion");
-        let report = analyzer.finish();
-        self.window_reports.insert(wl.name, report.clone());
-        report
+        self.window_reports[wl.name].clone()
+    }
+
+    /// Memoized trace aggregate counts for a workload (table 1).
+    pub fn summary(&mut self, wl: &Workload) -> TraceSummary {
+        if !self.summaries.contains_key(wl.name) {
+            self.prefetch(&[Demand::Summary(*wl)]);
+        }
+        self.summaries[wl.name]
     }
 }
 
@@ -120,8 +336,7 @@ pub fn table1(h: &mut Harness) -> Table {
         "avg task size",
     ]);
     for wl in mds_workloads::all() {
-        let program = h.program(&wl).clone();
-        let sum = Emulator::new(&program).run_with(|_| {}).expect("runs");
+        let sum = h.summary(&wl);
         let suite = match wl.suite {
             mds_workloads::Suite::Int92 => "int92",
             mds_workloads::Suite::Spec95Int => "spec95-int",
@@ -388,17 +603,14 @@ pub fn ablate_mdpt(h: &mut Harness) -> Table {
         "misspec",
         "speedup over ALWAYS %",
     ]);
-    let interesting = ["compress", "gcc", "su2cor"];
     for wl in mds_workloads::all()
         .into_iter()
-        .filter(|w| interesting.contains(&w.name))
+        .filter(|w| MDPT_SWEEP_WORKLOADS.contains(&w.name))
     {
-        let program = h.program(&wl).clone();
         let always = h.run(&wl, 8, Policy::Always);
-        for entries in [16usize, 32, 64, 128, 256] {
-            let mut config = MsConfig::paper(8, Policy::Esync);
-            config.mdpt.capacity = entries;
-            let r = Multiscalar::new(config).run(&program).expect("runs");
+        for entries in MDPT_SWEEP_ENTRIES {
+            let id = format!("mdpt/{}/{entries}", wl.name);
+            let r = h.run_custom(&id, &wl, mdpt_sweep_config(entries));
             t.row([
                 wl.name.to_string(),
                 entries.to_string(),
@@ -419,15 +631,11 @@ pub fn ablate_counter(h: &mut Harness) -> Table {
         "misspec",
         "speedup over ALWAYS %",
     ]);
-    let wl = mds_workloads::by_name("compress").expect("registered");
-    let program = h.program(&wl).clone();
+    let wl = by_name("compress").expect("registered");
     let always = h.run(&wl, 8, Policy::Always);
-    for (bits, threshold) in [(1u8, 1u16), (2, 2), (3, 3), (3, 5), (4, 8)] {
-        let mut config = MsConfig::paper(8, Policy::Sync);
-        config.mdpt.counter_bits = bits;
-        config.mdpt.threshold = threshold;
-        config.mdpt.initial = threshold;
-        let r = Multiscalar::new(config).run(&program).expect("runs");
+    for (bits, threshold) in COUNTER_SWEEP {
+        let id = format!("counter/{bits}/{threshold}");
+        let r = h.run_custom(&id, &wl, counter_sweep_config(bits, threshold));
         t.row([
             bits.to_string(),
             threshold.to_string(),
@@ -446,15 +654,13 @@ pub fn ablate_counter(h: &mut Harness) -> Table {
 pub fn ablate_tagging(h: &mut Harness) -> Table {
     let mut t = Table::new(["benchmark", "tagging", "misspec", "speedup over ALWAYS %"]);
     for wl in int92_suite() {
-        let program = h.program(&wl).clone();
         let always = h.run(&wl, 8, Policy::Always);
         for (label, tagging) in [
             ("distance", mds_core::TagScheme::DependenceDistance),
             ("address", mds_core::TagScheme::DataAddress),
         ] {
-            let mut config = MsConfig::paper(8, Policy::Sync);
-            config.tagging = tagging;
-            let r = Multiscalar::new(config).run(&program).expect("runs");
+            let id = format!("tagging/{}/{label}", wl.name);
+            let r = h.run_custom(&id, &wl, tagging_sweep_config(tagging));
             t.row([
                 wl.name.to_string(),
                 label.to_string(),
@@ -471,16 +677,9 @@ pub fn ablate_tagging(h: &mut Harness) -> Table {
 pub fn ablate_ooo(h: &mut Harness) -> Table {
     let mut t = Table::new(["benchmark", "policy", "IPC", "misspec"]);
     for wl in int92_suite() {
-        let program = h.program(&wl).clone();
-        for policy in [Policy::Always, Policy::Sync, Policy::PSync] {
-            let mut sim = OooSim::new(OooConfig {
-                policy,
-                ..Default::default()
-            });
-            Emulator::new(&program)
-                .run_with(|d| sim.observe(d))
-                .expect("runs");
-            let r = sim.finish();
+        for policy in OOO_POLICIES {
+            let id = format!("{}/{policy}", wl.name);
+            let r = h.run_ooo(&id, &wl, ooo_sweep_config(policy));
             t.row([
                 wl.name.to_string(),
                 policy.to_string(),
@@ -492,62 +691,269 @@ pub fn ablate_ooo(h: &mut Harness) -> Table {
     t
 }
 
-/// Every experiment in order: `(id, title, table)`.
+/// Every experiment id `repro` accepts, in canonical emission order.
+pub const EXPERIMENT_IDS: [&str; 16] = [
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "table6",
+    "table7",
+    "table8",
+    "table9",
+    "fig5",
+    "fig6",
+    "fig7",
+    "ablate-mdpt",
+    "ablate-tagging",
+    "ablate-counter",
+    "ablate-ooo",
+];
+
+/// The experiment ids `repro all` expands to (the paper's tables and
+/// figures; ablations are separate).
+pub const PAPER_IDS: [&str; 12] = [
+    "table1", "table2", "table3", "table4", "table5", "table6", "table7", "table8", "table9",
+    "fig5", "fig6", "fig7",
+];
+
+/// The experiment ids `repro ablations` expands to.
+pub const ABLATION_IDS: [&str; 4] = [
+    "ablate-mdpt",
+    "ablate-tagging",
+    "ablate-counter",
+    "ablate-ooo",
+];
+
+/// One-line title for an experiment id.
+pub fn experiment_title(id: &str) -> Option<&'static str> {
+    Some(match id {
+        "table1" => "Dynamic instruction count per benchmark",
+        "table2" => "Functional unit latencies (configuration)",
+        "table3" => "Unrealistic OOO: mis-speculations vs window size",
+        "table4" => "Unrealistic OOO: static dependences covering 99.9% of mis-speculations",
+        "table5" => "Unrealistic OOO: DDC miss rate (%) vs window and DDC size",
+        "table6" => "Multiscalar: mis-speculations under blind speculation",
+        "table7" => "8-stage Multiscalar: DDC miss rate (%) vs DDC size",
+        "table8" => "Dependence prediction breakdown (%)",
+        "table9" => "Mis-speculations per committed load",
+        "fig5" => "Speedup (%) over NEVER: ALWAYS / WAIT / PSYNC",
+        "fig6" => "Speedup (%) over ALWAYS: SYNC / ESYNC / PSYNC",
+        "fig7" => "SPEC95 on 8 stages: ESYNC and PSYNC over ALWAYS",
+        "ablate-mdpt" => "MDPT capacity sweep",
+        "ablate-tagging" => "Distance vs address instance tags",
+        "ablate-counter" => "Prediction counter sweep",
+        "ablate-ooo" => "Policies on the superscalar model",
+        _ => return None,
+    })
+}
+
+/// Every simulation `id` needs, for batching into one parallel grid.
+/// Unknown ids yield an empty list.
+pub fn demands(id: &str) -> Vec<Demand> {
+    let ms = |suite: Vec<Workload>, stages: &[usize], policies: &[Policy]| -> Vec<Demand> {
+        let mut v = Vec::new();
+        for wl in &suite {
+            for &s in stages {
+                for &p in policies {
+                    v.push(Demand::Ms(*wl, s, p));
+                }
+            }
+        }
+        v
+    };
+    match id {
+        "table1" => mds_workloads::all()
+            .into_iter()
+            .map(Demand::Summary)
+            .collect(),
+        "table2" => Vec::new(),
+        "table3" | "table4" | "table5" => int92_suite().into_iter().map(Demand::Window).collect(),
+        "table6" => ms(int92_suite(), &[4, 8], &[Policy::Always]),
+        "table7" => ms(int92_suite(), &[8], &[Policy::Always]),
+        "table8" => {
+            let mut v = ms(int92_suite(), &[4, 8], &[Policy::Sync]);
+            v.extend(ms(int92_suite(), &[8], &[Policy::Esync]));
+            v
+        }
+        "table9" => ms(int92_suite(), &[4, 8], &[Policy::Always, Policy::Esync]),
+        "fig5" => ms(
+            int92_suite(),
+            &[4, 8],
+            &[Policy::Never, Policy::Always, Policy::Wait, Policy::PSync],
+        ),
+        "fig6" => ms(
+            int92_suite(),
+            &[4, 8],
+            &[Policy::Always, Policy::Sync, Policy::Esync, Policy::PSync],
+        ),
+        "fig7" => ms(
+            spec95_suite(),
+            &[8],
+            &[Policy::Always, Policy::Esync, Policy::PSync],
+        ),
+        "ablate-mdpt" => {
+            let mut v = Vec::new();
+            for wl in mds_workloads::all()
+                .into_iter()
+                .filter(|w| MDPT_SWEEP_WORKLOADS.contains(&w.name))
+            {
+                v.push(Demand::Ms(wl, 8, Policy::Always));
+                for entries in MDPT_SWEEP_ENTRIES {
+                    v.push(Demand::CustomMs(
+                        format!("mdpt/{}/{entries}", wl.name),
+                        wl,
+                        mdpt_sweep_config(entries),
+                    ));
+                }
+            }
+            v
+        }
+        "ablate-counter" => {
+            let wl = by_name("compress").expect("registered");
+            let mut v = vec![Demand::Ms(wl, 8, Policy::Always)];
+            for (bits, threshold) in COUNTER_SWEEP {
+                v.push(Demand::CustomMs(
+                    format!("counter/{bits}/{threshold}"),
+                    wl,
+                    counter_sweep_config(bits, threshold),
+                ));
+            }
+            v
+        }
+        "ablate-tagging" => {
+            let mut v = Vec::new();
+            for wl in int92_suite() {
+                v.push(Demand::Ms(wl, 8, Policy::Always));
+                for (label, tagging) in [
+                    ("distance", mds_core::TagScheme::DependenceDistance),
+                    ("address", mds_core::TagScheme::DataAddress),
+                ] {
+                    v.push(Demand::CustomMs(
+                        format!("tagging/{}/{label}", wl.name),
+                        wl,
+                        tagging_sweep_config(tagging),
+                    ));
+                }
+            }
+            v
+        }
+        "ablate-ooo" => {
+            let mut v = Vec::new();
+            for wl in int92_suite() {
+                for policy in OOO_POLICIES {
+                    v.push(Demand::Ooo(
+                        format!("{}/{policy}", wl.name),
+                        wl,
+                        ooo_sweep_config(policy),
+                    ));
+                }
+            }
+            v
+        }
+        _ => Vec::new(),
+    }
+}
+
+/// Generates one experiment: prefetches its demands (as a parallel grid)
+/// and builds its table. `None` for unknown ids.
+pub fn experiment(h: &mut Harness, id: &str) -> Option<Table> {
+    experiment_title(id)?;
+    h.prefetch(&demands(id));
+    Some(match id {
+        "table1" => table1(h),
+        "table2" => table2(),
+        "table3" => table3(h),
+        "table4" => table4(h),
+        "table5" => table5(h),
+        "table6" => table6(h),
+        "table7" => table7(h),
+        "table8" => table8(h),
+        "table9" => table9(h),
+        "fig5" => fig5(h),
+        "fig6" => fig6(h),
+        "fig7" => fig7(h),
+        "ablate-mdpt" => ablate_mdpt(h),
+        "ablate-tagging" => ablate_tagging(h),
+        "ablate-counter" => ablate_counter(h),
+        "ablate-ooo" => ablate_ooo(h),
+        _ => unreachable!("title resolved above"),
+    })
+}
+
+/// Every paper experiment in order: `(id, title, table)`. The union of
+/// all demands is prefetched as one grid before any table is built, so a
+/// full reproduction emulates each workload exactly once and fans every
+/// simulation out across the runner's workers.
 pub fn all_experiments(h: &mut Harness) -> Vec<(&'static str, &'static str, Table)> {
-    vec![
-        (
-            "table1",
-            "Dynamic instruction count per benchmark",
-            table1(h),
-        ),
-        (
-            "table2",
-            "Functional unit latencies (configuration)",
-            table2(),
-        ),
-        (
-            "table3",
-            "Unrealistic OOO: mis-speculations vs window size",
-            table3(h),
-        ),
-        (
-            "table4",
-            "Unrealistic OOO: static dependences covering 99.9% of mis-speculations",
-            table4(h),
-        ),
-        (
-            "table5",
-            "Unrealistic OOO: DDC miss rate (%) vs window and DDC size",
-            table5(h),
-        ),
-        (
-            "table6",
-            "Multiscalar: mis-speculations under blind speculation",
-            table6(h),
-        ),
-        (
-            "table7",
-            "8-stage Multiscalar: DDC miss rate (%) vs DDC size",
-            table7(h),
-        ),
-        ("table8", "Dependence prediction breakdown (%)", table8(h)),
-        ("table9", "Mis-speculations per committed load", table9(h)),
-        (
-            "fig5",
-            "Speedup (%) over NEVER: ALWAYS / WAIT / PSYNC",
-            fig5(h),
-        ),
-        (
-            "fig6",
-            "Speedup (%) over ALWAYS: SYNC / ESYNC / PSYNC",
-            fig6(h),
-        ),
-        (
-            "fig7",
-            "SPEC95 on 8 stages: ESYNC and PSYNC over ALWAYS",
-            fig7(h),
-        ),
-    ]
+    let union: Vec<Demand> = PAPER_IDS.iter().flat_map(|id| demands(id)).collect();
+    h.prefetch(&union);
+    PAPER_IDS
+        .iter()
+        .map(|&id| {
+            (
+                id,
+                experiment_title(id).expect("registered id"),
+                experiment(h, id).expect("registered id"),
+            )
+        })
+        .collect()
+}
+
+/// The deterministic JSON form of a rendered table: header plus rows,
+/// all strings, in insertion order.
+pub fn table_json(table: &Table) -> Json {
+    Json::object()
+        .field(
+            "header",
+            Json::Array(
+                table
+                    .header()
+                    .iter()
+                    .map(|c| Json::from(c.as_str()))
+                    .collect(),
+            ),
+        )
+        .field(
+            "rows",
+            Json::Array(
+                table
+                    .rows()
+                    .iter()
+                    .map(|row| Json::Array(row.iter().map(|c| Json::from(c.as_str())).collect()))
+                    .collect(),
+            ),
+        )
+}
+
+/// Serializes one experiment's table to `RESULTS_<id>.json` in
+/// `MDS_RESULTS_DIR` (default: the workspace root, like `BENCH_*.json`)
+/// and returns the path. The document is a pure function of the
+/// simulation results — no timings — so parallel and serial runs write
+/// identical bytes.
+pub fn write_results(
+    id: &str,
+    title: &str,
+    scale: Scale,
+    table: &Table,
+) -> std::io::Result<PathBuf> {
+    let dir = std::env::var_os("MDS_RESULTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(mds_harness::bench::report_dir);
+    let scale_name = match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    };
+    let doc = Json::object()
+        .field("experiment", id)
+        .field("title", title)
+        .field("scale", scale_name)
+        .field("table", table_json(table));
+    let path = dir.join(format!("RESULTS_{id}.json"));
+    std::fs::write(&path, doc.pretty())?;
+    Ok(path)
 }
 
 #[cfg(test)]
@@ -557,11 +963,12 @@ mod tests {
     #[test]
     fn harness_memoizes_runs() {
         let mut h = Harness::new(Scale::Tiny);
-        let wl = mds_workloads::by_name("sc").unwrap();
+        let wl = by_name("sc").unwrap();
         let a = h.run(&wl, 4, Policy::Always);
         let b = h.run(&wl, 4, Policy::Always);
         assert_eq!(a.cycles, b.cycles);
         assert_eq!(h.ms_runs.len(), 1);
+        assert_eq!(h.trace_emulations(), 1);
     }
 
     #[test]
@@ -577,6 +984,26 @@ mod tests {
         for (id, _title, table) in all_experiments(&mut h) {
             assert!(!table.is_empty(), "{id} produced an empty table");
             assert!(table.render().lines().count() >= 3, "{id} too short");
+        }
+        // The union prefetch emulated each of the 23 workloads exactly
+        // once; everything else replayed cached traces.
+        assert_eq!(h.trace_emulations(), 23);
+        assert!(h.trace_reuses() > 0);
+    }
+
+    #[test]
+    fn demands_cover_every_experiment() {
+        // Prefetching an experiment's declared demands must fully satisfy
+        // its table: building it afterwards may not simulate anything new.
+        for id in EXPERIMENT_IDS {
+            let mut h = Harness::new(Scale::Tiny);
+            h.prefetch(&demands(id));
+            let emulations = h.trace_emulations();
+            let reuses = h.trace_reuses();
+            let table = experiment(&mut h, id).expect("registered id");
+            assert!(!table.is_empty() || id == "table2", "{id} empty");
+            assert_eq!(h.trace_emulations(), emulations, "{id} under-declared");
+            assert_eq!(h.trace_reuses(), reuses, "{id} under-declared");
         }
     }
 
@@ -613,9 +1040,42 @@ mod tests {
     #[test]
     fn window_report_is_cached() {
         let mut h = Harness::new(Scale::Tiny);
-        let wl = mds_workloads::by_name("compress").unwrap();
+        let wl = by_name("compress").unwrap();
         let _ = h.window_report(&wl);
         let _ = h.window_report(&wl);
         assert_eq!(h.window_reports.len(), 1);
+        assert_eq!(h.trace_emulations(), 1);
+    }
+
+    #[test]
+    fn parallel_harness_matches_serial_tables() {
+        let wanted = ["table6", "fig5"];
+        let render = |workers: usize| {
+            let mut h = Harness::with_runner(Scale::Tiny, Runner::new(workers));
+            wanted
+                .iter()
+                .map(|id| experiment(&mut h, id).unwrap().render())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(render(1), render(4));
+    }
+
+    #[test]
+    fn table_json_is_deterministic_and_structured() {
+        let mut t = Table::new(["a", "b"]);
+        t.row(["x", "1"]);
+        let v = table_json(&t);
+        assert_eq!(v.to_string(), r#"{"header":["a","b"],"rows":[["x","1"]]}"#);
+    }
+
+    #[test]
+    fn experiment_registry_is_consistent() {
+        for id in EXPERIMENT_IDS {
+            assert!(experiment_title(id).is_some(), "{id} has no title");
+        }
+        assert!(experiment_title("nope").is_none());
+        assert!(PAPER_IDS.iter().all(|id| EXPERIMENT_IDS.contains(id)));
+        assert!(ABLATION_IDS.iter().all(|id| EXPERIMENT_IDS.contains(id)));
+        assert_eq!(PAPER_IDS.len() + ABLATION_IDS.len(), EXPERIMENT_IDS.len());
     }
 }

@@ -45,4 +45,4 @@ pub mod trace;
 pub use dyninst::{BranchOutcome, DynInst, MemAccess};
 pub use machine::{EmuError, Emulator, MachineState, TraceSummary};
 pub use memory::Memory;
-pub use trace::{format_dyninst, format_trace};
+pub use trace::{format_dyninst, format_trace, Trace};

@@ -1,12 +1,123 @@
-//! Human-readable rendering of committed instruction streams.
+//! Captured committed instruction streams, and their human-readable
+//! rendering.
 //!
-//! Debugging a dependence-speculation study means staring at traces; this
-//! module renders [`DynInst`] records the way an architect would annotate
-//! them — disassembly plus resolved addresses, branch outcomes, and task
-//! boundaries.
+//! [`Trace`] is the machine-facing half: a fully-materialized committed
+//! stream that downstream simulators replay read-only. It is `Send + Sync`
+//! by construction, so one emulation can be shared across threads behind
+//! an `Arc` — the substrate of `mds-runner`'s shared trace cache, where
+//! every (workload × policy × config) grid cell replays the same stream.
+//!
+//! The rendering half is for humans: debugging a dependence-speculation
+//! study means staring at traces, so [`format_dyninst`] renders records
+//! the way an architect would annotate them — disassembly plus resolved
+//! addresses, branch outcomes, and task boundaries.
 
 use crate::dyninst::DynInst;
+use crate::machine::{EmuError, Emulator, TraceSummary};
+use mds_isa::Program;
 use std::fmt::Write as _;
+
+/// A fully-captured committed instruction stream plus its aggregate
+/// counts.
+///
+/// Unlike [`Emulator::run`], which hands back a bare `Vec<DynInst>`, a
+/// `Trace` keeps the [`TraceSummary`] alongside the records, so consumers
+/// that only need counts (e.g. table 1 of the paper) never re-walk the
+/// stream. The type is immutable after capture and `Send + Sync`, so it
+/// can be shared across worker threads behind an `Arc`.
+///
+/// # Examples
+///
+/// ```
+/// use mds_isa::{ProgramBuilder, Reg};
+/// use mds_emu::Trace;
+///
+/// let mut b = ProgramBuilder::new();
+/// b.li(Reg::T0, 3);
+/// b.label("loop");
+/// b.addi(Reg::T0, Reg::T0, -1);
+/// b.bne(Reg::T0, Reg::ZERO, "loop");
+/// b.halt();
+/// let p = b.build()?;
+///
+/// let trace = Trace::capture(&p)?;
+/// assert_eq!(trace.len() as u64, trace.summary().instructions);
+/// assert_eq!(trace.summary().taken_branches, 2);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    records: Vec<DynInst>,
+    summary: TraceSummary,
+}
+
+// The whole point of `Trace` is cross-thread sharing; keep that property
+// checked at compile time.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<Trace>();
+};
+
+impl Trace {
+    /// Runs `program` to completion on a fresh [`Emulator`] and captures
+    /// the full committed stream.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`EmuError`] from execution (wild PCs, the
+    /// instruction budget).
+    pub fn capture(program: &Program) -> Result<Trace, EmuError> {
+        Self::capture_limited(program, None)
+    }
+
+    /// Like [`Trace::capture`] with an explicit instruction budget.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any [`EmuError`] from execution.
+    pub fn capture_limited(program: &Program, limit: Option<u64>) -> Result<Trace, EmuError> {
+        let mut emu = Emulator::new(program);
+        if let Some(limit) = limit {
+            emu = emu.with_limit(limit);
+        }
+        let records = emu.run()?;
+        Ok(Trace {
+            records,
+            summary: emu.summary(),
+        })
+    }
+
+    /// Wraps an already-collected committed stream and its counts.
+    pub fn from_parts(records: Vec<DynInst>, summary: TraceSummary) -> Trace {
+        Trace { records, summary }
+    }
+
+    /// The committed records, in sequential order.
+    pub fn records(&self) -> &[DynInst] {
+        &self.records
+    }
+
+    /// Aggregate counts over the whole stream.
+    pub fn summary(&self) -> TraceSummary {
+        self.summary
+    }
+
+    /// Number of committed instructions.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when the trace holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Approximate resident size of the trace in bytes (records only) —
+    /// the number a trace cache budgets against.
+    pub fn resident_bytes(&self) -> usize {
+        self.records.len() * std::mem::size_of::<DynInst>()
+    }
+}
 
 /// Formats one committed instruction as a single annotated line.
 ///
@@ -121,5 +232,74 @@ mod tests {
         let line = format_dyninst(&trace[1]); // li t0, 2
         assert!(!line.contains('['));
         assert!(line.contains("li t0, 2"));
+    }
+
+    fn sample_program() -> mds_isa::Program {
+        let mut b = ProgramBuilder::new();
+        b.alloc("buf", 2);
+        b.la(Reg::S0, "buf");
+        b.li(Reg::T0, 2);
+        b.label("loop");
+        b.task();
+        b.ld(Reg::T1, Reg::S0, 0);
+        b.addi(Reg::T1, Reg::T1, 1);
+        b.sb(Reg::T1, Reg::S0, 8);
+        b.addi(Reg::T0, Reg::T0, -1);
+        b.bne(Reg::T0, Reg::ZERO, "loop");
+        b.halt();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn capture_matches_streaming_run() {
+        let p = sample_program();
+        let trace = Trace::capture(&p).unwrap();
+        let mut emu = Emulator::new(&p);
+        let records = emu.run().unwrap();
+        assert_eq!(trace.records(), &records[..]);
+        assert_eq!(trace.summary(), emu.summary());
+        assert_eq!(trace.len(), records.len());
+        assert!(!trace.is_empty());
+        assert!(trace.resident_bytes() >= records.len());
+    }
+
+    #[test]
+    fn capture_limited_propagates_budget_errors() {
+        let mut b = ProgramBuilder::new();
+        b.label("spin");
+        b.j("spin");
+        let p = b.build().unwrap();
+        let err = Trace::capture_limited(&p, Some(10)).unwrap_err();
+        assert_eq!(err, EmuError::InstructionLimit { executed: 10 });
+    }
+
+    #[test]
+    fn traces_share_across_threads() {
+        let p = sample_program();
+        let trace = std::sync::Arc::new(Trace::capture(&p).unwrap());
+        let counts: Vec<u64> = std::thread::scope(|s| {
+            (0..2)
+                .map(|_| {
+                    let t = std::sync::Arc::clone(&trace);
+                    s.spawn(move || t.records().iter().filter(|d| d.is_load()).count() as u64)
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(counts[0], counts[1]);
+        assert_eq!(counts[0], trace.summary().loads);
+    }
+
+    #[test]
+    fn from_parts_round_trips() {
+        let p = sample_program();
+        let mut emu = Emulator::new(&p);
+        let records = emu.run().unwrap();
+        let summary = emu.summary();
+        let t = Trace::from_parts(records.clone(), summary);
+        assert_eq!(t.records(), &records[..]);
+        assert_eq!(t.summary(), summary);
     }
 }

@@ -471,7 +471,10 @@ impl Harness {
 
 /// The directory reports are written to: `MDS_BENCH_DIR` if set, else the
 /// enclosing workspace root, else the current directory.
-fn report_dir() -> PathBuf {
+///
+/// Public because other machine-readable artifacts (the `repro` binary's
+/// `RESULTS_*.json` files) follow the same placement convention.
+pub fn report_dir() -> PathBuf {
     if let Some(dir) = std::env::var_os("MDS_BENCH_DIR") {
         return PathBuf::from(dir);
     }

@@ -1,0 +1,233 @@
+//! A work-stealing scoped-thread pool over indexed tasks.
+//!
+//! The pool is deliberately tiny: experiment grids are bags of coarse,
+//! independent jobs (each one a full simulation), so the scheduler only
+//! needs to keep every core busy and let fast workers steal from slow
+//! ones. Each worker owns a deque seeded with a contiguous chunk of the
+//! index space; it pops from the front of its own deque, refills from a
+//! global injector when it runs dry, and steals from the *back* of a
+//! victim's deque as a last resort (stealing the opposite end keeps the
+//! owner and the thief off the same cache lines of work).
+//!
+//! Determinism does not come from the schedule — completion order is
+//! whatever it is — but from [`run_indexed`] returning results **in index
+//! order**, so callers never observe the schedule.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::Instant;
+
+/// How many indices a dry worker pulls from the injector at once.
+///
+/// Batching amortizes the injector lock; a small batch keeps the tail of
+/// the run stealable.
+const INJECTOR_BATCH: usize = 4;
+
+/// Per-worker execution accounting for the end-of-run utilization report.
+#[derive(Debug, Clone)]
+pub struct PoolReport {
+    /// Number of workers that ran (1 for a serial run).
+    pub workers: usize,
+    /// Busy wall-time per worker, in nanoseconds.
+    pub busy_ns: Vec<u128>,
+    /// Jobs executed per worker.
+    pub executed: Vec<u64>,
+    /// Jobs a worker obtained by stealing from a sibling's deque.
+    pub steals: u64,
+}
+
+impl PoolReport {
+    /// Total busy nanoseconds across all workers.
+    pub fn total_busy_ns(&self) -> u128 {
+        self.busy_ns.iter().sum()
+    }
+}
+
+/// Resolves the worker count from, in priority order: an explicit request
+/// (e.g. `--jobs N`), the `MDS_JOBS` environment variable, and the
+/// machine's available parallelism. Always at least 1.
+pub fn job_count(explicit: Option<usize>) -> usize {
+    let from_env = || {
+        std::env::var("MDS_JOBS")
+            .ok()
+            .and_then(|v| v.trim().parse::<usize>().ok())
+    };
+    let resolved = explicit.or_else(from_env).unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
+    resolved.max(1)
+}
+
+struct Shared {
+    injector: Mutex<VecDeque<usize>>,
+    deques: Vec<Mutex<VecDeque<usize>>>,
+}
+
+impl Shared {
+    /// Next index for `who`: own front, then an injector batch, then a
+    /// steal from the back of some sibling's deque.
+    fn next(&self, who: usize) -> Option<(usize, bool)> {
+        if let Some(idx) = self.deques[who].lock().unwrap().pop_front() {
+            return Some((idx, false));
+        }
+        {
+            let mut injector = self.injector.lock().unwrap();
+            if let Some(idx) = injector.pop_front() {
+                let refill: Vec<usize> = (1..INJECTOR_BATCH)
+                    .map_while(|_| injector.pop_front())
+                    .collect();
+                drop(injector);
+                if !refill.is_empty() {
+                    self.deques[who].lock().unwrap().extend(refill);
+                }
+                return Some((idx, false));
+            }
+        }
+        for victim in (0..self.deques.len()).filter(|&v| v != who) {
+            if let Some(idx) = self.deques[victim].lock().unwrap().pop_back() {
+                return Some((idx, true));
+            }
+        }
+        None
+    }
+}
+
+/// Runs `f(0..count)` on up to `workers` threads and returns the results
+/// **in index order**, plus per-worker accounting.
+///
+/// With `workers <= 1` (or a single task) everything runs inline on the
+/// caller's thread — no threads are spawned, so `--jobs 1` is genuinely
+/// serial, not "parallel machinery with one worker".
+///
+/// # Panics
+///
+/// Propagates a panic from `f` after the scope unwinds its workers.
+pub fn run_indexed<T, F>(workers: usize, count: usize, f: F) -> (Vec<T>, PoolReport)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if workers <= 1 || count <= 1 {
+        let start = Instant::now();
+        let results: Vec<T> = (0..count).map(&f).collect();
+        let report = PoolReport {
+            workers: 1,
+            busy_ns: vec![start.elapsed().as_nanos()],
+            executed: vec![count as u64],
+            steals: 0,
+        };
+        return (results, report);
+    }
+
+    let workers = workers.min(count);
+    // Seed each worker with a contiguous chunk; the remainder feeds the
+    // injector so early finishers have somewhere cheap to look first.
+    let chunk = count / workers;
+    let seeded = chunk * workers;
+    let shared = Shared {
+        injector: Mutex::new((seeded..count).collect()),
+        deques: (0..workers)
+            .map(|w| Mutex::new((w * chunk..(w + 1) * chunk).collect()))
+            .collect(),
+    };
+
+    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    let mut busy_ns = vec![0u128; workers];
+    let mut executed = vec![0u64; workers];
+    let mut steals = 0u64;
+
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|who| {
+                let shared = &shared;
+                let f = &f;
+                scope.spawn(move || {
+                    let mut out: Vec<(usize, T)> = Vec::new();
+                    let mut busy = 0u128;
+                    let mut stolen = 0u64;
+                    while let Some((idx, was_steal)) = shared.next(who) {
+                        let start = Instant::now();
+                        let value = f(idx);
+                        busy += start.elapsed().as_nanos();
+                        stolen += u64::from(was_steal);
+                        out.push((idx, value));
+                    }
+                    (out, busy, stolen)
+                })
+            })
+            .collect();
+        for (who, handle) in handles.into_iter().enumerate() {
+            let (out, busy, stolen) = handle.join().expect("worker panicked");
+            busy_ns[who] = busy;
+            executed[who] = out.len() as u64;
+            steals += stolen;
+            for (idx, value) in out {
+                slots[idx] = Some(value);
+            }
+        }
+    });
+
+    let results: Vec<T> = slots
+        .into_iter()
+        .map(|s| s.expect("every index executed exactly once"))
+        .collect();
+    let report = PoolReport {
+        workers,
+        busy_ns,
+        executed,
+        steals,
+    };
+    (results, report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn serial_and_parallel_agree_in_order() {
+        let f = |i: usize| i * i;
+        let (serial, _) = run_indexed(1, 37, f);
+        let (parallel, report) = run_indexed(4, 37, f);
+        assert_eq!(serial, parallel);
+        assert_eq!(parallel, (0..37).map(|i| i * i).collect::<Vec<_>>());
+        assert_eq!(report.executed.iter().sum::<u64>(), 37);
+        assert_eq!(report.workers, 4);
+    }
+
+    #[test]
+    fn each_index_runs_exactly_once() {
+        let hits: Vec<AtomicU64> = (0..100).map(|_| AtomicU64::new(0)).collect();
+        let (_, report) = run_indexed(8, 100, |i| {
+            hits[i].fetch_add(1, Ordering::Relaxed);
+        });
+        for (i, h) in hits.iter().enumerate() {
+            assert_eq!(h.load(Ordering::Relaxed), 1, "index {i}");
+        }
+        assert_eq!(report.executed.iter().sum::<u64>(), 100);
+    }
+
+    #[test]
+    fn worker_count_never_exceeds_task_count() {
+        let (results, report) = run_indexed(16, 3, |i| i);
+        assert_eq!(results, vec![0, 1, 2]);
+        assert!(report.workers <= 3);
+    }
+
+    #[test]
+    fn zero_tasks_is_fine() {
+        let (results, report) = run_indexed(4, 0, |i| i);
+        assert!(results.is_empty());
+        assert_eq!(report.executed.iter().sum::<u64>(), 0);
+    }
+
+    #[test]
+    fn job_count_clamps_to_one() {
+        assert_eq!(job_count(Some(0)), 1);
+        assert_eq!(job_count(Some(3)), 3);
+        assert!(job_count(None) >= 1);
+    }
+}

@@ -1,0 +1,331 @@
+//! The engine: executes a [`Grid`] on the pool with the shared trace
+//! cache and collects deterministic, submission-ordered results.
+
+use crate::cache::TraceCache;
+use crate::job::{Grid, Job, JobKind, JobOutput};
+use crate::pool::{self, PoolReport};
+use mds_harness::json::{Json, ToJson};
+use mds_multiscalar::Multiscalar;
+use mds_ooo::{OooSim, WindowAnalyzer};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// One executed job: its output plus scheduling metadata.
+///
+/// The metadata (wall time, worker id) exists for observability only and
+/// never enters result JSON — that is what keeps parallel output
+/// byte-identical to serial.
+#[derive(Debug, Clone)]
+pub struct JobResult {
+    /// The job's id, copied from the grid.
+    pub id: String,
+    /// What the job computed.
+    pub output: JobOutput,
+    /// Wall-clock nanoseconds this job took (replay only; a cache miss
+    /// also pays the emulation inside this figure).
+    pub wall_ns: u128,
+}
+
+/// Aggregate observability for one [`Runner::run`].
+#[derive(Debug, Clone)]
+pub struct RunStats {
+    /// Cells executed.
+    pub jobs: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Trace-cache fetches served from memory.
+    pub cache_hits: u64,
+    /// Trace-cache fetches that ran the emulator (== emulations).
+    pub cache_misses: u64,
+    /// High-water mark of resident trace bytes.
+    pub peak_trace_bytes: usize,
+    /// End-to-end wall time of the run, nanoseconds.
+    pub wall_ns: u128,
+    /// Per-worker busy time and executed-job counts.
+    pub pool: PoolReport,
+}
+
+impl RunStats {
+    /// Mean worker utilization: busy time over (workers × wall time).
+    pub fn utilization(&self) -> f64 {
+        if self.wall_ns == 0 || self.pool.workers == 0 {
+            return 0.0;
+        }
+        let denom = (self.pool.workers as u128 * self.wall_ns) as f64;
+        self.pool.total_busy_ns() as f64 / denom
+    }
+
+    /// Renders the end-of-run observability block (for stderr — this is
+    /// timing data, deliberately kept out of result JSON).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "runner: {} jobs on {} worker{} in {:.2}s ({:.0}% utilization)",
+            self.jobs,
+            self.workers,
+            if self.workers == 1 { "" } else { "s" },
+            self.wall_ns as f64 / 1e9,
+            self.utilization() * 100.0,
+        );
+        let _ = writeln!(
+            out,
+            "runner: trace cache: {} emulation{}, {} reuse{}, peak {:.1} MiB",
+            self.cache_misses,
+            if self.cache_misses == 1 { "" } else { "s" },
+            self.cache_hits,
+            if self.cache_hits == 1 { "" } else { "s" },
+            self.peak_trace_bytes as f64 / (1024.0 * 1024.0),
+        );
+        for (who, (busy, n)) in self
+            .pool
+            .busy_ns
+            .iter()
+            .zip(self.pool.executed.iter())
+            .enumerate()
+        {
+            let _ = writeln!(
+                out,
+                "runner:   worker {who}: {n} job{} in {:.2}s busy",
+                if *n == 1 { "" } else { "s" },
+                *busy as f64 / 1e9,
+            );
+        }
+        if self.pool.steals > 0 {
+            let _ = writeln!(out, "runner:   {} steal(s)", self.pool.steals);
+        }
+        out
+    }
+}
+
+/// Everything a run produced: ordered results plus observability.
+#[derive(Debug, Clone)]
+pub struct RunOutcome {
+    /// One result per grid cell, **in submission order** — independent of
+    /// completion order, so serial and parallel runs agree byte-for-byte.
+    pub results: Vec<JobResult>,
+    /// Timing/cache/utilization counters for the whole run.
+    pub stats: RunStats,
+}
+
+impl RunOutcome {
+    /// The deterministic JSON document for this run: an array of
+    /// `{id, output}` objects in submission order. Contains no timing
+    /// data, worker ids, or anything else schedule-dependent.
+    pub fn results_json(&self) -> Json {
+        Json::Array(
+            self.results
+                .iter()
+                .map(|r| {
+                    Json::object()
+                        .field("id", r.id.as_str())
+                        .field("output", r.output.to_json())
+                })
+                .collect(),
+        )
+    }
+
+    /// Looks up one result by job id.
+    pub fn get(&self, id: &str) -> Option<&JobResult> {
+        self.results.iter().find(|r| r.id == id)
+    }
+}
+
+/// Executes experiment grids.
+///
+/// # Examples
+///
+/// ```
+/// use mds_core::Policy;
+/// use mds_multiscalar::MsConfig;
+/// use mds_runner::{Grid, Runner};
+/// use mds_workloads::{by_name, Scale};
+///
+/// let compress = by_name("compress").unwrap();
+/// let mut grid = Grid::new(Scale::Tiny);
+/// for policy in [Policy::Never, Policy::Always] {
+///     grid.multiscalar(&compress, MsConfig::paper(4, policy));
+/// }
+///
+/// let outcome = Runner::new(2).run(&grid);
+/// assert_eq!(outcome.results.len(), 2);
+/// // Two cells, one workload: exactly one emulation, one cache reuse.
+/// assert_eq!(outcome.stats.cache_misses, 1);
+/// assert_eq!(outcome.stats.cache_hits, 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Runner {
+    workers: usize,
+}
+
+impl Runner {
+    /// A runner with an explicit worker count (clamped to at least 1).
+    pub fn new(workers: usize) -> Runner {
+        Runner {
+            workers: workers.max(1),
+        }
+    }
+
+    /// A runner sized from `explicit` (e.g. a `--jobs` flag), falling back
+    /// to `MDS_JOBS` and then the machine's available parallelism.
+    pub fn from_env(explicit: Option<usize>) -> Runner {
+        Runner::new(pool::job_count(explicit))
+    }
+
+    /// The worker count this runner will use.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs every cell of `grid` and returns submission-ordered results.
+    pub fn run(&self, grid: &Grid) -> RunOutcome {
+        let jobs = grid.jobs();
+        let cache = TraceCache::new(jobs);
+        let start = Instant::now();
+        let (results, pool_report) = pool::run_indexed(self.workers, jobs.len(), |idx| {
+            let job = &jobs[idx];
+            let job_start = Instant::now();
+            let trace = cache.fetch(&job.workload, job.scale);
+            let output = execute(job, &trace);
+            drop(trace);
+            cache.release(&job.workload, job.scale);
+            JobResult {
+                id: job.id.clone(),
+                output,
+                wall_ns: job_start.elapsed().as_nanos(),
+            }
+        });
+        let wall_ns = start.elapsed().as_nanos();
+        let stats = RunStats {
+            jobs: jobs.len(),
+            workers: self.workers,
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+            peak_trace_bytes: cache.peak_bytes(),
+            wall_ns,
+            pool: pool_report,
+        };
+        RunOutcome { results, stats }
+    }
+}
+
+/// Replays one job's computation over a captured trace.
+fn execute(job: &Job, trace: &mds_emu::Trace) -> JobOutput {
+    match &job.kind {
+        JobKind::Multiscalar(config) => {
+            let sim = Multiscalar::new(config.clone());
+            JobOutput::Multiscalar(sim.run_trace(trace.records().iter().copied()))
+        }
+        JobKind::Window(config) => {
+            let mut analyzer = WindowAnalyzer::new(config.clone());
+            for d in trace.records() {
+                analyzer.observe(d);
+            }
+            JobOutput::Window(analyzer.finish())
+        }
+        JobKind::Superscalar(config) => {
+            let mut sim = OooSim::new(*config);
+            for d in trace.records() {
+                sim.observe(d);
+            }
+            JobOutput::Superscalar(sim.finish())
+        }
+        JobKind::Summary => JobOutput::Summary(trace.summary()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mds_core::Policy;
+    use mds_multiscalar::MsConfig;
+    use mds_ooo::WindowConfig;
+    use mds_workloads::{by_name, Scale};
+
+    fn small_grid() -> Grid {
+        let compress = by_name("compress").unwrap();
+        let sc = by_name("sc").unwrap();
+        let mut grid = Grid::new(Scale::Tiny);
+        for wl in [&compress, &sc] {
+            grid.summary(wl);
+            grid.window(wl, WindowConfig::default());
+            for policy in [Policy::Never, Policy::Always, Policy::Sync] {
+                grid.multiscalar(wl, MsConfig::paper(4, policy));
+            }
+        }
+        grid
+    }
+
+    #[test]
+    fn parallel_json_is_byte_identical_to_serial() {
+        let grid = small_grid();
+        let serial = Runner::new(1).run(&grid);
+        let parallel = Runner::new(4).run(&grid);
+        assert_eq!(
+            serial.results_json().to_string(),
+            parallel.results_json().to_string()
+        );
+        assert_eq!(
+            serial.results_json().pretty(),
+            parallel.results_json().pretty()
+        );
+    }
+
+    #[test]
+    fn one_emulation_per_workload() {
+        let grid = small_grid();
+        let outcome = Runner::new(4).run(&grid);
+        assert_eq!(
+            outcome.stats.cache_misses as usize,
+            grid.distinct_workloads()
+        );
+        assert_eq!(
+            outcome.stats.cache_hits as usize,
+            grid.len() - grid.distinct_workloads()
+        );
+    }
+
+    #[test]
+    fn runner_matches_direct_simulation() {
+        let compress = by_name("compress").unwrap();
+        let mut grid = Grid::new(Scale::Tiny);
+        grid.multiscalar(&compress, MsConfig::paper(4, Policy::Always));
+        let outcome = Runner::new(1).run(&grid);
+        let via_runner = outcome.results[0]
+            .output
+            .as_multiscalar()
+            .expect("multiscalar cell")
+            .clone();
+        let direct = Multiscalar::new(MsConfig::paper(4, Policy::Always))
+            .run(&(compress.build)(Scale::Tiny))
+            .unwrap();
+        assert_eq!(via_runner.cycles, direct.cycles);
+        assert_eq!(via_runner.misspeculations, direct.misspeculations);
+        assert_eq!(
+            via_runner.to_json().to_string(),
+            direct.to_json().to_string()
+        );
+    }
+
+    #[test]
+    fn stats_render_mentions_cache_and_utilization() {
+        let compress = by_name("compress").unwrap();
+        let mut grid = Grid::new(Scale::Tiny);
+        grid.summary(&compress).summary(&compress);
+        let outcome = Runner::new(2).run(&grid);
+        let text = outcome.stats.render();
+        assert!(text.contains("trace cache: 1 emulation, 1 reuse"), "{text}");
+        assert!(text.contains("utilization"), "{text}");
+        assert!(outcome.stats.utilization() >= 0.0);
+    }
+
+    #[test]
+    fn get_finds_results_by_id() {
+        let compress = by_name("compress").unwrap();
+        let mut grid = Grid::new(Scale::Tiny);
+        grid.summary(&compress);
+        let outcome = Runner::new(1).run(&grid);
+        assert!(outcome.get("compress/summary").is_some());
+        assert!(outcome.get("nope").is_none());
+    }
+}

@@ -61,6 +61,16 @@ impl Table {
         self
     }
 
+    /// The header cells.
+    pub fn header(&self) -> &[String] {
+        &self.header
+    }
+
+    /// The data rows added so far, in insertion order.
+    pub fn rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
     /// Number of data rows added so far.
     pub fn len(&self) -> usize {
         self.rows.len()

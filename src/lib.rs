@@ -14,6 +14,7 @@
 //! | [`ooo`] | `mds-ooo` | the "unrealistic OOO" window analyzer + superscalar model |
 //! | [`multiscalar`] | `mds-multiscalar` | the cycle-level Multiscalar timing model |
 //! | [`workloads`] | `mds-workloads` | the synthetic benchmark suites |
+//! | [`runner`] | `mds-runner` | parallel experiment grids + shared trace cache |
 //! | [`sim`] | `mds-sim` | statistics and table rendering |
 //!
 //! # Quickstart
@@ -56,5 +57,6 @@ pub use mds_mem as mem;
 pub use mds_multiscalar as multiscalar;
 pub use mds_ooo as ooo;
 pub use mds_predict as predict;
+pub use mds_runner as runner;
 pub use mds_sim as sim;
 pub use mds_workloads as workloads;
