@@ -74,52 +74,75 @@ fn unknown_experiment(id: &str) -> ExitCode {
     ExitCode::from(EXIT_USAGE)
 }
 
-fn main() -> ExitCode {
-    let mut scale = Scale::Small;
-    let mut markdown = false;
-    let mut json = false;
-    let mut jobs: Option<usize> = None;
-    let mut wanted: Vec<String> = Vec::new();
+/// Everything the command line can request, parsed but not yet resolved
+/// against the experiment registry or the environment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Cli {
+    scale: Scale,
+    markdown: bool,
+    json: bool,
+    jobs: Option<usize>,
+    wanted: Vec<String>,
+    help: bool,
+}
 
-    let mut args = std::env::args().skip(1);
+/// Parses the argument list (without the program name). Pure and
+/// environment-free so the rejection rules are unit-testable; `MDS_JOBS`
+/// validation happens later through [`Runner::try_from_env`].
+fn parse_cli(args: impl Iterator<Item = String>) -> Result<Cli, String> {
+    let mut cli = Cli {
+        scale: Scale::Small,
+        markdown: false,
+        json: false,
+        jobs: None,
+        wanted: Vec::new(),
+        help: false,
+    };
+    let mut args = args.peekable();
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--scale" => {
                 let Some(v) = args.next() else {
-                    return usage_error("--scale needs a value (tiny|small|full)");
+                    return Err("--scale needs a value (tiny|small|full)".to_string());
                 };
-                scale = match v.as_str() {
-                    "tiny" => Scale::Tiny,
-                    "small" => Scale::Small,
-                    "full" => Scale::Full,
-                    other => {
-                        return usage_error(&format!(
-                            "invalid scale '{other}' (expected tiny|small|full)"
-                        ))
-                    }
-                };
+                cli.scale = mds_bench::scale_by_name(&v)
+                    .ok_or_else(|| format!("invalid scale '{v}' (expected tiny|small|full)"))?;
             }
             "--jobs" => {
                 let Some(v) = args.next() else {
-                    return usage_error("--jobs needs a positive integer");
+                    return Err("--jobs needs a positive integer".to_string());
                 };
-                match v.parse::<usize>() {
-                    Ok(n) if n >= 1 => jobs = Some(n),
-                    _ => return usage_error(&format!("invalid job count '{v}'")),
-                }
+                cli.jobs = Some(mds_runner::parse_jobs(&v).map_err(|e| format!("--jobs: {e}"))?);
             }
-            "--markdown" => markdown = true,
-            "--json" => json = true,
-            "--help" | "-h" => {
-                print_help();
-                return ExitCode::SUCCESS;
-            }
+            "--markdown" => cli.markdown = true,
+            "--json" => cli.json = true,
+            "--help" | "-h" => cli.help = true,
             other if other.starts_with('-') => {
-                return usage_error(&format!("unknown option '{other}'"));
+                return Err(format!("unknown option '{other}'"));
             }
-            other => wanted.push(other.to_string()),
+            other => cli.wanted.push(other.to_string()),
         }
     }
+    Ok(cli)
+}
+
+fn main() -> ExitCode {
+    let cli = match parse_cli(std::env::args().skip(1)) {
+        Ok(cli) => cli,
+        Err(msg) => return usage_error(&msg),
+    };
+    if cli.help {
+        print_help();
+        return ExitCode::SUCCESS;
+    }
+    let Cli {
+        scale,
+        markdown,
+        json,
+        jobs,
+        wanted,
+        ..
+    } = cli;
 
     if wanted.iter().any(|w| w == "list") {
         for id in mds_bench::EXPERIMENT_IDS {
@@ -150,7 +173,13 @@ fn main() -> ExitCode {
         }
     }
 
-    let mut h = Harness::with_runner(scale, Runner::from_env(jobs));
+    // `try_from_env` also validates `MDS_JOBS`, so a typo in the
+    // environment is a loud usage error rather than a silent default.
+    let runner = match Runner::try_from_env(jobs) {
+        Ok(runner) => runner,
+        Err(msg) => return usage_error(&msg),
+    };
+    let mut h = Harness::with_runner(scale, runner);
 
     // One grid for everything requested: maximum fan-out, and each
     // workload is emulated exactly once across all experiments.
@@ -181,4 +210,63 @@ fn main() -> ExitCode {
         eprint!("{}", stats.render());
     }
     ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(args: &[&str]) -> Result<Cli, String> {
+        parse_cli(args.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn accepts_a_full_command_line() {
+        let cli = parse(&[
+            "--scale",
+            "tiny",
+            "--jobs",
+            "4",
+            "--markdown",
+            "--json",
+            "fig5",
+            "table1",
+        ])
+        .unwrap();
+        assert_eq!(cli.scale, Scale::Tiny);
+        assert_eq!(cli.jobs, Some(4));
+        assert!(cli.markdown && cli.json && !cli.help);
+        assert_eq!(cli.wanted, ["fig5", "table1"]);
+    }
+
+    #[test]
+    fn rejects_zero_jobs() {
+        let err = parse(&["--jobs", "0", "fig5"]).unwrap_err();
+        assert!(err.starts_with("--jobs:"), "{err}");
+        assert!(err.contains("at least 1"), "{err}");
+    }
+
+    #[test]
+    fn rejects_non_numeric_jobs() {
+        for bad in ["lots", "-3", "2.5", ""] {
+            let err = parse(&["--jobs", bad]).unwrap_err();
+            assert!(err.starts_with("--jobs:"), "'{bad}': {err}");
+        }
+    }
+
+    #[test]
+    fn rejects_missing_values_and_unknown_flags() {
+        assert!(parse(&["--jobs"]).unwrap_err().contains("positive integer"));
+        assert!(parse(&["--scale"]).unwrap_err().contains("tiny|small|full"));
+        assert!(parse(&["--scale", "huge"]).unwrap_err().contains("huge"));
+        assert!(parse(&["--frobnicate"])
+            .unwrap_err()
+            .contains("--frobnicate"));
+    }
+
+    #[test]
+    fn help_flag_is_recognized_anywhere() {
+        assert!(parse(&["fig5", "-h"]).unwrap().help);
+        assert!(parse(&["--help"]).unwrap().help);
+    }
 }

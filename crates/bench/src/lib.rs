@@ -927,11 +927,42 @@ pub fn table_json(table: &Table) -> Json {
         )
 }
 
+/// The canonical lowercase name of a scale, as emitted in result
+/// documents and accepted by `--scale` / serving requests.
+pub fn scale_name(scale: Scale) -> &'static str {
+    match scale {
+        Scale::Tiny => "tiny",
+        Scale::Small => "small",
+        Scale::Full => "full",
+    }
+}
+
+/// Parses a scale name back from its canonical lowercase form.
+pub fn scale_by_name(name: &str) -> Option<Scale> {
+    match name {
+        "tiny" => Some(Scale::Tiny),
+        "small" => Some(Scale::Small),
+        "full" => Some(Scale::Full),
+        _ => None,
+    }
+}
+
+/// The canonical result document for one experiment — exactly what
+/// `repro --json` writes and what `mds-serve` returns, so the two
+/// surfaces are byte-identical by construction. The document is a pure
+/// function of the simulation results — no timings — so parallel and
+/// serial runs produce identical bytes.
+pub fn results_doc(id: &str, title: &str, scale: Scale, table: &Table) -> Json {
+    Json::object()
+        .field("experiment", id)
+        .field("title", title)
+        .field("scale", scale_name(scale))
+        .field("table", table_json(table))
+}
+
 /// Serializes one experiment's table to `RESULTS_<id>.json` in
 /// `MDS_RESULTS_DIR` (default: the workspace root, like `BENCH_*.json`)
-/// and returns the path. The document is a pure function of the
-/// simulation results — no timings — so parallel and serial runs write
-/// identical bytes.
+/// and returns the path.
 pub fn write_results(
     id: &str,
     title: &str,
@@ -941,18 +972,8 @@ pub fn write_results(
     let dir = std::env::var_os("MDS_RESULTS_DIR")
         .map(PathBuf::from)
         .unwrap_or_else(mds_harness::bench::report_dir);
-    let scale_name = match scale {
-        Scale::Tiny => "tiny",
-        Scale::Small => "small",
-        Scale::Full => "full",
-    };
-    let doc = Json::object()
-        .field("experiment", id)
-        .field("title", title)
-        .field("scale", scale_name)
-        .field("table", table_json(table));
     let path = dir.join(format!("RESULTS_{id}.json"));
-    std::fs::write(&path, doc.pretty())?;
+    std::fs::write(&path, results_doc(id, title, scale, table).pretty())?;
     Ok(path)
 }
 

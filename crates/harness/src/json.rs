@@ -369,6 +369,248 @@ impl<A: ToJson, B: ToJson, C: ToJson> ToJson for (A, B, C) {
     }
 }
 
+/// Typed decoding out of a [`Json`] document.
+///
+/// The counterpart to [`ToJson`] and the in-tree replacement for
+/// `#[derive(Deserialize)]`: request bodies and committed baselines are
+/// parsed with [`Json::parse`] (which reports byte offsets) and then
+/// decoded field-by-field through this trait (which reports JSONPath-style
+/// locations like `$.table[3].name`).
+pub trait FromJson: Sized {
+    /// Decodes a value, or reports where in the document it went wrong.
+    fn from_json(v: &Json) -> Result<Self, DecodeError>;
+}
+
+/// A typed-decoding failure: a JSONPath-style location plus what was
+/// expected there.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DecodeError {
+    /// Where the offending value sits, e.g. `$.table[3].name`.
+    pub path: String,
+    /// What was expected or wrong at that location.
+    pub message: String,
+}
+
+impl DecodeError {
+    /// An error at the document root (`$`).
+    pub fn new(message: impl Into<String>) -> DecodeError {
+        DecodeError {
+            path: "$".to_string(),
+            message: message.into(),
+        }
+    }
+
+    /// Re-roots the error under `key` of an enclosing object.
+    pub fn in_field(mut self, key: &str) -> DecodeError {
+        self.path = format!("$.{key}{}", &self.path[1..]);
+        self
+    }
+
+    /// Re-roots the error under index `i` of an enclosing array.
+    pub fn in_index(mut self, i: usize) -> DecodeError {
+        self.path = format!("$[{i}]{}", &self.path[1..]);
+        self
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "decode error at {}: {}", self.path, self.message)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+impl Json {
+    /// Decodes this value as a `T`, with path-labeled errors.
+    ///
+    /// ```
+    /// use mds_harness::json::Json;
+    /// let v = Json::parse(r#"{"hits":[1,2,3]}"#).unwrap();
+    /// let hits: Vec<u64> = v.field_as("hits").unwrap();
+    /// assert_eq!(hits, [1, 2, 3]);
+    /// let err = v.field_as::<Vec<u64>>("misses").unwrap_err();
+    /// assert_eq!(err.path, "$.misses");
+    /// ```
+    pub fn decode<T: FromJson>(&self) -> Result<T, DecodeError> {
+        T::from_json(self)
+    }
+
+    /// The value under `key`, or an error naming the missing field.
+    pub fn required(&self, key: &str) -> Result<&Json, DecodeError> {
+        match self {
+            Json::Object(_) => self
+                .get(key)
+                .ok_or_else(|| DecodeError::new("missing field").in_field(key)),
+            other => Err(DecodeError::new(format!(
+                "expected an object, found {}",
+                kind_name(other)
+            ))),
+        }
+    }
+
+    /// Decodes the value under `key` as a `T`; errors carry the field in
+    /// their path.
+    pub fn field_as<T: FromJson>(&self, key: &str) -> Result<T, DecodeError> {
+        self.required(key)?
+            .decode::<T>()
+            .map_err(|e| e.in_field(key))
+    }
+}
+
+fn kind_name(v: &Json) -> &'static str {
+    match v {
+        Json::Null => "null",
+        Json::Bool(_) => "a bool",
+        Json::Int(_) | Json::UInt(_) => "an integer",
+        Json::Float(_) => "a float",
+        Json::Str(_) => "a string",
+        Json::Array(_) => "an array",
+        Json::Object(_) => "an object",
+    }
+}
+
+impl FromJson for Json {
+    fn from_json(v: &Json) -> Result<Json, DecodeError> {
+        Ok(v.clone())
+    }
+}
+
+impl FromJson for bool {
+    fn from_json(v: &Json) -> Result<bool, DecodeError> {
+        match v {
+            Json::Bool(b) => Ok(*b),
+            other => Err(DecodeError::new(format!(
+                "expected a bool, found {}",
+                kind_name(other)
+            ))),
+        }
+    }
+}
+
+impl FromJson for u64 {
+    fn from_json(v: &Json) -> Result<u64, DecodeError> {
+        v.as_u64().ok_or_else(|| {
+            DecodeError::new(format!(
+                "expected a non-negative integer, found {}",
+                kind_name(v)
+            ))
+        })
+    }
+}
+
+impl FromJson for u32 {
+    fn from_json(v: &Json) -> Result<u32, DecodeError> {
+        let wide = u64::from_json(v)?;
+        u32::try_from(wide).map_err(|_| DecodeError::new(format!("{wide} is out of range for u32")))
+    }
+}
+
+impl FromJson for usize {
+    fn from_json(v: &Json) -> Result<usize, DecodeError> {
+        let wide = u64::from_json(v)?;
+        usize::try_from(wide)
+            .map_err(|_| DecodeError::new(format!("{wide} is out of range for usize")))
+    }
+}
+
+impl FromJson for i64 {
+    fn from_json(v: &Json) -> Result<i64, DecodeError> {
+        match *v {
+            Json::Int(n) => Ok(n),
+            Json::UInt(n) => i64::try_from(n)
+                .map_err(|_| DecodeError::new(format!("{n} is out of range for i64"))),
+            ref other => Err(DecodeError::new(format!(
+                "expected an integer, found {}",
+                kind_name(other)
+            ))),
+        }
+    }
+}
+
+impl FromJson for f64 {
+    fn from_json(v: &Json) -> Result<f64, DecodeError> {
+        v.as_f64()
+            .ok_or_else(|| DecodeError::new(format!("expected a number, found {}", kind_name(v))))
+    }
+}
+
+impl FromJson for String {
+    fn from_json(v: &Json) -> Result<String, DecodeError> {
+        match v {
+            Json::Str(s) => Ok(s.clone()),
+            other => Err(DecodeError::new(format!(
+                "expected a string, found {}",
+                kind_name(other)
+            ))),
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Vec<T> {
+    fn from_json(v: &Json) -> Result<Vec<T>, DecodeError> {
+        match v {
+            Json::Array(items) => items
+                .iter()
+                .enumerate()
+                .map(|(i, item)| T::from_json(item).map_err(|e| e.in_index(i)))
+                .collect(),
+            other => Err(DecodeError::new(format!(
+                "expected an array, found {}",
+                kind_name(other)
+            ))),
+        }
+    }
+}
+
+impl<T: FromJson> FromJson for Option<T> {
+    fn from_json(v: &Json) -> Result<Option<T>, DecodeError> {
+        match v {
+            Json::Null => Ok(None),
+            other => T::from_json(other).map(Some),
+        }
+    }
+}
+
+impl<A: FromJson, B: FromJson> FromJson for (A, B) {
+    fn from_json(v: &Json) -> Result<(A, B), DecodeError> {
+        match v {
+            Json::Array(items) if items.len() == 2 => Ok((
+                A::from_json(&items[0]).map_err(|e| e.in_index(0))?,
+                B::from_json(&items[1]).map_err(|e| e.in_index(1))?,
+            )),
+            Json::Array(items) => Err(DecodeError::new(format!(
+                "expected a 2-element array, found {} elements",
+                items.len()
+            ))),
+            other => Err(DecodeError::new(format!(
+                "expected a 2-element array, found {}",
+                kind_name(other)
+            ))),
+        }
+    }
+}
+
+impl<A: FromJson, B: FromJson, C: FromJson> FromJson for (A, B, C) {
+    fn from_json(v: &Json) -> Result<(A, B, C), DecodeError> {
+        match v {
+            Json::Array(items) if items.len() == 3 => Ok((
+                A::from_json(&items[0]).map_err(|e| e.in_index(0))?,
+                B::from_json(&items[1]).map_err(|e| e.in_index(1))?,
+                C::from_json(&items[2]).map_err(|e| e.in_index(2))?,
+            )),
+            Json::Array(items) => Err(DecodeError::new(format!(
+                "expected a 3-element array, found {} elements",
+                items.len()
+            ))),
+            other => Err(DecodeError::new(format!(
+                "expected a 3-element array, found {}",
+                kind_name(other)
+            ))),
+        }
+    }
+}
+
 /// A parse failure: what was wrong and the byte offset where.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
@@ -678,5 +920,53 @@ mod tests {
     fn error_display_mentions_offset() {
         let e = Json::parse("[1,").unwrap_err();
         assert!(e.to_string().contains("byte 3"), "{e}");
+    }
+
+    #[test]
+    fn typed_decoding_succeeds_on_well_shaped_input() {
+        let doc =
+            Json::parse(r#"{"n":7,"s":"x","list":[1,2],"pair":[3,"y"],"none":null}"#).unwrap();
+        assert_eq!(doc.field_as::<u64>("n").unwrap(), 7);
+        assert_eq!(doc.field_as::<u32>("n").unwrap(), 7);
+        assert_eq!(doc.field_as::<i64>("n").unwrap(), 7);
+        assert_eq!(doc.field_as::<f64>("n").unwrap(), 7.0);
+        assert_eq!(doc.field_as::<String>("s").unwrap(), "x");
+        assert_eq!(doc.field_as::<Vec<u64>>("list").unwrap(), [1, 2]);
+        assert_eq!(
+            doc.field_as::<(u64, String)>("pair").unwrap(),
+            (3, "y".to_string())
+        );
+        assert_eq!(doc.field_as::<Option<u64>>("none").unwrap(), None);
+        assert_eq!(doc.field_as::<Option<u64>>("n").unwrap(), Some(7));
+    }
+
+    #[test]
+    fn typed_decoding_reports_nested_paths() {
+        let doc = Json::parse(r#"{"rows":[[1,2],[3,"x"]]}"#).unwrap();
+        let err = doc.field_as::<Vec<(u64, u64)>>("rows").unwrap_err();
+        assert_eq!(err.path, "$.rows[1][1]");
+        assert!(err.message.contains("non-negative integer"), "{err}");
+        assert!(err.to_string().starts_with("decode error at $.rows[1][1]"));
+    }
+
+    #[test]
+    fn typed_decoding_reports_missing_fields_and_wrong_roots() {
+        let doc = Json::parse(r#"{"a":1}"#).unwrap();
+        let missing = doc.field_as::<u64>("b").unwrap_err();
+        assert_eq!(missing.path, "$.b");
+        assert_eq!(missing.message, "missing field");
+        let non_object = Json::parse("[1]").unwrap().required("a").unwrap_err();
+        assert_eq!(non_object.path, "$");
+        assert!(non_object.message.contains("expected an object"));
+    }
+
+    #[test]
+    fn typed_decoding_enforces_integer_ranges() {
+        let err = Json::UInt(u64::MAX).decode::<u32>().unwrap_err();
+        assert!(err.message.contains("out of range for u32"), "{err}");
+        let err = Json::UInt(u64::MAX).decode::<i64>().unwrap_err();
+        assert!(err.message.contains("out of range for i64"), "{err}");
+        assert_eq!(Json::Int(-3).decode::<i64>().unwrap(), -3);
+        assert!(Json::Int(-3).decode::<u64>().is_err());
     }
 }

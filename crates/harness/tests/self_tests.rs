@@ -3,7 +3,7 @@
 //! relies on.
 
 use mds_harness::bench::{BenchConfig, BenchReport, BenchResult};
-use mds_harness::json::ToJson;
+use mds_harness::json::{FromJson, Json, ToJson};
 use mds_harness::prelude::*;
 use mds_harness::prop;
 use mds_harness::rng::Rng;
@@ -138,6 +138,74 @@ properties! {
     ) {
         prop_assert!(v.iter().all(|&x| x == 1 || x == 2));
         let _ = o;
+    }
+}
+
+// --- JSON writer/parser round-trip ------------------------------------
+
+/// Strings mixing ASCII, escapes, and non-ASCII code points.
+fn arb_string() -> impl Strategy<Value = String> {
+    vec_of(
+        prop_oneof![
+            0x20u32..0x7f,
+            Just(0x09u32),
+            Just(0x0au32),
+            Just(0x22u32),
+            Just(0x5cu32),
+            Just(0x3c0u32), // π
+        ],
+        0..8,
+    )
+    .prop_map(|cs| cs.into_iter().filter_map(char::from_u32).collect())
+}
+
+/// Arbitrary documents in the writer's canonical form: `Int` only for
+/// negatives (the writer normalizes non-negatives to `UInt`) and finite
+/// floats (non-finite ones serialize as `null` by design).
+fn arb_json(depth: usize) -> Union<Json> {
+    let mut u = Union::new()
+        .or(Just(Json::Null))
+        .or(any::<bool>().prop_map(Json::Bool))
+        .or(any::<u64>().prop_map(Json::UInt))
+        .or((i64::MIN..0).prop_map(Json::Int))
+        .or(any::<i64>().prop_map(|m| Json::Float(m as f64 / 4096.0)))
+        .or(arb_string().prop_map(Json::Str));
+    if depth > 0 {
+        u = u
+            .or(vec_of(arb_json(depth - 1), 0..4).prop_map(Json::Array))
+            .or(vec_of((arb_string(), arb_json(depth - 1)), 0..4).prop_map(Json::Object));
+    }
+    u
+}
+
+properties! {
+    #![config(PropConfig { cases: 128, ..PropConfig::default() })]
+
+    #[test]
+    fn json_documents_round_trip_compact(doc in arb_json(3)) {
+        prop_assert_eq!(Json::parse(&doc.to_string()).unwrap(), doc);
+    }
+
+    #[test]
+    fn json_documents_round_trip_pretty(doc in arb_json(3)) {
+        prop_assert_eq!(Json::parse(&doc.pretty()).unwrap(), doc);
+    }
+
+    #[test]
+    fn typed_values_survive_serialize_then_decode(
+        n: u64,
+        i: i64,
+        b: bool,
+        s in arb_string(),
+        v in vec_of(any::<u64>(), 0..6),
+    ) {
+        prop_assert_eq!(u64::from_json(&n.to_json()).unwrap(), n);
+        prop_assert_eq!(i64::from_json(&i.to_json()).unwrap(), i);
+        prop_assert_eq!(bool::from_json(&b.to_json()).unwrap(), b);
+        let f = i as f64 / 4096.0;
+        prop_assert_eq!(f64::from_json(&f.to_json()).unwrap(), f);
+        prop_assert_eq!(String::from_json(&s.to_json()).unwrap(), s);
+        prop_assert_eq!(Vec::<u64>::from_json(&v.to_json()).unwrap(), v);
     }
 }
 

@@ -10,6 +10,7 @@
 //! the number in the grid.
 
 use crate::job::Job;
+use crate::pool::lock;
 use mds_emu::Trace;
 use mds_workloads::{Scale, Workload};
 use std::collections::HashMap;
@@ -50,11 +51,23 @@ struct Slot {
 /// assert_eq!(cache.resident(), 0); // last release evicted the slot
 /// ```
 pub struct TraceCache {
+    /// Keyed slots; `Debug` summarizes rather than dumping trace data.
     slots: Mutex<HashMap<Key, Slot>>,
     hits: AtomicU64,
     misses: AtomicU64,
     /// High-water mark of simultaneously resident trace bytes.
     peak_bytes: AtomicUsize,
+}
+
+impl std::fmt::Debug for TraceCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceCache")
+            .field("resident", &self.resident())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .field("peak_bytes", &self.peak_bytes())
+            .finish()
+    }
 }
 
 impl TraceCache {
@@ -79,6 +92,17 @@ impl TraceCache {
         }
     }
 
+    /// A persistent cache with no registered job list: every fetched
+    /// trace is pinned resident until the cache is dropped.
+    ///
+    /// This is the long-lived serving configuration — a shared cache that
+    /// amortizes emulation across many independent [`crate::Runner::run`]
+    /// calls (the key space is the finite workload registry × three
+    /// scales, so residency is naturally bounded).
+    pub fn persistent() -> TraceCache {
+        TraceCache::new(&[])
+    }
+
     /// The committed trace for `workload` at `scale`, emulating it if no
     /// other job has yet.
     ///
@@ -92,7 +116,7 @@ impl TraceCache {
     /// is a workload bug, not an operational condition.
     pub fn fetch(&self, workload: &Workload, scale: Scale) -> Arc<Trace> {
         let slot_cell = {
-            let mut slots = self.slots.lock().unwrap();
+            let mut slots = lock(&self.slots);
             let slot = slots.entry((workload.name, scale)).or_insert_with(|| Slot {
                 trace: Arc::new(OnceLock::new()),
                 remaining: usize::MAX,
@@ -119,7 +143,7 @@ impl TraceCache {
     /// Releases one job's claim on a trace; the slot is evicted when the
     /// last registered claim is released.
     pub fn release(&self, workload: &Workload, scale: Scale) {
-        let mut slots = self.slots.lock().unwrap();
+        let mut slots = lock(&self.slots);
         if let Some(slot) = slots.get_mut(&(workload.name, scale)) {
             if slot.remaining != usize::MAX {
                 slot.remaining = slot.remaining.saturating_sub(1);
@@ -132,7 +156,7 @@ impl TraceCache {
 
     fn note_resident(&self) {
         let resident: usize = {
-            let slots = self.slots.lock().unwrap();
+            let slots = lock(&self.slots);
             slots
                 .values()
                 .filter_map(|s| s.trace.get())
@@ -154,13 +178,23 @@ impl TraceCache {
 
     /// Number of traces currently materialized and not yet evicted.
     pub fn resident(&self) -> usize {
-        let slots = self.slots.lock().unwrap();
+        let slots = lock(&self.slots);
         slots.values().filter(|s| s.trace.get().is_some()).count()
     }
 
     /// High-water mark of simultaneously resident trace bytes.
     pub fn peak_bytes(&self) -> usize {
         self.peak_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of trace data currently resident (for serving metrics).
+    pub fn resident_bytes(&self) -> usize {
+        let slots = lock(&self.slots);
+        slots
+            .values()
+            .filter_map(|s| s.trace.get())
+            .map(|t| t.resident_bytes())
+            .sum()
     }
 }
 

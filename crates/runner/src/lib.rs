@@ -56,5 +56,6 @@ pub mod runner;
 
 pub use cache::TraceCache;
 pub use job::{Grid, Job, JobKind, JobOutput};
-pub use pool::{job_count, run_indexed, PoolReport};
-pub use runner::{JobResult, RunOutcome, RunStats, Runner};
+pub use pool::{job_count, parse_jobs, run_indexed, try_job_count, try_run_indexed};
+pub use pool::{JobPanic, PoolReport};
+pub use runner::{JobFailure, JobResult, RunError, RunOutcome, RunStats, Runner};

@@ -14,8 +14,20 @@
 //! order**, so callers never observe the schedule.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Mutex, MutexGuard, PoisonError};
 use std::time::Instant;
+
+/// Locks a mutex, recovering from poisoning.
+///
+/// Every lock in this crate guards plain bookkeeping (deques of indices,
+/// counter maps) whose invariants hold between statements, so a panic on
+/// another thread never leaves the data half-updated in a way later
+/// readers could observe. Recovering keeps one panicking job from
+/// cascading into a confusing `PoisonError` abort on every other worker.
+pub(crate) fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
 
 /// How many indices a dry worker pulls from the injector at once.
 ///
@@ -43,14 +55,50 @@ impl PoolReport {
     }
 }
 
+/// Parses a worker-count string (a `--jobs` value or `MDS_JOBS`).
+///
+/// Strict: rejects zero, empty, negative, and non-numeric input with a
+/// message suitable for a usage error. Surrounding whitespace is allowed.
+pub fn parse_jobs(text: &str) -> Result<usize, String> {
+    match text.trim().parse::<usize>() {
+        Ok(0) => Err(format!("job count must be at least 1, got '{text}'")),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!(
+            "invalid job count '{text}' (expected a positive integer)"
+        )),
+    }
+}
+
+/// Resolves the worker count from, in priority order: an explicit request
+/// (e.g. `--jobs N`), the `MDS_JOBS` environment variable, and the
+/// machine's available parallelism.
+///
+/// Unlike [`job_count`], a malformed or zero `MDS_JOBS` is an error
+/// rather than a silent fallback, so callers with a user-facing surface
+/// (the `repro` CLI, `mds-serve`) can refuse bad configuration loudly.
+pub fn try_job_count(explicit: Option<usize>) -> Result<usize, String> {
+    if let Some(n) = explicit {
+        return parse_jobs(&n.to_string()).map_err(|e| format!("--jobs: {e}"));
+    }
+    if let Ok(raw) = std::env::var("MDS_JOBS") {
+        return parse_jobs(&raw).map_err(|e| format!("MDS_JOBS: {e}"));
+    }
+    Ok(std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1))
+}
+
 /// Resolves the worker count from, in priority order: an explicit request
 /// (e.g. `--jobs N`), the `MDS_JOBS` environment variable, and the
 /// machine's available parallelism. Always at least 1.
+///
+/// Lenient: malformed `MDS_JOBS` values fall through to the next source.
+/// Front-ends that should reject bad input instead use [`try_job_count`].
 pub fn job_count(explicit: Option<usize>) -> usize {
     let from_env = || {
         std::env::var("MDS_JOBS")
             .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
+            .and_then(|v| parse_jobs(&v).ok())
     };
     let resolved = explicit.or_else(from_env).unwrap_or_else(|| {
         std::thread::available_parallelism()
@@ -58,6 +106,35 @@ pub fn job_count(explicit: Option<usize>) -> usize {
             .unwrap_or(1)
     });
     resolved.max(1)
+}
+
+/// One job's panic, captured by [`try_run_indexed`]: which index failed
+/// and the panic payload rendered as text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobPanic {
+    /// The index whose closure panicked.
+    pub index: usize,
+    /// The panic payload, if it was a string (the common case), else a
+    /// placeholder.
+    pub message: String,
+}
+
+impl std::fmt::Display for JobPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "job {} panicked: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for JobPanic {}
+
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
 }
 
 struct Shared {
@@ -69,24 +146,24 @@ impl Shared {
     /// Next index for `who`: own front, then an injector batch, then a
     /// steal from the back of some sibling's deque.
     fn next(&self, who: usize) -> Option<(usize, bool)> {
-        if let Some(idx) = self.deques[who].lock().unwrap().pop_front() {
+        if let Some(idx) = lock(&self.deques[who]).pop_front() {
             return Some((idx, false));
         }
         {
-            let mut injector = self.injector.lock().unwrap();
+            let mut injector = lock(&self.injector);
             if let Some(idx) = injector.pop_front() {
                 let refill: Vec<usize> = (1..INJECTOR_BATCH)
                     .map_while(|_| injector.pop_front())
                     .collect();
                 drop(injector);
                 if !refill.is_empty() {
-                    self.deques[who].lock().unwrap().extend(refill);
+                    lock(&self.deques[who]).extend(refill);
                 }
                 return Some((idx, false));
             }
         }
         for victim in (0..self.deques.len()).filter(|&v| v != who) {
-            if let Some(idx) = self.deques[victim].lock().unwrap().pop_back() {
+            if let Some(idx) = lock(&self.deques[victim]).pop_back() {
                 return Some((idx, true));
             }
         }
@@ -103,15 +180,48 @@ impl Shared {
 ///
 /// # Panics
 ///
-/// Propagates a panic from `f` after the scope unwinds its workers.
+/// Panics with a labeled message if any `f(idx)` panicked; every other
+/// index still ran to completion first. Callers that must survive a
+/// panicking job use [`try_run_indexed`].
 pub fn run_indexed<T, F>(workers: usize, count: usize, f: F) -> (Vec<T>, PoolReport)
 where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    let (slots, report) = try_run_indexed(workers, count, f);
+    let results: Vec<T> = slots
+        .into_iter()
+        .map(|slot| slot.unwrap_or_else(|p| panic!("{p}")))
+        .collect();
+    (results, report)
+}
+
+/// Like [`run_indexed`], but a panic in `f(idx)` fails only index `idx`:
+/// its slot carries the captured [`JobPanic`] while every other index
+/// still produces its value.
+///
+/// This is what keeps one bad job from poisoning the pool's locks and
+/// cascading an abort across the whole batch — long-lived callers (the
+/// serving subsystem) report the failed job and keep running.
+pub fn try_run_indexed<T, F>(
+    workers: usize,
+    count: usize,
+    f: F,
+) -> (Vec<Result<T, JobPanic>>, PoolReport)
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let guarded = |idx: usize| -> Result<T, JobPanic> {
+        catch_unwind(AssertUnwindSafe(|| f(idx))).map_err(|payload| JobPanic {
+            index: idx,
+            message: panic_message(payload),
+        })
+    };
+
     if workers <= 1 || count <= 1 {
         let start = Instant::now();
-        let results: Vec<T> = (0..count).map(&f).collect();
+        let results: Vec<Result<T, JobPanic>> = (0..count).map(guarded).collect();
         let report = PoolReport {
             workers: 1,
             busy_ns: vec![start.elapsed().as_nanos()],
@@ -133,7 +243,7 @@ where
             .collect(),
     };
 
-    let mut slots: Vec<Option<T>> = (0..count).map(|_| None).collect();
+    let mut slots: Vec<Option<Result<T, JobPanic>>> = (0..count).map(|_| None).collect();
     let mut busy_ns = vec![0u128; workers];
     let mut executed = vec![0u64; workers];
     let mut steals = 0u64;
@@ -142,14 +252,14 @@ where
         let handles: Vec<_> = (0..workers)
             .map(|who| {
                 let shared = &shared;
-                let f = &f;
+                let guarded = &guarded;
                 scope.spawn(move || {
-                    let mut out: Vec<(usize, T)> = Vec::new();
+                    let mut out: Vec<(usize, Result<T, JobPanic>)> = Vec::new();
                     let mut busy = 0u128;
                     let mut stolen = 0u64;
                     while let Some((idx, was_steal)) = shared.next(who) {
                         let start = Instant::now();
-                        let value = f(idx);
+                        let value = guarded(idx);
                         busy += start.elapsed().as_nanos();
                         stolen += u64::from(was_steal);
                         out.push((idx, value));
@@ -159,7 +269,7 @@ where
             })
             .collect();
         for (who, handle) in handles.into_iter().enumerate() {
-            let (out, busy, stolen) = handle.join().expect("worker panicked");
+            let (out, busy, stolen) = handle.join().expect("worker thread never panics");
             busy_ns[who] = busy;
             executed[who] = out.len() as u64;
             steals += stolen;
@@ -169,7 +279,7 @@ where
         }
     });
 
-    let results: Vec<T> = slots
+    let results: Vec<Result<T, JobPanic>> = slots
         .into_iter()
         .map(|s| s.expect("every index executed exactly once"))
         .collect();
@@ -229,5 +339,67 @@ mod tests {
         assert_eq!(job_count(Some(0)), 1);
         assert_eq!(job_count(Some(3)), 3);
         assert!(job_count(None) >= 1);
+    }
+
+    #[test]
+    fn parse_jobs_is_strict() {
+        assert_eq!(parse_jobs("1"), Ok(1));
+        assert_eq!(parse_jobs(" 8 "), Ok(8));
+        assert!(parse_jobs("0").unwrap_err().contains("at least 1"));
+        assert!(parse_jobs("-2").unwrap_err().contains("invalid"));
+        assert!(parse_jobs("four").unwrap_err().contains("invalid"));
+        assert!(parse_jobs("").unwrap_err().contains("invalid"));
+        assert!(parse_jobs("3.5").unwrap_err().contains("invalid"));
+    }
+
+    #[test]
+    fn try_job_count_accepts_explicit_requests() {
+        assert_eq!(try_job_count(Some(2)), Ok(2));
+        assert!(try_job_count(Some(0)).unwrap_err().starts_with("--jobs"));
+    }
+
+    #[test]
+    fn one_panicking_job_fails_only_its_own_slot() {
+        let (results, report) = try_run_indexed(4, 20, |i| {
+            if i == 7 {
+                panic!("job 7 exploded");
+            }
+            i * 10
+        });
+        assert_eq!(results.len(), 20);
+        for (i, r) in results.iter().enumerate() {
+            if i == 7 {
+                let p = r.as_ref().unwrap_err();
+                assert_eq!(p.index, 7);
+                assert!(p.message.contains("exploded"), "{p}");
+            } else {
+                assert_eq!(*r.as_ref().unwrap(), i * 10, "index {i}");
+            }
+        }
+        assert_eq!(report.executed.iter().sum::<u64>(), 20);
+    }
+
+    #[test]
+    fn serial_path_also_isolates_panics() {
+        let (results, _) = try_run_indexed(1, 3, |i| {
+            if i == 1 {
+                panic!("boom");
+            }
+            i
+        });
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+        assert!(results[2].is_ok(), "indices after the panic still run");
+    }
+
+    #[test]
+    #[should_panic(expected = "job 2 panicked: kapow")]
+    fn run_indexed_propagates_a_labeled_panic() {
+        let _ = run_indexed(2, 4, |i| {
+            if i == 2 {
+                panic!("kapow");
+            }
+            i
+        });
     }
 }

@@ -8,6 +8,7 @@ use mds_harness::json::{Json, ToJson};
 use mds_multiscalar::Multiscalar;
 use mds_ooo::{OooSim, WindowAnalyzer};
 use std::fmt::Write as _;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// One executed job: its output plus scheduling metadata.
@@ -156,20 +157,82 @@ impl RunOutcome {
 #[derive(Debug, Clone)]
 pub struct Runner {
     workers: usize,
+    shared_cache: Option<Arc<TraceCache>>,
 }
+
+/// One grid cell that panicked during a [`Runner::try_run`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// The failed job's id, copied from the grid.
+    pub id: String,
+    /// The captured panic message.
+    pub message: String,
+}
+
+/// A [`Runner::try_run`] in which at least one job panicked.
+///
+/// Every other cell of the grid still ran to completion; the error lists
+/// exactly which jobs failed and why, so a long-lived caller (the serving
+/// subsystem) can report the failure and keep accepting work.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunError {
+    /// The jobs that panicked, in submission order.
+    pub failures: Vec<JobFailure>,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} job(s) failed:", self.failures.len())?;
+        for failure in &self.failures {
+            write!(f, " [{}: {}]", failure.id, failure.message)?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for RunError {}
 
 impl Runner {
     /// A runner with an explicit worker count (clamped to at least 1).
     pub fn new(workers: usize) -> Runner {
         Runner {
             workers: workers.max(1),
+            shared_cache: None,
         }
     }
 
     /// A runner sized from `explicit` (e.g. a `--jobs` flag), falling back
     /// to `MDS_JOBS` and then the machine's available parallelism.
+    ///
+    /// Lenient about malformed `MDS_JOBS` (falls through to the next
+    /// source); user-facing front-ends use [`Runner::try_from_env`].
     pub fn from_env(explicit: Option<usize>) -> Runner {
         Runner::new(pool::job_count(explicit))
+    }
+
+    /// Like [`Runner::from_env`], but a malformed or zero `MDS_JOBS`
+    /// value is a usage error instead of a silent fallback.
+    pub fn try_from_env(explicit: Option<usize>) -> Result<Runner, String> {
+        pool::try_job_count(explicit).map(Runner::new)
+    }
+
+    /// Attaches a shared, long-lived trace cache (see
+    /// [`TraceCache::persistent`]).
+    ///
+    /// Every subsequent [`Runner::run`] fetches traces from — and leaves
+    /// them resident in — `cache`, so emulation cost amortizes across
+    /// runs. Clones of this runner share the same cache, which is what
+    /// lets concurrent callers (server workers) submit grids at once:
+    /// `run` takes `&self`, and the cache's per-key `OnceLock` guarantees
+    /// each workload is still emulated exactly once across all of them.
+    pub fn with_shared_cache(mut self, cache: Arc<TraceCache>) -> Runner {
+        self.shared_cache = Some(cache);
+        self
+    }
+
+    /// The shared trace cache, if one was attached.
+    pub fn shared_cache(&self) -> Option<&Arc<TraceCache>> {
+        self.shared_cache.as_ref()
     }
 
     /// The worker count this runner will use.
@@ -178,11 +241,37 @@ impl Runner {
     }
 
     /// Runs every cell of `grid` and returns submission-ordered results.
+    ///
+    /// # Panics
+    ///
+    /// Panics with a labeled message if a job panicked (a workload bug,
+    /// not an operational condition); see [`Runner::try_run`] for the
+    /// recovering variant.
     pub fn run(&self, grid: &Grid) -> RunOutcome {
+        self.try_run(grid).unwrap_or_else(|e| panic!("runner: {e}"))
+    }
+
+    /// Runs every cell of `grid`; a panicking job fails the run with a
+    /// clean, labeled [`RunError`] instead of unwinding into the caller,
+    /// and every other job still completes.
+    pub fn try_run(&self, grid: &Grid) -> Result<RunOutcome, RunError> {
         let jobs = grid.jobs();
-        let cache = TraceCache::new(jobs);
+        let owned;
+        let cache: &TraceCache = match &self.shared_cache {
+            Some(shared) => shared,
+            None => {
+                owned = TraceCache::new(jobs);
+                &owned
+            }
+        };
+        // With a shared cache, stats must be deltas: the cache's counters
+        // span every run it has ever served. Concurrent runs may
+        // mis-attribute each other's traffic between the two reads, but
+        // the totals (the serving metrics) stay exact.
+        let hits_before = cache.hits();
+        let misses_before = cache.misses();
         let start = Instant::now();
-        let (results, pool_report) = pool::run_indexed(self.workers, jobs.len(), |idx| {
+        let (slots, pool_report) = pool::try_run_indexed(self.workers, jobs.len(), |idx| {
             let job = &jobs[idx];
             let job_start = Instant::now();
             let trace = cache.fetch(&job.workload, job.scale);
@@ -196,16 +285,30 @@ impl Runner {
             }
         });
         let wall_ns = start.elapsed().as_nanos();
+        let mut results = Vec::with_capacity(slots.len());
+        let mut failures = Vec::new();
+        for slot in slots {
+            match slot {
+                Ok(result) => results.push(result),
+                Err(p) => failures.push(JobFailure {
+                    id: jobs[p.index].id.clone(),
+                    message: p.message,
+                }),
+            }
+        }
+        if !failures.is_empty() {
+            return Err(RunError { failures });
+        }
         let stats = RunStats {
             jobs: jobs.len(),
             workers: self.workers,
-            cache_hits: cache.hits(),
-            cache_misses: cache.misses(),
+            cache_hits: cache.hits() - hits_before,
+            cache_misses: cache.misses() - misses_before,
             peak_trace_bytes: cache.peak_bytes(),
             wall_ns,
             pool: pool_report,
         };
-        RunOutcome { results, stats }
+        Ok(RunOutcome { results, stats })
     }
 }
 
@@ -317,6 +420,75 @@ mod tests {
         assert!(text.contains("trace cache: 1 emulation, 1 reuse"), "{text}");
         assert!(text.contains("utilization"), "{text}");
         assert!(outcome.stats.utilization() >= 0.0);
+    }
+
+    #[test]
+    fn shared_cache_amortizes_across_runs() {
+        let compress = by_name("compress").unwrap();
+        let mut grid = Grid::new(Scale::Tiny);
+        grid.summary(&compress);
+        let cache = Arc::new(TraceCache::persistent());
+        let runner = Runner::new(2).with_shared_cache(Arc::clone(&cache));
+
+        let first = runner.run(&grid);
+        assert_eq!(first.stats.cache_misses, 1, "first run emulates");
+        let second = runner.run(&grid);
+        assert_eq!(second.stats.cache_misses, 0, "second run reuses");
+        assert_eq!(second.stats.cache_hits, 1);
+        assert_eq!(cache.misses(), 1, "one emulation across both runs");
+        assert!(cache.resident() >= 1, "persistent cache pins the trace");
+        assert_eq!(
+            first.results_json().to_string(),
+            second.results_json().to_string()
+        );
+    }
+
+    #[test]
+    fn concurrent_submissions_share_one_emulation() {
+        let compress = by_name("compress").unwrap();
+        let cache = Arc::new(TraceCache::persistent());
+        let runner = Runner::new(1).with_shared_cache(Arc::clone(&cache));
+        let docs: Vec<String> = std::thread::scope(|s| {
+            (0..4)
+                .map(|_| {
+                    let runner = runner.clone();
+                    s.spawn(move || {
+                        let mut grid = Grid::new(Scale::Tiny);
+                        grid.summary(&compress);
+                        runner.run(&grid).results_json().to_string()
+                    })
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        assert_eq!(cache.misses(), 1, "one emulation across 4 submissions");
+        assert!(docs.windows(2).all(|w| w[0] == w[1]));
+    }
+
+    #[test]
+    fn panicking_workload_yields_a_labeled_run_error() {
+        fn broken_build(_: Scale) -> mds_isa::Program {
+            panic!("synthetic workload bug")
+        }
+        let compress = by_name("compress").unwrap();
+        let broken = mds_workloads::Workload {
+            name: "broken",
+            build: broken_build,
+            ..compress
+        };
+        let mut grid = Grid::new(Scale::Tiny);
+        grid.summary(&broken);
+        grid.summary(&compress);
+        let err = Runner::new(2).try_run(&grid).unwrap_err();
+        assert_eq!(err.failures.len(), 1, "only the broken job fails");
+        assert_eq!(err.failures[0].id, "broken/summary");
+        assert!(
+            err.failures[0].message.contains("synthetic workload bug"),
+            "{err}"
+        );
+        assert!(err.to_string().contains("broken/summary"));
     }
 
     #[test]

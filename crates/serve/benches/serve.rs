@@ -1,0 +1,113 @@
+//! End-to-end serving benchmark: cold-cache versus warm-cache throughput
+//! and latency percentiles at 1/4/8 concurrent clients.
+//!
+//! Run with `cargo bench --bench serve`; results are written to
+//! `BENCH_serve.json` at the workspace root (same placement convention as
+//! the other suites). Under plain `cargo test` the target smoke-runs with
+//! very short bursts and writes nothing.
+//!
+//! "Cold" requests send `"fresh": true`, which bypasses the server's
+//! result-cache *read* — every request pays simulation compute (the
+//! shared trace cache still amortizes workload emulation, as in any
+//! long-lived server). "Warm" requests hit the result cache and serve the
+//! memoized bytes, which is the steady state for repeated queries. The
+//! gap between the two is exactly what the result cache buys.
+
+use mds_serve::{run_load, LoadConfig, LoadReport, LogTarget, Server, ServerConfig};
+use std::time::Duration;
+
+const CLIENT_COUNTS: [usize; 3] = [1, 4, 8];
+const EXPERIMENT: &str = "fig5";
+const SCALE: &str = "tiny";
+
+fn seconds_per_run(measure: bool) -> f64 {
+    if let Ok(text) = std::env::var("MDS_SERVE_BENCH_SECONDS") {
+        if let Ok(secs) = text.parse::<f64>() {
+            if secs.is_finite() && secs > 0.0 {
+                return secs;
+            }
+        }
+    }
+    if measure {
+        2.0
+    } else {
+        0.15
+    }
+}
+
+fn run_mode(server: &Server, clients: usize, seconds: f64, fresh: bool) -> LoadReport {
+    run_load(&LoadConfig {
+        addr: server.local_addr().to_string(),
+        clients,
+        duration: Duration::from_secs_f64(seconds),
+        experiment: EXPERIMENT.to_string(),
+        scale: SCALE.to_string(),
+        fresh,
+    })
+}
+
+fn run_json(mode: &str, clients: usize, report: &LoadReport) -> mds_harness::json::Json {
+    report
+        .to_json()
+        .field("mode", mode)
+        .field("clients_requested", clients)
+}
+
+fn main() {
+    let measure = std::env::args().any(|a| a == "--bench");
+    let seconds = seconds_per_run(measure);
+    let label = if measure {
+        "benchmarking"
+    } else {
+        "smoke-running"
+    };
+    eprintln!("{label} suite 'serve' ({EXPERIMENT}@{SCALE}, {seconds}s per point)");
+
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 8,
+        log: LogTarget::Discard,
+        ..ServerConfig::default()
+    })
+    .expect("start in-process server");
+
+    let mut runs = Vec::new();
+    for clients in CLIENT_COUNTS {
+        let cold = run_mode(&server, clients, seconds, true);
+        assert!(
+            cold.requests > 0,
+            "cold run at {clients} clients completed no requests"
+        );
+        eprintln!("  cold/{clients}c: {}", cold.render());
+        runs.push(run_json("cold", clients, &cold));
+
+        // Prime the result cache, then measure the warm path.
+        let _ = run_mode(&server, 1, 0.05, false);
+        let warm = run_mode(&server, clients, seconds, false);
+        assert!(
+            warm.requests > 0,
+            "warm run at {clients} clients completed no requests"
+        );
+        eprintln!("  warm/{clients}c: {}", warm.render());
+        runs.push(run_json("warm", clients, &warm));
+    }
+
+    let trace_emulations = server.trace_cache().misses();
+    server.shutdown();
+
+    if !measure {
+        return;
+    }
+    let doc = mds_harness::json::Json::object()
+        .field("suite", "serve")
+        .field("experiment", EXPERIMENT)
+        .field("scale", SCALE)
+        .field("seconds_per_run", seconds)
+        .field("trace_emulations", trace_emulations)
+        .field("runs", mds_harness::json::Json::Array(runs));
+    let path = mds_harness::bench::report_dir().join("BENCH_serve.json");
+    match std::fs::write(&path, doc.pretty()) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}

@@ -1,0 +1,132 @@
+//! `mds-load` — closed-loop load generator for `mds-serve`.
+//!
+//! Runs N client threads against a server for a fixed duration and
+//! reports throughput plus exact merged latency percentiles, as a human
+//! summary or JSON.
+
+use mds_serve::{print_report, run_load, LoadConfig};
+use std::time::Duration;
+
+const USAGE: &str = "\
+usage: mds-load [options]
+
+Offer closed-loop load to a running mds-serve and report throughput and
+latency percentiles (p50/p95/p99).
+
+options:
+  --addr HOST:PORT     server address (default 127.0.0.1:7878)
+  --clients N          concurrent client threads (default 4)
+  --seconds S          run duration in seconds, fractions allowed (default 5)
+  --experiment ID      experiment to request (default fig5)
+  --scale NAME         tiny|small|full (default tiny)
+  --fresh              bypass the server's result-cache read (cold path)
+  --json               emit the report as JSON instead of a summary line
+  -h, --help           show this help
+";
+
+fn fail(message: &str) -> ! {
+    eprintln!("mds-load: {message}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_args(args: impl Iterator<Item = String>) -> Result<(LoadConfig, bool), String> {
+    let mut config = LoadConfig::default();
+    let mut json = false;
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--clients" => {
+                let text = value("--clients")?;
+                config.clients = text
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("--clients: invalid count '{text}'"))?;
+            }
+            "--seconds" => {
+                let text = value("--seconds")?;
+                let secs = text
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|s| s.is_finite() && *s > 0.0)
+                    .ok_or_else(|| format!("--seconds: invalid duration '{text}'"))?;
+                config.duration = Duration::from_secs_f64(secs);
+            }
+            "--experiment" => config.experiment = value("--experiment")?,
+            "--scale" => config.scale = value("--scale")?,
+            "--fresh" => config.fresh = true,
+            "--json" => json = true,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok((config, json))
+}
+
+fn main() {
+    let (config, json) = match parse_args(std::env::args().skip(1)) {
+        Ok(parsed) => parsed,
+        Err(message) => fail(&message),
+    };
+    let report = run_load(&config);
+    print_report(&mut std::io::stdout(), &report, json);
+    // No successful request at all means the server was unreachable or
+    // rejecting everything — that is a failed run.
+    if report.requests == 0 {
+        eprintln!(
+            "mds-load: no successful requests ({} errors)",
+            report.errors
+        );
+        std::process::exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_flag() {
+        let (config, json) = parse_args(
+            [
+                "--addr",
+                "h:1",
+                "--clients",
+                "8",
+                "--seconds",
+                "0.5",
+                "--experiment",
+                "table1",
+                "--scale",
+                "small",
+                "--fresh",
+                "--json",
+            ]
+            .into_iter()
+            .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(config.addr, "h:1");
+        assert_eq!(config.clients, 8);
+        assert_eq!(config.duration, Duration::from_millis(500));
+        assert_eq!(config.experiment, "table1");
+        assert_eq!(config.scale, "small");
+        assert!(config.fresh);
+        assert!(json);
+    }
+
+    #[test]
+    fn rejects_nonsense() {
+        assert!(parse_args(["--clients".into(), "0".into()].into_iter()).is_err());
+        assert!(parse_args(["--seconds".into(), "-1".into()].into_iter()).is_err());
+        assert!(parse_args(["--bogus".into()].into_iter()).is_err());
+    }
+}

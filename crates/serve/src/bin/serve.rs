@@ -1,0 +1,124 @@
+//! `mds-serve` — the experiment-serving daemon.
+//!
+//! Binds, prints the listening address, and serves until a client posts
+//! `/v1/shutdown` (the SIGTERM surrogate — plain `std` has no signal
+//! handling), then drains in-flight work and exits 0.
+
+use mds_serve::{LogTarget, Server, ServerConfig};
+
+const USAGE: &str = "\
+usage: mds-serve [options]
+
+Serve paper experiments over HTTP/JSON.
+
+options:
+  --addr HOST:PORT   bind address (default 127.0.0.1:7878; port 0 = ephemeral)
+  --workers N        connection-serving worker threads (default 4)
+  --queue-depth N    admission queue capacity before 503 shedding (default 64)
+  --jobs N           simulation worker threads (default: MDS_JOBS or all cores)
+  --quiet            discard the JSON access log (default: stderr)
+  -h, --help         show this help
+
+routes:
+  POST /v1/experiments   run (or fetch) an experiment: {\"experiment\":\"fig5\",\"scale\":\"tiny\"}
+  GET  /v1/experiments   list experiment ids and titles
+  GET  /healthz          liveness probe
+  GET  /metrics          Prometheus text metrics
+  POST /v1/shutdown      graceful shutdown
+";
+
+fn fail(message: &str) -> ! {
+    eprintln!("mds-serve: {message}\n\n{USAGE}");
+    std::process::exit(2);
+}
+
+fn parse_config(args: impl Iterator<Item = String>) -> Result<ServerConfig, String> {
+    let mut config = ServerConfig::default();
+    let mut args = args.peekable();
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("{flag} requires a value"))
+        };
+        match arg.as_str() {
+            "--addr" => config.addr = value("--addr")?,
+            "--workers" => {
+                let text = value("--workers")?;
+                config.workers = text
+                    .parse()
+                    .map_err(|_| format!("--workers: invalid count '{text}'"))?;
+            }
+            "--queue-depth" => {
+                let text = value("--queue-depth")?;
+                config.queue_depth = text
+                    .parse()
+                    .map_err(|_| format!("--queue-depth: invalid count '{text}'"))?;
+            }
+            "--jobs" => {
+                let text = value("--jobs")?;
+                config.jobs =
+                    Some(mds_runner::parse_jobs(&text).map_err(|e| format!("--jobs: {e}"))?);
+            }
+            "--quiet" => config.log = LogTarget::Discard,
+            "-h" | "--help" => {
+                println!("{USAGE}");
+                std::process::exit(0);
+            }
+            other => return Err(format!("unknown argument '{other}'")),
+        }
+    }
+    Ok(config)
+}
+
+fn main() {
+    let config = match parse_config(std::env::args().skip(1)) {
+        Ok(config) => config,
+        Err(message) => fail(&message),
+    };
+    let server = match Server::start(config) {
+        Ok(server) => server,
+        Err(message) => fail(&message),
+    };
+    println!("mds-serve listening on http://{}", server.local_addr());
+    server.wait_for_shutdown();
+    eprintln!("mds-serve: shutdown requested, draining");
+    server.shutdown();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_flag() {
+        let config = parse_config(
+            [
+                "--addr",
+                "0.0.0.0:0",
+                "--workers",
+                "8",
+                "--queue-depth",
+                "5",
+                "--jobs",
+                "3",
+                "--quiet",
+            ]
+            .into_iter()
+            .map(String::from),
+        )
+        .unwrap();
+        assert_eq!(config.addr, "0.0.0.0:0");
+        assert_eq!(config.workers, 8);
+        assert_eq!(config.queue_depth, 5);
+        assert_eq!(config.jobs, Some(3));
+        assert_eq!(config.log, LogTarget::Discard);
+    }
+
+    #[test]
+    fn rejects_bad_flags_and_values() {
+        assert!(parse_config(["--port".to_string()].into_iter()).is_err());
+        assert!(parse_config(["--workers".to_string()].into_iter()).is_err());
+        let jobs = parse_config(["--jobs".to_string(), "0".to_string()].into_iter()).unwrap_err();
+        assert!(jobs.starts_with("--jobs:"), "{jobs}");
+    }
+}

@@ -1,0 +1,445 @@
+//! A minimal HTTP/1.1 wire layer over `std::io` streams.
+//!
+//! Only what the serving subsystem needs: request-line + header parsing
+//! with hard size limits, `Content-Length` bodies (no chunked transfer
+//! coding), keep-alive negotiation, and a deterministic response writer.
+//! The same head parser serves both sides: the server reads requests and
+//! the load generator reads responses.
+
+use std::io::{self, Read, Write};
+
+/// Hard limits applied while reading a request.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum bytes of request line + headers.
+    pub max_head_bytes: usize,
+    /// Maximum bytes of request body (`Content-Length`).
+    pub max_body_bytes: usize,
+}
+
+impl Default for Limits {
+    fn default() -> Limits {
+        Limits {
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 64 * 1024,
+        }
+    }
+}
+
+/// A parsed HTTP request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// The request method, uppercase as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// The request target (path plus optional query), as sent.
+    pub target: String,
+    /// Header `(name, value)` pairs; names are lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The request body (empty without a `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// The first value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// Whether the client asked to keep the connection open (HTTP/1.1
+    /// defaults to yes unless `Connection: close`).
+    pub fn wants_keep_alive(&self) -> bool {
+        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+    }
+}
+
+/// Why a request could not be read.
+#[derive(Debug)]
+pub enum ReadError {
+    /// The peer closed the connection before sending a request.
+    Closed,
+    /// The read timed out (idle keep-alive connection).
+    TimedOut,
+    /// The head exceeded [`Limits::max_head_bytes`].
+    HeadTooLarge,
+    /// The declared body exceeded [`Limits::max_body_bytes`].
+    BodyTooLarge,
+    /// The bytes were not parseable HTTP.
+    Malformed(&'static str),
+    /// Any other I/O failure.
+    Io(io::Error),
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Closed => write!(f, "connection closed"),
+            ReadError::TimedOut => write!(f, "read timed out"),
+            ReadError::HeadTooLarge => write!(f, "request head too large"),
+            ReadError::BodyTooLarge => write!(f, "request body too large"),
+            ReadError::Malformed(why) => write!(f, "malformed request: {why}"),
+            ReadError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+fn map_io(e: io::Error) -> ReadError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => ReadError::TimedOut,
+        io::ErrorKind::UnexpectedEof | io::ErrorKind::ConnectionReset => ReadError::Closed,
+        _ => ReadError::Io(e),
+    }
+}
+
+/// Reads one full head (up to and including the blank line) from
+/// `stream`, respecting `max` bytes. Returns the raw head bytes plus any
+/// body bytes that arrived in the same reads.
+fn read_head(stream: &mut impl Read, max: usize) -> Result<(Vec<u8>, Vec<u8>), ReadError> {
+    let mut buf: Vec<u8> = Vec::with_capacity(512);
+    let mut chunk = [0u8; 1024];
+    loop {
+        if let Some(end) = find_head_end(&buf) {
+            if end > max {
+                return Err(ReadError::HeadTooLarge);
+            }
+            let rest = buf.split_off(end);
+            return Ok((buf, rest));
+        }
+        if buf.len() >= max {
+            return Err(ReadError::HeadTooLarge);
+        }
+        let n = stream.read(&mut chunk).map_err(map_io)?;
+        if n == 0 {
+            return if buf.is_empty() {
+                Err(ReadError::Closed)
+            } else {
+                Err(ReadError::Malformed("truncated head"))
+            };
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+}
+
+/// Byte offset just past the `\r\n\r\n` terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Parses `name: value` header lines out of a head (everything after the
+/// first line). Names are lowercased.
+fn parse_headers(lines: &str) -> Result<Vec<(String, String)>, ReadError> {
+    let mut headers = Vec::new();
+    for line in lines.split("\r\n").filter(|l| !l.is_empty()) {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or(ReadError::Malformed("header without ':'"))?;
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    Ok(headers)
+}
+
+/// Reads and parses one request from `stream`.
+pub fn read_request(stream: &mut impl Read, limits: Limits) -> Result<Request, ReadError> {
+    let (head, mut body) = read_head(stream, limits.max_head_bytes)?;
+    let head = std::str::from_utf8(&head).map_err(|_| ReadError::Malformed("non-UTF-8 head"))?;
+    let (request_line, header_lines) = head
+        .split_once("\r\n")
+        .ok_or(ReadError::Malformed("missing request line"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or_default().to_string();
+    let target = parts
+        .next()
+        .ok_or(ReadError::Malformed("missing target"))?
+        .to_string();
+    let version = parts
+        .next()
+        .ok_or(ReadError::Malformed("missing version"))?;
+    if !version.starts_with("HTTP/1.") {
+        return Err(ReadError::Malformed("unsupported HTTP version"));
+    }
+    let headers = parse_headers(header_lines)?;
+    let request = Request {
+        method,
+        target,
+        headers,
+        body: Vec::new(),
+    };
+    if request.header("transfer-encoding").is_some() {
+        return Err(ReadError::Malformed("chunked bodies are not supported"));
+    }
+    let declared = match request.header("content-length") {
+        Some(v) => v
+            .parse::<usize>()
+            .map_err(|_| ReadError::Malformed("bad content-length"))?,
+        None => 0,
+    };
+    if declared > limits.max_body_bytes {
+        return Err(ReadError::BodyTooLarge);
+    }
+    while body.len() < declared {
+        let mut chunk = [0u8; 1024];
+        let n = stream.read(&mut chunk).map_err(map_io)?;
+        if n == 0 {
+            return Err(ReadError::Malformed("truncated body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(declared);
+    Ok(Request { body, ..request })
+}
+
+/// An outgoing HTTP response.
+#[derive(Debug, Clone)]
+pub struct Response {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: Vec<u8>,
+}
+
+impl Response {
+    /// An empty response with the given status.
+    pub fn new(status: u16) -> Response {
+        Response {
+            status,
+            headers: Vec::new(),
+            body: Vec::new(),
+        }
+    }
+
+    /// A `application/json` response.
+    pub fn json(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response::new(status)
+            .header("content-type", "application/json")
+            .body(body)
+    }
+
+    /// A `text/plain` response.
+    pub fn text(status: u16, body: impl Into<Vec<u8>>) -> Response {
+        Response::new(status)
+            .header("content-type", "text/plain; charset=utf-8")
+            .body(body)
+    }
+
+    /// Adds a header.
+    pub fn header(mut self, name: &str, value: &str) -> Response {
+        self.headers.push((name.to_string(), value.to_string()));
+        self
+    }
+
+    /// Sets the body.
+    pub fn body(mut self, body: impl Into<Vec<u8>>) -> Response {
+        self.body = body.into();
+        self
+    }
+
+    /// The status code.
+    pub fn status(&self) -> u16 {
+        self.status
+    }
+
+    /// The body length in bytes.
+    pub fn body_len(&self) -> usize {
+        self.body.len()
+    }
+
+    /// Serializes the response, adding `Content-Length` and a
+    /// `Connection` header reflecting `keep_alive`.
+    ///
+    /// Head and body go out in a single write: two writes per response
+    /// interact with Nagle's algorithm and delayed ACKs to add tens of
+    /// milliseconds per round trip on real sockets.
+    pub fn write_to(&self, w: &mut impl Write, keep_alive: bool) -> io::Result<()> {
+        let reason = reason_phrase(self.status);
+        let mut head = format!("HTTP/1.1 {} {reason}\r\n", self.status);
+        for (name, value) in &self.headers {
+            head.push_str(&format!("{name}: {value}\r\n"));
+        }
+        head.push_str(&format!("content-length: {}\r\n", self.body.len()));
+        head.push_str(if keep_alive {
+            "connection: keep-alive\r\n\r\n"
+        } else {
+            "connection: close\r\n\r\n"
+        });
+        let mut wire = Vec::with_capacity(head.len() + self.body.len());
+        wire.extend_from_slice(head.as_bytes());
+        wire.extend_from_slice(&self.body);
+        w.write_all(&wire)?;
+        w.flush()
+    }
+}
+
+fn reason_phrase(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Payload Too Large",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Unknown",
+    }
+}
+
+/// A response as seen by a client: status plus body.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// The status code from the status line.
+    pub status: u16,
+    /// Header `(name, value)` pairs; names lowercased.
+    pub headers: Vec<(String, String)>,
+    /// The response body.
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// The first value of a header, by lowercase name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Reads one response from `stream` (the load generator's client side).
+pub fn read_response(stream: &mut impl Read) -> Result<ClientResponse, ReadError> {
+    let (head, mut body) = read_head(stream, 64 * 1024)?;
+    let head = std::str::from_utf8(&head).map_err(|_| ReadError::Malformed("non-UTF-8 head"))?;
+    let (status_line, header_lines) = head
+        .split_once("\r\n")
+        .ok_or(ReadError::Malformed("missing status line"))?;
+    let status = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse::<u16>().ok())
+        .ok_or(ReadError::Malformed("bad status line"))?;
+    let headers = parse_headers(header_lines)?;
+    let declared = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .and_then(|(_, v)| v.parse::<usize>().ok())
+        .unwrap_or(0);
+    while body.len() < declared {
+        let mut chunk = [0u8; 4096];
+        let n = stream.read(&mut chunk).map_err(map_io)?;
+        if n == 0 {
+            return Err(ReadError::Malformed("truncated body"));
+        }
+        body.extend_from_slice(&chunk[..n]);
+    }
+    body.truncate(declared);
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Serializes a request in a single write (see [`Response::write_to`] on
+/// why one write matters).
+pub fn write_request(
+    w: &mut impl Write,
+    method: &str,
+    target: &str,
+    body: &[u8],
+) -> io::Result<()> {
+    let head = format!(
+        "{method} {target} HTTP/1.1\r\nhost: mds\r\ncontent-type: application/json\r\n\
+         content-length: {}\r\n\r\n",
+        body.len()
+    );
+    let mut wire = Vec::with_capacity(head.len() + body.len());
+    wire.extend_from_slice(head.as_bytes());
+    wire.extend_from_slice(body);
+    w.write_all(&wire)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(bytes: &[u8]) -> Result<Request, ReadError> {
+        read_request(&mut io::Cursor::new(bytes.to_vec()), Limits::default())
+    }
+
+    #[test]
+    fn parses_a_post_with_body() {
+        let raw = b"POST /v1/experiments HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = parse(raw).unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/v1/experiments");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"abcd");
+        assert!(req.wants_keep_alive());
+    }
+
+    #[test]
+    fn connection_close_disables_keep_alive() {
+        let raw = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
+        assert!(!parse(raw).unwrap().wants_keep_alive());
+    }
+
+    #[test]
+    fn enforces_head_and_body_limits() {
+        let tiny = Limits {
+            max_head_bytes: 16,
+            max_body_bytes: 8,
+        };
+        let long_head = b"GET /a/very/long/target/path HTTP/1.1\r\n\r\n";
+        assert!(matches!(
+            read_request(&mut io::Cursor::new(long_head.to_vec()), tiny),
+            Err(ReadError::HeadTooLarge)
+        ));
+        let big_body = b"POST / HTTP/1.1\r\ncontent-length: 9999\r\n\r\n";
+        let mut cursor = io::Cursor::new(big_body.to_vec());
+        assert!(matches!(
+            read_request(
+                &mut cursor,
+                Limits {
+                    max_head_bytes: 1024,
+                    max_body_bytes: 8
+                }
+            ),
+            Err(ReadError::BodyTooLarge)
+        ));
+    }
+
+    #[test]
+    fn rejects_garbage_and_eof() {
+        assert!(matches!(parse(b""), Err(ReadError::Closed)));
+        assert!(matches!(
+            parse(b"NOT HTTP\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+        assert!(matches!(
+            parse(b"GET / HTTP/2\r\n\r\n"),
+            Err(ReadError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn responses_round_trip_through_the_client_reader() {
+        let resp = Response::json(200, r#"{"ok":true}"#).header("retry-after", "1");
+        let mut wire = Vec::new();
+        resp.write_to(&mut wire, true).unwrap();
+        let parsed = read_response(&mut io::Cursor::new(wire)).unwrap();
+        assert_eq!(parsed.status, 200);
+        assert_eq!(parsed.header("retry-after"), Some("1"));
+        assert_eq!(parsed.header("connection"), Some("keep-alive"));
+        assert_eq!(parsed.body, br#"{"ok":true}"#);
+    }
+
+    #[test]
+    fn pipelined_head_bytes_are_not_lost() {
+        // Body bytes arriving in the same packet as the head are kept.
+        let raw = b"POST / HTTP/1.1\r\ncontent-length: 2\r\n\r\nhi";
+        let req = parse(raw).unwrap();
+        assert_eq!(req.body, b"hi");
+    }
+}

@@ -1,0 +1,79 @@
+//! Zero-dependency experiment-serving subsystem for the `mds` workspace.
+//!
+//! The CLI (`repro`) answers one experiment per process; this crate turns
+//! the same engine into a long-lived service so repeated and concurrent
+//! queries amortize the expensive part (workload emulation) instead of
+//! redoing it. Everything is `std`-only — the HTTP/1.1 layer is
+//! hand-rolled over `std::net` — and the served bytes are **identical**
+//! to `repro <id> --json` output by construction, because both sides
+//! render [`mds_bench::results_doc`].
+//!
+//! The pieces, each its own module:
+//!
+//! 1. **Wire layer** ([`http`]) — request parsing with hard head/body
+//!    limits, keep-alive negotiation, and a deterministic response
+//!    writer; the same parser serves the server and the load generator.
+//! 2. **Admission queue** ([`queue`]) — a bounded MPMC queue between the
+//!    acceptor and the worker pool; a full queue sheds connections with
+//!    `503` + `Retry-After` instead of buffering unboundedly.
+//! 3. **Result cache** ([`result_cache`]) — canonical request key →
+//!    response bytes, LRU within a byte budget, so warm repeats skip
+//!    simulation *and* serialization.
+//! 4. **Domain layer** ([`service`]) — strict request validation with
+//!    positioned errors, and execution through one shared
+//!    [`mds_runner::Runner`] over a persistent trace cache (each
+//!    workload is emulated at most once per server lifetime).
+//! 5. **Observability** ([`metrics`], [`access_log`]) — lock-free
+//!    counters and histograms rendered as Prometheus text, plus one
+//!    structured JSON log line per request.
+//! 6. **The server itself** ([`server`]) — acceptor thread, fixed worker
+//!    pool, routing, and graceful drain-then-join shutdown.
+//! 7. **Load generator** ([`load`]) — a closed-loop multi-client driver
+//!    with exact merged percentiles, used by the `mds-load` binary and
+//!    the `serve` benchmark.
+//!
+//! # Examples
+//!
+//! ```
+//! use mds_serve::{LoadConfig, LogTarget, Server, ServerConfig};
+//!
+//! let server = Server::start(ServerConfig {
+//!     addr: "127.0.0.1:0".to_string(), // ephemeral port
+//!     workers: 2,
+//!     jobs: Some(2),
+//!     log: LogTarget::Discard,
+//!     ..ServerConfig::default()
+//! })
+//! .unwrap();
+//!
+//! let report = mds_serve::run_load(&LoadConfig {
+//!     addr: server.local_addr().to_string(),
+//!     clients: 2,
+//!     duration: std::time::Duration::from_millis(200),
+//!     experiment: "fig5".to_string(),
+//!     scale: "tiny".to_string(),
+//!     fresh: false,
+//! });
+//! assert!(report.requests > 0);
+//! server.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod access_log;
+pub mod http;
+pub mod load;
+pub mod metrics;
+pub mod queue;
+pub mod result_cache;
+pub mod server;
+pub mod service;
+
+pub use access_log::{AccessLog, AccessRecord};
+pub use load::{print_report, run_load, LoadConfig, LoadReport};
+pub use metrics::{Gauges, Histogram, Metrics};
+pub use queue::Bounded;
+pub use result_cache::ResultCache;
+pub use server::{LogTarget, Server, ServerConfig};
+pub use service::{ExperimentRequest, Service};

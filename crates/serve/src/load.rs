@@ -1,0 +1,272 @@
+//! A closed-loop load generator for the serving subsystem.
+//!
+//! N client threads each run a closed loop against one server: connect,
+//! send a `POST /v1/experiments`, wait for the full response, repeat
+//! until the deadline. Closed-loop means offered load adapts to server
+//! latency (no coordinated-omission correction needed for the question
+//! this answers: sustained throughput and the latency distribution under
+//! a fixed concurrency level). Per-request latencies are merged across
+//! threads into one sorted vector for exact percentiles.
+
+use crate::http;
+use mds_harness::json::Json;
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// What load to offer, and where.
+#[derive(Debug, Clone)]
+pub struct LoadConfig {
+    /// Server address, `host:port`.
+    pub addr: String,
+    /// Concurrent client threads (each one closed loop).
+    pub clients: usize,
+    /// How long to run.
+    pub duration: Duration,
+    /// The experiment id each request asks for.
+    pub experiment: String,
+    /// The scale each request asks for.
+    pub scale: String,
+    /// Send `"fresh": true` (bypass the server's result-cache read) —
+    /// the cold path.
+    pub fresh: bool,
+}
+
+impl Default for LoadConfig {
+    fn default() -> LoadConfig {
+        LoadConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            clients: 4,
+            duration: Duration::from_secs(5),
+            experiment: "fig5".to_string(),
+            scale: "tiny".to_string(),
+            fresh: false,
+        }
+    }
+}
+
+impl LoadConfig {
+    /// The request body every client sends.
+    fn body(&self) -> Vec<u8> {
+        let mut doc = Json::object()
+            .field("experiment", self.experiment.as_str())
+            .field("scale", self.scale.as_str());
+        if self.fresh {
+            doc = doc.field("fresh", true);
+        }
+        doc.to_string().into_bytes()
+    }
+}
+
+/// What one run measured.
+#[derive(Debug, Clone)]
+pub struct LoadReport {
+    /// Client threads used.
+    pub clients: usize,
+    /// Successful (2xx) requests completed.
+    pub requests: u64,
+    /// Failed requests: I/O errors, rejections, and non-2xx responses.
+    pub errors: u64,
+    /// Wall-clock duration of the run.
+    pub elapsed: Duration,
+    /// Per-request latencies of successful requests, microseconds,
+    /// sorted ascending.
+    pub latencies_us: Vec<u64>,
+}
+
+impl LoadReport {
+    /// Successful requests per second over the whole run.
+    pub fn rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.requests as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// The `p`-th percentile latency in microseconds (nearest-rank on the
+    /// sorted vector); 0 when nothing succeeded.
+    pub fn percentile_us(&self, p: f64) -> u64 {
+        let n = self.latencies_us.len();
+        if n == 0 {
+            return 0;
+        }
+        let rank = (p / 100.0 * n as f64).ceil() as usize;
+        self.latencies_us[rank.clamp(1, n) - 1]
+    }
+
+    /// Mean latency in microseconds; 0 when nothing succeeded.
+    pub fn mean_us(&self) -> u64 {
+        if self.latencies_us.is_empty() {
+            return 0;
+        }
+        self.latencies_us.iter().sum::<u64>() / self.latencies_us.len() as u64
+    }
+
+    /// The report as a JSON document.
+    pub fn to_json(&self) -> Json {
+        Json::object()
+            .field("clients", self.clients)
+            .field("requests", self.requests)
+            .field("errors", self.errors)
+            .field("elapsed_s", self.elapsed.as_secs_f64())
+            .field("rps", self.rps())
+            .field(
+                "latency_us",
+                Json::object()
+                    .field("min", self.latencies_us.first().copied().unwrap_or(0))
+                    .field("mean", self.mean_us())
+                    .field("p50", self.percentile_us(50.0))
+                    .field("p95", self.percentile_us(95.0))
+                    .field("p99", self.percentile_us(99.0))
+                    .field("max", self.latencies_us.last().copied().unwrap_or(0)),
+            )
+    }
+
+    /// A human-readable multi-line summary.
+    pub fn render(&self) -> String {
+        format!(
+            "clients {:>3}  requests {:>7}  errors {:>4}  elapsed {:>6.2}s  {:>9.1} req/s\n\
+             latency  p50 {:>8} us  p95 {:>8} us  p99 {:>8} us  max {:>8} us",
+            self.clients,
+            self.requests,
+            self.errors,
+            self.elapsed.as_secs_f64(),
+            self.rps(),
+            self.percentile_us(50.0),
+            self.percentile_us(95.0),
+            self.percentile_us(99.0),
+            self.latencies_us.last().copied().unwrap_or(0),
+        )
+    }
+}
+
+/// One client thread's closed loop: reconnecting keep-alive requests
+/// until `deadline`. Returns `(latencies_us, errors)`.
+fn client_loop(config: &LoadConfig, deadline: Instant) -> (Vec<u64>, u64) {
+    let body = config.body();
+    let mut latencies = Vec::new();
+    let mut errors = 0u64;
+    'reconnect: while Instant::now() < deadline {
+        let Ok(mut stream) = TcpStream::connect(&config.addr) else {
+            errors += 1;
+            std::thread::sleep(Duration::from_millis(5));
+            continue;
+        };
+        let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
+        let _ = stream.set_write_timeout(Some(Duration::from_secs(60)));
+        let _ = stream.set_nodelay(true);
+        loop {
+            if Instant::now() >= deadline {
+                break 'reconnect;
+            }
+            let started = Instant::now();
+            if http::write_request(&mut stream, "POST", "/v1/experiments", &body).is_err() {
+                errors += 1;
+                continue 'reconnect;
+            }
+            let response = match http::read_response(&mut stream) {
+                Ok(response) => response,
+                Err(_) => {
+                    errors += 1;
+                    continue 'reconnect;
+                }
+            };
+            if (200..300).contains(&response.status) {
+                latencies.push(started.elapsed().as_micros() as u64);
+            } else {
+                errors += 1;
+                // A 503 shed closes the connection server-side; back off a
+                // touch before hammering again.
+                if response.status == 503 {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                continue 'reconnect;
+            }
+            let closing = matches!(
+                response.header("connection"),
+                Some(v) if v.eq_ignore_ascii_case("close")
+            );
+            if closing {
+                continue 'reconnect;
+            }
+        }
+    }
+    (latencies, errors)
+}
+
+/// Runs the closed-loop load test and returns the merged report.
+pub fn run_load(config: &LoadConfig) -> LoadReport {
+    let started = Instant::now();
+    let deadline = started + config.duration;
+    let handles: Vec<_> = (0..config.clients.max(1))
+        .map(|i| {
+            let config = config.clone();
+            std::thread::Builder::new()
+                .name(format!("mds-load-{i}"))
+                .spawn(move || client_loop(&config, deadline))
+                .expect("spawn load client")
+        })
+        .collect();
+    let mut latencies = Vec::new();
+    let mut errors = 0u64;
+    for handle in handles {
+        if let Ok((mut lat, errs)) = handle.join() {
+            latencies.append(&mut lat);
+            errors += errs;
+        }
+    }
+    latencies.sort_unstable();
+    LoadReport {
+        clients: config.clients.max(1),
+        requests: latencies.len() as u64,
+        errors,
+        elapsed: started.elapsed(),
+        latencies_us: latencies,
+    }
+}
+
+/// Writes the report to `out` (used by the `mds-load` binary).
+pub fn print_report(out: &mut impl std::io::Write, report: &LoadReport, json: bool) {
+    if json {
+        let _ = writeln!(out, "{}", report.to_json().pretty());
+    } else {
+        let _ = writeln!(out, "{}", report.render());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(latencies: Vec<u64>) -> LoadReport {
+        LoadReport {
+            clients: 2,
+            requests: latencies.len() as u64,
+            errors: 1,
+            elapsed: Duration::from_secs(2),
+            latencies_us: latencies,
+        }
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank_on_the_sorted_vector() {
+        let r = report((1..=100).collect());
+        assert_eq!(r.percentile_us(50.0), 50);
+        assert_eq!(r.percentile_us(95.0), 95);
+        assert_eq!(r.percentile_us(99.0), 99);
+        assert_eq!(r.percentile_us(100.0), 100);
+        assert_eq!(r.mean_us(), 50);
+        assert_eq!(r.rps(), 50.0);
+    }
+
+    #[test]
+    fn empty_reports_do_not_divide_by_zero() {
+        let r = report(Vec::new());
+        assert_eq!(r.percentile_us(99.0), 0);
+        assert_eq!(r.mean_us(), 0);
+        assert_eq!(r.rps(), 0.0);
+        let doc = r.to_json().to_string();
+        assert!(doc.contains("\"requests\":0"), "{doc}");
+    }
+}

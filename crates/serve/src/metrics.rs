@@ -1,0 +1,285 @@
+//! Lock-free serving metrics and their Prometheus text rendering.
+//!
+//! Everything on the request path is an atomic counter or a fixed-bucket
+//! histogram, so recording never blocks a worker. `GET /metrics` renders
+//! the exposition-format text (version 0.0.4) from a point-in-time
+//! snapshot that also folds in gauges owned elsewhere (queue depth, cache
+//! residency).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bounds (µs) of the latency histogram buckets; the last bucket is
+/// implicit `+Inf`.
+pub const BUCKET_BOUNDS_US: [u64; 8] = [
+    100, 500, 1_000, 5_000, 10_000, 100_000, 1_000_000, 10_000_000,
+];
+
+/// A fixed-bucket latency histogram in microseconds.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe_us(&self, us: u64) {
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, µs.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Renders a Prometheus histogram (cumulative `le` buckets).
+    fn render(&self, name: &str, help: &str, out: &mut String) {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, &bound) in BUCKET_BOUNDS_US.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+        }
+        cumulative += self.buckets[BUCKET_BOUNDS_US.len()].load(Ordering::Relaxed);
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!("{name}_sum {}\n", self.sum_us()));
+        out.push_str(&format!("{name}_count {}\n", self.count()));
+    }
+}
+
+/// All request-path counters.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// Connections the acceptor accepted.
+    pub connections_total: AtomicU64,
+    /// Connections shed at admission (503 + `Retry-After`).
+    pub rejected_total: AtomicU64,
+    /// Requests fully parsed and dispatched.
+    pub requests_total: AtomicU64,
+    /// Responses with 2xx status.
+    pub responses_2xx: AtomicU64,
+    /// Responses with 4xx status.
+    pub responses_4xx: AtomicU64,
+    /// Responses with 5xx status.
+    pub responses_5xx: AtomicU64,
+    /// Experiment requests answered from the result cache.
+    pub result_cache_hits: AtomicU64,
+    /// Experiment requests that had to compute.
+    pub result_cache_misses: AtomicU64,
+    /// Time connections spent in the admission queue.
+    pub queue_wait: Histogram,
+    /// Time spent computing (or fetching) an experiment response.
+    pub compute: Histogram,
+}
+
+impl Metrics {
+    /// Counts a response by status class.
+    pub fn count_response(&self, status: u16) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        let class = match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        class.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Point-in-time gauges owned outside [`Metrics`], folded into the
+/// rendered exposition.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Gauges {
+    /// Connections currently waiting in the admission queue.
+    pub queue_depth: usize,
+    /// Result-cache entries resident.
+    pub result_cache_entries: usize,
+    /// Result-cache bytes resident.
+    pub result_cache_bytes: usize,
+    /// Result-cache evictions so far.
+    pub result_cache_evictions: u64,
+    /// Trace-cache hits (simulations that reused an emulated trace).
+    pub trace_cache_hits: u64,
+    /// Trace-cache misses (emulations performed).
+    pub trace_cache_misses: u64,
+    /// Trace bytes currently resident in the shared trace cache.
+    pub trace_cache_bytes: usize,
+}
+
+fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+    ));
+}
+
+fn gauge(out: &mut String, name: &str, help: &str, value: u64) {
+    out.push_str(&format!(
+        "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+    ));
+}
+
+/// Renders the full Prometheus exposition text.
+pub fn render(m: &Metrics, g: Gauges) -> String {
+    let mut out = String::with_capacity(2048);
+    let c = |v: &AtomicU64| v.load(Ordering::Relaxed);
+    counter(
+        &mut out,
+        "mds_connections_total",
+        "Connections accepted.",
+        c(&m.connections_total),
+    );
+    counter(
+        &mut out,
+        "mds_rejected_total",
+        "Connections shed at admission with 503 + Retry-After.",
+        c(&m.rejected_total),
+    );
+    counter(
+        &mut out,
+        "mds_requests_total",
+        "Requests dispatched.",
+        c(&m.requests_total),
+    );
+    counter(
+        &mut out,
+        "mds_responses_2xx_total",
+        "Responses with 2xx status.",
+        c(&m.responses_2xx),
+    );
+    counter(
+        &mut out,
+        "mds_responses_4xx_total",
+        "Responses with 4xx status.",
+        c(&m.responses_4xx),
+    );
+    counter(
+        &mut out,
+        "mds_responses_5xx_total",
+        "Responses with 5xx status.",
+        c(&m.responses_5xx),
+    );
+    counter(
+        &mut out,
+        "mds_result_cache_hits_total",
+        "Experiment requests answered from the result cache.",
+        c(&m.result_cache_hits),
+    );
+    counter(
+        &mut out,
+        "mds_result_cache_misses_total",
+        "Experiment requests that computed.",
+        c(&m.result_cache_misses),
+    );
+    counter(
+        &mut out,
+        "mds_result_cache_evictions_total",
+        "Result-cache entries evicted for the byte budget.",
+        g.result_cache_evictions,
+    );
+    gauge(
+        &mut out,
+        "mds_queue_depth",
+        "Connections waiting in the admission queue.",
+        g.queue_depth as u64,
+    );
+    gauge(
+        &mut out,
+        "mds_result_cache_entries",
+        "Result-cache entries resident.",
+        g.result_cache_entries as u64,
+    );
+    gauge(
+        &mut out,
+        "mds_result_cache_bytes",
+        "Result-cache bytes resident.",
+        g.result_cache_bytes as u64,
+    );
+    counter(
+        &mut out,
+        "mds_trace_cache_hits_total",
+        "Simulations that reused an already-emulated trace.",
+        g.trace_cache_hits,
+    );
+    counter(
+        &mut out,
+        "mds_trace_cache_misses_total",
+        "Workload emulations performed.",
+        g.trace_cache_misses,
+    );
+    gauge(
+        &mut out,
+        "mds_trace_cache_bytes",
+        "Trace bytes resident in the shared trace cache.",
+        g.trace_cache_bytes as u64,
+    );
+    m.queue_wait.render(
+        "mds_queue_wait_microseconds",
+        "Time connections spent queued before a worker picked them up.",
+        &mut out,
+    );
+    m.compute.render(
+        "mds_compute_microseconds",
+        "Time spent producing an experiment response (compute or cache fetch).",
+        &mut out,
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::default();
+        h.observe_us(50); // le=100
+        h.observe_us(700); // le=1000
+        h.observe_us(99_000_000); // +Inf
+        let mut out = String::new();
+        h.render("t", "test", &mut out);
+        assert!(out.contains("t_bucket{le=\"100\"} 1\n"), "{out}");
+        assert!(out.contains("t_bucket{le=\"1000\"} 2\n"), "{out}");
+        assert!(out.contains("t_bucket{le=\"+Inf\"} 3\n"), "{out}");
+        assert!(out.contains("t_count 3\n"), "{out}");
+        assert_eq!(h.sum_us(), 50 + 700 + 99_000_000);
+    }
+
+    #[test]
+    fn render_exposes_every_required_family() {
+        let m = Metrics::default();
+        m.count_response(200);
+        m.count_response(404);
+        m.count_response(503);
+        let text = render(
+            &m,
+            Gauges {
+                queue_depth: 3,
+                trace_cache_misses: 5,
+                ..Default::default()
+            },
+        );
+        for family in [
+            "mds_requests_total 3",
+            "mds_responses_2xx_total 1",
+            "mds_responses_4xx_total 1",
+            "mds_responses_5xx_total 1",
+            "mds_queue_depth 3",
+            "mds_trace_cache_misses_total 5",
+            "mds_queue_wait_microseconds_count 0",
+            "mds_compute_microseconds_count 0",
+        ] {
+            assert!(text.contains(family), "missing {family} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,178 @@
+//! The canonical-request result cache: normalized descriptor → response
+//! body, LRU within a byte budget.
+//!
+//! Keys are canonical request strings (see
+//! [`ExperimentRequest::cache_key`](crate::service::ExperimentRequest::cache_key)),
+//! so syntactically different JSON bodies asking for the same experiment
+//! share one entry. A warm hit returns the exact bytes of the original
+//! response — no re-simulation, no re-serialization — which is what makes
+//! repeat queries byte-identical and nearly free.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+fn lock<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+struct Lru {
+    entries: HashMap<String, Arc<str>>,
+    /// Keys from least- to most-recently used.
+    order: Vec<String>,
+    bytes: usize,
+}
+
+/// A byte-budgeted LRU cache of serialized responses.
+pub struct ResultCache {
+    inner: Mutex<Lru>,
+    budget: usize,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl ResultCache {
+    /// A cache evicting least-recently-used entries once the resident
+    /// bodies exceed `budget_bytes`.
+    pub fn new(budget_bytes: usize) -> ResultCache {
+        ResultCache {
+            inner: Mutex::new(Lru {
+                entries: HashMap::new(),
+                order: Vec::new(),
+                bytes: 0,
+            }),
+            budget: budget_bytes,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// The cached body for `key`, refreshing its recency. Counts a hit or
+    /// a miss.
+    pub fn get(&self, key: &str) -> Option<Arc<str>> {
+        let mut lru = lock(&self.inner);
+        match lru.entries.get(key).cloned() {
+            Some(body) => {
+                if let Some(pos) = lru.order.iter().position(|k| k == key) {
+                    let k = lru.order.remove(pos);
+                    lru.order.push(k);
+                }
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(body)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Inserts (or refreshes) `key`, then evicts LRU entries until the
+    /// byte budget holds. A body larger than the whole budget is not
+    /// cached at all.
+    pub fn put(&self, key: &str, body: Arc<str>) {
+        if body.len() > self.budget {
+            return;
+        }
+        let mut lru = lock(&self.inner);
+        if let Some(old) = lru.entries.remove(key) {
+            lru.bytes -= old.len();
+            if let Some(pos) = lru.order.iter().position(|k| k == key) {
+                lru.order.remove(pos);
+            }
+        }
+        lru.bytes += body.len();
+        lru.entries.insert(key.to_string(), body);
+        lru.order.push(key.to_string());
+        while lru.bytes > self.budget {
+            let victim = lru.order.remove(0);
+            if let Some(old) = lru.entries.remove(&victim) {
+                lru.bytes -= old.len();
+                self.evictions.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Lookups that found an entry.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Lookups that found nothing.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Entries evicted to stay within the byte budget.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+
+    /// Bytes of response bodies currently resident.
+    pub fn resident_bytes(&self) -> usize {
+        lock(&self.inner).bytes
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        lock(&self.inner).entries.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn body(text: &str) -> Arc<str> {
+        Arc::from(text)
+    }
+
+    #[test]
+    fn hit_and_miss_counters_track_lookups() {
+        let cache = ResultCache::new(1024);
+        assert!(cache.get("a").is_none());
+        cache.put("a", body("xyz"));
+        assert_eq!(cache.get("a").as_deref(), Some("xyz"));
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert_eq!(cache.resident_bytes(), 3);
+    }
+
+    #[test]
+    fn lru_evicts_the_coldest_entry() {
+        let cache = ResultCache::new(10);
+        cache.put("a", body("aaaa")); // 4 bytes
+        cache.put("b", body("bbbb")); // 8 bytes
+        let _ = cache.get("a"); // refresh a: b is now coldest
+        cache.put("c", body("cccc")); // 12 bytes -> evict b
+        assert_eq!(cache.evictions(), 1);
+        assert!(cache.get("a").is_some());
+        assert!(cache.get("b").is_none());
+        assert!(cache.get("c").is_some());
+        assert!(cache.resident_bytes() <= 10);
+    }
+
+    #[test]
+    fn oversized_bodies_are_not_cached() {
+        let cache = ResultCache::new(4);
+        cache.put("huge", body("too big to fit"));
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.evictions(), 0);
+    }
+
+    #[test]
+    fn reinsert_replaces_without_leaking_bytes() {
+        let cache = ResultCache::new(100);
+        cache.put("k", body("first"));
+        cache.put("k", body("second!"));
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.resident_bytes(), 7);
+        assert_eq!(cache.get("k").as_deref(), Some("second!"));
+    }
+}

@@ -1,0 +1,460 @@
+//! The HTTP server: acceptor thread, bounded admission, fixed worker
+//! pool, routing, and graceful shutdown.
+//!
+//! Connection lifecycle: the acceptor accepts, stamps an admission time,
+//! and pushes the connection into the bounded queue — or, when the queue
+//! is full, immediately writes `503` + `Retry-After` and closes (explicit
+//! load shedding, never unbounded buffering). A worker pops the
+//! connection and serves requests on it until the client closes, an idle
+//! timeout fires, or the per-connection request cap is reached.
+//!
+//! Graceful shutdown (triggered by [`Server::shutdown`] or a
+//! `POST /v1/shutdown` — the SIGTERM surrogate, since plain `std` has no
+//! signal handling): stop accepting, close the queue, let workers drain
+//! queued and in-flight connections, join everything, then flush a final
+//! metrics summary to the structured log.
+
+use crate::access_log::{AccessLog, AccessRecord};
+use crate::http::{self, Limits, ReadError, Request, Response};
+use crate::metrics::{self, Gauges, Metrics};
+use crate::queue::Bounded;
+use crate::result_cache::ResultCache;
+use crate::service::{ExperimentRequest, Service};
+use mds_harness::json::Json;
+use mds_runner::TraceCache;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Where the structured access log goes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LogTarget {
+    /// JSON lines to stderr (production).
+    Stderr,
+    /// Nowhere (benchmarks, `--quiet`).
+    Discard,
+    /// An in-memory buffer (tests).
+    Memory,
+}
+
+/// Server tunables. `Default` is a sensible local configuration; tests
+/// override the pieces they probe.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Connection-serving worker threads. Zero is allowed (nothing is
+    /// ever served — useful to test admission backpressure).
+    pub workers: usize,
+    /// Admission-queue capacity; beyond it, connections get `503`.
+    pub queue_depth: usize,
+    /// Simulation worker threads for the shared runner (`None`: from
+    /// `MDS_JOBS` or available parallelism).
+    pub jobs: Option<usize>,
+    /// Per-connection read timeout (also the keep-alive idle timeout).
+    pub read_timeout: Duration,
+    /// Per-connection write timeout.
+    pub write_timeout: Duration,
+    /// Request head/body size limits.
+    pub limits: Limits,
+    /// Keep-alive cap: requests served per connection before closing.
+    pub max_requests_per_connection: usize,
+    /// Result-cache byte budget.
+    pub cache_budget_bytes: usize,
+    /// Access-log destination.
+    pub log: LogTarget,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:7878".to_string(),
+            workers: 4,
+            queue_depth: 64,
+            jobs: None,
+            read_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
+            limits: Limits::default(),
+            max_requests_per_connection: 1000,
+            cache_budget_bytes: 16 * 1024 * 1024,
+            log: LogTarget::Stderr,
+        }
+    }
+}
+
+/// An admitted connection, stamped for queue-wait accounting.
+struct Admitted {
+    stream: TcpStream,
+    enqueued: Instant,
+}
+
+/// State shared by the acceptor, the workers, and the handle.
+struct Shared {
+    config: ServerConfig,
+    service: Service,
+    results: ResultCache,
+    metrics: Metrics,
+    log: AccessLog,
+    queue: Bounded<Admitted>,
+    stop: AtomicBool,
+    shutdown_flag: Mutex<bool>,
+    shutdown_cv: Condvar,
+}
+
+/// A running server. Dropping it performs a graceful shutdown.
+pub struct Server {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds, spawns the acceptor and workers, and returns immediately.
+    pub fn start(config: ServerConfig) -> Result<Server, String> {
+        let service = Service::new(config.jobs)?;
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| format!("no local addr: {e}"))?;
+        let log = match config.log {
+            LogTarget::Stderr => AccessLog::stderr(),
+            LogTarget::Discard => AccessLog::discard(),
+            LogTarget::Memory => AccessLog::memory(),
+        };
+        let shared = Arc::new(Shared {
+            queue: Bounded::new(config.queue_depth),
+            results: ResultCache::new(config.cache_budget_bytes),
+            config,
+            service,
+            metrics: Metrics::default(),
+            log,
+            stop: AtomicBool::new(false),
+            shutdown_flag: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("mds-serve-acceptor".to_string())
+                .spawn(move || accept_loop(&shared, listener))
+                .map_err(|e| format!("cannot spawn acceptor: {e}"))?
+        };
+        let mut workers = Vec::with_capacity(shared.config.workers);
+        for i in 0..shared.config.workers {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("mds-serve-worker-{i}"))
+                    .spawn(move || {
+                        while let Some(conn) = shared.queue.pop() {
+                            handle_connection(&shared, conn);
+                        }
+                    })
+                    .map_err(|e| format!("cannot spawn worker: {e}"))?,
+            );
+        }
+        Ok(Server {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Request-path counters (tests, final summaries).
+    pub fn metrics(&self) -> &Metrics {
+        &self.shared.metrics
+    }
+
+    /// The result cache.
+    pub fn result_cache(&self) -> &ResultCache {
+        &self.shared.results
+    }
+
+    /// The shared trace cache.
+    pub fn trace_cache(&self) -> &TraceCache {
+        self.shared.service.trace_cache()
+    }
+
+    /// Connections currently waiting for a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.len()
+    }
+
+    /// Buffered log lines (only with [`LogTarget::Memory`]).
+    pub fn log_lines(&self) -> Vec<String> {
+        self.shared.log.lines()
+    }
+
+    /// Blocks until a client posts `/v1/shutdown` (or [`Server::shutdown`]
+    /// runs from another thread).
+    pub fn wait_for_shutdown(&self) {
+        let mut requested = self
+            .shared
+            .shutdown_flag
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while !*requested {
+            requested = self
+                .shared
+                .shutdown_cv
+                .wait(requested)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued and in-flight
+    /// connections, join all threads, flush the final metrics summary.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.acceptor.is_none() {
+            return;
+        }
+        self.shared.stop.store(true, Ordering::SeqCst);
+        signal_shutdown(&self.shared);
+        // Wake the acceptor out of its blocking accept().
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        let m = &self.shared.metrics;
+        let load = |v: &std::sync::atomic::AtomicU64| v.load(Ordering::Relaxed);
+        self.shared.log.event(
+            Json::object()
+                .field("evt", "shutdown")
+                .field("requests_total", load(&m.requests_total))
+                .field("rejected_total", load(&m.rejected_total))
+                .field("result_cache_hits", load(&m.result_cache_hits))
+                .field("result_cache_misses", load(&m.result_cache_misses))
+                .field(
+                    "trace_emulations",
+                    self.shared.service.trace_cache().misses(),
+                ),
+        );
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn signal_shutdown(shared: &Shared) {
+    *shared
+        .shutdown_flag
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner) = true;
+    shared.shutdown_cv.notify_all();
+}
+
+fn accept_loop(shared: &Shared, listener: TcpListener) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        shared
+            .metrics
+            .connections_total
+            .fetch_add(1, Ordering::Relaxed);
+        let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+        let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
+        let _ = stream.set_nodelay(true);
+        let admitted = Admitted {
+            stream,
+            enqueued: Instant::now(),
+        };
+        if let Err(rejected) = shared.queue.push(admitted) {
+            shed(shared, rejected.stream);
+        }
+    }
+    shared.queue.close();
+}
+
+/// Writes the backpressure response on an over-capacity connection.
+fn shed(shared: &Shared, mut stream: TcpStream) {
+    shared
+        .metrics
+        .rejected_total
+        .fetch_add(1, Ordering::Relaxed);
+    shared.metrics.count_response(503);
+    let response = Response::json(503, r#"{"error":"admission queue full, retry shortly"}"#)
+        .header("retry-after", "1");
+    let _ = response.write_to(&mut stream, false);
+    shared.log.event(
+        Json::object()
+            .field("evt", "shed")
+            .field("status", 503u64)
+            .field("queue_depth", shared.queue.len()),
+    );
+}
+
+/// What the router produced for one request.
+struct Routed {
+    response: Response,
+    cache: &'static str,
+    /// Close the connection after this response regardless of keep-alive.
+    close: bool,
+}
+
+fn handle_connection(shared: &Shared, admitted: Admitted) {
+    let queue_wait_us = admitted.enqueued.elapsed().as_micros() as u64;
+    shared.metrics.queue_wait.observe_us(queue_wait_us);
+    let mut stream = admitted.stream;
+    for served in 0..shared.config.max_requests_per_connection {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let request = match http::read_request(&mut stream, shared.config.limits) {
+            Ok(request) => request,
+            Err(e) => {
+                let status = match e {
+                    ReadError::Closed | ReadError::TimedOut | ReadError::Io(_) => break,
+                    ReadError::HeadTooLarge | ReadError::BodyTooLarge => 413,
+                    ReadError::Malformed(_) => 400,
+                };
+                shared.metrics.count_response(status);
+                let body = Json::object().field("error", e.to_string()).to_string();
+                let _ = Response::json(status, body).write_to(&mut stream, false);
+                break;
+            }
+        };
+        let wait = if served == 0 { queue_wait_us } else { 0 };
+        let started = Instant::now();
+        let routed = route(shared, &request);
+        let compute_us = started.elapsed().as_micros() as u64;
+        shared.metrics.compute.observe_us(compute_us);
+        shared.metrics.count_response(routed.response.status());
+        let keep_alive = request.wants_keep_alive()
+            && !routed.close
+            && served + 1 < shared.config.max_requests_per_connection
+            && !shared.stop.load(Ordering::SeqCst);
+        shared.log.record(&AccessRecord {
+            method: request.method.clone(),
+            target: request.target.clone(),
+            status: routed.response.status(),
+            queue_wait_us: wait,
+            compute_us,
+            cache: routed.cache,
+            bytes: routed.response.body_len(),
+        });
+        if routed.response.write_to(&mut stream, keep_alive).is_err() || !keep_alive {
+            break;
+        }
+    }
+}
+
+fn route(shared: &Shared, request: &Request) -> Routed {
+    let pass = |response: Response| Routed {
+        response,
+        cache: "-",
+        close: false,
+    };
+    match (request.method.as_str(), request.target.as_str()) {
+        ("GET", "/healthz") => pass(Response::text(200, "ok\n")),
+        ("GET", "/metrics") => {
+            let gauges = Gauges {
+                queue_depth: shared.queue.len(),
+                result_cache_entries: shared.results.len(),
+                result_cache_bytes: shared.results.resident_bytes(),
+                result_cache_evictions: shared.results.evictions(),
+                trace_cache_hits: shared.service.trace_cache().hits(),
+                trace_cache_misses: shared.service.trace_cache().misses(),
+                trace_cache_bytes: shared.service.trace_cache().resident_bytes(),
+            };
+            pass(
+                Response::new(200)
+                    .header("content-type", "text/plain; version=0.0.4; charset=utf-8")
+                    .body(metrics::render(&shared.metrics, gauges)),
+            )
+        }
+        ("GET", "/v1/experiments") => pass(Response::json(200, Service::experiments_json())),
+        ("POST", "/v1/experiments") => serve_experiment(shared, &request.body),
+        ("POST", "/v1/shutdown") => {
+            signal_shutdown(shared);
+            Routed {
+                response: Response::json(200, r#"{"status":"shutting down"}"#),
+                cache: "-",
+                close: true,
+            }
+        }
+        (_, "/healthz" | "/metrics" | "/v1/experiments" | "/v1/shutdown") => {
+            pass(Response::json(405, r#"{"error":"method not allowed"}"#))
+        }
+        _ => pass(Response::json(404, r#"{"error":"not found"}"#)),
+    }
+}
+
+fn serve_experiment(shared: &Shared, body: &[u8]) -> Routed {
+    let request = match ExperimentRequest::from_body(body) {
+        Ok(request) => request,
+        Err(message) => {
+            let body = Json::object().field("error", message).to_string();
+            return Routed {
+                response: Response::json(400, body),
+                cache: "-",
+                close: false,
+            };
+        }
+    };
+    let key = request.cache_key();
+    if !request.fresh {
+        if let Some(cached) = shared.results.get(&key) {
+            shared
+                .metrics
+                .result_cache_hits
+                .fetch_add(1, Ordering::Relaxed);
+            return Routed {
+                response: Response::json(200, cached.as_bytes().to_vec()),
+                cache: "hit",
+                close: false,
+            };
+        }
+    }
+    shared
+        .metrics
+        .result_cache_misses
+        .fetch_add(1, Ordering::Relaxed);
+    match shared.service.execute(&request) {
+        Ok(body) => {
+            shared.results.put(&key, Arc::from(body.as_str()));
+            Routed {
+                response: Response::json(200, body),
+                cache: "miss",
+                close: false,
+            }
+        }
+        Err(message) => {
+            let body = Json::object().field("error", message).to_string();
+            Routed {
+                response: Response::json(500, body),
+                cache: "miss",
+                close: false,
+            }
+        }
+    }
+}

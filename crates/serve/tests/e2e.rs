@@ -1,0 +1,230 @@
+//! End-to-end serving tests over real sockets on an ephemeral port.
+//!
+//! The load-bearing guarantees proved here:
+//!
+//! - Four concurrent clients asking for the same experiment all receive
+//!   **byte-identical** responses, equal to the canonical results
+//!   document the `repro` CLI writes — serving is a transport, not a
+//!   different computation.
+//! - The shared trace cache reports exactly one emulation per workload
+//!   however many requests raced, and a warm repeat adds none (the
+//!   counters prove warm requests skip simulation).
+//! - A full admission queue sheds new connections with `503` +
+//!   `Retry-After` instead of hanging or buffering.
+//! - Malformed input gets 4xx with positioned errors; keep-alive serves
+//!   several requests per connection; `/v1/shutdown` unblocks a waiting
+//!   server and drains cleanly.
+
+use mds_serve::http::{self, ClientResponse};
+use mds_serve::{LogTarget, Server, ServerConfig};
+use mds_workloads::Scale;
+use std::io::Write;
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// fig5 at tiny scale simulates these many distinct workloads, so a
+/// correctly shared trace cache performs exactly this many emulations.
+const FIG5_TINY_WORKLOADS: u64 = 5;
+
+fn start(workers: usize, queue_depth: usize) -> Server {
+    Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers,
+        queue_depth,
+        jobs: Some(2),
+        read_timeout: Duration::from_secs(10),
+        write_timeout: Duration::from_secs(10),
+        log: LogTarget::Memory,
+        ..ServerConfig::default()
+    })
+    .expect("start server")
+}
+
+fn connect(server: &Server) -> TcpStream {
+    let stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    stream
+}
+
+fn roundtrip(stream: &mut TcpStream, method: &str, target: &str, body: &[u8]) -> ClientResponse {
+    http::write_request(stream, method, target, body).expect("write request");
+    http::read_response(stream).expect("read response")
+}
+
+fn request(server: &Server, method: &str, target: &str, body: &[u8]) -> ClientResponse {
+    roundtrip(&mut connect(server), method, target, body)
+}
+
+/// The exact bytes `repro fig5 --json` produces for the tiny scale.
+fn cli_fig5_tiny() -> String {
+    let mut h = mds_bench::Harness::with_runner(Scale::Tiny, mds_runner::Runner::new(1));
+    let table = mds_bench::experiment(&mut h, "fig5").unwrap();
+    mds_bench::results_doc(
+        "fig5",
+        mds_bench::experiment_title("fig5").unwrap(),
+        Scale::Tiny,
+        &table,
+    )
+    .pretty()
+}
+
+#[test]
+fn concurrent_clients_get_cli_identical_bytes_and_one_emulation_per_workload() {
+    let server = start(4, 16);
+    let body = br#"{"experiment":"fig5","scale":"tiny"}"#;
+
+    let bodies: Vec<Vec<u8>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                scope.spawn(|| {
+                    let response = request(&server, "POST", "/v1/experiments", body);
+                    assert_eq!(response.status, 200, "{:?}", response);
+                    response.body
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let expected = cli_fig5_tiny();
+    for served in &bodies {
+        assert_eq!(
+            served.as_slice(),
+            expected.as_bytes(),
+            "served bytes differ from the repro CLI document"
+        );
+    }
+    assert_eq!(
+        server.trace_cache().misses(),
+        FIG5_TINY_WORKLOADS,
+        "each workload must be emulated exactly once across 4 concurrent requests"
+    );
+
+    // A warm repeat is served from the result cache: no new emulation,
+    // same bytes, and the hit is visible in the counters and the log.
+    let warm = request(&server, "POST", "/v1/experiments", body);
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.body, expected.as_bytes());
+    assert_eq!(server.trace_cache().misses(), FIG5_TINY_WORKLOADS);
+    assert!(server.result_cache().hits() >= 1);
+    let log = server.log_lines().join("\n");
+    assert!(log.contains("\"cache\":\"hit\""), "{log}");
+    assert!(log.contains("\"cache\":\"miss\""), "{log}");
+    server.shutdown();
+}
+
+#[test]
+fn full_admission_queue_sheds_with_503_and_retry_after() {
+    // No workers ever pop, so one queued connection fills the queue and
+    // the next accept must shed deterministically.
+    let server = start(0, 1);
+    let _queued = connect(&server);
+    // Give the acceptor a moment to enqueue the first connection.
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.queue_depth() < 1 {
+        assert!(
+            std::time::Instant::now() < deadline,
+            "connection never queued"
+        );
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let mut shed = connect(&server);
+    // The server responds at accept time, before any request is read.
+    let response = http::read_response(&mut shed).expect("shed response");
+    assert_eq!(response.status, 503);
+    assert_eq!(response.header("retry-after"), Some("1"));
+    assert!(String::from_utf8_lossy(&response.body).contains("queue full"));
+    assert_eq!(
+        server
+            .metrics()
+            .rejected_total
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+    server.shutdown();
+}
+
+#[test]
+fn bad_requests_get_4xx_with_positioned_errors() {
+    let server = start(2, 16);
+
+    let mut garbage = connect(&server);
+    garbage.write_all(b"NOT_EVEN HTTP\r\n\r\n").unwrap();
+    garbage.flush().unwrap();
+    let response = http::read_response(&mut garbage).expect("error response");
+    assert_eq!(response.status, 400);
+
+    let bad_json = request(&server, "POST", "/v1/experiments", b"{\"experiment\":");
+    assert_eq!(bad_json.status, 400);
+    assert!(
+        String::from_utf8_lossy(&bad_json.body).contains("byte"),
+        "syntax errors carry byte offsets: {:?}",
+        String::from_utf8_lossy(&bad_json.body)
+    );
+
+    let bad_shape = request(&server, "POST", "/v1/experiments", b"{\"experiment\":42}");
+    assert_eq!(bad_shape.status, 400);
+    assert!(String::from_utf8_lossy(&bad_shape.body).contains("$.experiment"));
+
+    let unknown = request(
+        &server,
+        "POST",
+        "/v1/experiments",
+        b"{\"experiment\":\"nope\"}",
+    );
+    assert_eq!(unknown.status, 400);
+
+    assert_eq!(request(&server, "GET", "/nope", b"").status, 404);
+    assert_eq!(request(&server, "DELETE", "/healthz", b"").status, 405);
+    server.shutdown();
+}
+
+#[test]
+fn keep_alive_serves_many_requests_and_metrics_expose_counters() {
+    let server = start(2, 16);
+    let mut stream = connect(&server);
+    for _ in 0..3 {
+        let response = roundtrip(&mut stream, "GET", "/healthz", b"");
+        assert_eq!(response.status, 200);
+        assert_eq!(response.header("connection"), Some("keep-alive"));
+        assert_eq!(response.body, b"ok\n");
+    }
+
+    let listing = roundtrip(&mut stream, "GET", "/v1/experiments", b"");
+    assert_eq!(listing.status, 200);
+    assert!(String::from_utf8_lossy(&listing.body).contains("fig5"));
+
+    let metrics = roundtrip(&mut stream, "GET", "/metrics", b"");
+    assert_eq!(metrics.status, 200);
+    let text = String::from_utf8_lossy(&metrics.body).to_string();
+    for family in [
+        "mds_connections_total",
+        "mds_requests_total",
+        "mds_result_cache_hits_total",
+        "mds_queue_depth",
+        "mds_trace_cache_misses_total",
+        "mds_queue_wait_microseconds_bucket{le=\"+Inf\"}",
+        "mds_compute_microseconds_count",
+    ] {
+        assert!(text.contains(family), "missing {family} in:\n{text}");
+    }
+    // All five requests so far rode one connection.
+    assert!(text.contains("mds_connections_total 1"), "{text}");
+    server.shutdown();
+}
+
+#[test]
+fn shutdown_endpoint_unblocks_wait_and_drains() {
+    let server = start(2, 16);
+    std::thread::scope(|scope| {
+        let waiter = scope.spawn(|| server.wait_for_shutdown());
+        let response = request(&server, "POST", "/v1/shutdown", b"");
+        assert_eq!(response.status, 200);
+        assert_eq!(response.header("connection"), Some("close"));
+        waiter.join().unwrap();
+    });
+    server.shutdown();
+}

@@ -15,6 +15,7 @@
 //! | [`multiscalar`] | `mds-multiscalar` | the cycle-level Multiscalar timing model |
 //! | [`workloads`] | `mds-workloads` | the synthetic benchmark suites |
 //! | [`runner`] | `mds-runner` | parallel experiment grids + shared trace cache |
+//! | [`serve`] | `mds-serve` | HTTP/JSON experiment serving + load generator |
 //! | [`sim`] | `mds-sim` | statistics and table rendering |
 //!
 //! # Quickstart
@@ -58,5 +59,6 @@ pub use mds_multiscalar as multiscalar;
 pub use mds_ooo as ooo;
 pub use mds_predict as predict;
 pub use mds_runner as runner;
+pub use mds_serve as serve;
 pub use mds_sim as sim;
 pub use mds_workloads as workloads;
