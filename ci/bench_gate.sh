@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Bench-regression gate: measure the simulators suite fresh and compare
+# it against the committed BENCH_simulators.json baseline.
+#
+# The comparison (see crates/bench/src/bin/bench_gate.rs) normalizes by
+# the suite's median fresh/baseline ratio, so a uniformly slower CI
+# runner passes while a single benchmark regressing relative to its
+# peers fails. MDS_BENCH_TOLERANCE (default 1.6) sets the headroom.
+#
+# Knobs for faster CI runs: the harness honors MDS_BENCH_WARMUP_MS,
+# MDS_BENCH_BATCH_MS, MDS_BENCH_BATCHES, MDS_BENCH_MAX_MS.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+fresh_dir=$(mktemp -d)
+trap 'rm -rf "$fresh_dir"' EXIT
+
+echo "==> building the bench suite and the gate"
+cargo build --release --offline -p mds-bench --benches --bins
+
+echo "==> measuring the simulators suite (small scale)"
+MDS_BENCH_DIR="$fresh_dir" cargo bench -q --offline -p mds-bench \
+  --bench simulators -- --scale small
+
+echo "==> comparing against the committed baseline"
+target/release/bench_gate BENCH_simulators.json "$fresh_dir/BENCH_simulators.json"

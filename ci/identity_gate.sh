@@ -1,0 +1,43 @@
+#!/usr/bin/env bash
+# Byte-identity gate: every RESULTS_<experiment>.json the repro CLI
+# produces at tiny scale must equal the pinned artifact in ci/pinned/
+# byte for byte.
+#
+# The pinned files were captured before the hot-path optimization work
+# (scratch arenas, FxHash maps, dense port ledgers), so this gate proves
+# those changes — and any future ones — are pure performance: same
+# simulated cycles, same violation counts, same speedups, same bytes.
+# Regenerate the pins ONLY for a deliberate, reviewed model change:
+#
+#   cargo build --release --offline -p mds-bench
+#   MDS_RESULTS_DIR=ci/pinned target/release/repro --scale tiny --json all
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "==> building the repro CLI"
+cargo build --release --offline -p mds-bench
+
+fresh_dir=$(mktemp -d)
+trap 'rm -rf "$fresh_dir"' EXIT
+
+echo "==> running repro all at tiny scale"
+MDS_RESULTS_DIR="$fresh_dir" target/release/repro --scale tiny --json all >/dev/null
+
+status=0
+for pinned in ci/pinned/RESULTS_*.json; do
+  fresh="$fresh_dir/$(basename "$pinned")"
+  if cmp -s "$pinned" "$fresh"; then
+    echo "  identical: $(basename "$pinned")"
+  else
+    echo "  DIFFERS:   $(basename "$pinned")" >&2
+    cmp "$pinned" "$fresh" >&2 || true
+    status=1
+  fi
+done
+
+if [ "$status" -ne 0 ]; then
+  echo "identity gate: FAIL — simulator output drifted from the pinned artifacts" >&2
+  exit 1
+fi
+echo "identity gate: OK ($(ls ci/pinned/RESULTS_*.json | wc -l) documents byte-identical)"

@@ -43,15 +43,17 @@ fn main() {
         });
     });
 
-    for policy in [Policy::Always, Policy::Esync] {
-        h.bench_with_throughput(
-            &format!("multiscalar/compress_{tag}_8st_{policy}"),
-            n,
-            |b| {
-                let sim = Multiscalar::new(MsConfig::paper(8, policy));
-                b.iter(|| black_box(sim.run(&p).unwrap().cycles));
-            },
-        );
+    for stages in [4usize, 8] {
+        for policy in [Policy::Always, Policy::Esync] {
+            h.bench_with_throughput(
+                &format!("multiscalar/compress_{tag}_{stages}st_{policy}"),
+                n,
+                |b| {
+                    let sim = Multiscalar::new(MsConfig::paper(stages, policy));
+                    b.iter(|| black_box(sim.run(&p).unwrap().cycles));
+                },
+            );
+        }
     }
 
     h.finish();

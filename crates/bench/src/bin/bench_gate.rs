@@ -1,0 +1,107 @@
+//! Bench-regression gate: compares a freshly measured `BENCH_*.json`
+//! against a committed baseline and fails when any benchmark slowed down
+//! beyond tolerance.
+//!
+//! ```text
+//! bench_gate <baseline.json> <fresh.json>
+//! ```
+//!
+//! Absolute medians are not comparable across machines (a CI runner may
+//! be uniformly 2x slower than the box that produced the baseline), so
+//! the gate normalizes first: it computes each benchmark's fresh/baseline
+//! ratio, takes the **median ratio** across the suite as the machine-speed
+//! factor, and flags a benchmark only when its own ratio exceeds
+//! `median_ratio * tolerance`. A uniform slowdown passes; one benchmark
+//! regressing relative to its peers fails.
+//!
+//! `MDS_BENCH_TOLERANCE` (default `1.6`) sets the per-benchmark headroom
+//! over the suite's median ratio — wide enough for shared-runner noise,
+//! tight enough to catch a real hot-path regression.
+//!
+//! Exit status: `0` when every shared benchmark is within tolerance,
+//! `1` on a regression, `2` on usage or parse errors.
+
+use mds_harness::bench::{median, BenchReport};
+use std::process::ExitCode;
+
+fn load(path: &str) -> Result<BenchReport, String> {
+    let text =
+        std::fs::read_to_string(path).map_err(|e| format!("bench_gate: read {path}: {e}"))?;
+    BenchReport::parse(&text).map_err(|e| format!("bench_gate: parse {path}: {e}"))
+}
+
+fn tolerance() -> f64 {
+    std::env::var("MDS_BENCH_TOLERANCE")
+        .ok()
+        .and_then(|v| v.parse::<f64>().ok())
+        .filter(|t| *t >= 1.0)
+        .unwrap_or(1.6)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let [baseline_path, fresh_path] = args.as_slice() else {
+        eprintln!("usage: bench_gate <baseline.json> <fresh.json>");
+        return ExitCode::from(2);
+    };
+    let (baseline, fresh) = match (load(baseline_path), load(fresh_path)) {
+        (Ok(b), Ok(f)) => (b, f),
+        (Err(e), _) | (_, Err(e)) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // (name, baseline median, fresh median) for benchmarks present in both.
+    let shared: Vec<(&str, f64, f64)> = baseline
+        .results
+        .iter()
+        .filter_map(|b| {
+            let f = fresh.results.iter().find(|f| f.name == b.name)?;
+            (b.median_ns > 0.0).then_some((b.name.as_str(), b.median_ns, f.median_ns))
+        })
+        .collect();
+    if shared.is_empty() {
+        eprintln!("bench_gate: no shared benchmarks between the two reports");
+        return ExitCode::from(2);
+    }
+    for missing in fresh
+        .results
+        .iter()
+        .filter(|f| !baseline.results.iter().any(|b| b.name == f.name))
+    {
+        println!("bench_gate: note: '{}' has no baseline yet", missing.name);
+    }
+
+    let ratios: Vec<f64> = shared.iter().map(|(_, b, f)| f / b).collect();
+    let machine_factor = median(&ratios);
+    let tol = tolerance();
+    let limit = machine_factor * tol;
+    println!(
+        "bench_gate: {} shared benchmarks, machine factor {machine_factor:.3}, \
+         tolerance {tol:.2} => per-bench limit {limit:.3}",
+        shared.len()
+    );
+
+    let mut failed = false;
+    for ((name, base_ns, fresh_ns), ratio) in shared.iter().zip(&ratios) {
+        let verdict = if *ratio > limit {
+            failed = true;
+            "REGRESSED"
+        } else {
+            "ok"
+        };
+        println!(
+            "  {verdict:>9}  {name}  {:.1}ms -> {:.1}ms  (x{ratio:.3})",
+            base_ns / 1e6,
+            fresh_ns / 1e6,
+        );
+    }
+    if failed {
+        eprintln!("bench_gate: FAIL (regression beyond x{limit:.3})");
+        ExitCode::FAILURE
+    } else {
+        println!("bench_gate: OK");
+        ExitCode::SUCCESS
+    }
+}

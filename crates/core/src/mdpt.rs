@@ -1,10 +1,11 @@
 //! The Memory Dependence Prediction Table (MDPT), §4.1 of the paper.
 
 use crate::edge::DepEdge;
+use mds_harness::hash::FxHashMap;
 use mds_harness::json::{Json, ToJson};
 use mds_isa::Pc;
 use mds_predict::{LruTable, SatCounter};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::BTreeSet;
 
 /// Configuration of an [`Mdpt`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -96,8 +97,8 @@ struct EntryData {
 #[derive(Debug, Clone)]
 pub struct Mdpt {
     table: LruTable<DepEdge, EntryData>,
-    by_load: HashMap<Pc, BTreeSet<DepEdge>>,
-    by_store: HashMap<Pc, BTreeSet<DepEdge>>,
+    by_load: FxHashMap<Pc, BTreeSet<DepEdge>>,
+    by_store: FxHashMap<Pc, BTreeSet<DepEdge>>,
     config: MdptConfig,
     allocations: u64,
     evictions: u64,
@@ -122,8 +123,8 @@ impl Mdpt {
         );
         Mdpt {
             table: LruTable::new(config.capacity),
-            by_load: HashMap::new(),
-            by_store: HashMap::new(),
+            by_load: FxHashMap::default(),
+            by_store: FxHashMap::default(),
             config,
             allocations: 0,
             evictions: 0,

@@ -1,7 +1,7 @@
 //! Paged sparse byte-addressed memory.
 
+use mds_harness::hash::FxHashMap;
 use mds_isa::Addr;
-use std::collections::HashMap;
 
 const PAGE_SHIFT: u32 = 12;
 const PAGE_SIZE: usize = 1 << PAGE_SHIFT;
@@ -24,7 +24,7 @@ const PAGE_MASK: Addr = (PAGE_SIZE as Addr) - 1;
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Memory {
-    pages: HashMap<Addr, Box<[u8; PAGE_SIZE]>>,
+    pages: FxHashMap<Addr, Box<[u8; PAGE_SIZE]>>,
     // One-entry translation cache for the common sequential-access case.
     last_page: Option<Addr>,
 }

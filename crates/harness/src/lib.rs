@@ -13,12 +13,16 @@
 //! - [`bench`] — a benchmark harness emitting `BENCH_*.json` baselines
 //!   (replaces `criterion`),
 //! - [`json`] — a hand-rolled JSON value/writer/parser and the
-//!   [`json::ToJson`] trait (replaces `serde` derives).
+//!   [`json::ToJson`] trait (replaces `serde` derives),
+//! - [`hash`] — a deterministic FxHash-style hasher with a pinned
+//!   contract plus a reusable scratch-container [`hash::Pool`] (replaces
+//!   `rustc-hash`) for allocation-free simulator inner loops.
 //!
 //! Everything here is plain `std` Rust: no dependencies, no unsafe code,
 //! no build scripts.
 
 pub mod bench;
+pub mod hash;
 pub mod json;
 pub mod prop;
 pub mod rng;

@@ -6,14 +6,26 @@
 //! dependence violation is detected (squash & replay), so everything in
 //! here is a pure function of the task, its start cycle, the older-task
 //! records, and the (mutable, shared) memory system.
+//!
+//! Because squash & replay re-runs this code constantly, the attempt
+//! state lives in an [`ExecScratch`] owned by the simulator and reused
+//! across attempts and tasks: maps are cleared, not reallocated, and the
+//! per-cycle port ledgers are dense vectors indexed from the attempt's
+//! start cycle. The scratch is pure mechanism — reusing it is
+//! observationally identical to fresh allocation (enforced by the
+//! byte-identity CI gate on `repro all --json`).
 
 use crate::config::MsConfig;
 use crate::task::Task;
 use mds_core::{DepEdge, Policy, SyncUnit};
 use mds_emu::DynInst;
+use mds_harness::hash::{FxHashMap, FxHashSet, Pool};
 use mds_isa::{Addr, FuClass, Pc};
 use mds_mem::{BankedCache, Bus, Cache};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
+
+/// Dense architectural register file size (see `RegRef::dense_index`).
+const REGS: usize = 64;
 
 /// A store that executed within a task, as visible to younger tasks.
 #[derive(Debug, Clone, Copy)]
@@ -24,7 +36,9 @@ pub(crate) struct StoreInfo {
 }
 
 /// The finalized timing record of a task, kept in the active window for
-/// the benefit of younger tasks.
+/// the benefit of younger tasks. Its maps are pooled: when the record
+/// leaves the window (or its attempt is squashed), hand it back via
+/// [`ExecScratch::recycle`] so the next attempt reuses the allocations.
 #[derive(Debug, Clone)]
 pub(crate) struct TaskRecord {
     pub seq: u64,
@@ -33,14 +47,16 @@ pub(crate) struct TaskRecord {
     pub commit: u64,
     pub max_completion: u64,
     pub last_branch_completion: u64,
-    /// Final write time per dense register index.
-    pub last_write: HashMap<usize, u64>,
+    /// Final write time per dense register index (`None`: not written by
+    /// this task). A flat table — register lookup is the single most
+    /// frequent cross-task query.
+    pub last_write: [Option<u64>; REGS],
     /// Youngest store per 8-byte-aligned word address.
-    pub word_stores: HashMap<Addr, StoreInfo>,
+    pub word_stores: FxHashMap<Addr, StoreInfo>,
     /// Youngest store per byte address (for `sb`).
-    pub byte_stores: HashMap<Addr, StoreInfo>,
+    pub byte_stores: FxHashMap<Addr, StoreInfo>,
     /// Latest store completion per store PC (the MDST "signal" source).
-    pub stores_by_pc: HashMap<Pc, u64>,
+    pub stores_by_pc: FxHashMap<Pc, u64>,
     /// Running max of store address-ready times (NEVER/WAIT and the
     /// incomplete-synchronization release rule).
     pub max_store_addr_ready: u64,
@@ -99,31 +115,81 @@ pub(crate) struct Shared<'a> {
 /// one cycle). Claims may arrive in any order relative to simulated time —
 /// an out-of-order core issues whatever is ready — so this counts usage
 /// per cycle instead of keeping a monotonic busy-until clock.
-#[derive(Debug)]
+///
+/// The ledger is a dense vector indexed by `cycle - base`: every claim in
+/// an attempt happens at or after the attempt's start cycle, so the
+/// offset stays small and the vector is reused (cleared) across attempts.
+#[derive(Debug, Default)]
 struct Ports {
     width: u32,
-    used: HashMap<u64, u32>,
+    base: u64,
+    used: Vec<u32>,
 }
 
 impl Ports {
-    fn new(width: u32, _t0: u64) -> Self {
-        Ports {
-            width: width.max(1),
-            used: HashMap::new(),
-        }
+    fn reset(&mut self, width: u32, t0: u64) {
+        self.width = width.max(1);
+        self.base = t0;
+        self.used.clear();
     }
 
     /// Claims the earliest cycle at or after `ready` with a free slot.
     fn claim(&mut self, ready: u64, _occupy: u64) -> u64 {
-        let mut t = ready;
-        loop {
-            let n = self.used.entry(t).or_insert(0);
-            if *n < self.width {
-                *n += 1;
-                return t;
-            }
-            t += 1;
+        // Claims before the base cannot happen in an attempt (readiness is
+        // bounded below by the start cycle), but stay correct if one does.
+        if ready < self.base {
+            let shift = (self.base - ready) as usize;
+            self.used.splice(0..0, std::iter::repeat_n(0, shift));
+            self.base = ready;
         }
+        let mut idx = (ready - self.base) as usize;
+        loop {
+            if idx >= self.used.len() {
+                self.used.resize(idx + 1, 0);
+            }
+            if self.used[idx] < self.width {
+                self.used[idx] += 1;
+                return self.base + idx as u64;
+            }
+            idx += 1;
+        }
+    }
+}
+
+/// Reusable attempt-local state: port ledgers, the retire queue, pooled
+/// store maps, and the per-attempt bookkeeping vectors. One instance
+/// lives in the simulator and is threaded through every attempt; nothing
+/// in it survives an attempt observably.
+#[derive(Debug, Default)]
+pub(crate) struct ExecScratch {
+    issue: Ports,
+    simple: Ports,
+    complex: Ports,
+    fp: Ports,
+    branch: Ports,
+    mem: Ports,
+    retire_queue: VecDeque<u64>,
+    /// Pool backing `TaskRecord::word_stores` / `byte_stores`.
+    store_maps: Pool<FxHashMap<Addr, StoreInfo>>,
+    /// Pool backing `TaskRecord::stores_by_pc`.
+    pc_maps: Pool<FxHashMap<Pc, u64>>,
+    synced_edges: FxHashSet<DepEdge>,
+    /// `(seq, start_pc)` of the window tasks, rebuilt per attempt for the
+    /// ESYNC store-task lookup (the window cannot change mid-attempt).
+    task_pcs: Vec<(u64, Pc)>,
+    violations: Vec<Violation>,
+}
+
+impl ExecScratch {
+    pub(crate) fn new() -> Self {
+        ExecScratch::default()
+    }
+
+    /// Returns a retired (or squashed) record's maps to the pools.
+    pub(crate) fn recycle(&mut self, record: TaskRecord) {
+        self.store_maps.put(record.word_stores);
+        self.store_maps.put(record.byte_stores);
+        self.pc_maps.put(record.stores_by_pc);
     }
 }
 
@@ -133,20 +199,43 @@ pub(crate) fn execute_attempt(
     stage: usize,
     window: &VecDeque<TaskRecord>,
     shared: &mut Shared<'_>,
+    scratch: &mut ExecScratch,
 ) -> AttemptOutcome {
     let config = shared.config;
     let stages = config.stages;
 
-    // --- Per-attempt scheduling state -----------------------------------
-    let mut local_write: [Option<u64>; 64] = [None; 64];
-    let mut cross_cache: [Option<u64>; 64] = [None; 64];
-    let mut issue_ports = Ports::new(config.issue_width, t0);
-    let mut simple_ports = Ports::new(config.simple_int_units, t0);
-    let mut complex_ports = Ports::new(config.complex_int_units, t0);
-    let mut fp_ports = Ports::new(config.fp_units, t0);
-    let mut branch_ports = Ports::new(config.branch_units, t0);
-    let mut mem_ports = Ports::new(config.mem_units, t0);
-    let mut retire_queue: VecDeque<u64> = VecDeque::with_capacity(config.window);
+    // --- Per-attempt scheduling state (cleared, not reallocated) --------
+    let mut local_write: [Option<u64>; REGS] = [None; REGS];
+    let mut cross_cache: [Option<u64>; REGS] = [None; REGS];
+    scratch.issue.reset(config.issue_width, t0);
+    scratch.simple.reset(config.simple_int_units, t0);
+    scratch.complex.reset(config.complex_int_units, t0);
+    scratch.fp.reset(config.fp_units, t0);
+    scratch.branch.reset(config.branch_units, t0);
+    scratch.mem.reset(config.mem_units, t0);
+    scratch.retire_queue.clear();
+    scratch.synced_edges.clear();
+    scratch.violations.clear();
+    scratch.task_pcs.clear();
+    if matches!(config.policy, Policy::Sync | Policy::Esync) {
+        scratch
+            .task_pcs
+            .extend(window.iter().map(|r| (r.seq, r.start_pc)));
+    }
+    let ExecScratch {
+        issue: issue_ports,
+        simple: simple_ports,
+        complex: complex_ports,
+        fp: fp_ports,
+        branch: branch_ports,
+        mem: mem_ports,
+        retire_queue,
+        store_maps,
+        pc_maps,
+        synced_edges,
+        task_pcs,
+        violations,
+    } = scratch;
 
     // Fetch state.
     let mut fetch_clock = t0;
@@ -155,23 +244,10 @@ pub(crate) fn execute_attempt(
 
     // Intra-task memory state.
     let mut intra_addr_ready: u64 = 0;
-    let mut my_word_stores: HashMap<Addr, StoreInfo> = HashMap::new();
-    let mut my_byte_stores: HashMap<Addr, StoreInfo> = HashMap::new();
-    let mut stores_by_pc: HashMap<Pc, u64> = HashMap::new();
+    let mut my_word_stores = store_maps.take();
+    let mut my_byte_stores = store_maps.take();
+    let mut stores_by_pc = pc_maps.take();
     let mut max_store_addr_ready: u64 = 0;
-
-    // Result accumulation.
-    let mut last_write: HashMap<usize, u64> = HashMap::new();
-    let mut max_completion = t0;
-    let mut last_branch_completion = t0;
-    let mut violations: Vec<Violation> = Vec::new();
-    let mut load_events: Vec<LoadEvent> = Vec::new();
-    let mut synchronized_loads = 0u64;
-    let mut false_dep_releases = 0u64;
-    // Combined-structure slot limit: one synchronization per static edge
-    // per stage (= per task); later dynamic instances in the same task
-    // proceed unsynchronized.
-    let mut synced_edges: std::collections::HashSet<DepEdge> = std::collections::HashSet::new();
 
     // Window-derived aggregates.
     let window_addr_ready = window
@@ -179,6 +255,13 @@ pub(crate) fn execute_attempt(
         .map(|r| r.max_store_addr_ready)
         .max()
         .unwrap_or(0);
+
+    // Result accumulation.
+    let mut max_completion = t0;
+    let mut last_branch_completion = t0;
+    let mut load_events: Vec<LoadEvent> = Vec::new();
+    let mut synchronized_loads = 0u64;
+    let mut false_dep_releases = 0u64;
 
     for (idx, d) in task.insts.iter().enumerate() {
         // ---- Fetch through the per-unit I-cache ------------------------
@@ -232,16 +315,17 @@ pub(crate) fn execute_attempt(
                 stage,
                 window,
                 shared,
-                &mut mem_ports,
-                &mut issue_ports,
+                mem_ports,
+                issue_ports,
                 MemCtx {
                     intra_addr_ready: &mut intra_addr_ready,
                     my_word_stores: &mut my_word_stores,
                     my_byte_stores: &mut my_byte_stores,
                     stores_by_pc: &mut stores_by_pc,
                     max_store_addr_ready: &mut max_store_addr_ready,
-                    violations: &mut violations,
-                    synced_edges: &mut synced_edges,
+                    violations,
+                    synced_edges,
+                    task_pcs,
                     synchronized_loads: &mut synchronized_loads,
                     false_dep_releases: &mut false_dep_releases,
                     window_addr_ready,
@@ -254,10 +338,10 @@ pub(crate) fn execute_attempt(
         } else {
             let latency = shared.config.latencies.of(d.inst.op);
             let class_ports = match d.inst.op.fu_class() {
-                FuClass::SimpleInt => &mut simple_ports,
-                FuClass::ComplexInt => &mut complex_ports,
-                FuClass::Fp => &mut fp_ports,
-                FuClass::Branch => &mut branch_ports,
+                FuClass::SimpleInt => &mut *simple_ports,
+                FuClass::ComplexInt => &mut *complex_ports,
+                FuClass::Fp => &mut *fp_ports,
+                FuClass::Branch => &mut *branch_ports,
                 FuClass::Mem => unreachable!("memory handled above"),
             };
             let start = class_ports.claim(issue_ports.claim(ready, 1), 1);
@@ -268,15 +352,13 @@ pub(crate) fn execute_attempt(
             last_branch_completion = last_branch_completion.max(complete);
         }
         if let Some(w) = d.inst.writes() {
-            let di = w.dense_index();
-            local_write[di] = Some(complete);
-            last_write.insert(di, complete);
+            local_write[w.dense_index()] = Some(complete);
         }
         retire_queue.push_back(complete);
         max_completion = max_completion.max(complete);
     }
 
-    let violation = violations.into_iter().min_by_key(|v| v.detect);
+    let violation = violations.iter().copied().min_by_key(|v| v.detect);
     AttemptOutcome {
         record: TaskRecord {
             seq: task.seq,
@@ -285,7 +367,9 @@ pub(crate) fn execute_attempt(
             commit: max_completion, // caller folds in in-order commit
             max_completion,
             last_branch_completion,
-            last_write,
+            // The per-task dataflow table doubles as the final-write
+            // record: it already holds the last completion per register.
+            last_write: local_write,
             word_stores: my_word_stores,
             byte_stores: my_byte_stores,
             stores_by_pc,
@@ -306,7 +390,7 @@ fn resolve_cross_task(
     ring_latency: u64,
 ) -> u64 {
     for rec in window.iter().rev() {
-        if let Some(&t) = rec.last_write.get(&dense) {
+        if let Some(t) = rec.last_write[dense] {
             let hops = (consumer_stage + stages - rec.stage) % stages;
             return t + hops as u64 * ring_latency;
         }
@@ -316,12 +400,13 @@ fn resolve_cross_task(
 
 struct MemCtx<'a> {
     intra_addr_ready: &'a mut u64,
-    my_word_stores: &'a mut HashMap<Addr, StoreInfo>,
-    my_byte_stores: &'a mut HashMap<Addr, StoreInfo>,
-    stores_by_pc: &'a mut HashMap<Pc, u64>,
+    my_word_stores: &'a mut FxHashMap<Addr, StoreInfo>,
+    my_byte_stores: &'a mut FxHashMap<Addr, StoreInfo>,
+    stores_by_pc: &'a mut FxHashMap<Pc, u64>,
     max_store_addr_ready: &'a mut u64,
     violations: &'a mut Vec<Violation>,
-    synced_edges: &'a mut std::collections::HashSet<DepEdge>,
+    synced_edges: &'a mut FxHashSet<DepEdge>,
+    task_pcs: &'a [(u64, Pc)],
     synchronized_loads: &'a mut u64,
     false_dep_releases: &'a mut u64,
     window_addr_ready: u64,
@@ -329,6 +414,10 @@ struct MemCtx<'a> {
 
 /// Locates the youngest store overlapping `(addr, size)` in the most
 /// recent older task that has one.
+///
+/// Byte stores are rare (only `sb` produces them), so the 8-probe byte
+/// scan is skipped entirely when a task has none — probing an empty map
+/// returns `None` either way.
 fn producer_in_window(
     window: &VecDeque<TaskRecord>,
     addr: Addr,
@@ -349,8 +438,10 @@ fn producer_in_window(
             consider(rec.word_stores.get(&(addr & !7)));
         } else {
             consider(rec.word_stores.get(&(addr & !7)));
-            for b in 0..8 {
-                consider(rec.byte_stores.get(&(addr + b)));
+            if !rec.byte_stores.is_empty() {
+                for b in 0..8 {
+                    consider(rec.byte_stores.get(&(addr + b)));
+                }
             }
         }
         if let Some(s) = best {
@@ -363,8 +454,8 @@ fn producer_in_window(
 /// Same-task forwarding source: youngest earlier store overlapping the
 /// load.
 fn intra_forward(
-    words: &HashMap<Addr, StoreInfo>,
-    bytes: &HashMap<Addr, StoreInfo>,
+    words: &FxHashMap<Addr, StoreInfo>,
+    bytes: &FxHashMap<Addr, StoreInfo>,
     addr: Addr,
     size: u8,
 ) -> Option<StoreInfo> {
@@ -381,8 +472,10 @@ fn intra_forward(
         consider(words.get(&(addr & !7)));
     } else {
         consider(words.get(&(addr & !7)));
-        for b in 0..8 {
-            consider(bytes.get(&(addr + b)));
+        if !bytes.is_empty() {
+            for b in 0..8 {
+                consider(bytes.get(&(addr + b)));
+            }
         }
     }
     best
@@ -436,6 +529,8 @@ fn schedule_mem(
         ready_mem = ready_mem.max(fwd.complete);
     }
 
+    let window_addr_ready = ctx.window_addr_ready;
+
     // Inter-task handling per policy.
     let producer = producer_in_window(window, mem.addr, mem.size);
     let ready_before_sync = ready_mem;
@@ -444,14 +539,14 @@ fn schedule_mem(
 
     match config.policy {
         Policy::Never => {
-            ready_mem = ready_mem.max(ctx.window_addr_ready);
+            ready_mem = ready_mem.max(window_addr_ready);
             if let Some((_, s)) = producer {
                 ready_mem = ready_mem.max(s.complete);
             }
         }
         Policy::Wait => {
             if let Some((_, s)) = producer {
-                ready_mem = ready_mem.max(ctx.window_addr_ready).max(s.complete);
+                ready_mem = ready_mem.max(window_addr_ready).max(s.complete);
             }
         }
         Policy::PSync => {
@@ -463,7 +558,7 @@ fn schedule_mem(
             may_violate = true;
         }
         Policy::Sync | Policy::Esync => {
-            let task_pcs: Vec<(u64, Pc)> = window.iter().map(|r| (r.seq, r.start_pc)).collect();
+            let task_pcs = ctx.task_pcs;
             let lookup =
                 move |seq: u64| task_pcs.iter().find(|(s, _)| *s == seq).map(|(_, pc)| *pc);
             let unit = shared.unit.as_mut().expect("sync policy has a unit");
@@ -533,7 +628,7 @@ fn schedule_mem(
                     // released once every older store's address is known
                     // and disambiguation clears it (the same condition that
                     // frees loads under NEVER/WAIT).
-                    wait_until = wait_until.max(ctx.window_addr_ready);
+                    wait_until = wait_until.max(window_addr_ready);
                     *ctx.false_dep_releases += 1;
                 }
                 if wait_until > ready_before_sync {
@@ -595,9 +690,15 @@ fn schedule_mem(
 mod tests {
     use super::*;
 
+    fn ports(width: u32, t0: u64) -> Ports {
+        let mut p = Ports::default();
+        p.reset(width, t0);
+        p
+    }
+
     #[test]
     fn ports_allow_width_per_cycle() {
-        let mut p = Ports::new(2, 0);
+        let mut p = ports(2, 0);
         assert_eq!(p.claim(10, 1), 10);
         assert_eq!(p.claim(10, 1), 10);
         assert_eq!(p.claim(10, 1), 11); // third claim spills to the next cycle
@@ -609,10 +710,28 @@ mod tests {
     fn ports_are_order_insensitive() {
         // A late-ready claim must not block an earlier-ready one issued
         // after it — the OOO property the busy-until model got wrong.
-        let mut p = Ports::new(1, 0);
+        let mut p = ports(1, 0);
         assert_eq!(p.claim(100, 1), 100);
         assert_eq!(p.claim(5, 1), 5);
         assert_eq!(p.claim(5, 1), 6);
+    }
+
+    #[test]
+    fn ports_tolerate_claims_before_the_base() {
+        // Cannot happen in an attempt, but the ledger must stay correct.
+        let mut p = ports(1, 50);
+        assert_eq!(p.claim(50, 1), 50);
+        assert_eq!(p.claim(10, 1), 10);
+        assert_eq!(p.claim(10, 1), 11);
+        assert_eq!(p.claim(50, 1), 51); // cycle 50 already claimed above
+    }
+
+    #[test]
+    fn ports_reset_clears_the_ledger() {
+        let mut p = ports(1, 0);
+        assert_eq!(p.claim(3, 1), 3);
+        p.reset(1, 3);
+        assert_eq!(p.claim(3, 1), 3); // claimable again after reset
     }
 
     fn record(seq: u64, stage: usize) -> TaskRecord {
@@ -623,10 +742,10 @@ mod tests {
             commit: 0,
             max_completion: 0,
             last_branch_completion: 0,
-            last_write: HashMap::new(),
-            word_stores: HashMap::new(),
-            byte_stores: HashMap::new(),
-            stores_by_pc: HashMap::new(),
+            last_write: [None; REGS],
+            word_stores: FxHashMap::default(),
+            byte_stores: FxHashMap::default(),
+            stores_by_pc: FxHashMap::default(),
             max_store_addr_ready: 0,
         }
     }
@@ -670,8 +789,8 @@ mod tests {
 
     #[test]
     fn intra_forward_finds_youngest_overlapping_store() {
-        let mut words = HashMap::new();
-        let mut bytes = HashMap::new();
+        let mut words = FxHashMap::default();
+        let mut bytes = FxHashMap::default();
         words.insert(
             0x40u64,
             StoreInfo {
@@ -700,9 +819,9 @@ mod tests {
     #[test]
     fn cross_task_resolution_walks_newest_first_and_adds_ring_hops() {
         let mut a = record(1, 1);
-        a.last_write.insert(5, 100);
+        a.last_write[5] = Some(100);
         let mut b = record(2, 2);
-        b.last_write.insert(5, 200);
+        b.last_write[5] = Some(200);
         let window: VecDeque<TaskRecord> = [a, b].into_iter().collect();
         // Consumer on stage 3: producer is task 2 on stage 2 -> 1 hop.
         assert_eq!(resolve_cross_task(&window, 5, 3, 4, 1), 201);
@@ -711,5 +830,24 @@ mod tests {
         assert_eq!(resolve_cross_task(&window, 6, 3, 4, 1), 0);
         // Ring distance wraps: consumer stage 0, producer stage 2 -> 2 hops.
         assert_eq!(resolve_cross_task(&window, 5, 0, 4, 1), 202);
+    }
+
+    #[test]
+    fn scratch_recycles_record_maps() {
+        let mut scratch = ExecScratch::new();
+        let mut rec = record(1, 0);
+        rec.word_stores.insert(
+            0x40,
+            StoreInfo {
+                pc: 1,
+                complete: 1,
+                idx: 0,
+            },
+        );
+        scratch.recycle(rec);
+        // Two store maps and one PC map shelved, all cleared.
+        assert!(scratch.store_maps.take().is_empty());
+        assert!(scratch.store_maps.take().is_empty());
+        assert!(scratch.pc_maps.take().is_empty());
     }
 }

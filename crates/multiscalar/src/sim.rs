@@ -2,7 +2,7 @@
 //! in-order commit over the task stream.
 
 use crate::config::MsConfig;
-use crate::exec::{execute_attempt, Shared, TaskRecord};
+use crate::exec::{execute_attempt, ExecScratch, Shared, TaskRecord};
 use crate::result::MsResult;
 use crate::task::{Task, TaskSplitter};
 use mds_core::{Ddc, SyncUnit, SyncUnitConfig};
@@ -105,6 +105,7 @@ struct SimState<'c> {
     history: PathHistory,
     descriptor_cache: LruTable<Pc, ()>,
     window: VecDeque<TaskRecord>,
+    scratch: ExecScratch,
     stage_free: Vec<u64>,
     prev_assign: u64,
     prev_commit: u64,
@@ -136,6 +137,7 @@ impl<'c> SimState<'c> {
             history: PathHistory::new(config.path_depth),
             descriptor_cache: LruTable::new(config.descriptor_cache),
             window: VecDeque::with_capacity(config.stages),
+            scratch: ExecScratch::new(),
             stage_free: vec![0; config.stages],
             prev_assign: 0,
             prev_commit: 0,
@@ -186,10 +188,20 @@ impl<'c> SimState<'c> {
                 icache: &mut self.icaches[stage],
                 unit: self.unit.as_mut(),
             };
-            let outcome = execute_attempt(&task, t0, stage, &self.window, &mut shared);
+            let outcome = execute_attempt(
+                &task,
+                t0,
+                stage,
+                &self.window,
+                &mut shared,
+                &mut self.scratch,
+            );
             let Some(v) = outcome.violation else {
                 break outcome;
             };
+            // The squashed attempt's record is discarded — reclaim its maps
+            // so the replay reuses the allocations.
+            self.scratch.recycle(outcome.record);
             violated_edges.push(v.edge);
             self.result.misspeculations += 1;
             for (_, ddc) in &mut self.ddcs {
@@ -247,7 +259,9 @@ impl<'c> SimState<'c> {
         }
         self.window.push_back(record);
         while self.window.len() >= self.config.stages.max(1) {
-            self.window.pop_front();
+            if let Some(evicted) = self.window.pop_front() {
+                self.scratch.recycle(evicted);
+            }
         }
     }
 

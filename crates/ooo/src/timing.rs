@@ -18,8 +18,9 @@
 
 use mds_core::{DepEdge, LoadDecision, Policy, PredictionBreakdown, SyncUnit, SyncUnitConfig};
 use mds_emu::DynInst;
+use mds_harness::hash::FxHashMap;
 use mds_isa::{Addr, FuClass, Pc};
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 
 /// Configuration of the superscalar model.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -131,10 +132,10 @@ pub struct OooSim {
     // Squash barrier: no instruction may dispatch before this.
     restart_after: u64,
     // Youngest store per word / byte address.
-    word_stores: HashMap<Addr, StoreRecord>,
-    byte_stores: HashMap<Addr, StoreRecord>,
+    word_stores: FxHashMap<Addr, StoreRecord>,
+    byte_stores: FxHashMap<Addr, StoreRecord>,
     // Per-PC dynamic instance numbering (the superscalar instance scheme).
-    instance_no: HashMap<Pc, u64>,
+    instance_no: FxHashMap<Pc, u64>,
     // Running max of store address-ready / completion times.
     all_stores_addr_ready: u64,
     all_stores_complete: u64,
@@ -163,9 +164,9 @@ impl OooSim {
             dispatched_this_cycle: 0,
             mem_port_free: vec![0; config.mem_ports as usize],
             restart_after: 0,
-            word_stores: HashMap::new(),
-            byte_stores: HashMap::new(),
-            instance_no: HashMap::new(),
+            word_stores: FxHashMap::default(),
+            byte_stores: FxHashMap::default(),
+            instance_no: FxHashMap::default(),
             all_stores_addr_ready: 0,
             all_stores_complete: 0,
             last_complete: 0,
@@ -237,8 +238,10 @@ impl OooSim {
             consider(self.word_stores.get(&(addr & !7)));
         } else {
             consider(self.word_stores.get(&(addr & !7)));
-            for b in 0..8 {
-                consider(self.byte_stores.get(&(addr + b)));
+            if !self.byte_stores.is_empty() {
+                for b in 0..8 {
+                    consider(self.byte_stores.get(&(addr + b)));
+                }
             }
         }
         best

@@ -2,9 +2,9 @@
 
 use mds_core::{Ddc, DepEdge};
 use mds_emu::DynInst;
+use mds_harness::hash::FxHashMap;
 use mds_isa::{Addr, Pc};
 use mds_sim::stats::{Histogram, Percent};
-use std::collections::HashMap;
 
 /// Configuration for a [`WindowAnalyzer`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -33,7 +33,7 @@ pub struct WindowStats {
     /// `n` instructions earlier in the committed order (table 3).
     pub misspeculations: u64,
     /// Dynamic mis-speculation count per static edge.
-    pub edge_counts: HashMap<DepEdge, u64>,
+    pub edge_counts: FxHashMap<DepEdge, u64>,
     /// `(ddc_size, hits, misses)` per configured DDC (table 5).
     pub ddcs: Vec<(usize, u64, u64)>,
 }
@@ -112,7 +112,7 @@ struct LastStore {
 struct PerWindow {
     window_size: u32,
     misspecs: u64,
-    edges: HashMap<DepEdge, u64>,
+    edges: FxHashMap<DepEdge, u64>,
     ddcs: Vec<(usize, Ddc)>,
 }
 
@@ -126,9 +126,9 @@ struct PerWindow {
 pub struct WindowAnalyzer {
     per_window: Vec<PerWindow>,
     // Most recent store covering each 8-byte-aligned word.
-    word_stores: HashMap<Addr, LastStore>,
+    word_stores: FxHashMap<Addr, LastStore>,
     // Most recent single-byte store per byte address.
-    byte_stores: HashMap<Addr, LastStore>,
+    byte_stores: FxHashMap<Addr, LastStore>,
     instructions: u64,
     loads: u64,
     stores: u64,
@@ -152,7 +152,7 @@ impl WindowAnalyzer {
             .map(|&ws| PerWindow {
                 window_size: ws,
                 misspecs: 0,
-                edges: HashMap::new(),
+                edges: FxHashMap::default(),
                 ddcs: config
                     .ddc_sizes
                     .iter()
@@ -162,8 +162,8 @@ impl WindowAnalyzer {
             .collect();
         WindowAnalyzer {
             per_window,
-            word_stores: HashMap::new(),
-            byte_stores: HashMap::new(),
+            word_stores: FxHashMap::default(),
+            byte_stores: FxHashMap::default(),
             instructions: 0,
             loads: 0,
             stores: 0,
@@ -209,8 +209,12 @@ impl WindowAnalyzer {
             if mem.addr & 7 != 0 {
                 consider(self.word_stores.get(&((mem.addr + 7) & !7)));
             }
-            for b in 0..8 {
-                consider(self.byte_stores.get(&(mem.addr + b)));
+            // Byte stores only exist in programs that use `sb`; skip the
+            // 8-probe scan entirely for the common all-word case.
+            if !self.byte_stores.is_empty() {
+                for b in 0..8 {
+                    consider(self.byte_stores.get(&(mem.addr + b)));
+                }
             }
         }
         let Some(st) = producer else { return };
@@ -386,7 +390,7 @@ mod tests {
         let mut s = WindowStats {
             window_size: 8,
             misspeculations: 1000,
-            edge_counts: HashMap::new(),
+            edge_counts: FxHashMap::default(),
             ddcs: vec![],
         };
         s.edge_counts.insert(DepEdge::new(1, 2), 990);
@@ -403,7 +407,7 @@ mod tests {
         let s = WindowStats {
             window_size: 8,
             misspeculations: 0,
-            edge_counts: HashMap::new(),
+            edge_counts: FxHashMap::default(),
             ddcs: vec![],
         };
         assert_eq!(s.edges_covering(0.999), 0);

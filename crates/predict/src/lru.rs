@@ -1,6 +1,6 @@
 //! A fixed-capacity associative table with true LRU replacement.
 
-use std::collections::HashMap;
+use mds_harness::hash::FxHashMap;
 use std::hash::Hash;
 
 const NIL: usize = usize::MAX;
@@ -35,7 +35,7 @@ struct Node<K, V> {
 /// ```
 #[derive(Debug, Clone)]
 pub struct LruTable<K, V> {
-    map: HashMap<K, usize>,
+    map: FxHashMap<K, usize>,
     nodes: Vec<Node<K, V>>,
     head: usize, // most recently used
     tail: usize, // least recently used
@@ -52,7 +52,7 @@ impl<K: Eq + Hash + Clone, V> LruTable<K, V> {
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0, "LruTable capacity must be positive");
         LruTable {
-            map: HashMap::with_capacity(capacity),
+            map: FxHashMap::with_capacity_and_hasher(capacity, Default::default()),
             nodes: Vec::with_capacity(capacity),
             head: NIL,
             tail: NIL,

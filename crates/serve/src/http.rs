@@ -5,6 +5,14 @@
 //! coding), keep-alive negotiation, and a deterministic response writer.
 //! The same head parser serves both sides: the server reads requests and
 //! the load generator reads responses.
+//!
+//! Reads are buffered per connection: [`RequestReader`] (and its client
+//! twin [`ResponseReader`]) own a carry buffer, so bytes that arrive in
+//! the same packet as a previous message — pipelined requests, or a body
+//! followed immediately by the next head — are consumed by the *next*
+//! parse instead of being thrown away. The one-shot [`read_request`] /
+//! [`read_response`] helpers wrap a fresh reader for single-message
+//! streams (tests, probes).
 
 use std::io::{self, Read, Write};
 
@@ -26,6 +34,18 @@ impl Default for Limits {
     }
 }
 
+/// The HTTP protocol version of a request, as sent on the request line.
+/// Keep-alive defaults differ: HTTP/1.1 persists unless told otherwise,
+/// HTTP/1.0 closes unless told otherwise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Version {
+    /// `HTTP/1.0` — connections close by default.
+    Http10,
+    /// `HTTP/1.1` (and any other `HTTP/1.x`) — connections persist by
+    /// default.
+    Http11,
+}
+
 /// A parsed HTTP request.
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -33,6 +53,8 @@ pub struct Request {
     pub method: String,
     /// The request target (path plus optional query), as sent.
     pub target: String,
+    /// The protocol version from the request line.
+    pub version: Version,
     /// Header `(name, value)` pairs; names are lowercased.
     pub headers: Vec<(String, String)>,
     /// The request body (empty without a `Content-Length`).
@@ -48,10 +70,18 @@ impl Request {
             .map(|(_, v)| v.as_str())
     }
 
-    /// Whether the client asked to keep the connection open (HTTP/1.1
-    /// defaults to yes unless `Connection: close`).
+    /// Whether the client asked to keep the connection open. HTTP/1.1
+    /// defaults to yes unless `Connection: close`; HTTP/1.0 defaults to
+    /// no unless `Connection: keep-alive`.
     pub fn wants_keep_alive(&self) -> bool {
-        !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+        match self.version {
+            Version::Http11 => {
+                !matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("close"))
+            }
+            Version::Http10 => {
+                matches!(self.header("connection"), Some(v) if v.eq_ignore_ascii_case("keep-alive"))
+            }
+        }
     }
 }
 
@@ -93,19 +123,24 @@ fn map_io(e: io::Error) -> ReadError {
     }
 }
 
-/// Reads one full head (up to and including the blank line) from
-/// `stream`, respecting `max` bytes. Returns the raw head bytes plus any
-/// body bytes that arrived in the same reads.
-fn read_head(stream: &mut impl Read, max: usize) -> Result<(Vec<u8>, Vec<u8>), ReadError> {
-    let mut buf: Vec<u8> = Vec::with_capacity(512);
+/// Byte offset just past the `\r\n\r\n` terminator, if present.
+fn find_head_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+}
+
+/// Reads from `stream` into `buf` until a complete head (through the
+/// blank line) is buffered, then removes and returns exactly the head
+/// bytes. Anything after the head stays in `buf` for the body / the next
+/// message.
+fn take_head(buf: &mut Vec<u8>, stream: &mut impl Read, max: usize) -> Result<Vec<u8>, ReadError> {
     let mut chunk = [0u8; 1024];
     loop {
-        if let Some(end) = find_head_end(&buf) {
+        if let Some(end) = find_head_end(buf) {
             if end > max {
                 return Err(ReadError::HeadTooLarge);
             }
             let rest = buf.split_off(end);
-            return Ok((buf, rest));
+            return Ok(std::mem::replace(buf, rest));
         }
         if buf.len() >= max {
             return Err(ReadError::HeadTooLarge);
@@ -122,9 +157,24 @@ fn read_head(stream: &mut impl Read, max: usize) -> Result<(Vec<u8>, Vec<u8>), R
     }
 }
 
-/// Byte offset just past the `\r\n\r\n` terminator, if present.
-fn find_head_end(buf: &[u8]) -> Option<usize> {
-    buf.windows(4).position(|w| w == b"\r\n\r\n").map(|p| p + 4)
+/// Reads from `stream` into `buf` until `declared` body bytes are
+/// buffered, then removes and returns exactly those bytes. Pipelined
+/// bytes beyond the body stay in `buf`.
+fn take_body(
+    buf: &mut Vec<u8>,
+    stream: &mut impl Read,
+    declared: usize,
+) -> Result<Vec<u8>, ReadError> {
+    let mut chunk = [0u8; 4096];
+    while buf.len() < declared {
+        let n = stream.read(&mut chunk).map_err(map_io)?;
+        if n == 0 {
+            return Err(ReadError::Malformed("truncated body"));
+        }
+        buf.extend_from_slice(&chunk[..n]);
+    }
+    let rest = buf.split_off(declared);
+    Ok(std::mem::replace(buf, rest))
 }
 
 /// Parses `name: value` header lines out of a head (everything after the
@@ -140,54 +190,101 @@ fn parse_headers(lines: &str) -> Result<Vec<(String, String)>, ReadError> {
     Ok(headers)
 }
 
-/// Reads and parses one request from `stream`.
-pub fn read_request(stream: &mut impl Read, limits: Limits) -> Result<Request, ReadError> {
-    let (head, mut body) = read_head(stream, limits.max_head_bytes)?;
-    let head = std::str::from_utf8(&head).map_err(|_| ReadError::Malformed("non-UTF-8 head"))?;
-    let (request_line, header_lines) = head
-        .split_once("\r\n")
-        .ok_or(ReadError::Malformed("missing request line"))?;
-    let mut parts = request_line.split(' ');
-    let method = parts.next().unwrap_or_default().to_string();
-    let target = parts
-        .next()
-        .ok_or(ReadError::Malformed("missing target"))?
-        .to_string();
-    let version = parts
-        .next()
-        .ok_or(ReadError::Malformed("missing version"))?;
-    if !version.starts_with("HTTP/1.") {
-        return Err(ReadError::Malformed("unsupported HTTP version"));
-    }
-    let headers = parse_headers(header_lines)?;
-    let request = Request {
-        method,
-        target,
-        headers,
-        body: Vec::new(),
-    };
-    if request.header("transfer-encoding").is_some() {
-        return Err(ReadError::Malformed("chunked bodies are not supported"));
-    }
-    let declared = match request.header("content-length") {
-        Some(v) => v
-            .parse::<usize>()
-            .map_err(|_| ReadError::Malformed("bad content-length"))?,
-        None => 0,
-    };
-    if declared > limits.max_body_bytes {
-        return Err(ReadError::BodyTooLarge);
-    }
-    while body.len() < declared {
-        let mut chunk = [0u8; 1024];
-        let n = stream.read(&mut chunk).map_err(map_io)?;
-        if n == 0 {
-            return Err(ReadError::Malformed("truncated body"));
+/// The declared body length across every `Content-Length` header.
+/// Repeating the same value is tolerated (some proxies do); *differing*
+/// values are the classic request-smuggling shape and are rejected.
+fn declared_length(headers: &[(String, String)]) -> Result<usize, ReadError> {
+    let mut declared: Option<usize> = None;
+    for (name, value) in headers {
+        if name != "content-length" {
+            continue;
         }
-        body.extend_from_slice(&chunk[..n]);
+        let v = value
+            .parse::<usize>()
+            .map_err(|_| ReadError::Malformed("bad content-length"))?;
+        if declared.is_some_and(|prev| prev != v) {
+            return Err(ReadError::Malformed("conflicting content-length headers"));
+        }
+        declared = Some(v);
     }
-    body.truncate(declared);
-    Ok(Request { body, ..request })
+    Ok(declared.unwrap_or(0))
+}
+
+/// Server-side connection reader: parses a stream of requests, carrying
+/// bytes that arrive beyond each message (pipelined requests) over to the
+/// next call instead of discarding them.
+#[derive(Debug, Default)]
+pub struct RequestReader {
+    buf: Vec<u8>,
+}
+
+impl RequestReader {
+    /// A reader with an empty carry buffer.
+    pub fn new() -> RequestReader {
+        RequestReader::default()
+    }
+
+    /// Bytes received but not yet consumed by a parsed message.
+    pub fn buffered(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Reads and parses the next request on this connection.
+    ///
+    /// # Errors
+    ///
+    /// [`ReadError::Closed`] at a clean end-of-stream between requests;
+    /// the other variants for limit violations, malformed bytes, and I/O
+    /// failures.
+    pub fn read_request(
+        &mut self,
+        stream: &mut impl Read,
+        limits: Limits,
+    ) -> Result<Request, ReadError> {
+        let head = take_head(&mut self.buf, stream, limits.max_head_bytes)?;
+        let head =
+            std::str::from_utf8(&head).map_err(|_| ReadError::Malformed("non-UTF-8 head"))?;
+        let (request_line, header_lines) = head
+            .split_once("\r\n")
+            .ok_or(ReadError::Malformed("missing request line"))?;
+        let mut parts = request_line.split(' ');
+        let method = parts.next().unwrap_or_default().to_string();
+        let target = parts
+            .next()
+            .ok_or(ReadError::Malformed("missing target"))?
+            .to_string();
+        let version = match parts
+            .next()
+            .ok_or(ReadError::Malformed("missing version"))?
+        {
+            "HTTP/1.0" => Version::Http10,
+            v if v.starts_with("HTTP/1.") => Version::Http11,
+            _ => return Err(ReadError::Malformed("unsupported HTTP version")),
+        };
+        let headers = parse_headers(header_lines)?;
+        let mut request = Request {
+            method,
+            target,
+            version,
+            headers,
+            body: Vec::new(),
+        };
+        if request.header("transfer-encoding").is_some() {
+            return Err(ReadError::Malformed("chunked bodies are not supported"));
+        }
+        let declared = declared_length(&request.headers)?;
+        if declared > limits.max_body_bytes {
+            return Err(ReadError::BodyTooLarge);
+        }
+        request.body = take_body(&mut self.buf, stream, declared)?;
+        Ok(request)
+    }
+}
+
+/// Reads and parses one request from `stream` (fresh single-use reader;
+/// pipelined bytes beyond the first message are dropped with it).
+pub fn read_request(stream: &mut impl Read, limits: Limits) -> Result<Request, ReadError> {
+    RequestReader::new().read_request(stream, limits)
 }
 
 /// An outgoing HTTP response.
@@ -306,38 +403,55 @@ impl ClientResponse {
     }
 }
 
-/// Reads one response from `stream` (the load generator's client side).
-pub fn read_response(stream: &mut impl Read) -> Result<ClientResponse, ReadError> {
-    let (head, mut body) = read_head(stream, 64 * 1024)?;
-    let head = std::str::from_utf8(&head).map_err(|_| ReadError::Malformed("non-UTF-8 head"))?;
-    let (status_line, header_lines) = head
-        .split_once("\r\n")
-        .ok_or(ReadError::Malformed("missing status line"))?;
-    let status = status_line
-        .split(' ')
-        .nth(1)
-        .and_then(|s| s.parse::<u16>().ok())
-        .ok_or(ReadError::Malformed("bad status line"))?;
-    let headers = parse_headers(header_lines)?;
-    let declared = headers
-        .iter()
-        .find(|(k, _)| k == "content-length")
-        .and_then(|(_, v)| v.parse::<usize>().ok())
-        .unwrap_or(0);
-    while body.len() < declared {
-        let mut chunk = [0u8; 4096];
-        let n = stream.read(&mut chunk).map_err(map_io)?;
-        if n == 0 {
-            return Err(ReadError::Malformed("truncated body"));
-        }
-        body.extend_from_slice(&chunk[..n]);
+/// Client-side connection reader: parses a stream of responses with the
+/// same carry-buffer discipline as [`RequestReader`], so back-to-back
+/// responses to pipelined requests all survive.
+#[derive(Debug, Default)]
+pub struct ResponseReader {
+    buf: Vec<u8>,
+}
+
+impl ResponseReader {
+    /// A reader with an empty carry buffer.
+    pub fn new() -> ResponseReader {
+        ResponseReader::default()
     }
-    body.truncate(declared);
-    Ok(ClientResponse {
-        status,
-        headers,
-        body,
-    })
+
+    /// Reads and parses the next response on this connection.
+    ///
+    /// # Errors
+    ///
+    /// [`ReadError`] variants as for [`RequestReader::read_request`].
+    pub fn read_response(&mut self, stream: &mut impl Read) -> Result<ClientResponse, ReadError> {
+        let head = take_head(&mut self.buf, stream, 64 * 1024)?;
+        let head =
+            std::str::from_utf8(&head).map_err(|_| ReadError::Malformed("non-UTF-8 head"))?;
+        let (status_line, header_lines) = head
+            .split_once("\r\n")
+            .ok_or(ReadError::Malformed("missing status line"))?;
+        let status = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse::<u16>().ok())
+            .ok_or(ReadError::Malformed("bad status line"))?;
+        let headers = parse_headers(header_lines)?;
+        let declared = headers
+            .iter()
+            .find(|(k, _)| k == "content-length")
+            .and_then(|(_, v)| v.parse::<usize>().ok())
+            .unwrap_or(0);
+        let body = take_body(&mut self.buf, stream, declared)?;
+        Ok(ClientResponse {
+            status,
+            headers,
+            body,
+        })
+    }
+}
+
+/// Reads one response from `stream` (fresh single-use reader).
+pub fn read_response(stream: &mut impl Read) -> Result<ClientResponse, ReadError> {
+    ResponseReader::new().read_response(stream)
 }
 
 /// Serializes a request in a single write (see [`Response::write_to`] on
@@ -374,6 +488,7 @@ mod tests {
         let req = parse(raw).unwrap();
         assert_eq!(req.method, "POST");
         assert_eq!(req.target, "/v1/experiments");
+        assert_eq!(req.version, Version::Http11);
         assert_eq!(req.header("host"), Some("x"));
         assert_eq!(req.body, b"abcd");
         assert!(req.wants_keep_alive());
@@ -383,6 +498,49 @@ mod tests {
     fn connection_close_disables_keep_alive() {
         let raw = b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n";
         assert!(!parse(raw).unwrap().wants_keep_alive());
+    }
+
+    #[test]
+    fn http_1_0_closes_by_default() {
+        let plain = parse(b"GET / HTTP/1.0\r\n\r\n").unwrap();
+        assert_eq!(plain.version, Version::Http10);
+        assert!(!plain.wants_keep_alive());
+        // ... unless the client explicitly opts in.
+        let opted = parse(b"GET / HTTP/1.0\r\nConnection: Keep-Alive\r\n\r\n").unwrap();
+        assert!(opted.wants_keep_alive());
+    }
+
+    #[test]
+    fn pipelined_requests_all_parse_from_one_stream() {
+        // Two requests in a single packet: the reader must hand back the
+        // first AND keep the second's bytes for the next call.
+        let raw = b"POST /a HTTP/1.1\r\ncontent-length: 3\r\n\r\nxyzGET /b HTTP/1.1\r\n\r\n";
+        let mut stream = io::Cursor::new(raw.to_vec());
+        let mut reader = RequestReader::new();
+        let first = reader.read_request(&mut stream, Limits::default()).unwrap();
+        assert_eq!(first.target, "/a");
+        assert_eq!(first.body, b"xyz");
+        assert!(reader.buffered() > 0, "second request must be carried over");
+        let second = reader.read_request(&mut stream, Limits::default()).unwrap();
+        assert_eq!(second.target, "/b");
+        assert!(second.body.is_empty());
+        // Clean end-of-stream after the last pipelined request.
+        assert!(matches!(
+            reader.read_request(&mut stream, Limits::default()),
+            Err(ReadError::Closed)
+        ));
+    }
+
+    #[test]
+    fn conflicting_content_lengths_are_rejected() {
+        let raw = b"POST / HTTP/1.1\r\ncontent-length: 4\r\ncontent-length: 2\r\n\r\nabcd";
+        assert!(matches!(
+            parse(raw),
+            Err(ReadError::Malformed("conflicting content-length headers"))
+        ));
+        // Repeating the SAME value is tolerated.
+        let raw = b"POST / HTTP/1.1\r\ncontent-length: 4\r\ncontent-length: 4\r\n\r\nabcd";
+        assert_eq!(parse(raw).unwrap().body, b"abcd");
     }
 
     #[test]
@@ -433,6 +591,21 @@ mod tests {
         assert_eq!(parsed.header("retry-after"), Some("1"));
         assert_eq!(parsed.header("connection"), Some("keep-alive"));
         assert_eq!(parsed.body, br#"{"ok":true}"#);
+    }
+
+    #[test]
+    fn back_to_back_responses_all_parse_from_one_stream() {
+        let mut wire = Vec::new();
+        Response::text(200, "one")
+            .write_to(&mut wire, true)
+            .unwrap();
+        Response::text(200, "two")
+            .write_to(&mut wire, false)
+            .unwrap();
+        let mut stream = io::Cursor::new(wire);
+        let mut reader = ResponseReader::new();
+        assert_eq!(reader.read_response(&mut stream).unwrap().body, b"one");
+        assert_eq!(reader.read_response(&mut stream).unwrap().body, b"two");
     }
 
     #[test]

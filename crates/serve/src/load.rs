@@ -156,6 +156,7 @@ fn client_loop(config: &LoadConfig, deadline: Instant) -> (Vec<u64>, u64) {
         let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
         let _ = stream.set_write_timeout(Some(Duration::from_secs(60)));
         let _ = stream.set_nodelay(true);
+        let mut reader = http::ResponseReader::new();
         loop {
             if Instant::now() >= deadline {
                 break 'reconnect;
@@ -165,7 +166,7 @@ fn client_loop(config: &LoadConfig, deadline: Instant) -> (Vec<u64>, u64) {
                 errors += 1;
                 continue 'reconnect;
             }
-            let response = match http::read_response(&mut stream) {
+            let response = match reader.read_response(&mut stream) {
                 Ok(response) => response,
                 Err(_) => {
                     errors += 1;

@@ -325,11 +325,14 @@ fn handle_connection(shared: &Shared, admitted: Admitted) {
     let queue_wait_us = admitted.enqueued.elapsed().as_micros() as u64;
     shared.metrics.queue_wait.observe_us(queue_wait_us);
     let mut stream = admitted.stream;
+    // One reader for the whole connection: bytes a client pipelines past
+    // the current request carry over to the next iteration.
+    let mut reader = http::RequestReader::new();
     for served in 0..shared.config.max_requests_per_connection {
         if shared.stop.load(Ordering::SeqCst) {
             break;
         }
-        let request = match http::read_request(&mut stream, shared.config.limits) {
+        let request = match reader.read_request(&mut stream, shared.config.limits) {
             Ok(request) => request,
             Err(e) => {
                 let status = match e {

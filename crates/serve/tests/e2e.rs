@@ -217,6 +217,67 @@ fn keep_alive_serves_many_requests_and_metrics_expose_counters() {
 }
 
 #[test]
+fn pipelined_requests_in_one_packet_both_get_responses() {
+    let server = start(2, 16);
+    let mut stream = connect(&server);
+    // Two complete requests in a single write: the second's bytes land in
+    // the same socket read as the first's, and must not be discarded.
+    stream
+        .write_all(
+            b"GET /healthz HTTP/1.1\r\nhost: mds\r\n\r\n\
+              GET /healthz HTTP/1.1\r\nhost: mds\r\n\r\n",
+        )
+        .unwrap();
+    stream.flush().unwrap();
+    let mut reader = http::ResponseReader::new();
+    for _ in 0..2 {
+        let response = reader.read_response(&mut stream).expect("read response");
+        assert_eq!(response.status, 200);
+        assert_eq!(response.body, b"ok\n");
+    }
+    server.shutdown();
+}
+
+#[test]
+fn http_1_0_connections_close_by_default() {
+    let server = start(2, 16);
+    let mut stream = connect(&server);
+    stream
+        .write_all(b"GET /healthz HTTP/1.0\r\nhost: mds\r\n\r\n")
+        .unwrap();
+    stream.flush().unwrap();
+    let response = http::read_response(&mut stream).expect("read response");
+    assert_eq!(response.status, 200);
+    assert_eq!(response.header("connection"), Some("close"));
+    // The server must actually close: the next read sees EOF.
+    let mut rest = Vec::new();
+    use std::io::Read;
+    assert_eq!(stream.read_to_end(&mut rest).unwrap(), 0);
+    server.shutdown();
+}
+
+#[test]
+fn conflicting_content_lengths_get_400() {
+    let server = start(2, 16);
+    let mut stream = connect(&server);
+    stream
+        .write_all(
+            b"POST /v1/experiments HTTP/1.1\r\nhost: mds\r\n\
+              content-length: 4\r\ncontent-length: 2\r\n\r\nabcd",
+        )
+        .unwrap();
+    stream.flush().unwrap();
+    let response = http::read_response(&mut stream).expect("read response");
+    assert_eq!(response.status, 400);
+    assert!(
+        String::from_utf8_lossy(&response.body).contains("content-length"),
+        "{:?}",
+        String::from_utf8_lossy(&response.body)
+    );
+    server.shutdown();
+}
+
+#[test]
 fn shutdown_endpoint_unblocks_wait_and_drains() {
     let server = start(2, 16);
     std::thread::scope(|scope| {
