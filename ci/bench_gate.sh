@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
-# Bench-regression gate: measure the simulators suite fresh and compare
-# it against the committed BENCH_simulators.json baseline.
+# Bench-regression gate: measure the simulators and cluster suites fresh
+# and compare them against the committed BENCH_simulators.json /
+# BENCH_cluster.json baselines.
 #
 # The comparison (see crates/bench/src/bin/bench_gate.rs) normalizes by
 # the suite's median fresh/baseline ratio, so a uniformly slower CI
@@ -25,3 +26,16 @@ MDS_BENCH_DIR="$fresh_dir" cargo bench -q --offline -p mds-bench \
 
 echo "==> comparing against the committed baseline"
 target/release/bench_gate BENCH_simulators.json "$fresh_dir/BENCH_simulators.json"
+
+echo "==> measuring the cluster suite (gateway over a local fleet)"
+cargo build --release --offline -p mds-cluster --benches
+MDS_BENCH_DIR="$fresh_dir" \
+MDS_CLUSTER_BENCH_SECONDS="${MDS_CLUSTER_BENCH_SECONDS:-0.5}" \
+  cargo bench -q --offline -p mds-cluster --bench cluster
+
+# The cluster medians are end-to-end request latencies over real
+# sockets, so the headroom is wider than the in-process suites need:
+# scheduler jitter on a shared CI runner easily doubles a p50.
+echo "==> comparing the cluster suite against its committed baseline"
+MDS_BENCH_TOLERANCE="${MDS_CLUSTER_BENCH_TOLERANCE:-4.0}" \
+  target/release/bench_gate BENCH_cluster.json "$fresh_dir/BENCH_cluster.json"

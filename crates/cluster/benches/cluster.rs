@@ -1,0 +1,181 @@
+//! Cluster-tier benchmark: gateway throughput and latency over 1, 2,
+//! and 4 backends, cold-cache and warm-cache.
+//!
+//! Run with `cargo bench --bench cluster`; results are written to
+//! `BENCH_cluster.json` at the workspace root. Under plain `cargo test`
+//! the target smoke-runs with very short bursts and writes nothing.
+//!
+//! Each point starts a fresh in-process fleet and a gateway in front of
+//! it, then offers closed-loop load *through the gateway* with the same
+//! generator the `serve` suite uses — so the numbers are directly
+//! comparable: the delta against `BENCH_serve.json` is the cost (and,
+//! at >1 backend, the win) of the cluster tier. "Cold" sends
+//! `"fresh": true` so every request pays simulation; "warm" measures
+//! the steady state where backends answer from their result caches and
+//! the gateway adds only its proxy hop.
+
+use mds_cluster::fleet::{Fleet, FleetConfig};
+use mds_cluster::gateway::{Gateway, GatewayConfig};
+use mds_harness::bench::{BenchConfig, BenchReport, BenchResult};
+use mds_harness::json::ToJson;
+use mds_serve::{run_load, LoadConfig, LoadReport, LogTarget};
+use std::time::Duration;
+
+const BACKEND_COUNTS: [usize; 3] = [1, 2, 4];
+const CLIENTS: usize = 8;
+const EXPERIMENT: &str = "fig5";
+const SCALE: &str = "tiny";
+
+fn seconds_per_run(measure: bool) -> f64 {
+    if let Ok(text) = std::env::var("MDS_CLUSTER_BENCH_SECONDS") {
+        if let Ok(secs) = text.parse::<f64>() {
+            if secs.is_finite() && secs > 0.0 {
+                return secs;
+            }
+        }
+    }
+    if measure {
+        2.0
+    } else {
+        0.15
+    }
+}
+
+fn run_mode(gateway: &Gateway, seconds: f64, fresh: bool) -> LoadReport {
+    run_load(&LoadConfig {
+        addr: gateway.local_addr().to_string(),
+        clients: CLIENTS,
+        duration: Duration::from_secs_f64(seconds),
+        experiment: EXPERIMENT.to_string(),
+        scale: SCALE.to_string(),
+        fresh,
+        ..LoadConfig::default()
+    })
+}
+
+fn run_json(mode: &str, backends: usize, report: &LoadReport) -> mds_harness::json::Json {
+    report
+        .to_json()
+        .field("mode", mode)
+        .field("backends", backends)
+}
+
+/// Median absolute deviation of the sorted latency samples, in
+/// microseconds — the same robustness statistic the harness bencher
+/// reports, recomputed over request latencies.
+fn mad_us(report: &LoadReport) -> f64 {
+    if report.latencies_us.is_empty() {
+        return 0.0;
+    }
+    let median = report.percentile_us(50.0) as f64;
+    let mut deviations: Vec<f64> = report
+        .latencies_us
+        .iter()
+        .map(|&us| (us as f64 - median).abs())
+        .collect();
+    deviations.sort_by(|a, b| a.total_cmp(b));
+    deviations[deviations.len() / 2]
+}
+
+/// Folds one load run into the gate-comparable summary shape: one
+/// "iteration" is one proxied request, so `median_ns` is the p50
+/// end-to-end request latency. That is the stat `ci/bench_gate.sh`
+/// compares against the committed baseline.
+fn gate_result(mode: &str, backends: usize, report: &LoadReport) -> BenchResult {
+    BenchResult {
+        name: format!("gateway/{mode}/{backends}b"),
+        iters_per_batch: report.requests.max(1),
+        batches: 1,
+        median_ns: report.percentile_us(50.0) as f64 * 1e3,
+        mad_ns: mad_us(report) * 1e3,
+        min_ns: report.latencies_us.first().copied().unwrap_or(0) as f64 * 1e3,
+        max_ns: report.latencies_us.last().copied().unwrap_or(0) as f64 * 1e3,
+        throughput_elems: None,
+    }
+}
+
+fn main() {
+    let measure = std::env::args().any(|a| a == "--bench");
+    let seconds = seconds_per_run(measure);
+    let label = if measure {
+        "benchmarking"
+    } else {
+        "smoke-running"
+    };
+    eprintln!(
+        "{label} suite 'cluster' ({EXPERIMENT}@{SCALE}, {CLIENTS} clients, {seconds}s per point)"
+    );
+
+    let mut runs = Vec::new();
+    let mut results = Vec::new();
+    for backends in BACKEND_COUNTS {
+        let fleet = Fleet::spawn(&FleetConfig {
+            backends,
+            workers: 4,
+            ..FleetConfig::default()
+        })
+        .expect("spawn fleet");
+        let gateway = Gateway::start(GatewayConfig {
+            addr: "127.0.0.1:0".to_string(),
+            backends: fleet.addrs(),
+            workers: 8,
+            log: LogTarget::Discard,
+            ..GatewayConfig::default()
+        })
+        .expect("start gateway");
+
+        let cold = run_mode(&gateway, seconds, true);
+        assert!(
+            cold.requests > 0,
+            "cold run over {backends} backends completed no requests"
+        );
+        eprintln!("  cold/{backends}b: {}", cold.render());
+        results.push(gate_result("cold", backends, &cold));
+        runs.push(run_json("cold", backends, &cold));
+
+        // Prime every backend's result cache through the gateway, then
+        // measure the warm steady state.
+        let _ = run_mode(&gateway, 0.05, false);
+        let warm = run_mode(&gateway, seconds, false);
+        assert!(
+            warm.requests > 0,
+            "warm run over {backends} backends completed no requests"
+        );
+        eprintln!("  warm/{backends}b: {}", warm.render());
+        results.push(gate_result("warm", backends, &warm));
+        runs.push(run_json("warm", backends, &warm));
+
+        gateway.shutdown();
+        fleet.shutdown();
+    }
+
+    if !measure {
+        return;
+    }
+    // The document is a gate-parseable `BenchReport` (suite/scale/config/
+    // results, where `median_ns` is p50 request latency) plus extra
+    // detail fields (`experiment`, `clients`, `runs`) that the parser
+    // ignores but humans and dashboards can read.
+    let report = BenchReport {
+        suite: "cluster".to_string(),
+        scale: SCALE.to_string(),
+        config: BenchConfig {
+            warmup_ms: 50,
+            batch_ms: (seconds * 1e3) as u64,
+            batches: 1,
+            max_ms: (seconds * 1e3) as u64 * BACKEND_COUNTS.len() as u64 * 2,
+        },
+        results,
+    };
+    let doc = report
+        .to_json()
+        .field("experiment", EXPERIMENT)
+        .field("clients", CLIENTS)
+        .field("seconds_per_run", seconds)
+        .field("runs", mds_harness::json::Json::Array(runs));
+    let path = mds_harness::bench::report_dir().join("BENCH_cluster.json");
+    match std::fs::write(&path, doc.pretty()) {
+        Ok(()) => eprintln!("wrote {}", path.display()),
+        Err(e) => eprintln!("failed to write {}: {e}", path.display()),
+    }
+}

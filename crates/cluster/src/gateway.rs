@@ -1,0 +1,1024 @@
+//! The failover gateway: an HTTP front door over N `mds-serve` backends.
+//!
+//! The gateway reuses the serving crate's wire layer, admission queue,
+//! and structured log wholesale — it is the same kind of server, just
+//! with a proxy where the simulation engine would be. The request path:
+//!
+//! 1. The acceptor admits connections through a bounded queue (full
+//!    queue → `503` + `Retry-After`, exactly like a backend).
+//! 2. A worker parses requests and routes them. Keyed requests
+//!    (`POST /v1/experiments`) hash their canonical `(experiment,
+//!    scale)` cache key onto the consistent-hash [ring](crate::ring) so
+//!    each backend serves a stable shard; unkeyed proxy routes
+//!    round-robin.
+//! 3. The failover loop walks the key's replica order (then any other
+//!    backend as a last resort), skipping backends that are probed
+//!    unhealthy or whose [breaker](crate::breaker) is open. Transport
+//!    failures feed the breaker and fail over; `503` from a backend
+//!    (shedding or draining) fails over without tripping the breaker —
+//!    the prober handles load-driven ejection via `/readyz`. Every
+//!    attempt after the first consumes the global retry budget
+//!    (`retries < proxied/5 + burst`), which caps retry amplification
+//!    during a full-cluster outage.
+//! 4. Optionally ([`GatewayConfig::hedge_after`]) a hedged second
+//!    request races the next replica when the first is slow; the first
+//!    non-shed answer wins. Experiment execution is deterministic and
+//!    idempotent, so hedging is always safe.
+//!
+//! Successful backend responses pass through byte-for-byte: the gateway
+//! copies status, `content-type`, and body verbatim, so gateway-served
+//! experiment documents are identical to `repro <id> --json` output.
+//!
+//! A background prober drives per-backend health from `GET /readyz`
+//! (drain-aware: backends flip not-ready the moment shutdown begins),
+//! re-probing failed backends on a capped exponential backoff with
+//! jitter. Breaker transitions, health changes, and per-request proxy
+//! outcomes all land in the structured JSON event log.
+
+use crate::backend::Backend;
+use crate::breaker::BreakerConfig;
+use crate::metrics::{self, GatewayMetrics};
+use crate::ring::HashRing;
+use mds_harness::backoff::Backoff;
+use mds_harness::json::Json;
+use mds_serve::client::{self, Connection};
+use mds_serve::http::{self, ClientResponse, Limits, ReadError, Request, Response};
+use mds_serve::queue::Bounded;
+use mds_serve::{AccessLog, ExperimentRequest, LogTarget};
+use std::collections::HashMap;
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Gateway tunables. `Default` is a sensible local configuration.
+#[derive(Debug, Clone)]
+pub struct GatewayConfig {
+    /// Bind address; port 0 picks an ephemeral port.
+    pub addr: String,
+    /// Backend `host:port` addresses fronted by this gateway.
+    pub backends: Vec<String>,
+    /// Connection-serving worker threads.
+    pub workers: usize,
+    /// Admission-queue capacity; beyond it, connections get `503`.
+    pub queue_depth: usize,
+    /// Distinct backends tried per keyed request before falling back to
+    /// the rest of the fleet (primary + failover replicas on the ring).
+    pub replicas: usize,
+    /// Virtual nodes per backend on the ring.
+    pub vnodes: usize,
+    /// Retry-budget burst: attempts beyond the first are allowed while
+    /// `retries < proxied_requests / 5 + retry_burst`.
+    pub retry_burst: u64,
+    /// When set, launch a hedged second request to the next replica if
+    /// the first has not answered within this duration.
+    pub hedge_after: Option<Duration>,
+    /// Readiness-probe interval for healthy backends; failed probes back
+    /// off exponentially (capped at 8× this, jittered).
+    pub probe_interval: Duration,
+    /// Per-probe timeout.
+    pub probe_timeout: Duration,
+    /// Upstream connect timeout.
+    pub connect_timeout: Duration,
+    /// Upstream read/write timeout (cold experiments can compute for a
+    /// while, so this is generous).
+    pub io_timeout: Duration,
+    /// Per-connection client read timeout (also keep-alive idle).
+    pub read_timeout: Duration,
+    /// Request head/body size limits.
+    pub limits: Limits,
+    /// Keep-alive cap: requests served per client connection.
+    pub max_requests_per_connection: usize,
+    /// Circuit-breaker tunables (shared by every backend).
+    pub breaker: BreakerConfig,
+    /// Structured-log destination.
+    pub log: LogTarget,
+    /// Seed for breaker cooldown and probe-backoff jitter.
+    pub seed: u64,
+}
+
+impl Default for GatewayConfig {
+    fn default() -> GatewayConfig {
+        GatewayConfig {
+            addr: "127.0.0.1:7979".to_string(),
+            backends: Vec::new(),
+            workers: 4,
+            queue_depth: 64,
+            replicas: 2,
+            vnodes: 64,
+            retry_burst: 16,
+            hedge_after: None,
+            probe_interval: Duration::from_millis(250),
+            probe_timeout: Duration::from_millis(500),
+            connect_timeout: Duration::from_secs(1),
+            io_timeout: Duration::from_secs(120),
+            read_timeout: Duration::from_secs(5),
+            limits: Limits::default(),
+            max_requests_per_connection: 1000,
+            breaker: BreakerConfig::default(),
+            log: LogTarget::Stderr,
+            seed: 0x006d_6473,
+        }
+    }
+}
+
+/// An admitted client connection, stamped for queue-wait accounting.
+struct Inbound {
+    stream: TcpStream,
+    enqueued: Instant,
+}
+
+/// State shared by the acceptor, workers, prober, and handle.
+struct Shared {
+    config: GatewayConfig,
+    backends: Vec<Arc<Backend>>,
+    ring: HashRing,
+    metrics: GatewayMetrics,
+    log: AccessLog,
+    queue: Bounded<Inbound>,
+    /// Round-robin cursor for unkeyed proxy routes.
+    round_robin: AtomicU64,
+    /// Denominator of the retry budget (proxied requests so far).
+    proxied: AtomicU64,
+    /// Numerator of the retry budget (budgeted retries so far).
+    retries: AtomicU64,
+    stop: AtomicBool,
+    draining: AtomicBool,
+    shutdown_flag: Mutex<bool>,
+    shutdown_cv: Condvar,
+}
+
+/// A running gateway. Dropping it performs a graceful shutdown (the
+/// backends are not touched — they are independent processes).
+pub struct Gateway {
+    shared: Arc<Shared>,
+    local_addr: SocketAddr,
+    acceptor: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+    prober: Option<JoinHandle<()>>,
+}
+
+impl Gateway {
+    /// Binds, spawns the acceptor, workers, and health prober, and
+    /// returns immediately.
+    pub fn start(config: GatewayConfig) -> Result<Gateway, String> {
+        if config.backends.is_empty() {
+            return Err("a gateway needs at least one backend".to_string());
+        }
+        let listener = TcpListener::bind(&config.addr)
+            .map_err(|e| format!("cannot bind {}: {e}", config.addr))?;
+        let local_addr = listener
+            .local_addr()
+            .map_err(|e| format!("no local addr: {e}"))?;
+        let log = match config.log {
+            LogTarget::Stderr => AccessLog::stderr(),
+            LogTarget::Discard => AccessLog::discard(),
+            LogTarget::Memory => AccessLog::memory(),
+        };
+        let backends: Vec<Arc<Backend>> = config
+            .backends
+            .iter()
+            .enumerate()
+            .map(|(i, addr)| {
+                Arc::new(Backend::new(
+                    addr.clone(),
+                    config.breaker,
+                    config.seed.wrapping_add(i as u64),
+                ))
+            })
+            .collect();
+        let ring = HashRing::new(&config.backends, config.vnodes);
+        log.event(
+            Json::object()
+                .field("evt", "ring")
+                .field("backends", backends.len())
+                .field("vnodes", config.vnodes)
+                .field("points", ring.points())
+                .field("replicas", config.replicas),
+        );
+        let shared = Arc::new(Shared {
+            queue: Bounded::new(config.queue_depth),
+            backends,
+            ring,
+            metrics: GatewayMetrics::default(),
+            log,
+            round_robin: AtomicU64::new(0),
+            proxied: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+            stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
+            shutdown_flag: Mutex::new(false),
+            shutdown_cv: Condvar::new(),
+            config,
+        });
+        let acceptor = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("mds-cluster-acceptor".to_string())
+                .spawn(move || accept_loop(&shared, listener))
+                .map_err(|e| format!("cannot spawn acceptor: {e}"))?
+        };
+        let mut workers = Vec::with_capacity(shared.config.workers);
+        for i in 0..shared.config.workers {
+            let shared = Arc::clone(&shared);
+            workers.push(
+                std::thread::Builder::new()
+                    .name(format!("mds-cluster-worker-{i}"))
+                    .spawn(move || {
+                        // Each worker keeps its own keep-alive connection
+                        // per backend; no cross-thread pooling locks.
+                        let mut conns = HashMap::new();
+                        while let Some(inbound) = shared.queue.pop() {
+                            handle_connection(&shared, &mut conns, inbound);
+                        }
+                    })
+                    .map_err(|e| format!("cannot spawn worker: {e}"))?,
+            );
+        }
+        let prober = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("mds-cluster-prober".to_string())
+                .spawn(move || probe_loop(&shared))
+                .map_err(|e| format!("cannot spawn prober: {e}"))?
+        };
+        Ok(Gateway {
+            shared,
+            local_addr,
+            acceptor: Some(acceptor),
+            workers,
+            prober: Some(prober),
+        })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Gateway counters (tests, summaries).
+    pub fn metrics(&self) -> &GatewayMetrics {
+        &self.shared.metrics
+    }
+
+    /// The per-backend states, in configuration order.
+    pub fn backends(&self) -> &[Arc<Backend>] {
+        &self.shared.backends
+    }
+
+    /// Buffered log lines (only with [`LogTarget::Memory`]).
+    pub fn log_lines(&self) -> Vec<String> {
+        self.shared.log.lines()
+    }
+
+    /// Blocks until a client posts `/v1/shutdown` (or
+    /// [`Gateway::shutdown`] runs from another thread).
+    pub fn wait_for_shutdown(&self) {
+        let mut requested = self
+            .shared
+            .shutdown_flag
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while !*requested {
+            requested = self
+                .shared
+                .shutdown_cv
+                .wait(requested)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+
+    /// Graceful shutdown: stop accepting, drain queued and in-flight
+    /// connections, join every thread, flush a final summary event.
+    pub fn shutdown(mut self) {
+        self.stop_and_join();
+    }
+
+    fn stop_and_join(&mut self) {
+        if self.acceptor.is_none() {
+            return;
+        }
+        self.shared.stop.store(true, Ordering::SeqCst);
+        signal_shutdown(&self.shared);
+        // Wake the acceptor out of its blocking accept() and the prober
+        // out of its timed wait.
+        let _ = TcpStream::connect(self.local_addr);
+        if let Some(acceptor) = self.acceptor.take() {
+            let _ = acceptor.join();
+        }
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+        if let Some(prober) = self.prober.take() {
+            let _ = prober.join();
+        }
+        let m = &self.shared.metrics;
+        let load = |v: &AtomicU64| v.load(Ordering::Relaxed);
+        self.shared.log.event(
+            Json::object()
+                .field("evt", "shutdown")
+                .field("requests_total", load(&m.requests_total))
+                .field("proxied_total", load(&m.proxied_total))
+                .field("failovers_total", load(&m.failovers_total))
+                .field("hedges_total", load(&m.hedges_total))
+                .field("unavailable_total", load(&m.unavailable_total)),
+        );
+    }
+}
+
+impl Drop for Gateway {
+    fn drop(&mut self) {
+        self.stop_and_join();
+    }
+}
+
+fn signal_shutdown(shared: &Shared) {
+    shared.draining.store(true, Ordering::SeqCst);
+    *shared
+        .shutdown_flag
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner) = true;
+    shared.shutdown_cv.notify_all();
+}
+
+fn accept_loop(shared: &Shared, listener: TcpListener) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                continue;
+            }
+        };
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        shared
+            .metrics
+            .connections_total
+            .fetch_add(1, Ordering::Relaxed);
+        let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+        let _ = stream.set_nodelay(true);
+        let inbound = Inbound {
+            stream,
+            enqueued: Instant::now(),
+        };
+        if let Err(rejected) = shared.queue.push(inbound) {
+            shed(shared, rejected.stream);
+        }
+    }
+    shared.queue.close();
+}
+
+fn shed(shared: &Shared, mut stream: TcpStream) {
+    shared
+        .metrics
+        .rejected_total
+        .fetch_add(1, Ordering::Relaxed);
+    shared.metrics.count_response(503);
+    let response = Response::json(503, r#"{"error":"gateway queue full, retry shortly"}"#)
+        .header("retry-after", "1");
+    let _ = response.write_to(&mut stream, false);
+}
+
+/// Per-worker keep-alive connections, one per backend index.
+type ConnCache = HashMap<usize, Connection>;
+
+/// What came of waiting for the next keep-alive request.
+enum IdleWait {
+    /// Bytes are waiting; go read the request.
+    Ready,
+    /// Other connections queued up (or shutdown began): release the
+    /// worker instead of pinning it to an idle peer.
+    Yield,
+    /// The peer closed, errored, or idled past the read timeout.
+    Gone,
+}
+
+/// Blocks until the next request's first byte arrives, in short slices
+/// that re-check the admission queue — the same worker-fairness rule the
+/// backends apply, so an idle keep-alive client can't pin a gateway
+/// worker while admitted connections starve.
+fn await_next_request(stream: &mut TcpStream, shared: &Shared) -> IdleWait {
+    let slice = Duration::from_millis(20).min(shared.config.read_timeout);
+    let deadline = Instant::now() + shared.config.read_timeout;
+    let _ = stream.set_read_timeout(Some(slice));
+    let mut byte = [0u8; 1];
+    let outcome = loop {
+        if shared.stop.load(Ordering::SeqCst) || !shared.queue.is_empty() {
+            break IdleWait::Yield;
+        }
+        match stream.peek(&mut byte) {
+            Ok(0) => break IdleWait::Gone,
+            Ok(_) => break IdleWait::Ready,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if Instant::now() >= deadline {
+                    break IdleWait::Gone;
+                }
+            }
+            Err(_) => break IdleWait::Gone,
+        }
+    };
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    outcome
+}
+
+fn handle_connection(shared: &Shared, conns: &mut ConnCache, inbound: Inbound) {
+    let queue_wait_us = inbound.enqueued.elapsed().as_micros() as u64;
+    let mut stream = inbound.stream;
+    let mut reader = http::RequestReader::new();
+    for served in 0..shared.config.max_requests_per_connection {
+        if shared.stop.load(Ordering::SeqCst) {
+            break;
+        }
+        if served > 0 && reader.buffered() == 0 {
+            match await_next_request(&mut stream, shared) {
+                IdleWait::Ready => {}
+                IdleWait::Yield | IdleWait::Gone => break,
+            }
+        }
+        let request = match reader.read_request(&mut stream, shared.config.limits) {
+            Ok(request) => request,
+            Err(e) => {
+                let status = match e {
+                    ReadError::Closed | ReadError::TimedOut | ReadError::Io(_) => break,
+                    ReadError::HeadTooLarge | ReadError::BodyTooLarge => 413,
+                    ReadError::Malformed(_) => 400,
+                };
+                shared.metrics.count_response(status);
+                let body = Json::object().field("error", e.to_string()).to_string();
+                let _ = Response::json(status, body).write_to(&mut stream, false);
+                break;
+            }
+        };
+        let started = Instant::now();
+        shared
+            .metrics
+            .routes
+            .count(&request.method, &request.target);
+        let routed = route(shared, conns, &request);
+        let elapsed_us = started.elapsed().as_micros() as u64;
+        shared.metrics.count_response(routed.response.status());
+        // Same fairness rule as the backends: when other client
+        // connections are queued for a worker, close after this response
+        // so the slot cycles instead of pinning to one keep-alive peer.
+        let keep_alive = request.wants_keep_alive()
+            && !routed.close
+            && served + 1 < shared.config.max_requests_per_connection
+            && shared.queue.is_empty()
+            && !shared.stop.load(Ordering::SeqCst);
+        shared.log.event(
+            Json::object()
+                .field("evt", "gateway")
+                .field("method", request.method.as_str())
+                .field("target", request.target.as_str())
+                .field("status", routed.response.status() as u64)
+                .field("queue_wait_us", if served == 0 { queue_wait_us } else { 0 })
+                .field("us", elapsed_us)
+                .field("bytes", routed.response.body_len()),
+        );
+        if routed.response.write_to(&mut stream, keep_alive).is_err() || !keep_alive {
+            break;
+        }
+    }
+}
+
+/// What the router produced for one request.
+struct Routed {
+    response: Response,
+    close: bool,
+}
+
+fn route(shared: &Shared, conns: &mut ConnCache, request: &Request) -> Routed {
+    let pass = |response: Response| Routed {
+        response,
+        close: false,
+    };
+    match (request.method.as_str(), request.target.as_str()) {
+        ("GET", "/healthz") => pass(Response::text(200, "ok\n")),
+        ("GET", "/readyz") => pass(readiness(shared)),
+        ("GET", "/metrics") => pass(
+            Response::new(200)
+                .header("content-type", "text/plain; version=0.0.4; charset=utf-8")
+                .body(metrics::render(
+                    &shared.metrics,
+                    &shared.backends,
+                    shared.queue.len(),
+                )),
+        ),
+        ("GET", "/v1/cluster") => pass(Response::json(200, cluster_status(shared))),
+        ("GET", "/v1/experiments") => pass(forward(shared, conns, request, None)),
+        ("POST", "/v1/experiments") => {
+            // Parse only to derive the routing key; an unparsable body
+            // still goes upstream (unkeyed) so the client sees the
+            // backend's own positioned 400 — the gateway is a
+            // transport, not a second validator.
+            let key = ExperimentRequest::from_body(&request.body)
+                .ok()
+                .map(|r| r.cache_key());
+            pass(forward(shared, conns, request, key))
+        }
+        ("POST", "/v1/shutdown") => {
+            signal_shutdown(shared);
+            Routed {
+                response: Response::json(200, r#"{"status":"shutting down"}"#),
+                close: true,
+            }
+        }
+        (
+            _,
+            "/healthz" | "/readyz" | "/metrics" | "/v1/cluster" | "/v1/experiments"
+            | "/v1/shutdown",
+        ) => pass(Response::json(405, r#"{"error":"method not allowed"}"#)),
+        _ => pass(Response::json(404, r#"{"error":"not found"}"#)),
+    }
+}
+
+/// Gateway readiness: `503` while draining or while no backend is in
+/// rotation (nothing upstream could answer), `200` otherwise.
+fn readiness(shared: &Shared) -> Response {
+    if shared.draining.load(Ordering::SeqCst) {
+        return Response::json(503, r#"{"ready":false,"reason":"draining"}"#)
+            .header("retry-after", "1");
+    }
+    let now = Instant::now();
+    if !shared.backends.iter().any(|b| b.in_rotation(now)) {
+        return Response::json(503, r#"{"ready":false,"reason":"no backend in rotation"}"#)
+            .header("retry-after", "1");
+    }
+    Response::text(200, "ready\n")
+}
+
+/// The `/v1/cluster` status document.
+fn cluster_status(shared: &Shared) -> String {
+    let load = |v: &AtomicU64| v.load(Ordering::Relaxed);
+    let backends: Vec<Json> = shared
+        .backends
+        .iter()
+        .map(|b| {
+            Json::object()
+                .field("addr", b.addr.as_str())
+                .field("healthy", b.is_healthy())
+                .field("breaker", b.with_breaker(|br| br.state().name()))
+                .field("breaker_opens", b.with_breaker(|br| br.opens()))
+                .field("attempts", load(&b.stats.attempts))
+                .field("failures", load(&b.stats.failures))
+                .field("sheds", load(&b.stats.sheds))
+        })
+        .collect();
+    Json::object()
+        .field("backends", Json::Array(backends))
+        .field("ring_points", shared.ring.points())
+        .field("replicas", shared.config.replicas)
+        .field("proxied", load(&shared.proxied))
+        .field("retries", load(&shared.retries))
+        .to_string()
+}
+
+/// The per-key (or round-robin) order in which backends are tried:
+/// ring replicas first, then every remaining backend as a last resort,
+/// so a request only fails once the whole fleet is unreachable.
+fn candidate_order(shared: &Shared, key: Option<&str>) -> Vec<usize> {
+    let n = shared.backends.len();
+    let mut order = match key {
+        Some(key) => shared.ring.replicas(key, shared.config.replicas),
+        None => {
+            let start = (shared.round_robin.fetch_add(1, Ordering::Relaxed) as usize) % n;
+            return (0..n).map(|j| (start + j) % n).collect();
+        }
+    };
+    for idx in 0..n {
+        if !order.contains(&idx) {
+            order.push(idx);
+        }
+    }
+    order
+}
+
+/// Takes one unit of the global retry budget, if any remains.
+fn take_retry(shared: &Shared) -> bool {
+    let allowed = shared.proxied.load(Ordering::Relaxed) / 5 + shared.config.retry_burst;
+    let mut current = shared.retries.load(Ordering::Relaxed);
+    loop {
+        if current >= allowed {
+            return false;
+        }
+        match shared.retries.compare_exchange_weak(
+            current,
+            current + 1,
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+        ) {
+            Ok(_) => {
+                shared.metrics.retries_total.fetch_add(1, Ordering::Relaxed);
+                return true;
+            }
+            Err(seen) => current = seen,
+        }
+    }
+}
+
+fn log_transition(shared: &Shared, backend: &Backend, t: Option<crate::breaker::Transition>) {
+    if let Some(t) = t {
+        shared.log.event(
+            Json::object()
+                .field("evt", "breaker")
+                .field("backend", backend.addr.as_str())
+                .field("from", t.from.name())
+                .field("to", t.to.name()),
+        );
+    }
+}
+
+/// One upstream exchange over the worker's pooled connection (fresh
+/// reconnect if the pooled one was idled out by the backend).
+fn attempt(
+    shared: &Shared,
+    conns: &mut ConnCache,
+    idx: usize,
+    request: &Request,
+) -> Result<ClientResponse, String> {
+    let backend = &shared.backends[idx];
+    backend.stats.attempts.fetch_add(1, Ordering::Relaxed);
+    let started = Instant::now();
+    let result = send_pooled(shared, conns, idx, request);
+    let us = started.elapsed().as_micros() as u64;
+    backend.stats.latency.observe_us(us);
+    shared.metrics.upstream_latency.observe_us(us);
+    result
+}
+
+fn send_pooled(
+    shared: &Shared,
+    conns: &mut ConnCache,
+    idx: usize,
+    request: &Request,
+) -> Result<ClientResponse, String> {
+    // A reused keep-alive connection failing usually means the backend
+    // idled it out between requests; fall through to a fresh connection
+    // before declaring a real failure.
+    if let Some(mut conn) = conns.remove(&idx) {
+        if let Ok(response) = conn.send(&request.method, &request.target, &request.body) {
+            if !Connection::must_close(&response) {
+                conns.insert(idx, conn);
+            }
+            return Ok(response);
+        }
+    }
+    let mut conn = Connection::connect(
+        &shared.backends[idx].addr,
+        shared.config.connect_timeout,
+        shared.config.io_timeout,
+    )
+    .map_err(|e| format!("connect: {e}"))?;
+    match conn.send(&request.method, &request.target, &request.body) {
+        Ok(response) => {
+            if !Connection::must_close(&response) {
+                conns.insert(idx, conn);
+            }
+            Ok(response)
+        }
+        Err(e) => Err(e.to_string()),
+    }
+}
+
+/// Copies a backend response through verbatim: status, body bytes, and
+/// the headers that matter to clients. This is where the byte-identity
+/// guarantee lives — the body is never re-encoded.
+fn passthrough(upstream: ClientResponse) -> Response {
+    let mut response = Response::new(upstream.status);
+    for name in ["content-type", "retry-after"] {
+        if let Some(value) = upstream.header(name) {
+            response = response.header(name, value);
+        }
+    }
+    response.body(upstream.body)
+}
+
+/// The failover proxy path shared by keyed and unkeyed routes.
+fn forward(
+    shared: &Shared,
+    conns: &mut ConnCache,
+    request: &Request,
+    key: Option<String>,
+) -> Response {
+    let started = Instant::now();
+    shared.metrics.proxied_total.fetch_add(1, Ordering::Relaxed);
+    shared.proxied.fetch_add(1, Ordering::Relaxed);
+    let order = candidate_order(shared, key.as_deref());
+    let now = Instant::now();
+    let mut rotation: Vec<usize> = order
+        .iter()
+        .copied()
+        .filter(|&i| shared.backends[i].in_rotation(now))
+        .collect();
+    if rotation.is_empty() {
+        // Optimistic last ditch: probes may be stale (e.g. right after
+        // startup against a slow-binding fleet), so try everyone rather
+        // than fail from the armchair.
+        rotation = order;
+    }
+    let response = if let (Some(hedge_after), Some(_)) = (shared.config.hedge_after, key.as_ref()) {
+        forward_hedged(shared, &rotation, request, hedge_after)
+    } else {
+        forward_serial(shared, conns, &rotation, request)
+    };
+    shared
+        .metrics
+        .proxy_latency
+        .observe_us(started.elapsed().as_micros() as u64);
+    response
+}
+
+/// All candidates exhausted: pass a backend's `503` through (so clients
+/// back off exactly as against a single overloaded server), or tell the
+/// truth about an unreachable fleet.
+fn exhausted(shared: &Shared, last_shed: Option<ClientResponse>) -> Response {
+    shared
+        .metrics
+        .unavailable_total
+        .fetch_add(1, Ordering::Relaxed);
+    match last_shed {
+        Some(upstream) => passthrough(upstream),
+        None => Response::json(503, r#"{"error":"no backend available, retry shortly"}"#)
+            .header("retry-after", "1"),
+    }
+}
+
+fn forward_serial(
+    shared: &Shared,
+    conns: &mut ConnCache,
+    candidates: &[usize],
+    request: &Request,
+) -> Response {
+    let mut attempts_made = 0u32;
+    let mut last_shed: Option<ClientResponse> = None;
+    for &idx in candidates {
+        let backend = &shared.backends[idx];
+        let (allowed, transition) = backend.with_breaker(|b| b.try_acquire(Instant::now()));
+        log_transition(shared, backend, transition);
+        if !allowed {
+            continue;
+        }
+        if attempts_made >= 1 && !take_retry(shared) {
+            backend.with_breaker(|b| b.cancel_acquire());
+            break;
+        }
+        if attempts_made >= 1 {
+            shared
+                .metrics
+                .failovers_total
+                .fetch_add(1, Ordering::Relaxed);
+        }
+        attempts_made += 1;
+        match attempt(shared, conns, idx, request) {
+            Ok(upstream) if upstream.status == 503 => {
+                // Shedding or draining: not a transport failure (the
+                // prober ejects overloaded backends via /readyz), but
+                // do fail over.
+                backend.stats.sheds.fetch_add(1, Ordering::Relaxed);
+                backend.with_breaker(|b| b.cancel_acquire());
+                last_shed = Some(upstream);
+            }
+            Ok(upstream) => {
+                let t = backend.with_breaker(|b| b.record_success(Instant::now()));
+                log_transition(shared, backend, t);
+                return passthrough(upstream);
+            }
+            Err(error) => {
+                backend.stats.failures.fetch_add(1, Ordering::Relaxed);
+                let t = backend.with_breaker(|b| b.record_failure(Instant::now()));
+                log_transition(shared, backend, t);
+                shared.log.event(
+                    Json::object()
+                        .field("evt", "upstream_error")
+                        .field("backend", backend.addr.as_str())
+                        .field("error", error),
+                );
+            }
+        }
+    }
+    exhausted(shared, last_shed)
+}
+
+/// The hedged proxy path: attempts run in spawned threads over fresh
+/// connections, all reporting into one channel; a timeout launches the
+/// next candidate (a hedge), a failure launches it immediately (a
+/// failover), and the first non-shed response wins.
+fn forward_hedged(
+    shared: &Shared,
+    candidates: &[usize],
+    request: &Request,
+    hedge_after: Duration,
+) -> Response {
+    let (tx, rx) = mpsc::channel::<(usize, Result<ClientResponse, String>)>();
+    let deadline = Instant::now() + shared.config.io_timeout;
+    let mut next = 0usize;
+    let mut in_flight = 0u32;
+    let mut spawned = 0u32;
+    let mut first_spawned = usize::MAX;
+    let mut last_shed: Option<ClientResponse> = None;
+
+    // Launches the next breaker-approved candidate, if the budget allows.
+    let launch = |next: &mut usize,
+                  in_flight: &mut u32,
+                  spawned: &mut u32,
+                  first_spawned: &mut usize,
+                  is_hedge: bool|
+     -> bool {
+        while *next < candidates.len() {
+            let idx = candidates[*next];
+            *next += 1;
+            let backend = Arc::clone(&shared.backends[idx]);
+            let (allowed, transition) = backend.with_breaker(|b| b.try_acquire(Instant::now()));
+            log_transition(shared, &backend, transition);
+            if !allowed {
+                continue;
+            }
+            if *spawned >= 1 && !take_retry(shared) {
+                backend.with_breaker(|b| b.cancel_acquire());
+                return false;
+            }
+            if *spawned >= 1 {
+                if is_hedge {
+                    shared.metrics.hedges_total.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    shared
+                        .metrics
+                        .failovers_total
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            if *spawned == 0 {
+                *first_spawned = idx;
+            }
+            *spawned += 1;
+            *in_flight += 1;
+            let tx = tx.clone();
+            let method = request.method.clone();
+            let target = request.target.clone();
+            let body = request.body.clone();
+            let timeout = shared.config.io_timeout;
+            let metrics_latency = Instant::now();
+            std::thread::spawn(move || {
+                backend.stats.attempts.fetch_add(1, Ordering::Relaxed);
+                let result = client::request_once(&backend.addr, &method, &target, &body, timeout)
+                    .map_err(|e| e.to_string());
+                backend
+                    .stats
+                    .latency
+                    .observe_us(metrics_latency.elapsed().as_micros() as u64);
+                let _ = tx.send((idx, result));
+            });
+            return true;
+        }
+        false
+    };
+
+    launch(
+        &mut next,
+        &mut in_flight,
+        &mut spawned,
+        &mut first_spawned,
+        false,
+    );
+    loop {
+        if in_flight == 0
+            && !launch(
+                &mut next,
+                &mut in_flight,
+                &mut spawned,
+                &mut first_spawned,
+                false,
+            )
+        {
+            return exhausted(shared, last_shed);
+        }
+        match rx.recv_timeout(hedge_after) {
+            Ok((idx, Ok(upstream))) if upstream.status == 503 => {
+                in_flight -= 1;
+                let backend = &shared.backends[idx];
+                backend.stats.sheds.fetch_add(1, Ordering::Relaxed);
+                backend.with_breaker(|b| b.cancel_acquire());
+                last_shed = Some(upstream);
+            }
+            Ok((idx, Ok(upstream))) => {
+                let backend = &shared.backends[idx];
+                let t = backend.with_breaker(|b| b.record_success(Instant::now()));
+                log_transition(shared, backend, t);
+                if idx != first_spawned {
+                    shared
+                        .metrics
+                        .hedge_wins_total
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                return passthrough(upstream);
+            }
+            Ok((idx, Err(error))) => {
+                in_flight -= 1;
+                let backend = &shared.backends[idx];
+                backend.stats.failures.fetch_add(1, Ordering::Relaxed);
+                let t = backend.with_breaker(|b| b.record_failure(Instant::now()));
+                log_transition(shared, backend, t);
+                shared.log.event(
+                    Json::object()
+                        .field("evt", "upstream_error")
+                        .field("backend", backend.addr.as_str())
+                        .field("error", error),
+                );
+            }
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                // The in-flight attempt is slow: hedge onto the next
+                // candidate, or give up past the overall deadline.
+                let launched = launch(
+                    &mut next,
+                    &mut in_flight,
+                    &mut spawned,
+                    &mut first_spawned,
+                    true,
+                );
+                if !launched && Instant::now() >= deadline {
+                    return exhausted(shared, last_shed);
+                }
+            }
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                return exhausted(shared, last_shed);
+            }
+        }
+    }
+}
+
+/// The background health prober: readiness-probes every backend, on a
+/// fixed interval while healthy and on capped exponential backoff with
+/// jitter while failing.
+fn probe_loop(shared: &Shared) {
+    let n = shared.backends.len();
+    let mut backoffs: Vec<Backoff> = (0..n)
+        .map(|i| {
+            Backoff::new(
+                shared.config.probe_interval,
+                shared.config.probe_interval * 8,
+                shared.config.seed.wrapping_add(0x9e37 + i as u64),
+            )
+        })
+        .collect();
+    let mut due: Vec<Instant> = vec![Instant::now(); n];
+    loop {
+        if shared.stop.load(Ordering::SeqCst) {
+            return;
+        }
+        let now = Instant::now();
+        for (i, backend) in shared.backends.iter().enumerate() {
+            if due[i] > now {
+                continue;
+            }
+            let verdict = client::request_once(
+                &backend.addr,
+                "GET",
+                "/readyz",
+                b"",
+                shared.config.probe_timeout,
+            );
+            let healthy = matches!(verdict, Ok(ref r) if r.status == 200);
+            let was = backend.set_healthy(healthy);
+            if was != healthy {
+                shared.log.event(
+                    Json::object()
+                        .field("evt", "health")
+                        .field("backend", backend.addr.as_str())
+                        .field("healthy", healthy),
+                );
+            }
+            if healthy {
+                backoffs[i].reset();
+                due[i] = Instant::now() + shared.config.probe_interval;
+            } else {
+                due[i] = Instant::now() + backoffs[i].next_delay();
+            }
+        }
+        // Sleep until the next probe is due, waking early on shutdown.
+        let next_due = due.iter().min().copied().unwrap_or_else(Instant::now);
+        let sleep = next_due
+            .saturating_duration_since(Instant::now())
+            .min(shared.config.probe_interval);
+        let guard = shared
+            .shutdown_flag
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if *guard {
+            return;
+        }
+        let _ = shared
+            .shutdown_cv
+            .wait_timeout(guard, sleep.max(Duration::from_millis(5)));
+    }
+}

@@ -1,0 +1,80 @@
+//! Sharded, replicated experiment serving: a failover gateway tier over
+//! `mds-serve` backends.
+//!
+//! One `mds-serve` process amortizes simulation across repeated queries;
+//! this crate scales that to a fleet. An HTTP gateway fronts N backends
+//! and gives clients a single address with three properties a lone
+//! backend cannot offer:
+//!
+//! - **Cache affinity** ([`ring`]) — keyed experiment requests are
+//!   routed by consistent hashing on the canonical `(experiment, scale)`
+//!   cache key, so each backend serves a stable shard and its result and
+//!   trace caches stay hot as the fleet grows.
+//! - **Failure hiding** ([`breaker`], [`gateway`]) — per-backend health
+//!   probing against the drain-aware `/readyz`, three-state circuit
+//!   breakers on the data path, bounded-budget failover to the next
+//!   replica, and optional hedged second requests for cold stragglers.
+//!   Killing one of two backends mid-load produces zero client-visible
+//!   failures.
+//! - **Cluster observability** ([`metrics`]) — per-backend and per-route
+//!   counters plus latency histograms in the same Prometheus exposition
+//!   the backends use, and a structured JSON event log for breaker
+//!   transitions, health changes, and upstream errors.
+//!
+//! Served experiment bytes pass through the gateway verbatim, so a
+//! response fetched through the cluster tier is byte-identical to
+//! `repro <id> --json` — the tier is a transport, never a second
+//! computation.
+//!
+//! [`fleet`] supervises a local in-process fleet for `--spawn N`, tests,
+//! and the benchmark.
+//!
+//! # Examples
+//!
+//! ```
+//! use mds_cluster::fleet::{Fleet, FleetConfig};
+//! use mds_cluster::gateway::{Gateway, GatewayConfig};
+//!
+//! let fleet = Fleet::spawn(&FleetConfig {
+//!     backends: 2,
+//!     workers: 2,
+//!     jobs: Some(1),
+//!     ..FleetConfig::default()
+//! })
+//! .unwrap();
+//! let gateway = Gateway::start(GatewayConfig {
+//!     addr: "127.0.0.1:0".to_string(),
+//!     backends: fleet.addrs(),
+//!     workers: 2,
+//!     log: mds_serve::LogTarget::Discard,
+//!     ..GatewayConfig::default()
+//! })
+//! .unwrap();
+//! let response = mds_serve::client::request_once(
+//!     &gateway.local_addr().to_string(),
+//!     "GET",
+//!     "/readyz",
+//!     b"",
+//!     std::time::Duration::from_secs(5),
+//! )
+//! .unwrap();
+//! assert_eq!(response.status, 200);
+//! gateway.shutdown();
+//! fleet.shutdown();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod backend;
+pub mod breaker;
+pub mod fleet;
+pub mod gateway;
+pub mod metrics;
+pub mod ring;
+
+pub use backend::Backend;
+pub use breaker::{Breaker, BreakerConfig};
+pub use fleet::{Fleet, FleetConfig};
+pub use gateway::{Gateway, GatewayConfig};
+pub use ring::HashRing;

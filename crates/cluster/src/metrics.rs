@@ -1,0 +1,356 @@
+//! Gateway metrics: cluster-wide counters plus labeled per-backend and
+//! per-route families, rendered in the same Prometheus text exposition
+//! (version 0.0.4) as the backends' own `/metrics`.
+
+use crate::backend::Backend;
+use mds_harness::stats::Histogram;
+use mds_serve::metrics::{counter, gauge};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Cluster-wide gateway counters (per-backend counters live on each
+/// [`Backend`]).
+#[derive(Debug, Default)]
+pub struct GatewayMetrics {
+    /// Connections the gateway acceptor accepted.
+    pub connections_total: AtomicU64,
+    /// Connections shed at the gateway's own admission queue.
+    pub rejected_total: AtomicU64,
+    /// Requests fully parsed and routed.
+    pub requests_total: AtomicU64,
+    /// Responses with 2xx status.
+    pub responses_2xx: AtomicU64,
+    /// Responses with 4xx status.
+    pub responses_4xx: AtomicU64,
+    /// Responses with 5xx status.
+    pub responses_5xx: AtomicU64,
+    /// Proxied requests entering the failover path.
+    pub proxied_total: AtomicU64,
+    /// Retry-budget units consumed (failovers + hedges).
+    pub retries_total: AtomicU64,
+    /// Failover attempts to a different backend after a failure or shed.
+    pub failovers_total: AtomicU64,
+    /// Hedged second requests launched for slow primaries.
+    pub hedges_total: AtomicU64,
+    /// Hedges that answered before the original attempt.
+    pub hedge_wins_total: AtomicU64,
+    /// Proxied requests that exhausted every candidate backend.
+    pub unavailable_total: AtomicU64,
+    /// Gateway-side end-to-end latency of proxied requests.
+    pub proxy_latency: Histogram,
+    /// Per-attempt upstream exchange latency (all backends pooled; the
+    /// per-backend split lives in each backend's stats).
+    pub upstream_latency: Histogram,
+    /// Per-route request counters.
+    pub routes: RouteCounters,
+}
+
+impl GatewayMetrics {
+    /// Counts a response by status class.
+    pub fn count_response(&self, status: u16) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        let class = match status {
+            200..=299 => &self.responses_2xx,
+            400..=499 => &self.responses_4xx,
+            _ => &self.responses_5xx,
+        };
+        class.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// Requests per route, labeled `route="METHOD /path"` in the exposition.
+#[derive(Debug, Default)]
+pub struct RouteCounters {
+    /// `POST /v1/experiments` (keyed proxy path).
+    pub experiments_post: AtomicU64,
+    /// `GET /v1/experiments` (unkeyed proxy path).
+    pub experiments_get: AtomicU64,
+    /// `GET /healthz`.
+    pub healthz: AtomicU64,
+    /// `GET /readyz`.
+    pub readyz: AtomicU64,
+    /// `GET /metrics`.
+    pub metrics: AtomicU64,
+    /// `GET /v1/cluster`.
+    pub cluster: AtomicU64,
+    /// `POST /v1/shutdown`.
+    pub shutdown: AtomicU64,
+    /// Anything else (404s, wrong methods).
+    pub other: AtomicU64,
+}
+
+impl RouteCounters {
+    /// Counts one request against its route bucket.
+    pub fn count(&self, method: &str, target: &str) {
+        let slot = match (method, target) {
+            ("POST", "/v1/experiments") => &self.experiments_post,
+            ("GET", "/v1/experiments") => &self.experiments_get,
+            ("GET", "/healthz") => &self.healthz,
+            ("GET", "/readyz") => &self.readyz,
+            ("GET", "/metrics") => &self.metrics,
+            ("GET", "/v1/cluster") => &self.cluster,
+            ("POST", "/v1/shutdown") => &self.shutdown,
+            _ => &self.other,
+        };
+        slot.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn samples(&self) -> [(&'static str, u64); 8] {
+        let c = |v: &AtomicU64| v.load(Ordering::Relaxed);
+        [
+            ("POST /v1/experiments", c(&self.experiments_post)),
+            ("GET /v1/experiments", c(&self.experiments_get)),
+            ("GET /healthz", c(&self.healthz)),
+            ("GET /readyz", c(&self.readyz)),
+            ("GET /metrics", c(&self.metrics)),
+            ("GET /v1/cluster", c(&self.cluster)),
+            ("POST /v1/shutdown", c(&self.shutdown)),
+            ("other", c(&self.other)),
+        ]
+    }
+}
+
+/// Appends one labeled family: `# HELP`/`# TYPE` once, then one sample
+/// per `(label value, count)` pair.
+fn labeled(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    kind: &str,
+    label: &str,
+    samples: impl Iterator<Item = (String, u64)>,
+) {
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+    for (value, count) in samples {
+        out.push_str(&format!("{name}{{{label}=\"{value}\"}} {count}\n"));
+    }
+}
+
+/// Renders the full gateway exposition.
+pub fn render(m: &GatewayMetrics, backends: &[Arc<Backend>], queue_depth: usize) -> String {
+    let mut out = String::with_capacity(4096);
+    let c = |v: &AtomicU64| v.load(Ordering::Relaxed);
+    counter(
+        &mut out,
+        "mds_gateway_connections_total",
+        "Connections the gateway accepted.",
+        c(&m.connections_total),
+    );
+    counter(
+        &mut out,
+        "mds_gateway_rejected_total",
+        "Connections shed at the gateway admission queue.",
+        c(&m.rejected_total),
+    );
+    counter(
+        &mut out,
+        "mds_gateway_requests_total",
+        "Requests routed by the gateway.",
+        c(&m.requests_total),
+    );
+    counter(
+        &mut out,
+        "mds_gateway_responses_2xx_total",
+        "Responses with 2xx status.",
+        c(&m.responses_2xx),
+    );
+    counter(
+        &mut out,
+        "mds_gateway_responses_4xx_total",
+        "Responses with 4xx status.",
+        c(&m.responses_4xx),
+    );
+    counter(
+        &mut out,
+        "mds_gateway_responses_5xx_total",
+        "Responses with 5xx status.",
+        c(&m.responses_5xx),
+    );
+    counter(
+        &mut out,
+        "mds_gateway_proxied_total",
+        "Requests that entered the proxy failover path.",
+        c(&m.proxied_total),
+    );
+    counter(
+        &mut out,
+        "mds_gateway_retries_total",
+        "Retry-budget units consumed (failovers plus hedges).",
+        c(&m.retries_total),
+    );
+    counter(
+        &mut out,
+        "mds_gateway_failovers_total",
+        "Failover attempts to another backend.",
+        c(&m.failovers_total),
+    );
+    counter(
+        &mut out,
+        "mds_gateway_hedges_total",
+        "Hedged second requests launched.",
+        c(&m.hedges_total),
+    );
+    counter(
+        &mut out,
+        "mds_gateway_hedge_wins_total",
+        "Hedges that answered before the original attempt.",
+        c(&m.hedge_wins_total),
+    );
+    counter(
+        &mut out,
+        "mds_gateway_unavailable_total",
+        "Proxied requests that exhausted every candidate backend.",
+        c(&m.unavailable_total),
+    );
+    gauge(
+        &mut out,
+        "mds_gateway_queue_depth",
+        "Connections waiting in the gateway admission queue.",
+        queue_depth as u64,
+    );
+    gauge(
+        &mut out,
+        "mds_gateway_backends",
+        "Backends configured on the ring.",
+        backends.len() as u64,
+    );
+    labeled(
+        &mut out,
+        "mds_gateway_route_requests_total",
+        "Requests per route.",
+        "counter",
+        "route",
+        m.routes.samples().iter().map(|(r, n)| (r.to_string(), *n)),
+    );
+    let per_backend = |field: fn(&BackendStatsView) -> u64| {
+        backends
+            .iter()
+            .map(move |b| {
+                (
+                    b.addr.clone(),
+                    field(&BackendStatsView {
+                        attempts: b.stats.attempts.load(Ordering::Relaxed),
+                        failures: b.stats.failures.load(Ordering::Relaxed),
+                        sheds: b.stats.sheds.load(Ordering::Relaxed),
+                        healthy: b.is_healthy() as u64,
+                        breaker: b.with_breaker(|br| br.state().as_gauge()),
+                        opens: b.with_breaker(|br| br.opens()),
+                    }),
+                )
+            })
+            .collect::<Vec<_>>()
+    };
+    labeled(
+        &mut out,
+        "mds_gateway_backend_attempts_total",
+        "Proxy attempts per backend.",
+        "counter",
+        "backend",
+        per_backend(|v| v.attempts).into_iter(),
+    );
+    labeled(
+        &mut out,
+        "mds_gateway_backend_failures_total",
+        "Transport failures per backend.",
+        "counter",
+        "backend",
+        per_backend(|v| v.failures).into_iter(),
+    );
+    labeled(
+        &mut out,
+        "mds_gateway_backend_sheds_total",
+        "503 answers per backend.",
+        "counter",
+        "backend",
+        per_backend(|v| v.sheds).into_iter(),
+    );
+    labeled(
+        &mut out,
+        "mds_gateway_backend_breaker_opens_total",
+        "Circuit-breaker trips per backend.",
+        "counter",
+        "backend",
+        per_backend(|v| v.opens).into_iter(),
+    );
+    labeled(
+        &mut out,
+        "mds_gateway_backend_healthy",
+        "Last readiness-probe verdict per backend (1 healthy).",
+        "gauge",
+        "backend",
+        per_backend(|v| v.healthy).into_iter(),
+    );
+    labeled(
+        &mut out,
+        "mds_gateway_backend_breaker_state",
+        "Breaker state per backend (0 closed, 1 half-open, 2 open).",
+        "gauge",
+        "backend",
+        per_backend(|v| v.breaker).into_iter(),
+    );
+    m.proxy_latency.render_prometheus(
+        "mds_gateway_proxy_microseconds",
+        "Gateway end-to-end latency of proxied requests.",
+        &mut out,
+    );
+    m.upstream_latency.render_prometheus(
+        "mds_gateway_upstream_microseconds",
+        "Latency of individual upstream attempts.",
+        &mut out,
+    );
+    out
+}
+
+/// Point-in-time snapshot of one backend's counters, for rendering.
+struct BackendStatsView {
+    attempts: u64,
+    failures: u64,
+    sheds: u64,
+    healthy: u64,
+    breaker: u64,
+    opens: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breaker::BreakerConfig;
+
+    #[test]
+    fn render_emits_labeled_backend_and_route_families() {
+        let m = GatewayMetrics::default();
+        m.count_response(200);
+        m.routes.count("POST", "/v1/experiments");
+        m.routes.count("GET", "/nope");
+        let backends = vec![
+            Arc::new(Backend::new(
+                "127.0.0.1:9001".to_string(),
+                BreakerConfig::default(),
+                1,
+            )),
+            Arc::new(Backend::new(
+                "127.0.0.1:9002".to_string(),
+                BreakerConfig::default(),
+                2,
+            )),
+        ];
+        backends[1].stats.attempts.fetch_add(7, Ordering::Relaxed);
+        backends[1].set_healthy(false);
+        let text = render(&m, &backends, 3);
+        for needle in [
+            "mds_gateway_requests_total 1",
+            "mds_gateway_responses_2xx_total 1",
+            "mds_gateway_queue_depth 3",
+            "mds_gateway_backends 2",
+            "mds_gateway_route_requests_total{route=\"POST /v1/experiments\"} 1",
+            "mds_gateway_route_requests_total{route=\"other\"} 1",
+            "mds_gateway_backend_attempts_total{backend=\"127.0.0.1:9002\"} 7",
+            "mds_gateway_backend_healthy{backend=\"127.0.0.1:9001\"} 1",
+            "mds_gateway_backend_healthy{backend=\"127.0.0.1:9002\"} 0",
+            "mds_gateway_backend_breaker_state{backend=\"127.0.0.1:9001\"} 0",
+            "mds_gateway_proxy_microseconds_count 0",
+        ] {
+            assert!(text.contains(needle), "missing {needle} in:\n{text}");
+        }
+    }
+}

@@ -1,0 +1,356 @@
+//! End-to-end cluster tests over real sockets.
+//!
+//! The load-bearing guarantees proved here:
+//!
+//! - Experiment documents fetched **through the gateway** are
+//!   byte-identical to the canonical `repro <id> --json` output, cold
+//!   and warm, sharded and hedged — the cluster tier is a transport.
+//! - Gracefully stopping one of two backends in the middle of
+//!   closed-loop load produces **zero client-visible failures**: the
+//!   drain-aware readiness probe ejects the backend and the failover
+//!   path absorbs the stragglers.
+//! - A dead backend in the fleet never surfaces to clients; the
+//!   gateway's `/v1/cluster` and `/metrics` expose its state instead.
+//! - When *no* backend is available the gateway says so with `503` +
+//!   `Retry-After` (backpressure, not an error), and its own readiness
+//!   flips accordingly.
+
+use mds_cluster::fleet::{Fleet, FleetConfig};
+use mds_cluster::gateway::{Gateway, GatewayConfig};
+use mds_serve::client::request_once;
+use mds_serve::http::ClientResponse;
+use mds_serve::{run_load, LoadConfig, LogTarget};
+use mds_workloads::Scale;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+fn fleet(backends: usize) -> Fleet {
+    Fleet::spawn(&FleetConfig {
+        backends,
+        workers: 4,
+        jobs: Some(2),
+        ..FleetConfig::default()
+    })
+    .expect("spawn fleet")
+}
+
+fn gateway_over(backends: Vec<String>) -> Gateway {
+    Gateway::start(GatewayConfig {
+        addr: "127.0.0.1:0".to_string(),
+        backends,
+        workers: 4,
+        probe_interval: Duration::from_millis(50),
+        log: LogTarget::Memory,
+        ..GatewayConfig::default()
+    })
+    .expect("start gateway")
+}
+
+fn request(gateway: &Gateway, method: &str, target: &str, body: &[u8]) -> ClientResponse {
+    request_once(
+        &gateway.local_addr().to_string(),
+        method,
+        target,
+        body,
+        Duration::from_secs(60),
+    )
+    .expect("gateway round trip")
+}
+
+/// The exact bytes `repro fig5 --json` produces for the tiny scale.
+fn cli_fig5_tiny() -> String {
+    let mut h = mds_bench::Harness::with_runner(Scale::Tiny, mds_runner::Runner::new(1));
+    let table = mds_bench::experiment(&mut h, "fig5").unwrap();
+    mds_bench::results_doc(
+        "fig5",
+        mds_bench::experiment_title("fig5").unwrap(),
+        Scale::Tiny,
+        &table,
+    )
+    .pretty()
+}
+
+#[test]
+fn gateway_serves_cli_identical_bytes_and_shards_the_key() {
+    let fleet = fleet(2);
+    let gateway = gateway_over(fleet.addrs());
+    let body = br#"{"experiment":"fig5","scale":"tiny"}"#;
+
+    let cold = request(&gateway, "POST", "/v1/experiments", body);
+    assert_eq!(
+        cold.status,
+        200,
+        "{:?}",
+        String::from_utf8_lossy(&cold.body)
+    );
+    assert_eq!(cold.header("content-type"), Some("application/json"));
+    let expected = cli_fig5_tiny();
+    assert_eq!(
+        cold.body,
+        expected.as_bytes(),
+        "gateway-served bytes must equal repro --json output"
+    );
+
+    // Warm repeat: identical bytes again, from the backend's cache.
+    let warm = request(&gateway, "POST", "/v1/experiments", body);
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.body, expected.as_bytes());
+
+    // Consistent hashing: both keyed requests landed on one backend.
+    let attempts: Vec<u64> = gateway
+        .backends()
+        .iter()
+        .map(|b| b.stats.attempts.load(Ordering::Relaxed))
+        .collect();
+    assert_eq!(attempts.iter().sum::<u64>(), 2, "{attempts:?}");
+    assert!(
+        attempts.contains(&2),
+        "one backend must own the key's shard: {attempts:?}"
+    );
+
+    gateway.shutdown();
+    fleet.shutdown();
+}
+
+#[test]
+fn unkeyed_listing_proxies_round_robin() {
+    let fleet = fleet(2);
+    let gateway = gateway_over(fleet.addrs());
+    for _ in 0..4 {
+        let response = request(&gateway, "GET", "/v1/experiments", b"");
+        assert_eq!(response.status, 200);
+        assert!(String::from_utf8_lossy(&response.body).contains("fig5"));
+    }
+    let attempts: Vec<u64> = gateway
+        .backends()
+        .iter()
+        .map(|b| b.stats.attempts.load(Ordering::Relaxed))
+        .collect();
+    assert!(
+        attempts.iter().all(|&a| a >= 2),
+        "round robin must spread unkeyed requests: {attempts:?}"
+    );
+    gateway.shutdown();
+    fleet.shutdown();
+}
+
+#[test]
+fn stopping_one_of_two_backends_mid_load_is_invisible_to_clients() {
+    let mut fleet = fleet(2);
+    let gateway = gateway_over(fleet.addrs());
+    let addr = gateway.local_addr().to_string();
+
+    // Prime both shards so the load phase measures serving, not compute.
+    let prime = request(
+        &gateway,
+        "POST",
+        "/v1/experiments",
+        br#"{"experiment":"fig5","scale":"tiny"}"#,
+    );
+    assert_eq!(prime.status, 200);
+
+    let stopper = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(300));
+        fleet.stop(0);
+        fleet
+    });
+    let report = run_load(&LoadConfig {
+        addr,
+        clients: 4,
+        duration: Duration::from_millis(1200),
+        experiment: "fig5".to_string(),
+        scale: "tiny".to_string(),
+        ..LoadConfig::default()
+    });
+    let fleet = stopper.join().expect("stopper thread");
+
+    assert!(report.requests > 0, "load must get through: {report:?}");
+    assert_eq!(
+        report.errors, 0,
+        "stopping a backend must be client-invisible: {report:?}"
+    );
+    gateway.shutdown();
+    fleet.shutdown();
+}
+
+#[test]
+fn a_dead_backend_never_surfaces_to_clients() {
+    // Bind-then-drop guarantees a closed port.
+    let dead_addr = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    };
+    let fleet = fleet(1);
+    let mut backends = vec![dead_addr.clone()];
+    backends.extend(fleet.addrs());
+    let gateway = gateway_over(backends);
+
+    // Unkeyed requests round-robin across both slots; every one must
+    // still succeed (failover or rotation ejection hides the corpse).
+    for _ in 0..6 {
+        let response = request(&gateway, "GET", "/v1/experiments", b"");
+        assert_eq!(response.status, 200);
+    }
+    // The keyed path too, whichever shard the key lands on.
+    let keyed = request(
+        &gateway,
+        "POST",
+        "/v1/experiments",
+        br#"{"experiment":"fig5","scale":"tiny"}"#,
+    );
+    assert_eq!(keyed.status, 200);
+    assert_eq!(keyed.body, cli_fig5_tiny().as_bytes());
+
+    // The gateway knows: the dead backend is out of rotation (probed
+    // unhealthy, breaker open, or failures recorded).
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let status = request(&gateway, "GET", "/v1/cluster", b"");
+        assert_eq!(status.status, 200);
+        let text = String::from_utf8_lossy(&status.body).to_string();
+        let ejected = text.contains(r#""healthy":false"#) || text.contains(r#""breaker":"open""#);
+        if ejected {
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "dead backend never left rotation: {text}"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // Metrics expose the labeled per-backend families.
+    let metrics = request(&gateway, "GET", "/metrics", b"");
+    let text = String::from_utf8_lossy(&metrics.body).to_string();
+    for needle in [
+        format!("mds_gateway_backend_healthy{{backend=\"{dead_addr}\"}} 0"),
+        "mds_gateway_route_requests_total{route=\"GET /v1/experiments\"}".to_string(),
+        "mds_gateway_proxy_microseconds_count".to_string(),
+    ] {
+        assert!(text.contains(&needle), "missing {needle} in:\n{text}");
+    }
+
+    gateway.shutdown();
+    fleet.shutdown();
+}
+
+#[test]
+fn no_backend_available_is_backpressure_not_an_error() {
+    let dead_addr = {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.local_addr().unwrap().to_string()
+    };
+    let gateway = gateway_over(vec![dead_addr]);
+
+    // Keyed request against an unreachable fleet: 503 + Retry-After.
+    let response = request(
+        &gateway,
+        "POST",
+        "/v1/experiments",
+        br#"{"experiment":"fig5","scale":"tiny"}"#,
+    );
+    assert_eq!(
+        response.status,
+        503,
+        "{:?}",
+        String::from_utf8_lossy(&response.body)
+    );
+    assert_eq!(response.header("retry-after"), Some("1"));
+
+    // Gateway readiness flips once the prober agrees nothing is up.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    loop {
+        let ready = request(&gateway, "GET", "/readyz", b"");
+        if ready.status == 503 {
+            assert!(String::from_utf8_lossy(&ready.body).contains("no backend"));
+            break;
+        }
+        assert!(Instant::now() < deadline, "readiness never flipped");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    // Liveness stays green throughout.
+    assert_eq!(request(&gateway, "GET", "/healthz", b"").status, 200);
+    gateway.shutdown();
+}
+
+#[test]
+fn bad_requests_pass_through_the_backend_verbatim() {
+    let fleet = fleet(1);
+    let gateway = gateway_over(fleet.addrs());
+
+    // Unparsable body: forwarded unkeyed, the backend's positioned 400
+    // comes back untouched.
+    let bad = request(&gateway, "POST", "/v1/experiments", b"{\"experiment\":42}");
+    assert_eq!(bad.status, 400);
+    assert!(String::from_utf8_lossy(&bad.body).contains("error"));
+
+    // Unknown experiment: parses at the gateway (no cache key match is
+    // fine), rejected by the backend.
+    let unknown = request(
+        &gateway,
+        "POST",
+        "/v1/experiments",
+        br#"{"experiment":"nope"}"#,
+    );
+    assert_eq!(unknown.status, 400);
+    assert!(String::from_utf8_lossy(&unknown.body).contains("nope"));
+
+    // Gateway-level routing errors.
+    assert_eq!(request(&gateway, "GET", "/v1/nope", b"").status, 404);
+    assert_eq!(
+        request(&gateway, "DELETE", "/v1/experiments", b"").status,
+        405
+    );
+
+    gateway.shutdown();
+    fleet.shutdown();
+}
+
+#[test]
+fn hedged_requests_serve_identical_bytes() {
+    let fleet = fleet(2);
+    let gateway = Gateway::start(GatewayConfig {
+        addr: "127.0.0.1:0".to_string(),
+        backends: fleet.addrs(),
+        workers: 4,
+        // Aggressive hedging: the cold compute comfortably exceeds 1ms,
+        // so the second replica is raced on the first request.
+        hedge_after: Some(Duration::from_millis(1)),
+        probe_interval: Duration::from_millis(50),
+        log: LogTarget::Memory,
+        ..GatewayConfig::default()
+    })
+    .expect("start gateway");
+
+    let body = br#"{"experiment":"fig5","scale":"tiny"}"#;
+    let expected = cli_fig5_tiny();
+    for _ in 0..2 {
+        let response = request(&gateway, "POST", "/v1/experiments", body);
+        assert_eq!(response.status, 200);
+        assert_eq!(
+            response.body,
+            expected.as_bytes(),
+            "hedged responses must stay byte-identical"
+        );
+    }
+    assert!(
+        gateway.metrics().hedges_total.load(Ordering::Relaxed) >= 1,
+        "the cold request should have hedged"
+    );
+    gateway.shutdown();
+    fleet.shutdown();
+}
+
+#[test]
+fn gateway_shutdown_via_http_drains_cleanly() {
+    let fleet = fleet(1);
+    let gateway = gateway_over(fleet.addrs());
+    let addr = gateway.local_addr().to_string();
+    let response = request(&gateway, "POST", "/v1/shutdown", b"");
+    assert_eq!(response.status, 200);
+    gateway.wait_for_shutdown();
+    gateway.shutdown();
+    // The port stops answering after the drain.
+    assert!(request_once(&addr, "GET", "/healthz", b"", Duration::from_millis(500)).is_err());
+    fleet.shutdown();
+}

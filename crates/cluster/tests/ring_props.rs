@@ -1,0 +1,136 @@
+//! Property tests for the consistent-hash ring.
+//!
+//! Three guarantees are pinned, each against randomized fleets and key
+//! populations:
+//!
+//! - **Reference-model agreement** — the binary-search successor walk
+//!   routes every key exactly like a naive linear-scan model rebuilt
+//!   from the public hash functions.
+//! - **Bounded imbalance** — with 128 vnodes, no backend in a 2–16
+//!   backend fleet owns more than 2.5× its fair share of a large key
+//!   population (and none starves).
+//! - **Minimal disruption** — growing the fleet by one backend only
+//!   remaps keys *onto the new backend* (the exact consistent-hashing
+//!   property), and the remapped fraction stays near 1/N.
+
+use mds_cluster::ring::HashRing;
+use mds_harness::prelude::*;
+
+fn names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("10.0.0.{i}:7878")).collect()
+}
+
+fn keys(seed: u64, count: usize) -> Vec<String> {
+    (0..count).map(|i| format!("exp{seed}-{i}@tiny")).collect()
+}
+
+/// A naive reference ring: all points in a flat list, primary found by
+/// linear scan for the smallest point hash at-or-after the key (wrapping
+/// to the globally smallest point).
+fn reference_primary(names: &[String], vnodes: usize, key: &str) -> usize {
+    let mut points: Vec<(u64, usize)> = Vec::new();
+    for (idx, name) in names.iter().enumerate() {
+        for v in 0..vnodes {
+            points.push((HashRing::point_hash(name, v), idx));
+        }
+    }
+    let hash = HashRing::key_hash(key);
+    let successor = points
+        .iter()
+        .filter(|&&(p, _)| p >= hash)
+        .min()
+        .or_else(|| points.iter().min())
+        .expect("non-empty ring");
+    successor.1
+}
+
+properties! {
+    #![config(PropConfig { cases: 24, ..PropConfig::default() })]
+
+    #[test]
+    fn binary_search_agrees_with_the_reference_model(
+        n in 1usize..9,
+        vnodes in 1usize..33,
+        seed: u64,
+    ) {
+        let names = names(n);
+        let ring = HashRing::new(&names, vnodes);
+        for key in keys(seed, 50) {
+            prop_assert_eq!(
+                ring.primary(&key).unwrap(),
+                reference_primary(&names, vnodes, &key)
+            );
+        }
+    }
+
+    #[test]
+    fn load_imbalance_is_bounded_across_fleet_sizes(
+        n in 2usize..17,
+        seed: u64,
+    ) {
+        let ring = HashRing::new(&names(n), 128);
+        let population = 2000;
+        let mut owned = vec![0usize; n];
+        for key in keys(seed, population) {
+            owned[ring.primary(&key).unwrap()] += 1;
+        }
+        let mean = population as f64 / n as f64;
+        for (idx, &count) in owned.iter().enumerate() {
+            prop_assert!(count > 0, "backend {idx} starved: {owned:?}");
+            prop_assert!(
+                (count as f64) <= 2.5 * mean,
+                "backend {idx} owns {count} of {population} (mean {mean:.0}): {owned:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn growing_the_fleet_only_remaps_keys_onto_the_new_backend(
+        n in 2usize..16,
+        seed: u64,
+    ) {
+        let before = HashRing::new(&names(n), 128);
+        let after = HashRing::new(&names(n + 1), 128);
+        let population = 1500;
+        let mut remapped = 0usize;
+        for key in keys(seed, population) {
+            let old = before.primary(&key).unwrap();
+            let new = after.primary(&key).unwrap();
+            if old != new {
+                prop_assert_eq!(
+                    new, n,
+                    "key {} moved between PRE-existing backends {} -> {}",
+                    key, old, new
+                );
+                remapped += 1;
+            }
+        }
+        // ~1/(n+1) of keys should move to the newcomer; allow generous
+        // statistical slack but reject gross over-remapping.
+        let expected = population as f64 / (n + 1) as f64;
+        prop_assert!(
+            (remapped as f64) <= 2.5 * expected,
+            "{remapped} of {population} keys remapped (expected ~{expected:.0})"
+        );
+        prop_assert!(remapped > 0, "the new backend must receive some keys");
+    }
+
+    #[test]
+    fn failover_order_is_prefix_stable_and_distinct(
+        n in 2usize..9,
+        want in 1usize..9,
+        seed: u64,
+    ) {
+        let ring = HashRing::new(&names(n), 64);
+        for key in keys(seed, 30) {
+            let shorter = ring.replicas(&key, want);
+            let longer = ring.replicas(&key, want + 1);
+            prop_assert_eq!(&longer[..shorter.len()], &shorter[..],
+                "replicas({}) must be a prefix of replicas({})", want, want + 1);
+            let mut sorted = longer.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            prop_assert_eq!(sorted.len(), longer.len(), "replicas must be distinct");
+        }
+    }
+}

@@ -16,16 +16,23 @@
 //!   [`json::ToJson`] trait (replaces `serde` derives),
 //! - [`hash`] — a deterministic FxHash-style hasher with a pinned
 //!   contract plus a reusable scratch-container [`hash::Pool`] (replaces
-//!   `rustc-hash`) for allocation-free simulator inner loops.
+//!   `rustc-hash`) for allocation-free simulator inner loops,
+//! - [`stats`] — a lock-free fixed-bucket latency histogram with a
+//!   Prometheus text rendering, shared by every serving tier,
+//! - [`backoff`] — capped exponential backoff with deterministic jitter,
+//!   the retry-delay policy shared by the load generator and the cluster
+//!   gateway's robustness layer.
 //!
 //! Everything here is plain `std` Rust: no dependencies, no unsafe code,
 //! no build scripts.
 
+pub mod backoff;
 pub mod bench;
 pub mod hash;
 pub mod json;
 pub mod prop;
 pub mod rng;
+pub mod stats;
 
 /// One-stop imports for property tests.
 ///

@@ -1,0 +1,82 @@
+//! Shared observability primitives: a lock-free fixed-bucket latency
+//! histogram with a Prometheus text rendering.
+//!
+//! Extracted from `mds-serve` so that every serving tier (the single-node
+//! server, the cluster gateway, benches) records latency the same way and
+//! renders byte-compatible `/metrics` families. Recording is a handful of
+//! relaxed atomic adds, so it never blocks a request-path worker.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Upper bounds (µs) of the latency histogram buckets; the last bucket is
+/// implicit `+Inf`.
+pub const BUCKET_BOUNDS_US: [u64; 8] = [
+    100, 500, 1_000, 5_000, 10_000, 100_000, 1_000_000, 10_000_000,
+];
+
+/// A fixed-bucket latency histogram in microseconds.
+#[derive(Debug, Default)]
+pub struct Histogram {
+    buckets: [AtomicU64; BUCKET_BOUNDS_US.len() + 1],
+    sum_us: AtomicU64,
+    count: AtomicU64,
+}
+
+impl Histogram {
+    /// Records one observation.
+    pub fn observe_us(&self, us: u64) {
+        let idx = BUCKET_BOUNDS_US
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(BUCKET_BOUNDS_US.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations, µs.
+    pub fn sum_us(&self) -> u64 {
+        self.sum_us.load(Ordering::Relaxed)
+    }
+
+    /// Renders a Prometheus histogram (cumulative `le` buckets) into
+    /// `out`.
+    pub fn render_prometheus(&self, name: &str, help: &str, out: &mut String) {
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+        let mut cumulative = 0u64;
+        for (i, &bound) in BUCKET_BOUNDS_US.iter().enumerate() {
+            cumulative += self.buckets[i].load(Ordering::Relaxed);
+            out.push_str(&format!("{name}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+        }
+        cumulative += self.buckets[BUCKET_BOUNDS_US.len()].load(Ordering::Relaxed);
+        out.push_str(&format!("{name}_bucket{{le=\"+Inf\"}} {cumulative}\n"));
+        out.push_str(&format!("{name}_sum {}\n", self.sum_us()));
+        out.push_str(&format!("{name}_count {}\n", self.count()));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let h = Histogram::default();
+        h.observe_us(50); // le=100
+        h.observe_us(700); // le=1000
+        h.observe_us(99_000_000); // +Inf
+        let mut out = String::new();
+        h.render_prometheus("t", "test", &mut out);
+        assert!(out.contains("t_bucket{le=\"100\"} 1\n"), "{out}");
+        assert!(out.contains("t_bucket{le=\"1000\"} 2\n"), "{out}");
+        assert!(out.contains("t_bucket{le=\"+Inf\"} 3\n"), "{out}");
+        assert!(out.contains("t_count 3\n"), "{out}");
+        assert_eq!(h.sum_us(), 50 + 700 + 99_000_000);
+        assert_eq!(h.count(), 3);
+    }
+}

@@ -43,6 +43,7 @@ fn run_mode(server: &Server, clients: usize, seconds: f64, fresh: bool) -> LoadR
         experiment: EXPERIMENT.to_string(),
         scale: SCALE.to_string(),
         fresh,
+        ..LoadConfig::default()
     })
 }
 

@@ -82,8 +82,8 @@ fn main() {
     // rejecting everything — that is a failed run.
     if report.requests == 0 {
         eprintln!(
-            "mds-load: no successful requests ({} errors)",
-            report.errors
+            "mds-load: no successful requests ({} errors, {} shed)",
+            report.errors, report.shed
         );
         std::process::exit(1);
     }

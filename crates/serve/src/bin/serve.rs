@@ -22,7 +22,8 @@ options:
 routes:
   POST /v1/experiments   run (or fetch) an experiment: {\"experiment\":\"fig5\",\"scale\":\"tiny\"}
   GET  /v1/experiments   list experiment ids and titles
-  GET  /healthz          liveness probe
+  GET  /healthz          liveness probe (200 while the process serves)
+  GET  /readyz           readiness probe (503 while saturated or draining)
   GET  /metrics          Prometheus text metrics
   POST /v1/shutdown      graceful shutdown
 ";

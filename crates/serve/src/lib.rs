@@ -27,10 +27,15 @@
 //!    counters and histograms rendered as Prometheus text, plus one
 //!    structured JSON log line per request.
 //! 6. **The server itself** ([`server`]) — acceptor thread, fixed worker
-//!    pool, routing, and graceful drain-then-join shutdown.
-//! 7. **Load generator** ([`load`]) — a closed-loop multi-client driver
-//!    with exact merged percentiles, used by the `mds-load` binary and
-//!    the `serve` benchmark.
+//!    pool, routing, liveness (`/healthz`) and readiness (`/readyz`)
+//!    probes, and graceful drain-then-join shutdown.
+//! 7. **Client** ([`client`]) — the blocking HTTP connection shared by
+//!    the load generator, the cluster gateway's proxy path, and health
+//!    probes.
+//! 8. **Load generator** ([`load`]) — a closed-loop multi-client driver
+//!    with exact merged percentiles that honors `503 Retry-After` with
+//!    capped, jittered backoff; used by the `mds-load` binary and the
+//!    `serve` benchmark.
 //!
 //! # Examples
 //!
@@ -53,6 +58,7 @@
 //!     experiment: "fig5".to_string(),
 //!     scale: "tiny".to_string(),
 //!     fresh: false,
+//!     ..LoadConfig::default()
 //! });
 //! assert!(report.requests > 0);
 //! server.shutdown();
@@ -62,6 +68,7 @@
 #![warn(missing_docs)]
 
 pub mod access_log;
+pub mod client;
 pub mod http;
 pub mod load;
 pub mod metrics;
@@ -71,6 +78,7 @@ pub mod server;
 pub mod service;
 
 pub use access_log::{AccessLog, AccessRecord};
+pub use client::Connection;
 pub use load::{print_report, run_load, LoadConfig, LoadReport};
 pub use metrics::{Gauges, Histogram, Metrics};
 pub use queue::Bounded;

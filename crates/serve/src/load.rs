@@ -7,10 +7,19 @@
 //! this answers: sustained throughput and the latency distribution under
 //! a fixed concurrency level). Per-request latencies are merged across
 //! threads into one sorted vector for exact percentiles.
+//!
+//! Backpressure is *honored*, not fought: a `503` shed is counted
+//! separately from a failure, the client sleeps for the server's
+//! `Retry-After` hint under a capped exponential backoff with
+//! deterministic jitter (consecutive sheds double the wait, a success
+//! resets it), and the re-issued request is counted as a retry. Hammering
+//! a shedding server in a tight loop — the old behavior — only deepens
+//! the overload it is reporting.
 
-use crate::http;
+use crate::client::Connection;
+use crate::http::ClientResponse;
+use mds_harness::backoff::Backoff;
 use mds_harness::json::Json;
-use std::net::TcpStream;
 use std::time::{Duration, Instant};
 
 /// What load to offer, and where.
@@ -29,6 +38,9 @@ pub struct LoadConfig {
     /// Send `"fresh": true` (bypass the server's result-cache read) —
     /// the cold path.
     pub fresh: bool,
+    /// Hard cap on the backoff delay after a `503` shed, whatever the
+    /// server's `Retry-After` hint and however many sheds in a row.
+    pub backoff_cap: Duration,
 }
 
 impl Default for LoadConfig {
@@ -40,6 +52,7 @@ impl Default for LoadConfig {
             experiment: "fig5".to_string(),
             scale: "tiny".to_string(),
             fresh: false,
+            backoff_cap: Duration::from_secs(1),
         }
     }
 }
@@ -64,8 +77,14 @@ pub struct LoadReport {
     pub clients: usize,
     /// Successful (2xx) requests completed.
     pub requests: u64,
-    /// Failed requests: I/O errors, rejections, and non-2xx responses.
+    /// Failed requests: I/O errors and non-2xx responses other than
+    /// `503` sheds (which are backpressure, counted in [`Self::shed`]).
     pub errors: u64,
+    /// `503` shed responses received (each one slept out its
+    /// `Retry-After` under the capped, jittered backoff).
+    pub shed: u64,
+    /// Requests re-issued after a shed's backoff expired.
+    pub retried: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Per-request latencies of successful requests, microseconds,
@@ -109,6 +128,8 @@ impl LoadReport {
             .field("clients", self.clients)
             .field("requests", self.requests)
             .field("errors", self.errors)
+            .field("shed", self.shed)
+            .field("retried", self.retried)
             .field("elapsed_s", self.elapsed.as_secs_f64())
             .field("rps", self.rps())
             .field(
@@ -126,11 +147,14 @@ impl LoadReport {
     /// A human-readable multi-line summary.
     pub fn render(&self) -> String {
         format!(
-            "clients {:>3}  requests {:>7}  errors {:>4}  elapsed {:>6.2}s  {:>9.1} req/s\n\
+            "clients {:>3}  requests {:>7}  errors {:>4}  shed {:>4}  retried {:>4}  \
+             elapsed {:>6.2}s  {:>9.1} req/s\n\
              latency  p50 {:>8} us  p95 {:>8} us  p99 {:>8} us  max {:>8} us",
             self.clients,
             self.requests,
             self.errors,
+            self.shed,
+            self.retried,
             self.elapsed.as_secs_f64(),
             self.rps(),
             self.percentile_us(50.0),
@@ -141,59 +165,91 @@ impl LoadReport {
     }
 }
 
+/// Per-thread tallies merged into the final report.
+#[derive(Debug, Default)]
+struct ClientTally {
+    latencies: Vec<u64>,
+    errors: u64,
+    shed: u64,
+    retried: u64,
+}
+
+/// The backoff delay for a `503`: the server's `Retry-After` hint (or
+/// the schedule's base when absent) scaled by the consecutive-shed
+/// exponential, capped, jittered.
+fn shed_delay(response: &ClientResponse, backoff: &mut Backoff, cap: Duration) -> Duration {
+    let hint = response
+        .header("retry-after")
+        .and_then(|v| v.parse::<u64>().ok())
+        .map(Duration::from_secs);
+    match hint {
+        // `Backoff` owns doubling; fold the hint in as a floor so the
+        // first retry already respects the server's ask (capped).
+        Some(hint) => backoff.next_delay().max(hint.min(cap)).min(cap),
+        None => backoff.next_delay().min(cap),
+    }
+}
+
 /// One client thread's closed loop: reconnecting keep-alive requests
-/// until `deadline`. Returns `(latencies_us, errors)`.
-fn client_loop(config: &LoadConfig, deadline: Instant) -> (Vec<u64>, u64) {
+/// until `deadline`.
+fn client_loop(config: &LoadConfig, seed: u64, deadline: Instant) -> ClientTally {
     let body = config.body();
-    let mut latencies = Vec::new();
-    let mut errors = 0u64;
+    let mut tally = ClientTally::default();
+    // Base 100ms: sheds without a Retry-After hint still back off.
+    let mut backoff = Backoff::new(Duration::from_millis(100), config.backoff_cap, seed);
+    let mut pending_retry = false;
     'reconnect: while Instant::now() < deadline {
-        let Ok(mut stream) = TcpStream::connect(&config.addr) else {
-            errors += 1;
+        let Ok(mut conn) = Connection::connect(
+            &config.addr,
+            Duration::from_secs(5),
+            Duration::from_secs(60),
+        ) else {
+            tally.errors += 1;
             std::thread::sleep(Duration::from_millis(5));
             continue;
         };
-        let _ = stream.set_read_timeout(Some(Duration::from_secs(60)));
-        let _ = stream.set_write_timeout(Some(Duration::from_secs(60)));
-        let _ = stream.set_nodelay(true);
-        let mut reader = http::ResponseReader::new();
         loop {
             if Instant::now() >= deadline {
                 break 'reconnect;
             }
-            let started = Instant::now();
-            if http::write_request(&mut stream, "POST", "/v1/experiments", &body).is_err() {
-                errors += 1;
-                continue 'reconnect;
+            if pending_retry {
+                pending_retry = false;
+                tally.retried += 1;
             }
-            let response = match reader.read_response(&mut stream) {
+            let started = Instant::now();
+            let response = match conn.send("POST", "/v1/experiments", &body) {
                 Ok(response) => response,
                 Err(_) => {
-                    errors += 1;
+                    tally.errors += 1;
                     continue 'reconnect;
                 }
             };
             if (200..300).contains(&response.status) {
-                latencies.push(started.elapsed().as_micros() as u64);
-            } else {
-                errors += 1;
-                // A 503 shed closes the connection server-side; back off a
-                // touch before hammering again.
-                if response.status == 503 {
-                    std::thread::sleep(Duration::from_millis(10));
+                tally.latencies.push(started.elapsed().as_micros() as u64);
+                backoff.reset();
+            } else if response.status == 503 {
+                // Backpressure: honor Retry-After with capped, jittered,
+                // consecutive-shed-doubling backoff, then retry. A shed
+                // closes the connection server-side, so reconnect.
+                tally.shed += 1;
+                let delay = shed_delay(&response, &mut backoff, config.backoff_cap);
+                let now = Instant::now();
+                if now >= deadline {
+                    break 'reconnect;
                 }
+                std::thread::sleep(delay.min(deadline - now));
+                pending_retry = true;
+                continue 'reconnect;
+            } else {
+                tally.errors += 1;
                 continue 'reconnect;
             }
-            let closing = matches!(
-                response.header("connection"),
-                Some(v) if v.eq_ignore_ascii_case("close")
-            );
-            if closing {
+            if Connection::must_close(&response) {
                 continue 'reconnect;
             }
         }
     }
-    (latencies, errors)
+    tally
 }
 
 /// Runs the closed-loop load test and returns the merged report.
@@ -205,16 +261,18 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
             let config = config.clone();
             std::thread::Builder::new()
                 .name(format!("mds-load-{i}"))
-                .spawn(move || client_loop(&config, deadline))
+                .spawn(move || client_loop(&config, i as u64, deadline))
                 .expect("spawn load client")
         })
         .collect();
     let mut latencies = Vec::new();
-    let mut errors = 0u64;
+    let (mut errors, mut shed, mut retried) = (0u64, 0u64, 0u64);
     for handle in handles {
-        if let Ok((mut lat, errs)) = handle.join() {
-            latencies.append(&mut lat);
-            errors += errs;
+        if let Ok(mut tally) = handle.join() {
+            latencies.append(&mut tally.latencies);
+            errors += tally.errors;
+            shed += tally.shed;
+            retried += tally.retried;
         }
     }
     latencies.sort_unstable();
@@ -222,6 +280,8 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
         clients: config.clients.max(1),
         requests: latencies.len() as u64,
         errors,
+        shed,
+        retried,
         elapsed: started.elapsed(),
         latencies_us: latencies,
     }
@@ -245,6 +305,8 @@ mod tests {
             clients: 2,
             requests: latencies.len() as u64,
             errors: 1,
+            shed: 3,
+            retried: 2,
             elapsed: Duration::from_secs(2),
             latencies_us: latencies,
         }
@@ -269,5 +331,50 @@ mod tests {
         assert_eq!(r.rps(), 0.0);
         let doc = r.to_json().to_string();
         assert!(doc.contains("\"requests\":0"), "{doc}");
+    }
+
+    #[test]
+    fn reports_carry_shed_and_retry_counts() {
+        let r = report(vec![10, 20]);
+        let doc = r.to_json().to_string();
+        assert!(doc.contains("\"shed\":3"), "{doc}");
+        assert!(doc.contains("\"retried\":2"), "{doc}");
+        let line = r.render();
+        assert!(line.contains("shed    3"), "{line}");
+        assert!(line.contains("retried    2"), "{line}");
+    }
+
+    #[test]
+    fn shed_delay_honors_capped_retry_after_with_jitter() {
+        let cap = Duration::from_millis(400);
+        let shed = |retry_after: Option<&str>, backoff: &mut Backoff| {
+            let mut headers = Vec::new();
+            if let Some(v) = retry_after {
+                headers.push(("retry-after".to_string(), v.to_string()));
+            }
+            let response = ClientResponse {
+                status: 503,
+                headers,
+                body: Vec::new(),
+            };
+            shed_delay(&response, backoff, cap)
+        };
+
+        let fresh = || Backoff::new(Duration::from_millis(100), cap, 9);
+
+        let mut b = fresh();
+        // Retry-After: 1 (second) is floored in but capped at 400ms.
+        let first = shed(Some("1"), &mut b);
+        assert_eq!(first, cap, "hint beyond the cap clamps to the cap");
+        // Consecutive sheds without a hint follow the jittered schedule.
+        let mut b = fresh();
+        let d1 = shed(None, &mut b);
+        let d2 = shed(None, &mut b);
+        assert!(d1 >= Duration::from_millis(50) && d1 <= Duration::from_millis(100));
+        assert!(d2 >= Duration::from_millis(100) && d2 <= Duration::from_millis(200));
+        // Unparseable hints fall back to the schedule.
+        let mut b = fresh();
+        let d = shed(Some("soon"), &mut b);
+        assert!(d <= Duration::from_millis(100));
     }
 }

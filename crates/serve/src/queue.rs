@@ -81,6 +81,12 @@ impl<T> Bounded<T> {
         lock(&self.state).items.len()
     }
 
+    /// The fixed capacity this queue admits (the readiness probe compares
+    /// it against [`Bounded::len`] to report saturation).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
     /// Whether the queue is currently empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0

@@ -99,6 +99,10 @@ struct Shared {
     log: AccessLog,
     queue: Bounded<Admitted>,
     stop: AtomicBool,
+    /// Set the moment shutdown is *requested* (before the drain finishes),
+    /// so the readiness probe flips to 503 while in-flight work completes
+    /// and a gateway can eject this backend ahead of hard failures.
+    draining: AtomicBool,
     shutdown_flag: Mutex<bool>,
     shutdown_cv: Condvar,
 }
@@ -133,6 +137,7 @@ impl Server {
             metrics: Metrics::default(),
             log,
             stop: AtomicBool::new(false),
+            draining: AtomicBool::new(false),
             shutdown_flag: Mutex::new(false),
             shutdown_cv: Condvar::new(),
         });
@@ -256,6 +261,7 @@ impl Drop for Server {
 }
 
 fn signal_shutdown(shared: &Shared) {
+    shared.draining.store(true, Ordering::SeqCst);
     *shared
         .shutdown_flag
         .lock()
@@ -321,6 +327,51 @@ struct Routed {
     close: bool,
 }
 
+/// What came of waiting for the next keep-alive request.
+enum IdleWait {
+    /// Bytes are waiting; go read the request.
+    Ready,
+    /// Other connections queued up (or shutdown began): release the
+    /// worker instead of pinning it to an idle peer.
+    Yield,
+    /// The peer closed, errored, or idled past the read timeout.
+    Gone,
+}
+
+/// Blocks until the next request's first byte arrives, but in short
+/// slices that re-check the admission queue: a worker parked on an idle
+/// keep-alive connection would otherwise be pinned for the whole read
+/// timeout while admitted connections starve behind it. Restores the
+/// configured read timeout before returning.
+fn await_next_request(stream: &mut TcpStream, shared: &Shared) -> IdleWait {
+    let slice = Duration::from_millis(20).min(shared.config.read_timeout);
+    let deadline = Instant::now() + shared.config.read_timeout;
+    let _ = stream.set_read_timeout(Some(slice));
+    let mut byte = [0u8; 1];
+    let outcome = loop {
+        if shared.stop.load(Ordering::SeqCst) || !shared.queue.is_empty() {
+            break IdleWait::Yield;
+        }
+        match stream.peek(&mut byte) {
+            Ok(0) => break IdleWait::Gone,
+            Ok(_) => break IdleWait::Ready,
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                if Instant::now() >= deadline {
+                    break IdleWait::Gone;
+                }
+            }
+            Err(_) => break IdleWait::Gone,
+        }
+    };
+    let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+    outcome
+}
+
 fn handle_connection(shared: &Shared, admitted: Admitted) {
     let queue_wait_us = admitted.enqueued.elapsed().as_micros() as u64;
     shared.metrics.queue_wait.observe_us(queue_wait_us);
@@ -331,6 +382,14 @@ fn handle_connection(shared: &Shared, admitted: Admitted) {
     for served in 0..shared.config.max_requests_per_connection {
         if shared.stop.load(Ordering::SeqCst) {
             break;
+        }
+        // Between requests (nothing pipelined), wait in queue-aware
+        // slices so contended workers cycle instead of idling here.
+        if served > 0 && reader.buffered() == 0 {
+            match await_next_request(&mut stream, shared) {
+                IdleWait::Ready => {}
+                IdleWait::Yield | IdleWait::Gone => break,
+            }
         }
         let request = match reader.read_request(&mut stream, shared.config.limits) {
             Ok(request) => request,
@@ -352,9 +411,17 @@ fn handle_connection(shared: &Shared, admitted: Admitted) {
         let compute_us = started.elapsed().as_micros() as u64;
         shared.metrics.compute.observe_us(compute_us);
         shared.metrics.count_response(routed.response.status());
+        // Yield the worker when other connections are queued for one:
+        // a long-lived keep-alive connection would otherwise pin this
+        // worker while admitted connections starve behind it (until an
+        // idle timeout frees a slot, seconds later). Closing sends the
+        // client back through the admission queue, so worker slots cycle
+        // fairly under connection oversubscription; with a free worker
+        // for every connection, keep-alive persists untouched.
         let keep_alive = request.wants_keep_alive()
             && !routed.close
             && served + 1 < shared.config.max_requests_per_connection
+            && shared.queue.is_empty()
             && !shared.stop.load(Ordering::SeqCst);
         shared.log.record(&AccessRecord {
             method: request.method.clone(),
@@ -378,7 +445,13 @@ fn route(shared: &Shared, request: &Request) -> Routed {
         close: false,
     };
     match (request.method.as_str(), request.target.as_str()) {
+        // Liveness: the process is up and serving the request path.
         ("GET", "/healthz") => pass(Response::text(200, "ok\n")),
+        // Readiness: whether this backend should receive NEW traffic.
+        // 503 while the admission queue is saturated (the next connection
+        // would be shed anyway) or once shutdown drain has begun, so a
+        // gateway ejects the backend before requests start failing.
+        ("GET", "/readyz") => pass(readiness(shared)),
         ("GET", "/metrics") => {
             let gauges = Gauges {
                 queue_depth: shared.queue.len(),
@@ -405,11 +478,28 @@ fn route(shared: &Shared, request: &Request) -> Routed {
                 close: true,
             }
         }
-        (_, "/healthz" | "/metrics" | "/v1/experiments" | "/v1/shutdown") => {
+        (_, "/healthz" | "/readyz" | "/metrics" | "/v1/experiments" | "/v1/shutdown") => {
             pass(Response::json(405, r#"{"error":"method not allowed"}"#))
         }
         _ => pass(Response::json(404, r#"{"error":"not found"}"#)),
     }
+}
+
+/// The `GET /readyz` response: `200` when this backend should receive new
+/// traffic, `503` + `Retry-After` while draining or saturated.
+fn readiness(shared: &Shared) -> Response {
+    if shared.draining.load(Ordering::SeqCst) {
+        return Response::json(503, r#"{"ready":false,"reason":"draining"}"#)
+            .header("retry-after", "1");
+    }
+    if shared.queue.len() >= shared.queue.capacity() {
+        return Response::json(
+            503,
+            r#"{"ready":false,"reason":"admission queue saturated"}"#,
+        )
+        .header("retry-after", "1");
+    }
+    Response::text(200, "ready\n")
 }
 
 fn serve_experiment(shared: &Shared, body: &[u8]) -> Routed {

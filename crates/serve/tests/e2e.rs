@@ -289,3 +289,102 @@ fn shutdown_endpoint_unblocks_wait_and_drains() {
     });
     server.shutdown();
 }
+
+#[test]
+fn readiness_flips_to_503_on_drain_while_liveness_stays_up() {
+    let server = start(2, 16);
+    let ready = request(&server, "GET", "/readyz", b"");
+    assert_eq!(ready.status, 200);
+    assert_eq!(ready.body, b"ready\n");
+
+    // Request shutdown but do not complete it yet: the drain window.
+    let response = request(&server, "POST", "/v1/shutdown", b"");
+    assert_eq!(response.status, 200);
+
+    // Liveness still answers 200 (the process is up, draining), but
+    // readiness now tells gateways to stop sending new traffic.
+    let live = request(&server, "GET", "/healthz", b"");
+    assert_eq!(live.status, 200);
+    let draining = request(&server, "GET", "/readyz", b"");
+    assert_eq!(draining.status, 503);
+    assert_eq!(draining.header("retry-after"), Some("1"));
+    assert!(
+        String::from_utf8_lossy(&draining.body).contains("draining"),
+        "{:?}",
+        String::from_utf8_lossy(&draining.body)
+    );
+    server.shutdown();
+}
+
+#[test]
+fn readiness_reports_saturation_when_the_queue_is_full() {
+    // workers=0 so the queued connection is never drained; capacity 1 is
+    // reached by a single idle connection. A second connection still gets
+    // the readiness answer because shedding happens at accept time with a
+    // direct write, before the queue is involved... so probe the
+    // saturated state through the metrics-visible invariant instead:
+    // every readiness probe arriving while the queue is full is itself
+    // shed with 503, which is exactly the signal a gateway needs.
+    let server = start(0, 1);
+    let _queued = connect(&server);
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.queue_depth() < 1 {
+        assert!(std::time::Instant::now() < deadline, "never queued");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    let mut probe = connect(&server);
+    let response = http::read_response(&mut probe).expect("shed response");
+    assert_eq!(response.status, 503);
+    assert_eq!(response.header("retry-after"), Some("1"));
+    server.shutdown();
+}
+
+#[test]
+fn load_generator_backs_off_on_sheds_instead_of_hammering() {
+    use mds_serve::{run_load, LoadConfig};
+    // queue_depth 0: every connection is shed with 503 + Retry-After at
+    // accept time, deterministically.
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 0,
+        queue_depth: 0,
+        jobs: Some(1),
+        log: LogTarget::Memory,
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+
+    let seconds = 1.0;
+    let report = run_load(&LoadConfig {
+        addr: server.local_addr().to_string(),
+        clients: 2,
+        duration: Duration::from_secs_f64(seconds),
+        experiment: "fig5".to_string(),
+        scale: "tiny".to_string(),
+        backoff_cap: Duration::from_millis(200),
+        ..LoadConfig::default()
+    });
+
+    assert_eq!(report.requests, 0, "nothing can succeed");
+    assert_eq!(report.errors, 0, "sheds are backpressure, not failures");
+    assert!(report.shed >= 2, "both clients saw sheds: {report:?}");
+    assert!(report.retried >= 1, "sheds are retried: {report:?}");
+    // The whole point: backed-off clients cannot hammer. Two clients in a
+    // tight loop would shed thousands of times per second; with the
+    // jittered 100ms..200ms schedule each client retries at most ~20
+    // times over one second.
+    assert!(
+        report.shed <= 2 * 22,
+        "clients must pace their retries: {report:?}"
+    );
+    // The server-side counter agrees that every arrival was shed.
+    assert_eq!(
+        server
+            .metrics()
+            .rejected_total
+            .load(std::sync::atomic::Ordering::Relaxed),
+        report.shed + report.errors,
+        "every client arrival was shed"
+    );
+    server.shutdown();
+}

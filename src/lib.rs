@@ -51,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub use mds_cluster as cluster;
 pub use mds_core as core;
 pub use mds_emu as emu;
 pub use mds_isa as isa;
