@@ -1,7 +1,10 @@
 #!/usr/bin/env bash
-# Bench-regression gate: measure the simulators and cluster suites fresh
-# and compare them against the committed BENCH_simulators.json /
-# BENCH_cluster.json baselines.
+# Bench-regression gate: measure the simulators, replay, and cluster
+# suites fresh and compare them against the committed
+# BENCH_simulators.json / BENCH_replay.json / BENCH_cluster.json
+# baselines. The replay suite additionally carries an absolute claim:
+# one fused cross-policy replay must stay >= 2x faster than six scratch
+# replays (checked within the fresh report, so it is machine-independent).
 #
 # The comparison (see crates/bench/src/bin/bench_gate.rs) normalizes by
 # the suite's median fresh/baseline ratio, so a uniformly slower CI
@@ -26,6 +29,24 @@ MDS_BENCH_DIR="$fresh_dir" cargo bench -q --offline -p mds-bench \
 
 echo "==> comparing against the committed baseline"
 target/release/bench_gate BENCH_simulators.json "$fresh_dir/BENCH_simulators.json"
+
+# The replay suite's headline benchmarks run ~0.5s per iteration; give
+# the harness a longer wall-clock guard so each one collects its full 25
+# batches — the speedup check below compares fastest-batch times, and a
+# deep batch pool is what makes those robust on a noisy runner.
+echo "==> measuring the replay suite (small scale)"
+MDS_BENCH_DIR="$fresh_dir" \
+MDS_BENCH_MAX_MS="${MDS_REPLAY_BENCH_MAX_MS:-12000}" \
+  cargo bench -q --offline -p mds-bench --bench replay -- --scale small
+
+echo "==> comparing the replay suite against its committed baseline"
+target/release/bench_gate BENCH_replay.json "$fresh_dir/BENCH_replay.json"
+
+echo "==> checking the fork-replay speedup claim (fused >= 2x six scratch walks)"
+target/release/bench_gate --min-speedup "$fresh_dir/BENCH_replay.json" \
+  multiscalar/compress_small_8st_scratch_x6 \
+  multiscalar/compress_small_8st_fused_x6 \
+  2.0
 
 echo "==> measuring the cluster suite (gateway over a local fleet)"
 cargo build --release --offline -p mds-cluster --benches

@@ -4,6 +4,7 @@
 //!
 //! ```text
 //! bench_gate <baseline.json> <fresh.json>
+//! bench_gate --min-speedup <report.json> <slow-name> <fast-name> <factor>
 //! ```
 //!
 //! Absolute medians are not comparable across machines (a CI runner may
@@ -18,11 +19,53 @@
 //! over the suite's median ratio — wide enough for shared-runner noise,
 //! tight enough to catch a real hot-path regression.
 //!
-//! Exit status: `0` when every shared benchmark is within tolerance,
-//! `1` on a regression, `2` on usage or parse errors.
+//! The `--min-speedup` mode checks a claimed speedup *within* one report:
+//! benchmark `<slow-name>` must be at least `<factor>` times slower than
+//! `<fast-name>`. Both sides use the fastest-batch time (`min_ns`), not
+//! the median: on a shared machine the minimum over ~25 batches is the
+//! best estimate of uncontended speed, so a contention spike during one
+//! benchmark's measurement window cannot fake or mask a speedup.
+//!
+//! Exit status: `0` when every shared benchmark is within tolerance (or
+//! the speedup holds), `1` on a regression (or a missed speedup), `2` on
+//! usage or parse errors.
 
 use mds_harness::bench::{median, BenchReport};
 use std::process::ExitCode;
+
+/// Checks that `slow` is at least `factor` times slower than `fast`
+/// within a single report, comparing fastest-batch times.
+fn min_speedup(report_path: &str, slow: &str, fast: &str, factor: f64) -> ExitCode {
+    let report = match load(report_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let find = |name: &str| report.results.iter().find(|b| b.name == name);
+    let (Some(s), Some(f)) = (find(slow), find(fast)) else {
+        eprintln!("bench_gate: '{slow}' or '{fast}' not found in {report_path}");
+        return ExitCode::from(2);
+    };
+    if s.min_ns <= 0.0 || f.min_ns <= 0.0 {
+        eprintln!("bench_gate: non-positive min_ns in {report_path}");
+        return ExitCode::from(2);
+    }
+    let ratio = s.min_ns / f.min_ns;
+    println!(
+        "bench_gate: {slow} {:.1}ms vs {fast} {:.1}ms => speedup x{ratio:.2} (required x{factor:.2})",
+        s.min_ns / 1e6,
+        f.min_ns / 1e6,
+    );
+    if ratio >= factor {
+        println!("bench_gate: OK");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench_gate: FAIL (speedup x{ratio:.2} below required x{factor:.2})");
+        ExitCode::FAILURE
+    }
+}
 
 fn load(path: &str) -> Result<BenchReport, String> {
     let text =
@@ -40,6 +83,19 @@ fn tolerance() -> f64 {
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().is_some_and(|a| a == "--min-speedup") {
+        let [_, report, slow, fast, factor] = args.as_slice() else {
+            eprintln!(
+                "usage: bench_gate --min-speedup <report.json> <slow-name> <fast-name> <factor>"
+            );
+            return ExitCode::from(2);
+        };
+        let Ok(factor) = factor.parse::<f64>() else {
+            eprintln!("bench_gate: bad factor '{factor}'");
+            return ExitCode::from(2);
+        };
+        return min_speedup(report, slow, fast, factor);
+    }
     let [baseline_path, fresh_path] = args.as_slice() else {
         eprintln!("usage: bench_gate <baseline.json> <fresh.json>");
         return ExitCode::from(2);

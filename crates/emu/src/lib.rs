@@ -40,9 +40,11 @@
 pub mod dyninst;
 pub mod machine;
 pub mod memory;
+pub mod plan;
 pub mod trace;
 
 pub use dyninst::{BranchOutcome, DynInst, MemAccess};
 pub use machine::{EmuError, Emulator, MachineState, TraceSummary};
 pub use memory::Memory;
+pub use plan::ReplayPlan;
 pub use trace::{format_dyninst, format_trace, Trace};

@@ -1,0 +1,501 @@
+//! Structure-of-arrays replay plan: the committed stream predecoded into
+//! dense parallel vectors, with memory dependences pre-resolved.
+//!
+//! A [`crate::Trace`] stores [`DynInst`] records — convenient to capture,
+//! but expensive to replay: every simulator pass re-decodes operands
+//! (`Instruction::reads`/`writes` are `match`es over the format), re-splits
+//! tasks (cloning every record into per-task `Vec`s), and re-discovers
+//! store→load overlaps through per-task hash maps. None of that depends on
+//! timing: operands, task boundaries, and which earlier store a load
+//! overlaps are pure functions of the committed stream.
+//!
+//! [`ReplayPlan`] hoists all of it out of the replay loop. It is built
+//! once per trace (cached on the `Trace` behind a `OnceLock`) and shared
+//! read-only by every simulator configuration replaying that trace:
+//!
+//! - per-record arrays: PC, opcode, dense operand indices, flags,
+//!   effective address, and memory ordinal;
+//! - per-task arrays: record / store / load range starts and the task's
+//!   start PC;
+//! - per-store arrays: owning record and task;
+//! - per-load arrays: the pre-resolved *intra-task* forwarding source and
+//!   *inter-task* producer store (as global store ordinals).
+//!
+//! # Dependence pre-resolution
+//!
+//! For each load the plan records two store ordinals:
+//!
+//! - `load_intra`: the youngest earlier store **in the same task** whose
+//!   byte range overlaps the load (the never-speculated forwarding
+//!   source), or [`NONE`];
+//! - `load_inter`: the youngest earlier store **in any earlier task**
+//!   overlapping the load, or [`NONE`]. Because dynamic task indices are
+//!   monotone along the committed stream, the youngest such store by
+//!   stream position is also the youngest by (task, within-task index) —
+//!   exactly the store a windowed producer search would find. A consumer
+//!   with a bounded task window checks `store_task[load_inter]` against
+//!   its window: if the globally youngest overlapping store has already
+//!   left the window, *no* overlapping store is in the window, so the one
+//!   pre-resolved ordinal answers the producer query for every window
+//!   size.
+
+use crate::dyninst::DynInst;
+use mds_harness::hash::FxHashMap;
+use mds_isa::{Addr, FuClass, Opcode, Pc};
+
+/// Sentinel ordinal: "no such store / not a memory operation".
+pub const NONE: u32 = u32::MAX;
+
+/// Sentinel dense register index: "no operand in this slot".
+pub const NO_REG: u8 = u8::MAX;
+
+/// Record flag: the instruction is a memory operation.
+pub const F_MEM: u8 = 1 << 0;
+/// Record flag: the memory operation is a store.
+pub const F_STORE: u8 = 1 << 1;
+/// Record flag: the instruction is a control transfer.
+pub const F_CONTROL: u8 = 1 << 2;
+
+/// Functional-unit class codes for [`ReplayPlan::fu`] (memory operations
+/// are dispatched via [`F_MEM`] instead).
+pub const FU_SIMPLE: u8 = 0;
+/// Complex-integer class code.
+pub const FU_COMPLEX: u8 = 1;
+/// Floating-point class code.
+pub const FU_FP: u8 = 2;
+/// Branch class code.
+pub const FU_BRANCH: u8 = 3;
+
+/// The youngest store seen so far for one address key, plus the youngest
+/// store from any strictly earlier task (see module docs).
+struct KeyState {
+    youngest_task: u32,
+    youngest_ord: u32,
+    /// Youngest store in a task earlier than `youngest_task`; `NONE` ord
+    /// when no such store exists.
+    prev_ord: u32,
+}
+
+/// The structure-of-arrays view of one committed trace (see module docs).
+///
+/// All `Vec`s prefixed `task_` have one entry per dynamic task **plus a
+/// trailing sentinel**, so `task_start[k]..task_start[k + 1]` is always a
+/// valid half-open range.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayPlan {
+    /// Per record: the instruction's PC.
+    pub pc: Vec<Pc>,
+    /// Per record: the opcode (for latency lookup).
+    pub op: Vec<Opcode>,
+    /// Per record: [`F_MEM`] / [`F_STORE`] / [`F_CONTROL`] bits.
+    pub flags: Vec<u8>,
+    /// Per record: functional-unit class code ([`FU_SIMPLE`]…).
+    pub fu: Vec<u8>,
+    /// Per record: dense index of read slot 0 (the base register for
+    /// memory operations), or [`NO_REG`].
+    pub src1: Vec<u8>,
+    /// Per record: dense index of read slot 1, or [`NO_REG`].
+    pub src2: Vec<u8>,
+    /// Per record: dense index of the written register, or [`NO_REG`].
+    pub dst: Vec<u8>,
+    /// Per record: effective byte address (0 for non-memory records).
+    pub addr: Vec<Addr>,
+    /// Per record: global store ordinal (stores), global load ordinal
+    /// (loads), or [`NONE`].
+    pub mem_ord: Vec<u32>,
+    /// Record index where each task begins, plus sentinel.
+    pub task_start: Vec<u32>,
+    /// Per task: its start PC (no sentinel).
+    pub task_start_pc: Vec<Pc>,
+    /// First global store ordinal of each task, plus sentinel.
+    pub task_store_start: Vec<u32>,
+    /// First global load ordinal of each task, plus sentinel.
+    pub task_load_start: Vec<u32>,
+    /// Per store: the record index it came from.
+    pub store_rec: Vec<u32>,
+    /// Per store: the dynamic task it belongs to.
+    pub store_task: Vec<u32>,
+    /// Per load: the record index it came from.
+    pub load_rec: Vec<u32>,
+    /// Per load: same-task forwarding source (global store ordinal), or
+    /// [`NONE`].
+    pub load_intra: Vec<u32>,
+    /// Per load: youngest earlier-task overlapping store (global store
+    /// ordinal), or [`NONE`].
+    pub load_inter: Vec<u32>,
+}
+
+impl ReplayPlan {
+    /// Builds the plan in one pass over the committed stream.
+    ///
+    /// Task boundaries follow the task splitter's semantics: record 0
+    /// always begins task 0, and a later record begins a new task exactly
+    /// when its `new_task` marker is set.
+    pub fn build(records: &[DynInst]) -> ReplayPlan {
+        let n = records.len();
+        let mut plan = ReplayPlan {
+            pc: Vec::with_capacity(n),
+            op: Vec::with_capacity(n),
+            flags: Vec::with_capacity(n),
+            fu: Vec::with_capacity(n),
+            src1: Vec::with_capacity(n),
+            src2: Vec::with_capacity(n),
+            dst: Vec::with_capacity(n),
+            addr: Vec::with_capacity(n),
+            mem_ord: Vec::with_capacity(n),
+            task_start: Vec::new(),
+            task_start_pc: Vec::new(),
+            task_store_start: Vec::new(),
+            task_load_start: Vec::new(),
+            store_rec: Vec::new(),
+            store_task: Vec::new(),
+            load_rec: Vec::new(),
+            load_intra: Vec::new(),
+            load_inter: Vec::new(),
+        };
+        let mut word: FxHashMap<Addr, KeyState> = FxHashMap::default();
+        let mut byte: FxHashMap<Addr, KeyState> = FxHashMap::default();
+        let mut task: u32 = 0;
+
+        for (i, d) in records.iter().enumerate() {
+            if i == 0 || d.new_task {
+                if i != 0 {
+                    task += 1;
+                }
+                plan.task_start.push(i as u32);
+                plan.task_start_pc.push(d.pc);
+                plan.task_store_start.push(plan.store_rec.len() as u32);
+                plan.task_load_start.push(plan.load_rec.len() as u32);
+            }
+            plan.pc.push(d.pc);
+            plan.op.push(d.inst.op);
+            let [r1, r2] = d.inst.reads();
+            plan.src1.push(r1.map_or(NO_REG, |r| r.dense_index() as u8));
+            plan.src2.push(r2.map_or(NO_REG, |r| r.dense_index() as u8));
+            plan.dst
+                .push(d.inst.writes().map_or(NO_REG, |r| r.dense_index() as u8));
+            plan.fu.push(match d.inst.op.fu_class() {
+                FuClass::ComplexInt => FU_COMPLEX,
+                FuClass::Fp => FU_FP,
+                FuClass::Branch => FU_BRANCH,
+                FuClass::SimpleInt | FuClass::Mem => FU_SIMPLE,
+            });
+            let mut flags = 0u8;
+            if d.inst.op.is_control() {
+                flags |= F_CONTROL;
+            }
+            match d.mem {
+                Some(mem) if mem.is_store => {
+                    flags |= F_MEM | F_STORE;
+                    plan.addr.push(mem.addr);
+                    let ord = plan.store_rec.len() as u32;
+                    plan.mem_ord.push(ord);
+                    plan.store_rec.push(i as u32);
+                    plan.store_task.push(task);
+                    let (map, key) = if mem.size == 1 {
+                        (&mut byte, mem.addr)
+                    } else {
+                        (&mut word, mem.addr & !7)
+                    };
+                    map.entry(key)
+                        .and_modify(|st| {
+                            if st.youngest_task < task {
+                                st.prev_ord = st.youngest_ord;
+                            }
+                            st.youngest_task = task;
+                            st.youngest_ord = ord;
+                        })
+                        .or_insert(KeyState {
+                            youngest_task: task,
+                            youngest_ord: ord,
+                            prev_ord: NONE,
+                        });
+                }
+                Some(mem) => {
+                    flags |= F_MEM;
+                    plan.addr.push(mem.addr);
+                    plan.mem_ord.push(plan.load_rec.len() as u32);
+                    plan.load_rec.push(i as u32);
+                    // Store ordinals grow with stream position, so "the
+                    // youngest candidate" is simply the largest ordinal —
+                    // both within the task and across earlier tasks.
+                    let mut intra = NONE;
+                    let mut inter = NONE;
+                    let mut consider = |st: Option<&KeyState>| {
+                        if let Some(st) = st {
+                            if st.youngest_task == task {
+                                if intra == NONE || st.youngest_ord > intra {
+                                    intra = st.youngest_ord;
+                                }
+                                if st.prev_ord != NONE && (inter == NONE || st.prev_ord > inter) {
+                                    inter = st.prev_ord;
+                                }
+                            } else if inter == NONE || st.youngest_ord > inter {
+                                inter = st.youngest_ord;
+                            }
+                        }
+                    };
+                    if mem.size == 1 {
+                        consider(byte.get(&mem.addr));
+                        consider(word.get(&(mem.addr & !7)));
+                    } else {
+                        consider(word.get(&(mem.addr & !7)));
+                        for b in 0..8 {
+                            consider(byte.get(&(mem.addr + b)));
+                        }
+                    }
+                    plan.load_intra.push(intra);
+                    plan.load_inter.push(inter);
+                }
+                None => {
+                    plan.addr.push(0);
+                    plan.mem_ord.push(NONE);
+                }
+            }
+            plan.flags.push(flags);
+        }
+
+        plan.task_start.push(n as u32);
+        plan.task_store_start.push(plan.store_rec.len() as u32);
+        plan.task_load_start.push(plan.load_rec.len() as u32);
+        plan
+    }
+
+    /// Number of dynamic tasks in the plan.
+    pub fn tasks(&self) -> usize {
+        self.task_start.len() - 1
+    }
+
+    /// The record-index range of task `k`.
+    pub fn task_range(&self, k: usize) -> std::ops::Range<usize> {
+        self.task_start[k] as usize..self.task_start[k + 1] as usize
+    }
+
+    /// Number of stores in task `k`.
+    pub fn task_stores(&self, k: usize) -> u32 {
+        self.task_store_start[k + 1] - self.task_store_start[k]
+    }
+
+    /// Number of loads in task `k`.
+    pub fn task_loads(&self, k: usize) -> u32 {
+        self.task_load_start[k + 1] - self.task_load_start[k]
+    }
+
+    /// The first task at which simulators replaying this trace under
+    /// different speculation policies can diverge, given a `stages`-unit
+    /// window: the first task that issues a load while some task in its
+    /// window (`k - (stages - 1) .. k`) performed a store. Before this
+    /// task no load can have an in-window producer and no older store
+    /// address is outstanding, so every policy schedules identically.
+    ///
+    /// Returns [`ReplayPlan::tasks`] when no such task exists (the whole
+    /// replay is policy-independent).
+    pub fn fork_task(&self, stages: usize) -> usize {
+        if stages <= 1 {
+            return self.tasks();
+        }
+        for k in 0..self.tasks() {
+            if self.task_loads(k) == 0 {
+                continue;
+            }
+            let lo = k.saturating_sub(stages - 1);
+            if self.task_store_start[k] > self.task_store_start[lo] {
+                return k;
+            }
+        }
+        self.tasks()
+    }
+
+    /// Approximate resident size of the plan in bytes (for trace-cache
+    /// budgeting).
+    pub fn resident_bytes(&self) -> usize {
+        self.pc.len() * std::mem::size_of::<Pc>()
+            + self.op.len() * std::mem::size_of::<Opcode>()
+            + self.flags.len()
+            + self.fu.len()
+            + self.src1.len()
+            + self.src2.len()
+            + self.dst.len()
+            + self.addr.len() * std::mem::size_of::<Addr>()
+            + self.mem_ord.len() * 4
+            + (self.task_start.len() + self.task_store_start.len() + self.task_load_start.len()) * 4
+            + self.task_start_pc.len() * std::mem::size_of::<Pc>()
+            + (self.store_rec.len() + self.store_task.len()) * 4
+            + (self.load_rec.len() + self.load_intra.len() + self.load_inter.len()) * 4
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::Emulator;
+    use mds_isa::{ProgramBuilder, Reg};
+
+    fn trace(build: impl FnOnce(&mut ProgramBuilder)) -> Vec<DynInst> {
+        let mut b = ProgramBuilder::new();
+        build(&mut b);
+        Emulator::new(&b.build().unwrap()).run().unwrap()
+    }
+
+    fn recurrence(iters: i32) -> Vec<DynInst> {
+        trace(|b| {
+            b.alloc("cell", 1);
+            b.la(Reg::S0, "cell");
+            b.li(Reg::T0, iters);
+            b.label("loop");
+            b.task();
+            b.ld(Reg::T1, Reg::S0, 0);
+            b.addi(Reg::T1, Reg::T1, 1);
+            b.sd(Reg::T1, Reg::S0, 0);
+            b.addi(Reg::T0, Reg::T0, -1);
+            b.bne(Reg::T0, Reg::ZERO, "loop");
+            b.halt();
+        })
+    }
+
+    #[test]
+    fn arrays_are_parallel_and_tasks_cover_the_stream() {
+        let records = recurrence(5);
+        let plan = ReplayPlan::build(&records);
+        let n = records.len();
+        assert_eq!(plan.pc.len(), n);
+        assert_eq!(plan.flags.len(), n);
+        assert_eq!(plan.mem_ord.len(), n);
+        assert_eq!(*plan.task_start.last().unwrap() as usize, n);
+        let mut covered = 0;
+        for k in 0..plan.tasks() {
+            let r = plan.task_range(k);
+            assert_eq!(r.start, covered);
+            covered = r.end;
+            assert_eq!(plan.task_start_pc[k], records[r.start].pc);
+        }
+        assert_eq!(covered, n);
+        assert_eq!(
+            plan.store_rec.len() + plan.load_rec.len(),
+            records.iter().filter(|d| d.mem.is_some()).count()
+        );
+    }
+
+    /// Brute-force reference for the per-load dependence pre-resolution:
+    /// scan all earlier records for overlapping stores.
+    fn check_against_reference(records: &[DynInst]) {
+        let plan = ReplayPlan::build(records);
+        let mut task_of = Vec::with_capacity(records.len());
+        let mut t = 0usize;
+        for (i, d) in records.iter().enumerate() {
+            if i > 0 && d.new_task {
+                t += 1;
+            }
+            task_of.push(t);
+        }
+        for (lo, &rec) in plan.load_rec.iter().enumerate() {
+            let i = rec as usize;
+            let load = records[i].mem.unwrap();
+            let lt = task_of[i];
+            let mut intra: Option<u32> = None;
+            let mut inter: Option<u32> = None;
+            for (j, d) in records[..i].iter().enumerate() {
+                let Some(m) = d.mem else { continue };
+                if !m.is_store || !m.overlaps(&load) {
+                    continue;
+                }
+                let ord = plan.mem_ord[j];
+                if task_of[j] == lt {
+                    intra = Some(ord); // later stream position wins
+                } else {
+                    inter = Some(ord);
+                }
+            }
+            assert_eq!(plan.load_intra[lo], intra.unwrap_or(NONE), "load {lo}");
+            assert_eq!(plan.load_inter[lo], inter.unwrap_or(NONE), "load {lo}");
+        }
+    }
+
+    #[test]
+    fn dependence_resolution_matches_brute_force_on_a_recurrence() {
+        check_against_reference(&recurrence(8));
+    }
+
+    #[test]
+    fn dependence_resolution_handles_mixed_byte_and_word_stores() {
+        let records = trace(|b| {
+            b.alloc("buf", 4);
+            b.la(Reg::S0, "buf");
+            b.li(Reg::T0, 6);
+            b.label("loop");
+            b.task();
+            b.sd(Reg::T0, Reg::S0, 0);
+            b.sb(Reg::T0, Reg::S0, 3); // byte inside the word above
+            b.ld(Reg::T1, Reg::S0, 0); // overlaps both; byte store younger
+            b.lb(Reg::T2, Reg::S0, 3); // overlaps both
+            b.sb(Reg::T0, Reg::S0, 11);
+            b.ld(Reg::T3, Reg::S0, 8); // word load over a byte-only store
+            b.addi(Reg::T0, Reg::T0, -1);
+            b.bne(Reg::T0, Reg::ZERO, "loop");
+            b.halt();
+        });
+        check_against_reference(&records);
+    }
+
+    #[test]
+    fn inter_task_producer_is_the_youngest_earlier_task_store() {
+        let records = recurrence(6);
+        let plan = ReplayPlan::build(&records);
+        // Every loop-task load (task >= 1) depends on the previous task's
+        // store — distance exactly 1.
+        for (lo, &inter) in plan.load_inter.iter().enumerate() {
+            let i = plan.load_rec[lo] as usize;
+            if plan.mem_ord[i] == NONE {
+                continue;
+            }
+            let lt = plan
+                .task_start
+                .partition_point(|&s| (s as usize) <= i)
+                .saturating_sub(1);
+            if lt >= 1 && inter != NONE {
+                assert_eq!(plan.store_task[inter as usize] as usize, lt - 1);
+            }
+        }
+    }
+
+    #[test]
+    fn fork_task_is_the_first_load_with_windowed_stores() {
+        let records = recurrence(6);
+        let plan = ReplayPlan::build(&records);
+        // Task 0 has the loop preamble (no stores before the first task's
+        // load); task 1's load sees task 0's... the first loop task stores,
+        // so the second loop task is the first that can diverge.
+        let f = plan.fork_task(4);
+        assert!(f >= 1, "fork task {f}");
+        assert!(plan.task_loads(f) > 0);
+        assert!(plan.task_store_start[f] > plan.task_store_start[f.saturating_sub(3)]);
+        // A 1-stage machine has no cross-task window: never forks.
+        assert_eq!(plan.fork_task(1), plan.tasks());
+    }
+
+    #[test]
+    fn empty_and_storeless_streams_never_fork() {
+        let plan = ReplayPlan::build(&[]);
+        assert_eq!(plan.tasks(), 0);
+        assert_eq!(plan.fork_task(8), 0);
+        let records = trace(|b| {
+            b.alloc("x", 1);
+            b.la(Reg::S0, "x");
+            b.task();
+            b.ld(Reg::T0, Reg::S0, 0);
+            b.task();
+            b.ld(Reg::T1, Reg::S0, 0);
+            b.halt();
+        });
+        let plan = ReplayPlan::build(&records);
+        assert_eq!(plan.fork_task(8), plan.tasks());
+        assert!(plan.load_inter.iter().all(|&x| x == NONE));
+    }
+
+    #[test]
+    fn resident_bytes_tracks_length() {
+        let small = ReplayPlan::build(&recurrence(2));
+        let big = ReplayPlan::build(&recurrence(20));
+        assert!(big.resident_bytes() > small.resident_bytes());
+    }
+}

@@ -14,8 +14,10 @@
 
 use crate::dyninst::DynInst;
 use crate::machine::{EmuError, Emulator, TraceSummary};
+use crate::plan::ReplayPlan;
 use mds_isa::Program;
 use std::fmt::Write as _;
+use std::sync::{Arc, OnceLock};
 
 /// A fully-captured committed instruction stream plus its aggregate
 /// counts.
@@ -45,10 +47,38 @@ use std::fmt::Write as _;
 /// assert_eq!(trace.summary().taken_branches, 2);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug)]
 pub struct Trace {
     records: Vec<DynInst>,
     summary: TraceSummary,
+    /// Lazily-built structure-of-arrays view of `records` (see
+    /// [`ReplayPlan`]); built at most once per trace and shared by every
+    /// simulator replaying it.
+    plan: OnceLock<Arc<ReplayPlan>>,
+}
+
+impl Clone for Trace {
+    fn clone(&self) -> Trace {
+        // An already-built plan is carried over (it is a pure function of
+        // the records); an unbuilt one stays unbuilt.
+        let plan = OnceLock::new();
+        if let Some(p) = self.plan.get() {
+            let _ = plan.set(Arc::clone(p));
+        }
+        Trace {
+            records: self.records.clone(),
+            summary: self.summary,
+            plan,
+        }
+    }
+}
+
+impl PartialEq for Trace {
+    fn eq(&self, other: &Trace) -> bool {
+        // The plan is derived state; two traces are equal iff their
+        // captured streams are.
+        self.records == other.records && self.summary == other.summary
+    }
 }
 
 // The whole point of `Trace` is cross-thread sharing; keep that property
@@ -84,12 +114,25 @@ impl Trace {
         Ok(Trace {
             records,
             summary: emu.summary(),
+            plan: OnceLock::new(),
         })
     }
 
     /// Wraps an already-collected committed stream and its counts.
     pub fn from_parts(records: Vec<DynInst>, summary: TraceSummary) -> Trace {
-        Trace { records, summary }
+        Trace {
+            records,
+            summary,
+            plan: OnceLock::new(),
+        }
+    }
+
+    /// The structure-of-arrays replay plan for this trace, building it on
+    /// first use. Subsequent calls (from any thread) return the same
+    /// shared plan.
+    pub fn replay_plan(&self) -> &Arc<ReplayPlan> {
+        self.plan
+            .get_or_init(|| Arc::new(ReplayPlan::build(&self.records)))
     }
 
     /// The committed records, in sequential order.
@@ -112,10 +155,11 @@ impl Trace {
         self.records.is_empty()
     }
 
-    /// Approximate resident size of the trace in bytes (records only) —
-    /// the number a trace cache budgets against.
+    /// Approximate resident size of the trace in bytes (records plus the
+    /// replay plan, if built) — the number a trace cache budgets against.
     pub fn resident_bytes(&self) -> usize {
         self.records.len() * std::mem::size_of::<DynInst>()
+            + self.plan.get().map_or(0, |p| p.resident_bytes())
     }
 }
 

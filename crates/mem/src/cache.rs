@@ -107,8 +107,11 @@ struct Line {
 #[derive(Debug, Clone)]
 pub struct Cache {
     config: CacheConfig,
-    sets: Vec<Vec<Line>>,
+    /// All lines, flattened: set `s` occupies `lines[s*ways .. (s+1)*ways]`.
+    lines: Vec<Line>,
+    ways: usize,
     set_mask: Addr,
+    set_shift: u32,
     block_shift: u32,
     tick: u64,
     stats: CacheStats,
@@ -124,18 +127,17 @@ impl Cache {
         let sets = config.sets();
         Cache {
             config,
-            sets: vec![
-                vec![
-                    Line {
-                        tag: 0,
-                        valid: false,
-                        last_use: 0
-                    };
-                    config.ways
-                ];
-                sets
+            lines: vec![
+                Line {
+                    tag: 0,
+                    valid: false,
+                    last_use: 0
+                };
+                sets * config.ways
             ],
+            ways: config.ways,
             set_mask: (sets - 1) as Addr,
+            set_shift: sets.trailing_zeros(),
             block_shift: config.block_bytes.trailing_zeros(),
             tick: 0,
             stats: CacheStats::default(),
@@ -160,8 +162,25 @@ impl Cache {
         self.tick += 1;
         let block = addr >> self.block_shift;
         let set_idx = (block & self.set_mask) as usize;
-        let tag = block >> self.set_mask.count_ones();
-        let set = &mut self.sets[set_idx];
+        let tag = block >> self.set_shift;
+        if self.ways == 1 {
+            // Direct-mapped fast path: one candidate line, no LRU search.
+            // Hot in the simulators (the paper's data banks are 1-way).
+            let line = &mut self.lines[set_idx];
+            if line.valid && line.tag == tag {
+                line.last_use = self.tick;
+                self.stats.hits += 1;
+                return true;
+            }
+            self.stats.misses += 1;
+            *line = Line {
+                tag,
+                valid: true,
+                last_use: self.tick,
+            };
+            return false;
+        }
+        let set = &mut self.lines[set_idx * self.ways..][..self.ways];
         if let Some(line) = set.iter_mut().find(|l| l.valid && l.tag == tag) {
             line.last_use = self.tick;
             self.stats.hits += 1;
@@ -182,16 +201,16 @@ impl Cache {
     pub fn probe(&self, addr: Addr) -> bool {
         let block = addr >> self.block_shift;
         let set_idx = (block & self.set_mask) as usize;
-        let tag = block >> self.set_mask.count_ones();
-        self.sets[set_idx].iter().any(|l| l.valid && l.tag == tag)
+        let tag = block >> self.set_shift;
+        self.lines[set_idx * self.ways..][..self.ways]
+            .iter()
+            .any(|l| l.valid && l.tag == tag)
     }
 
     /// Invalidates everything (e.g. between independent simulations).
     pub fn flush(&mut self) {
-        for set in &mut self.sets {
-            for line in set {
-                line.valid = false;
-            }
+        for line in &mut self.lines {
+            line.valid = false;
         }
     }
 }

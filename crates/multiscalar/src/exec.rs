@@ -25,7 +25,7 @@ use mds_mem::{BankedCache, Bus, Cache};
 use std::collections::VecDeque;
 
 /// Dense architectural register file size (see `RegRef::dense_index`).
-const REGS: usize = 64;
+pub(crate) const REGS: usize = 64;
 
 /// A store that executed within a task, as visible to younger tasks.
 #[derive(Debug, Clone, Copy)]
@@ -118,37 +118,66 @@ pub(crate) struct Shared<'a> {
 ///
 /// The ledger is a dense vector indexed by `cycle - base`: every claim in
 /// an attempt happens at or after the attempt's start cycle, so the
-/// offset stays small and the vector is reused (cleared) across attempts.
+/// offset stays small. Slots are epoch-tagged rather than zeroed: `reset`
+/// bumps the epoch in O(1), and a slot whose tag is stale counts as
+/// empty. This keeps `claim` — called twice per simulated instruction in
+/// both replay engines — to a load, a compare, and a store in the common
+/// case, with no per-attempt clearing or one-element-at-a-time growth.
+#[derive(Debug, Clone, Copy, Default)]
+struct PortSlot {
+    epoch: u32,
+    used: u32,
+}
+
 #[derive(Debug, Default)]
-struct Ports {
+pub(crate) struct Ports {
     width: u32,
     base: u64,
-    used: Vec<u32>,
+    epoch: u32,
+    slots: Vec<PortSlot>,
 }
 
 impl Ports {
-    fn reset(&mut self, width: u32, t0: u64) {
+    pub(crate) fn reset(&mut self, width: u32, t0: u64) {
         self.width = width.max(1);
         self.base = t0;
-        self.used.clear();
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            // Epoch wrapped (after 2^32 attempts): stale tags could alias
+            // the new epoch, so hard-clear once and restart from 1.
+            self.slots.fill(PortSlot::default());
+            self.epoch = 1;
+        }
     }
 
     /// Claims the earliest cycle at or after `ready` with a free slot.
-    fn claim(&mut self, ready: u64, _occupy: u64) -> u64 {
+    pub(crate) fn claim(&mut self, ready: u64, _occupy: u64) -> u64 {
         // Claims before the base cannot happen in an attempt (readiness is
         // bounded below by the start cycle), but stay correct if one does.
         if ready < self.base {
             let shift = (self.base - ready) as usize;
-            self.used.splice(0..0, std::iter::repeat_n(0, shift));
+            // Tag 0 is never the live epoch (reset skips it), so these
+            // slots read as empty.
+            self.slots
+                .splice(0..0, std::iter::repeat_n(PortSlot::default(), shift));
             self.base = ready;
         }
         let mut idx = (ready - self.base) as usize;
         loop {
-            if idx >= self.used.len() {
-                self.used.resize(idx + 1, 0);
+            if idx >= self.slots.len() {
+                // Grow in chunks so the resize amortizes away.
+                self.slots.resize(idx + 64, PortSlot::default());
             }
-            if self.used[idx] < self.width {
-                self.used[idx] += 1;
+            let slot = &mut self.slots[idx];
+            if slot.epoch != self.epoch {
+                *slot = PortSlot {
+                    epoch: self.epoch,
+                    used: 1,
+                };
+                return self.base + idx as u64;
+            }
+            if slot.used < self.width {
+                slot.used += 1;
                 return self.base + idx as u64;
             }
             idx += 1;

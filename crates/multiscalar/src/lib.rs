@@ -77,11 +77,13 @@
 
 pub mod config;
 pub mod exec;
+pub mod replay;
 pub mod result;
 pub mod sim;
 pub mod task;
 
 pub use config::{FuLatencies, MsConfig};
+pub use replay::{forkable_twins, run_fused, run_planned};
 pub use result::MsResult;
 pub use sim::Multiscalar;
 pub use task::{Task, TaskSplitter};
