@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
-# Bench-regression gate: measure the simulators, replay, and cluster
-# suites fresh and compare them against the committed
-# BENCH_simulators.json / BENCH_replay.json / BENCH_cluster.json
-# baselines. The replay suite additionally carries an absolute claim:
+# Bench-regression gate: measure the simulators, replay, wdl, and
+# cluster suites fresh and compare them against the committed
+# BENCH_simulators.json / BENCH_replay.json / BENCH_wdl.json /
+# BENCH_cluster.json baselines. The replay suite additionally carries an absolute claim:
 # one fused cross-policy replay must stay >= 2x faster than six scratch
 # replays (checked within the fresh report, so it is machine-independent).
 #
@@ -47,6 +47,13 @@ target/release/bench_gate --min-speedup "$fresh_dir/BENCH_replay.json" \
   multiscalar/compress_small_8st_scratch_x6 \
   multiscalar/compress_small_8st_fused_x6 \
   2.0
+
+echo "==> measuring the wdl suite (spec parse, lowering, generated end-to-end)"
+MDS_BENCH_DIR="$fresh_dir" cargo bench -q --offline -p mds-bench \
+  --bench wdl -- --scale small
+
+echo "==> comparing the wdl suite against its committed baseline"
+target/release/bench_gate BENCH_wdl.json "$fresh_dir/BENCH_wdl.json"
 
 echo "==> measuring the cluster suite (gateway over a local fleet)"
 cargo build --release --offline -p mds-cluster --benches

@@ -13,4 +13,7 @@ cargo build --release --offline
 echo "==> cargo test -q --offline"
 cargo test -q --offline
 
+echo "==> generative property smoke (policy orderings over sampled WDL scenarios)"
+cargo test -q --offline -p mds-wdl --test policy_props
+
 echo "tier-1 gate: OK"

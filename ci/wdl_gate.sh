@@ -1,0 +1,56 @@
+#!/usr/bin/env bash
+# WDL determinism gate: generated workloads are part of the repo's
+# byte-identity contract. `repro --wdl <spec> --json` must produce
+# byte-identical stdout and RESULTS_wdl.json across repeated runs and
+# across worker counts (the `(spec, seed, scale)` identity promise in
+# DESIGN.md §13), spec tooling must accept the checked-in examples, and
+# malformed specs must be rejected with positioned diagnostics.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_a=$(mktemp -d)
+run_b=$(mktemp -d)
+trap 'rm -rf "$run_a" "$run_b"' EXIT
+
+specs=(examples/compress_like.wdl examples/fpppp_like.wdl examples/swim_like.wdl)
+wdl_flags=()
+for s in "${specs[@]}"; do wdl_flags+=(--wdl "$s"); done
+
+echo "==> building the repro CLI"
+cargo build --release --offline -p mds-bench --bin repro
+
+echo "==> validating the checked-in example specs"
+target/release/repro wdl check "${specs[@]}"
+
+echo "==> expansion is deterministic"
+target/release/repro wdl expand "${specs[@]}" > "$run_a/expand.txt"
+target/release/repro wdl expand "${specs[@]}" > "$run_b/expand.txt"
+cmp "$run_a/expand.txt" "$run_b/expand.txt"
+
+echo "==> run 1: serial (--jobs 1)"
+MDS_RESULTS_DIR="$run_a" target/release/repro "${wdl_flags[@]}" \
+  --scale tiny --jobs 1 --json > "$run_a/stdout.txt"
+
+echo "==> run 2: parallel (--jobs 4)"
+MDS_RESULTS_DIR="$run_b" target/release/repro "${wdl_flags[@]}" \
+  --scale tiny --jobs 4 --json > "$run_b/stdout.txt"
+
+echo "==> comparing stdout and RESULTS_wdl.json byte for byte"
+cmp "$run_a/stdout.txt" "$run_b/stdout.txt"
+cmp "$run_a/RESULTS_wdl.json" "$run_b/RESULTS_wdl.json"
+
+echo "==> run 3: repeated parallel run is byte-identical too"
+MDS_RESULTS_DIR="$run_b" target/release/repro "${wdl_flags[@]}" \
+  --scale tiny --jobs 4 --json > "$run_b/stdout2.txt"
+cmp "$run_a/stdout.txt" "$run_b/stdout2.txt"
+
+echo "==> malformed specs are rejected with positioned diagnostics"
+printf 'scenario bad { edges = 99 }\n' > "$run_a/bad.wdl"
+if target/release/repro --wdl "$run_a/bad.wdl" --scale tiny >/dev/null 2>"$run_a/err.txt"; then
+  echo "error: invalid spec was accepted" >&2
+  exit 1
+fi
+grep -q 'bad.wdl:1:16: bad.edges' "$run_a/err.txt"
+
+echo "wdl gate: OK"

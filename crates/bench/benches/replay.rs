@@ -28,7 +28,7 @@ fn main() {
         "full" => (Scale::Full, "full"),
         _ => (Scale::Tiny, "tiny"),
     };
-    let p = (by_name("compress").unwrap().build)(scale);
+    let p = by_name("compress").unwrap().build(scale);
     let trace = Trace::capture(&p).unwrap();
     let n = trace.summary().instructions;
 

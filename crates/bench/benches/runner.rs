@@ -62,7 +62,7 @@ fn mini_grid(workloads: &[Workload], scale: Scale) -> Grid {
 fn naive_pass(workloads: &[Workload], scale: Scale) -> u64 {
     let mut acc = 0u64;
     for wl in workloads {
-        let program = (wl.build)(scale);
+        let program = wl.build(scale);
         acc += Emulator::new(&program)
             .run_with(|_| {})
             .expect("runs")

@@ -24,7 +24,7 @@ fn main() {
         "full" => (Scale::Full, "full"),
         _ => (Scale::Tiny, "tiny"),
     };
-    let p = (by_name("compress").unwrap().build)(scale);
+    let p = by_name("compress").unwrap().build(scale);
     let n = trace_len(&p);
 
     h.bench_with_throughput(&format!("emulator/compress_{tag}"), n, |b| {

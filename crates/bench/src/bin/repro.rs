@@ -27,9 +27,16 @@ const EXIT_IO: u8 = 2;
 fn print_help() {
     println!(
         "usage: repro [options] <experiment>...\n\
+         \x20      repro [options] wdl check|expand|list|import <file>...\n\
          \n\
          subcommands:\n\
-         \x20 list                    print every experiment id, one per line\n\
+         \x20 list                    print experiment ids, then every workload\n\
+         \x20                          grouped by suite with its phenotype\n\
+         \x20 wdl check <file>...     parse and validate spec files\n\
+         \x20 wdl expand <file>...    print each sampled member's canonical form\n\
+         \x20 wdl list <file>...      print each member's name and phenotype\n\
+         \x20 wdl import <file>...    convert raw dependence streams (task/load/\n\
+         \x20                          store lines) to WDL trace blocks on stdout\n\
          \n\
          options:\n\
          \x20 --scale tiny|small|full  workload scale (default: small)\n\
@@ -38,6 +45,10 @@ fn print_help() {
          \x20 --markdown               render tables as GitHub Markdown\n\
          \x20 --json                   also write RESULTS_<experiment>.json\n\
          \x20                          (to $MDS_RESULTS_DIR, default repo root)\n\
+         \x20 --wdl FILE               register the spec's generated workloads\n\
+         \x20                          (repeatable; default experiment: wdl)\n\
+         \x20 --wdl-seed N             family seed for --wdl expansion (default 0)\n\
+         \x20 --wdl-count K            members per scenario family (default 4)\n\
          \x20 --help, -h               this help\n\
          \n\
          experiments:\n\
@@ -45,6 +56,7 @@ fn print_help() {
          \x20 ablate-mdpt ablate-counter ablate-tagging ablate-ooo\n\
          \x20 all          every table and figure of the paper\n\
          \x20 ablations    the four ablation studies\n\
+         \x20 wdl          the generated-workload table (needs --wdl)\n\
          \n\
          Tables print to stdout; run statistics (wall time, trace-cache\n\
          traffic, worker utilization) print to stderr. Table output is\n\
@@ -52,7 +64,7 @@ fn print_help() {
          \n\
          exit codes:\n\
          \x20 0  success\n\
-         \x20 {EXIT_USAGE}  usage error or unknown experiment id\n\
+         \x20 {EXIT_USAGE}  usage error, unknown experiment id, or invalid spec\n\
          \x20 {EXIT_IO}  I/O error writing --json results"
     );
 }
@@ -71,6 +83,7 @@ fn unknown_experiment(id: &str) -> ExitCode {
     }
     eprintln!("  all        (expands to every table and figure)");
     eprintln!("  ablations  (expands to the four ablation studies)");
+    eprintln!("  wdl        (generated workloads; needs --wdl <file>)");
     ExitCode::from(EXIT_USAGE)
 }
 
@@ -83,6 +96,9 @@ struct Cli {
     json: bool,
     jobs: Option<usize>,
     wanted: Vec<String>,
+    wdl_files: Vec<String>,
+    wdl_seed: u64,
+    wdl_count: u32,
     help: bool,
 }
 
@@ -96,6 +112,9 @@ fn parse_cli(args: impl Iterator<Item = String>) -> Result<Cli, String> {
         json: false,
         jobs: None,
         wanted: Vec::new(),
+        wdl_files: Vec::new(),
+        wdl_seed: 0,
+        wdl_count: 4,
         help: false,
     };
     let mut args = args.peekable();
@@ -114,6 +133,28 @@ fn parse_cli(args: impl Iterator<Item = String>) -> Result<Cli, String> {
                 };
                 cli.jobs = Some(mds_runner::parse_jobs(&v).map_err(|e| format!("--jobs: {e}"))?);
             }
+            "--wdl" => {
+                let Some(v) = args.next() else {
+                    return Err("--wdl needs a spec file path".to_string());
+                };
+                cli.wdl_files.push(v);
+            }
+            "--wdl-seed" => {
+                let Some(v) = args.next() else {
+                    return Err("--wdl-seed needs an unsigned integer".to_string());
+                };
+                cli.wdl_seed = v
+                    .parse()
+                    .map_err(|_| format!("--wdl-seed: invalid seed '{v}'"))?;
+            }
+            "--wdl-count" => {
+                let Some(v) = args.next() else {
+                    return Err("--wdl-count needs a positive integer".to_string());
+                };
+                cli.wdl_count = v.parse().ok().filter(|&n| n > 0).ok_or_else(|| {
+                    format!("--wdl-count: expected a positive integer, got '{v}'")
+                })?;
+            }
             "--markdown" => cli.markdown = true,
             "--json" => cli.json = true,
             "--help" | "-h" => cli.help = true,
@@ -124,6 +165,141 @@ fn parse_cli(args: impl Iterator<Item = String>) -> Result<Cli, String> {
         }
     }
     Ok(cli)
+}
+
+/// Reads and parses one spec file, rendering I/O and spec diagnostics
+/// as `file:line:col: message` usage errors.
+fn load_spec(file: &str) -> Result<mds_wdl::Spec, ExitCode> {
+    let src = match std::fs::read_to_string(file) {
+        Ok(src) => src,
+        Err(e) => {
+            eprintln!("repro: cannot read {file}: {e}");
+            return Err(ExitCode::from(EXIT_USAGE));
+        }
+    };
+    mds_wdl::parse_spec(&src).map_err(|d| {
+        eprintln!("repro: {}", d.render(file));
+        ExitCode::from(EXIT_USAGE)
+    })
+}
+
+/// Parses and registers every `--wdl` spec with the dynamic workload
+/// registry.
+fn register_wdl_files(files: &[String], seed: u64, count: u32) -> Result<(), ExitCode> {
+    for file in files {
+        let spec = load_spec(file)?;
+        if let Err(d) = mds_wdl::register_spec(&spec, seed, count) {
+            eprintln!("repro: {}", d.render(file));
+            return Err(ExitCode::from(EXIT_USAGE));
+        }
+    }
+    Ok(())
+}
+
+/// `repro list`: experiment ids, then every workload grouped by suite
+/// with its dependence phenotype.
+fn print_list() {
+    println!("experiments:");
+    for id in mds_bench::EXPERIMENT_IDS {
+        println!("  {id}");
+    }
+    println!("  all");
+    println!("  ablations");
+    println!("  wdl  (with --wdl <file>)");
+    let mut workloads = mds_workloads::all();
+    workloads.extend(mds_workloads::generated());
+    let mut last_suite = None;
+    for wl in workloads {
+        if last_suite != Some(wl.suite) {
+            println!("\n{} workloads:", wl.suite.name());
+            last_suite = Some(wl.suite);
+        }
+        println!("  {:<24} {}", wl.name, wl.phenotype);
+    }
+}
+
+/// `repro wdl <verb> <file>...` — spec tooling that never simulates.
+fn run_wdl_subcommand(verb: &str, files: &[String], seed: u64, count: u32) -> ExitCode {
+    if files.is_empty() {
+        return usage_error(&format!("wdl {verb} needs at least one file"));
+    }
+    match verb {
+        "check" => {
+            for file in files {
+                let spec = match load_spec(file) {
+                    Ok(spec) => spec,
+                    Err(code) => return code,
+                };
+                println!(
+                    "{file}: ok ({} scenario{}, {} trace{})",
+                    spec.scenarios.len(),
+                    if spec.scenarios.len() == 1 { "" } else { "s" },
+                    spec.traces.len(),
+                    if spec.traces.len() == 1 { "" } else { "s" },
+                );
+            }
+        }
+        "expand" => {
+            for file in files {
+                let spec = match load_spec(file) {
+                    Ok(spec) => spec,
+                    Err(code) => return code,
+                };
+                for s in &spec.scenarios {
+                    for inst in mds_wdl::expand(s, seed, count) {
+                        println!("{}", inst.canonical());
+                    }
+                }
+            }
+        }
+        "list" => {
+            for file in files {
+                let spec = match load_spec(file) {
+                    Ok(spec) => spec,
+                    Err(code) => return code,
+                };
+                match mds_wdl::register_spec(&spec, seed, count) {
+                    Ok(workloads) => {
+                        for wl in workloads {
+                            println!("{:<32} {}", wl.name, wl.phenotype);
+                        }
+                    }
+                    Err(d) => {
+                        eprintln!("repro: {}", d.render(file));
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+            }
+        }
+        "import" => {
+            for file in files {
+                let src = match std::fs::read_to_string(file) {
+                    Ok(src) => src,
+                    Err(e) => {
+                        eprintln!("repro: cannot read {file}: {e}");
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                };
+                let name = std::path::Path::new(file)
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("imported");
+                match mds_wdl::import::parse_stream(&src) {
+                    Ok(events) => print!("{}", mds_wdl::import::to_wdl(name, &events)),
+                    Err(d) => {
+                        eprintln!("repro: {}", d.render(file));
+                        return ExitCode::from(EXIT_USAGE);
+                    }
+                }
+            }
+        }
+        other => {
+            return usage_error(&format!(
+                "unknown wdl subcommand '{other}' (valid: check, expand, list, import)"
+            ));
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 fn main() -> ExitCode {
@@ -140,18 +316,35 @@ fn main() -> ExitCode {
         markdown,
         json,
         jobs,
-        wanted,
+        mut wanted,
+        wdl_files,
+        wdl_seed,
+        wdl_count,
         ..
     } = cli;
 
+    // The `wdl` subcommand family operates on spec files directly and
+    // never simulates: `repro wdl check|expand|list|import <file>...`.
+    if wanted.first().map(String::as_str) == Some("wdl") && wanted.len() > 1 {
+        return run_wdl_subcommand(&wanted[1], &wanted[2..], wdl_seed, wdl_count);
+    }
+
+    // Register every `--wdl` spec before anything that lists or runs
+    // workloads, so generated families are visible everywhere below.
+    if let Err(code) = register_wdl_files(&wdl_files, wdl_seed, wdl_count) {
+        return code;
+    }
+
     if wanted.iter().any(|w| w == "list") {
-        for id in mds_bench::EXPERIMENT_IDS {
-            println!("{id}");
-        }
+        print_list();
         return ExitCode::SUCCESS;
     }
     if wanted.is_empty() {
-        return usage_error("no experiments requested");
+        if wdl_files.is_empty() {
+            return usage_error("no experiments requested");
+        }
+        // `repro --wdl spec.wdl` alone means "run the generated table".
+        wanted.push("wdl".to_string());
     }
 
     // Expand the group keywords, reject unknown ids up front, and dedupe
@@ -161,6 +354,12 @@ fn main() -> ExitCode {
         let expansion: &[&'static str] = match want.as_str() {
             "all" => &mds_bench::PAPER_IDS,
             "ablations" => &mds_bench::ABLATION_IDS,
+            "wdl" => {
+                if mds_workloads::generated().is_empty() {
+                    return usage_error("experiment 'wdl' needs at least one --wdl <file>");
+                }
+                &["wdl"]
+            }
             other => match mds_bench::EXPERIMENT_IDS.iter().find(|id| **id == other) {
                 Some(id) => std::slice::from_ref(id),
                 None => return unknown_experiment(other),
@@ -268,5 +467,42 @@ mod tests {
     fn help_flag_is_recognized_anywhere() {
         assert!(parse(&["fig5", "-h"]).unwrap().help);
         assert!(parse(&["--help"]).unwrap().help);
+    }
+
+    #[test]
+    fn wdl_flags_accumulate_and_default() {
+        let cli = parse(&["fig5"]).unwrap();
+        assert!(cli.wdl_files.is_empty());
+        assert_eq!((cli.wdl_seed, cli.wdl_count), (0, 4));
+        let cli = parse(&[
+            "--wdl",
+            "a.wdl",
+            "--wdl",
+            "b.wdl",
+            "--wdl-seed",
+            "9",
+            "--wdl-count",
+            "2",
+        ])
+        .unwrap();
+        assert_eq!(cli.wdl_files, ["a.wdl", "b.wdl"]);
+        assert_eq!((cli.wdl_seed, cli.wdl_count), (9, 2));
+        assert!(cli.wanted.is_empty());
+    }
+
+    #[test]
+    fn wdl_flags_reject_bad_values() {
+        assert!(parse(&["--wdl"]).unwrap_err().contains("spec file"));
+        assert!(parse(&["--wdl-seed", "x"]).unwrap_err().contains("seed"));
+        for bad in ["0", "-1", "lots"] {
+            let err = parse(&["--wdl-count", bad]).unwrap_err();
+            assert!(err.contains("positive integer"), "'{bad}': {err}");
+        }
+    }
+
+    #[test]
+    fn wdl_subcommand_words_stay_positional() {
+        let cli = parse(&["wdl", "check", "a.wdl"]).unwrap();
+        assert_eq!(cli.wanted, ["wdl", "check", "a.wdl"]);
     }
 }

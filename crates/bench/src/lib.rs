@@ -337,11 +337,7 @@ pub fn table1(h: &mut Harness) -> Table {
     ]);
     for wl in mds_workloads::all() {
         let sum = h.summary(&wl);
-        let suite = match wl.suite {
-            mds_workloads::Suite::Int92 => "int92",
-            mds_workloads::Suite::Spec95Int => "spec95-int",
-            mds_workloads::Suite::Spec95Fp => "spec95-fp",
-        };
+        let suite = wl.suite.name();
         let task_size = if sum.tasks == 0 {
             "-".to_string()
         } else {
@@ -691,6 +687,51 @@ pub fn ablate_ooo(h: &mut Harness) -> Table {
     t
 }
 
+/// The experiment over generated (WDL) workloads: trace shape plus the
+/// paper's headline policy comparison for every registered member.
+///
+/// Not part of [`EXPERIMENT_IDS`]: its contents depend on which specs
+/// the caller registered, so it is opt-in (`repro --wdl <file>`) and
+/// never pinned by the identity gate.
+pub fn wdl_table(h: &mut Harness) -> Table {
+    let mut t = Table::new([
+        "workload",
+        "tasks",
+        "insts",
+        "ALWAYS ms/load",
+        "ESYNC %",
+        "PSYNC %",
+    ]);
+    for wl in mds_workloads::generated() {
+        let sum = h.summary(&wl);
+        let always = h.run(&wl, 8, Policy::Always);
+        let esync = h.run(&wl, 8, Policy::Esync);
+        let psync = h.run(&wl, 8, Policy::PSync);
+        t.row([
+            wl.name.to_string(),
+            fmt_count(sum.tasks),
+            fmt_abbrev(sum.instructions),
+            format!("{:.4}", always.misspec_per_committed_load()),
+            pct(esync.speedup_over(&always)),
+            pct(psync.speedup_over(&always)),
+        ]);
+    }
+    t
+}
+
+/// The demands of [`wdl_table`] over the currently registered generated
+/// workloads.
+pub fn wdl_demands() -> Vec<Demand> {
+    let mut v = Vec::new();
+    for wl in mds_workloads::generated() {
+        v.push(Demand::Summary(wl));
+        for policy in [Policy::Always, Policy::Esync, Policy::PSync] {
+            v.push(Demand::Ms(wl, 8, policy));
+        }
+    }
+    v
+}
+
 /// Every experiment id `repro` accepts, in canonical emission order.
 pub const EXPERIMENT_IDS: [&str; 16] = [
     "table1",
@@ -745,6 +786,7 @@ pub fn experiment_title(id: &str) -> Option<&'static str> {
         "ablate-tagging" => "Distance vs address instance tags",
         "ablate-counter" => "Prediction counter sweep",
         "ablate-ooo" => "Policies on the superscalar model",
+        "wdl" => "Generated workloads: trace shape and policy orderings",
         _ => return None,
     })
 }
@@ -852,6 +894,7 @@ pub fn demands(id: &str) -> Vec<Demand> {
             }
             v
         }
+        "wdl" => wdl_demands(),
         _ => Vec::new(),
     }
 }
@@ -878,6 +921,7 @@ pub fn experiment(h: &mut Harness, id: &str) -> Option<Table> {
         "ablate-tagging" => ablate_tagging(h),
         "ablate-counter" => ablate_counter(h),
         "ablate-ooo" => ablate_ooo(h),
+        "wdl" => wdl_table(h),
         _ => unreachable!("title resolved above"),
     })
 }

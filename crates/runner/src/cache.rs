@@ -126,7 +126,7 @@ impl TraceCache {
         let mut initialized_here = false;
         let trace = slot_cell.get_or_init(|| {
             initialized_here = true;
-            let program = (workload.build)(scale);
+            let program = workload.build(scale);
             let trace = Trace::capture(&program)
                 .unwrap_or_else(|e| panic!("workload '{}' failed to emulate: {e}", workload.name));
             Arc::new(trace)

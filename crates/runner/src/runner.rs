@@ -579,7 +579,7 @@ mod tests {
             .expect("multiscalar cell")
             .clone();
         let direct = Multiscalar::new(MsConfig::paper(4, Policy::Always))
-            .run(&(compress.build)(Scale::Tiny))
+            .run(&compress.build(Scale::Tiny))
             .unwrap();
         assert_eq!(via_runner.cycles, direct.cycles);
         assert_eq!(via_runner.misspeculations, direct.misspeculations);
@@ -654,7 +654,7 @@ mod tests {
         let compress = by_name("compress").unwrap();
         let broken = mds_workloads::Workload {
             name: "broken",
-            build: broken_build,
+            builder: mds_workloads::Builder::Static(broken_build),
             ..compress
         };
         let mut grid = Grid::new(Scale::Tiny);
@@ -767,7 +767,7 @@ mod tests {
         let compress = by_name("compress").unwrap();
         let broken = mds_workloads::Workload {
             name: "broken",
-            build: broken_build,
+            builder: mds_workloads::Builder::Static(broken_build),
             ..compress
         };
         let mut grid = Grid::new(Scale::Tiny);

@@ -1,0 +1,89 @@
+//! Positioned diagnostics for WDL specs.
+//!
+//! Every error the pipeline can produce — lexing, parsing, validation —
+//! carries a source position (1-based line/column) and, where one exists,
+//! the *field path* it concerns (e.g. `compress_like.distances`), in the
+//! style of the decoder errors elsewhere in the workspace: one precise,
+//! self-contained message per failure, surfaced on the first error.
+
+/// A 1-based source position.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Pos {
+    /// Line number, starting at 1.
+    pub line: u32,
+    /// Column number (in characters), starting at 1.
+    pub col: u32,
+}
+
+impl Pos {
+    /// The start of the file.
+    pub const START: Pos = Pos { line: 1, col: 1 };
+}
+
+impl std::fmt::Display for Pos {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// A positioned WDL diagnostic.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diag {
+    /// Where the offending token or field starts.
+    pub pos: Pos,
+    /// Dotted field path (`scenario.field`), empty when the error is
+    /// purely syntactic.
+    pub path: String,
+    /// What went wrong and, where possible, what would be accepted.
+    pub msg: String,
+}
+
+impl Diag {
+    /// A syntax-level diagnostic with no field path.
+    pub fn syntax(pos: Pos, msg: impl Into<String>) -> Self {
+        Diag {
+            pos,
+            path: String::new(),
+            msg: msg.into(),
+        }
+    }
+
+    /// A validation diagnostic anchored to a field path.
+    pub fn field(pos: Pos, path: impl Into<String>, msg: impl Into<String>) -> Self {
+        Diag {
+            pos,
+            path: path.into(),
+            msg: msg.into(),
+        }
+    }
+
+    /// Renders with a file name prefix: `file:line:col: [path:] msg`.
+    pub fn render(&self, file: &str) -> String {
+        format!("{file}:{self}")
+    }
+}
+
+impl std::fmt::Display for Diag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        if self.path.is_empty() {
+            write!(f, "{}: {}", self.pos, self.msg)
+        } else {
+            write!(f, "{}: {}: {}", self.pos, self.path, self.msg)
+        }
+    }
+}
+
+impl std::error::Error for Diag {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_with_and_without_path() {
+        let d = Diag::syntax(Pos { line: 3, col: 7 }, "unexpected `}`");
+        assert_eq!(d.to_string(), "3:7: unexpected `}`");
+        let d = Diag::field(Pos { line: 4, col: 3 }, "s.edges", "must be 1..=64");
+        assert_eq!(d.render("a.wdl"), "a.wdl:4:3: s.edges: must be 1..=64");
+    }
+}

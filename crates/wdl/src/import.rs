@@ -1,0 +1,134 @@
+//! Import of externally captured dependence streams.
+//!
+//! The line format is deliberately trivial to produce from any tracing
+//! tool: one event per line — `task`, `load <addr>`, `store <addr>`
+//! (or their single-letter forms `t`/`l`/`s`), addresses decimal or
+//! `0x` hex, `#` comments. [`parse_stream`] validates the stream and
+//! [`to_wdl`] renders it as a `trace` block that can live in a spec
+//! file next to scenarios and compile through the same pipeline
+//! ([`crate::lower::compile_trace`]).
+
+use crate::diag::{Diag, Pos};
+use crate::ir::{TraceDef, TraceEvent, MAX_TRACE_EVENTS};
+
+/// Parses an external dependence-stream file into events.
+pub fn parse_stream(src: &str) -> Result<Vec<TraceEvent>, Diag> {
+    let mut events = Vec::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let pos = Pos {
+            line: lineno as u32 + 1,
+            col: 1,
+        };
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let kw = parts.next().unwrap_or("");
+        let ev = match kw {
+            "t" | "task" => TraceEvent::Task,
+            "l" | "load" | "s" | "store" => {
+                let addr_text = parts
+                    .next()
+                    .ok_or_else(|| Diag::syntax(pos, format!("`{kw}` needs an address operand")))?;
+                let addr = parse_addr(addr_text)
+                    .ok_or_else(|| Diag::syntax(pos, format!("invalid address `{addr_text}`")))?;
+                if matches!(kw, "l" | "load") {
+                    TraceEvent::Load(addr)
+                } else {
+                    TraceEvent::Store(addr)
+                }
+            }
+            other => {
+                return Err(Diag::syntax(
+                    pos,
+                    format!("unknown event `{other}` (valid: task, load <addr>, store <addr>)"),
+                ));
+            }
+        };
+        if let Some(extra) = parts.next() {
+            return Err(Diag::syntax(pos, format!("trailing junk `{extra}`")));
+        }
+        if events.len() >= MAX_TRACE_EVENTS {
+            return Err(Diag::syntax(
+                pos,
+                format!("stream exceeds {MAX_TRACE_EVENTS} events"),
+            ));
+        }
+        events.push(ev);
+    }
+    if events.first() != Some(&TraceEvent::Task) {
+        return Err(Diag::syntax(
+            Pos::START,
+            "stream must be non-empty and start with a task event",
+        ));
+    }
+    Ok(events)
+}
+
+/// Parses a stream and names it, ready for lowering.
+pub fn import(name: &str, src: &str) -> Result<TraceDef, Diag> {
+    Ok(TraceDef {
+        name: name.to_string(),
+        pos: Pos::START,
+        events: parse_stream(src)?,
+    })
+}
+
+/// Renders events as a WDL `trace` block (the inverse of parsing the
+/// block), so captured streams can be checked into spec files.
+pub fn to_wdl(name: &str, events: &[TraceEvent]) -> String {
+    let mut out = format!("trace {name} {{\n  events = [\n");
+    for ev in events {
+        match ev {
+            TraceEvent::Task => out.push_str("    t,\n"),
+            TraceEvent::Load(a) => out.push_str(&format!("    l {a:#x},\n")),
+            TraceEvent::Store(a) => out.push_str(&format!("    s {a:#x},\n")),
+        }
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn parse_addr(text: &str) -> Option<u64> {
+    if let Some(hex) = text.strip_prefix("0x") {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        text.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse::parse;
+
+    #[test]
+    fn stream_round_trips_through_wdl_text() {
+        let events = parse_stream(
+            "# captured\n\
+             task\n\
+             load 0x1000\n\
+             s 4096 # aliases the load\n\
+             t\n\
+             l 8192\n",
+        )
+        .unwrap();
+        assert_eq!(events.len(), 5);
+        assert_eq!(events[1], TraceEvent::Load(0x1000));
+        assert_eq!(events[2], TraceEvent::Store(4096));
+        let text = to_wdl("cap", &events);
+        let spec = parse(&text).unwrap();
+        assert_eq!(spec.traces[0].events, events);
+    }
+
+    #[test]
+    fn stream_errors_carry_line_numbers() {
+        let err = parse_stream("task\nfrob 3\n").unwrap_err();
+        assert_eq!(err.pos.line, 2);
+        let err = parse_stream("task\nload\n").unwrap_err();
+        assert_eq!(err.pos.line, 2);
+        let err = parse_stream("load 8\n").unwrap_err();
+        assert!(err.msg.contains("start with a task"));
+    }
+}

@@ -1,0 +1,180 @@
+//! The validated, typed IR a parsed spec lowers into.
+//!
+//! Invariants established by the parser (and relied on by the lowerer —
+//! see `lower.rs`):
+//!
+//! - scenario and trace names are unique within a spec;
+//! - `tasks` ∈ 64..=1 048 576, `edges` ∈ 1..=64, range knobs have
+//!   `lo <= hi`;
+//! - dependence distances are unique, ∈ 1..=48 (strictly inside the
+//!   64-slot communication ring), with positive probabilities summing to
+//!   at most 1 — the residual mass is dependence-free tasks;
+//! - task-size weights are non-negative with a positive sum;
+//! - scalar knobs (`locality`, `path_dep`, `fp`) lie in [0, 1];
+//! - traces are non-empty, start with a task event, and hold at most
+//!   65 536 events.
+
+use crate::diag::Pos;
+
+/// An integer knob: constant when `lo == hi`, else sampled uniformly
+/// from `lo..=hi` per family member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UKnob {
+    /// Inclusive lower bound.
+    pub lo: u64,
+    /// Inclusive upper bound.
+    pub hi: u64,
+}
+
+impl UKnob {
+    /// A constant knob.
+    pub const fn of(v: u64) -> Self {
+        UKnob { lo: v, hi: v }
+    }
+}
+
+/// A real-valued knob: constant when `lo == hi`, else sampled uniformly
+/// from `[lo, hi]` per family member.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FKnob {
+    /// Inclusive lower bound.
+    pub lo: f64,
+    /// Inclusive upper bound.
+    pub hi: f64,
+}
+
+impl FKnob {
+    /// A constant knob.
+    pub const fn of(v: f64) -> Self {
+        FKnob { lo: v, hi: v }
+    }
+}
+
+/// Relative weights of the three task-size classes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SizeMix {
+    /// ~15-instruction tasks.
+    pub small: f64,
+    /// ~45-instruction tasks.
+    pub medium: f64,
+    /// ~130-instruction tasks.
+    pub large: f64,
+}
+
+impl SizeMix {
+    /// The default mix, roughly matching the hand-written int suites.
+    pub const DEFAULT: SizeMix = SizeMix {
+        small: 0.55,
+        medium: 0.30,
+        large: 0.15,
+    };
+}
+
+/// A validated scenario block: one point (or family, when knobs are
+/// ranges) in dependence-phenotype space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (unique within the spec).
+    pub name: String,
+    /// Where the block starts, for diagnostics.
+    pub pos: Pos,
+    /// Base seed; combined with the family seed and member index.
+    pub seed: u64,
+    /// Base dynamic task count, scaled by `Scale::iterations`.
+    pub tasks: UKnob,
+    /// Task-size class weights.
+    pub task_size: SizeMix,
+    /// Dependence-distance distribution `(distance, probability)`,
+    /// sorted by distance. Residual mass = independent tasks.
+    pub distances: Vec<(u32, f64)>,
+    /// Number of static dependence edges (distinct store/load PC pairs).
+    pub edges: UKnob,
+    /// Fraction of dependence traffic hitting the hot address region
+    /// (the rest churns through a scrambled alias region).
+    pub locality: FKnob,
+    /// Fraction of consumer loads issued from an alternate (path-
+    /// dependent) load PC within their edge.
+    pub path_dep: FKnob,
+    /// Fraction of filler work using the FP pipeline.
+    pub fp: FKnob,
+    /// Declared bounds on ALWAYS-policy mis-speculations per committed
+    /// load; checked by example-spec tests, ignored by lowering.
+    pub expect_misspec_per_load: Option<(f64, f64)>,
+}
+
+impl Scenario {
+    /// A scenario with every knob at its default, as produced by an
+    /// empty `scenario name {}` block.
+    pub fn with_defaults(name: String, pos: Pos) -> Self {
+        Scenario {
+            name,
+            pos,
+            seed: 1,
+            tasks: UKnob::of(4096),
+            task_size: SizeMix::DEFAULT,
+            distances: Vec::new(),
+            edges: UKnob::of(1),
+            locality: FKnob::of(1.0),
+            path_dep: FKnob::of(0.0),
+            fp: FKnob::of(0.0),
+            expect_misspec_per_load: None,
+        }
+    }
+
+    /// Total probability mass on dependence-carrying tasks.
+    pub fn conflict_mass(&self) -> f64 {
+        self.distances.iter().map(|&(_, p)| p).sum()
+    }
+}
+
+/// One event of an imported dependence stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A task boundary.
+    Task,
+    /// A load from the given (abstract) address.
+    Load(u64),
+    /// A store to the given (abstract) address.
+    Store(u64),
+}
+
+/// A validated imported trace block.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceDef {
+    /// Trace name (unique within the spec).
+    pub name: String,
+    /// Where the block starts, for diagnostics.
+    pub pos: Pos,
+    /// The event stream; starts with [`TraceEvent::Task`].
+    pub events: Vec<TraceEvent>,
+}
+
+/// A whole parsed spec file.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Spec {
+    /// Scenario blocks, in file order.
+    pub scenarios: Vec<Scenario>,
+    /// Trace blocks, in file order.
+    pub traces: Vec<TraceDef>,
+}
+
+impl Spec {
+    /// Looks up a scenario by name.
+    pub fn scenario(&self, name: &str) -> Option<&Scenario> {
+        self.scenarios.iter().find(|s| s.name == name)
+    }
+}
+
+/// Maximum dependence distance a scenario may declare (strictly inside
+/// the lowerer's 64-slot ring so a slot is never overwritten before its
+/// consumer reads it).
+pub const MAX_DISTANCE: u32 = 48;
+
+/// Maximum static dependence edges per scenario.
+pub const MAX_EDGES: u64 = 64;
+
+/// Bounds on the base task count.
+pub const TASKS_RANGE: (u64, u64) = (64, 1 << 20);
+
+/// Maximum events in an imported trace.
+pub const MAX_TRACE_EVENTS: usize = 1 << 16;

@@ -1,0 +1,237 @@
+//! Hand-rolled lexer for the workload-description language.
+//!
+//! Produces a flat token stream with 1-based positions. `#` starts a
+//! comment running to end of line. Numbers are unsigned decimal or `0x`
+//! hex integers (underscore separators allowed) or decimal floats; the
+//! two-dot range operator binds tighter than a float's decimal point, so
+//! `0..1` lexes as `0`, `..`, `1`.
+
+use crate::diag::{Diag, Pos};
+
+/// One lexeme with its starting position.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    /// Starting position of the lexeme.
+    pub pos: Pos,
+    /// The lexeme itself.
+    pub kind: Tok,
+}
+
+/// Lexeme kinds.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Tok {
+    /// Identifier or keyword (`scenario`, `seed`, a scenario name, ...).
+    Ident(String),
+    /// Unsigned integer literal.
+    Int(u64),
+    /// Floating-point literal.
+    Float(f64),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `=`
+    Eq,
+    /// `:`
+    Colon,
+    /// `,`
+    Comma,
+    /// `..`
+    DotDot,
+    /// End of input.
+    Eof,
+}
+
+impl std::fmt::Display for Tok {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Tok::Ident(s) => write!(f, "`{s}`"),
+            Tok::Int(v) => write!(f, "integer {v}"),
+            Tok::Float(v) => write!(f, "number {v}"),
+            Tok::LBrace => write!(f, "`{{`"),
+            Tok::RBrace => write!(f, "`}}`"),
+            Tok::LBracket => write!(f, "`[`"),
+            Tok::RBracket => write!(f, "`]`"),
+            Tok::Eq => write!(f, "`=`"),
+            Tok::Colon => write!(f, "`:`"),
+            Tok::Comma => write!(f, "`,`"),
+            Tok::DotDot => write!(f, "`..`"),
+            Tok::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// Lexes `src` to a token vector ending in [`Tok::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Token>, Diag> {
+    let mut out = Vec::new();
+    let chars: Vec<char> = src.chars().collect();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let mut col = 1u32;
+    macro_rules! advance {
+        () => {{
+            if chars[i] == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+            i += 1;
+        }};
+    }
+    while i < chars.len() {
+        let c = chars[i];
+        let pos = Pos { line, col };
+        match c {
+            ' ' | '\t' | '\r' | '\n' => advance!(),
+            '#' => {
+                while i < chars.len() && chars[i] != '\n' {
+                    advance!();
+                }
+            }
+            '{' | '}' | '[' | ']' | '=' | ':' | ',' => {
+                let kind = match c {
+                    '{' => Tok::LBrace,
+                    '}' => Tok::RBrace,
+                    '[' => Tok::LBracket,
+                    ']' => Tok::RBracket,
+                    '=' => Tok::Eq,
+                    ':' => Tok::Colon,
+                    _ => Tok::Comma,
+                };
+                out.push(Token { pos, kind });
+                advance!();
+            }
+            '.' => {
+                if i + 1 < chars.len() && chars[i + 1] == '.' {
+                    out.push(Token {
+                        pos,
+                        kind: Tok::DotDot,
+                    });
+                    advance!();
+                    advance!();
+                } else {
+                    return Err(Diag::syntax(pos, "stray `.` (ranges use `..`)"));
+                }
+            }
+            '0'..='9' => {
+                let start = i;
+                let hex = c == '0' && i + 1 < chars.len() && chars[i + 1] == 'x';
+                if hex {
+                    advance!();
+                    advance!();
+                    let digits = i;
+                    while i < chars.len() && (chars[i].is_ascii_hexdigit() || chars[i] == '_') {
+                        advance!();
+                    }
+                    let text: String = chars[digits..i].iter().filter(|&&d| d != '_').collect();
+                    let v = u64::from_str_radix(&text, 16).map_err(|_| {
+                        Diag::syntax(pos, "invalid hex literal (expected 0x<hex digits>)")
+                    })?;
+                    out.push(Token {
+                        pos,
+                        kind: Tok::Int(v),
+                    });
+                    continue;
+                }
+                let mut is_float = false;
+                while i < chars.len() {
+                    let d = chars[i];
+                    if d.is_ascii_digit() || d == '_' {
+                        advance!();
+                    } else if d == '.' && !is_float && !(i + 1 < chars.len() && chars[i + 1] == '.')
+                    {
+                        is_float = true;
+                        advance!();
+                    } else {
+                        break;
+                    }
+                }
+                let text: String = chars[start..i].iter().filter(|&&d| d != '_').collect();
+                let kind = if is_float {
+                    let v: f64 = text
+                        .parse()
+                        .map_err(|_| Diag::syntax(pos, format!("invalid number `{text}`")))?;
+                    Tok::Float(v)
+                } else {
+                    let v: u64 = text.parse().map_err(|_| {
+                        Diag::syntax(pos, format!("integer `{text}` overflows u64"))
+                    })?;
+                    Tok::Int(v)
+                };
+                out.push(Token { pos, kind });
+            }
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let start = i;
+                while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                    advance!();
+                }
+                let text: String = chars[start..i].iter().collect();
+                out.push(Token {
+                    pos,
+                    kind: Tok::Ident(text),
+                });
+            }
+            other => {
+                return Err(Diag::syntax(pos, format!("unexpected character `{other}`")));
+            }
+        }
+    }
+    out.push(Token {
+        pos: Pos { line, col },
+        kind: Tok::Eof,
+    });
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<Tok> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn ranges_do_not_lex_as_floats() {
+        assert_eq!(
+            kinds("0..1"),
+            vec![Tok::Int(0), Tok::DotDot, Tok::Int(1), Tok::Eof]
+        );
+        assert_eq!(
+            kinds("0.5 .. 0.9"),
+            vec![Tok::Float(0.5), Tok::DotDot, Tok::Float(0.9), Tok::Eof]
+        );
+    }
+
+    #[test]
+    fn comments_and_hex_and_underscores() {
+        assert_eq!(
+            kinds("# hi\nseed = 0x1_f # tail\n40_000"),
+            vec![
+                Tok::Ident("seed".into()),
+                Tok::Eq,
+                Tok::Int(0x1f),
+                Tok::Int(40_000),
+                Tok::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn positions_are_one_based() {
+        let toks = lex("a\n  b").unwrap();
+        assert_eq!(toks[0].pos, Pos { line: 1, col: 1 });
+        assert_eq!(toks[1].pos, Pos { line: 2, col: 3 });
+    }
+
+    #[test]
+    fn bad_characters_are_positioned() {
+        let err = lex("ok\n  !").unwrap_err();
+        assert_eq!(err.pos, Pos { line: 2, col: 3 });
+    }
+}

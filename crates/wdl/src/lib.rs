@@ -1,0 +1,62 @@
+//! `mds-wdl` — the workload-description language.
+//!
+//! The hand-written suites in `mds-workloads` are 23 fixed points in
+//! dependence-phenotype space; the paper's claims (figures 5–7, table 8)
+//! are about the *space*. This crate makes workloads declarative:
+//!
+//! 1. **Language** — named `scenario` blocks declare phenotype knobs
+//!    (task-size mix, dependence-distance distribution, static-edge
+//!    count, locality/churn, path-dependence rate, FP/int mix), parsed
+//!    by a hand-rolled lexer/parser into a validated typed IR with
+//!    positioned diagnostics ([`diag::Diag`]).
+//! 2. **Generator** — knobs may be ranges; a seeded sampler expands a
+//!    scenario into unbounded reproducible families, where
+//!    `(spec, seed, scale)` is the canonical identity that flows through
+//!    the dynamic workload registry, the trace cache, and the runner's
+//!    byte-identity machinery unchanged.
+//! 3. **Lowering** — each concrete instance compiles to a deterministic
+//!    `mds-isa` program engineered to *have* the declared phenotype
+//!    (early consumer loads, late producer store addresses, per-edge
+//!    static PC pairs — see [`lower`]).
+//! 4. **Trace import** — externally captured dependence streams
+//!    (`task`/`load`/`store` lines) become `trace` blocks compiled to
+//!    programs that replay the stream verbatim ([`import`]).
+//!
+//! # Example
+//!
+//! ```
+//! let spec = mds_wdl::parse_spec(
+//!     "scenario hot_ring {
+//!        seed = 42
+//!        tasks = 1024
+//!        distances = { 1: 0.10 }
+//!        expect_misspec_per_load = 0.0 .. 0.5
+//!      }",
+//! )?;
+//! let workloads = mds_wdl::register_spec(&spec, 0, 2)?;
+//! assert_eq!(workloads[0].name, "wdl/hot_ring/s0/0");
+//! let program = workloads[0].build(mds_workloads::Scale::Tiny);
+//! assert!(program.instructions().len() > 30);
+//! # Ok::<(), mds_wdl::Diag>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diag;
+pub mod generate;
+pub mod import;
+pub mod ir;
+pub mod lex;
+pub mod lower;
+pub mod parse;
+
+pub use diag::{Diag, Pos};
+pub use generate::{expand, instantiate, register_spec, Instance};
+pub use ir::{Scenario, Spec, TraceDef, TraceEvent};
+pub use lower::{compile, compile_trace};
+
+/// Parses and validates a spec file (see [`parse::parse`]).
+pub fn parse_spec(src: &str) -> Result<Spec, Diag> {
+    parse::parse(src)
+}

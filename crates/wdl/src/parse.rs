@@ -1,0 +1,507 @@
+//! Recursive-descent parser producing the validated IR.
+//!
+//! Parsing and validation are one pass: every range/shape rule from
+//! `ir.rs` is checked while source positions are still at hand, so each
+//! rejection carries the line/column of the offending field and its
+//! dotted path (`scenario.field`). The first error wins.
+
+use crate::diag::{Diag, Pos};
+use crate::ir::{
+    FKnob, Scenario, SizeMix, Spec, TraceDef, TraceEvent, UKnob, MAX_DISTANCE, MAX_EDGES,
+    MAX_TRACE_EVENTS, TASKS_RANGE,
+};
+use crate::lex::{lex, Tok, Token};
+
+/// Parses and validates a spec file.
+pub fn parse(src: &str) -> Result<Spec, Diag> {
+    let tokens = lex(src)?;
+    Parser { tokens, at: 0 }.spec()
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    at: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.at]
+    }
+
+    fn next(&mut self) -> Token {
+        let t = self.tokens[self.at].clone();
+        if self.at + 1 < self.tokens.len() {
+            self.at += 1;
+        }
+        t
+    }
+
+    fn expect(&mut self, want: Tok, ctx: &str) -> Result<Token, Diag> {
+        let t = self.next();
+        if t.kind == want {
+            Ok(t)
+        } else {
+            Err(Diag::syntax(
+                t.pos,
+                format!("expected {want} {ctx}, found {}", t.kind),
+            ))
+        }
+    }
+
+    fn ident(&mut self, ctx: &str) -> Result<(String, Pos), Diag> {
+        let t = self.next();
+        match t.kind {
+            Tok::Ident(s) => Ok((s, t.pos)),
+            other => Err(Diag::syntax(
+                t.pos,
+                format!("expected identifier {ctx}, found {other}"),
+            )),
+        }
+    }
+
+    fn spec(&mut self) -> Result<Spec, Diag> {
+        let mut spec = Spec::default();
+        loop {
+            let t = self.next();
+            match t.kind {
+                Tok::Eof => break,
+                Tok::Ident(kw) if kw == "scenario" => {
+                    let s = self.scenario()?;
+                    self.check_unique(&spec, &s.name, s.pos)?;
+                    spec.scenarios.push(s);
+                }
+                Tok::Ident(kw) if kw == "trace" => {
+                    let tr = self.trace()?;
+                    self.check_unique(&spec, &tr.name, tr.pos)?;
+                    spec.traces.push(tr);
+                }
+                other => {
+                    return Err(Diag::syntax(
+                        t.pos,
+                        format!("expected `scenario` or `trace` at top level, found {other}"),
+                    ));
+                }
+            }
+        }
+        Ok(spec)
+    }
+
+    fn check_unique(&self, spec: &Spec, name: &str, pos: Pos) -> Result<(), Diag> {
+        let taken = spec.scenarios.iter().any(|s| s.name == name)
+            || spec.traces.iter().any(|t| t.name == name);
+        if taken {
+            Err(Diag::field(
+                pos,
+                name.to_string(),
+                "duplicate block name (scenario and trace names share one namespace)",
+            ))
+        } else {
+            Ok(())
+        }
+    }
+
+    fn scenario(&mut self) -> Result<Scenario, Diag> {
+        let (name, pos) = self.ident("after `scenario`")?;
+        self.expect(Tok::LBrace, "to open the scenario block")?;
+        let mut s = Scenario::with_defaults(name, pos);
+        let mut seen: Vec<String> = Vec::new();
+        loop {
+            let t = self.next();
+            let (field, fpos) = match t.kind {
+                Tok::RBrace => break,
+                Tok::Ident(f) => (f, t.pos),
+                other => {
+                    return Err(Diag::syntax(
+                        t.pos,
+                        format!("expected a field name or `}}`, found {other}"),
+                    ));
+                }
+            };
+            let path = format!("{}.{}", s.name, field);
+            if seen.contains(&field) {
+                return Err(Diag::field(fpos, path, "field set twice"));
+            }
+            self.expect(Tok::Eq, &format!("after field `{field}`"))?;
+            match field.as_str() {
+                "seed" => s.seed = self.u64_value(&path)?,
+                "tasks" => {
+                    s.tasks = self.uknob(&path, fpos, TASKS_RANGE.0, TASKS_RANGE.1)?;
+                }
+                "edges" => s.edges = self.uknob(&path, fpos, 1, MAX_EDGES)?,
+                "task_size" => s.task_size = self.size_mix(&path, fpos)?,
+                "distances" => s.distances = self.distances(&path, fpos)?,
+                "locality" => s.locality = self.fknob(&path, fpos, 0.0, 1.0)?,
+                "path_dep" => s.path_dep = self.fknob(&path, fpos, 0.0, 1.0)?,
+                "fp" => s.fp = self.fknob(&path, fpos, 0.0, 1.0)?,
+                "expect_misspec_per_load" => {
+                    let k = self.fknob(&path, fpos, 0.0, 1.0)?;
+                    s.expect_misspec_per_load = Some((k.lo, k.hi));
+                }
+                _ => {
+                    return Err(Diag::field(
+                        fpos,
+                        path,
+                        "unknown field (valid: seed, tasks, task_size, distances, edges, \
+                         locality, path_dep, fp, expect_misspec_per_load)",
+                    ));
+                }
+            }
+            seen.push(field);
+        }
+        Ok(s)
+    }
+
+    /// A single non-negative number as f64 (int or float literal).
+    fn number(&mut self, path: &str) -> Result<(f64, Pos), Diag> {
+        let t = self.next();
+        match t.kind {
+            Tok::Int(v) => Ok((v as f64, t.pos)),
+            Tok::Float(v) => Ok((v, t.pos)),
+            other => Err(Diag::field(
+                t.pos,
+                path.to_string(),
+                format!("expected a number, found {other}"),
+            )),
+        }
+    }
+
+    fn u64_value(&mut self, path: &str) -> Result<u64, Diag> {
+        let t = self.next();
+        match t.kind {
+            Tok::Int(v) => Ok(v),
+            other => Err(Diag::field(
+                t.pos,
+                path.to_string(),
+                format!("expected an integer, found {other}"),
+            )),
+        }
+    }
+
+    /// `N` or `N .. M`, bounds-checked inclusive.
+    fn uknob(&mut self, path: &str, fpos: Pos, min: u64, max: u64) -> Result<UKnob, Diag> {
+        let lo = self.u64_value(path)?;
+        let hi = if self.peek().kind == Tok::DotDot {
+            self.next();
+            self.u64_value(path)?
+        } else {
+            lo
+        };
+        if lo > hi {
+            return Err(Diag::field(
+                fpos,
+                path.to_string(),
+                format!("range lower bound {lo} exceeds upper bound {hi}"),
+            ));
+        }
+        if lo < min || hi > max {
+            return Err(Diag::field(
+                fpos,
+                path.to_string(),
+                format!("value must lie in {min}..={max}, got {lo}..{hi}"),
+            ));
+        }
+        Ok(UKnob { lo, hi })
+    }
+
+    /// `x` or `x .. y`, bounds-checked inclusive.
+    fn fknob(&mut self, path: &str, fpos: Pos, min: f64, max: f64) -> Result<FKnob, Diag> {
+        let (lo, _) = self.number(path)?;
+        let hi = if self.peek().kind == Tok::DotDot {
+            self.next();
+            self.number(path)?.0
+        } else {
+            lo
+        };
+        if lo > hi {
+            return Err(Diag::field(
+                fpos,
+                path.to_string(),
+                format!("range lower bound {lo} exceeds upper bound {hi}"),
+            ));
+        }
+        if lo < min || hi > max {
+            return Err(Diag::field(
+                fpos,
+                path.to_string(),
+                format!("value must lie in [{min}, {max}], got {lo}..{hi}"),
+            ));
+        }
+        Ok(FKnob { lo, hi })
+    }
+
+    /// `{ small: w, medium: w, large: w }` — any subset, rest 0.
+    fn size_mix(&mut self, path: &str, fpos: Pos) -> Result<SizeMix, Diag> {
+        self.expect(Tok::LBrace, "to open the task_size map")?;
+        let mut mix = SizeMix {
+            small: 0.0,
+            medium: 0.0,
+            large: 0.0,
+        };
+        let mut seen: Vec<String> = Vec::new();
+        loop {
+            if self.peek().kind == Tok::RBrace {
+                self.next();
+                break;
+            }
+            let (cls, cpos) = self.ident("for a task-size class")?;
+            let cpath = format!("{path}.{cls}");
+            if seen.contains(&cls) {
+                return Err(Diag::field(cpos, cpath, "class listed twice"));
+            }
+            self.expect(Tok::Colon, "after the class name")?;
+            let (w, wpos) = self.number(&cpath)?;
+            if !w.is_finite() || w < 0.0 {
+                return Err(Diag::field(
+                    wpos,
+                    cpath,
+                    format!("weight must be a finite non-negative number, got {w}"),
+                ));
+            }
+            match cls.as_str() {
+                "small" => mix.small = w,
+                "medium" => mix.medium = w,
+                "large" => mix.large = w,
+                _ => {
+                    return Err(Diag::field(
+                        cpos,
+                        cpath,
+                        "unknown task-size class (valid: small, medium, large)",
+                    ));
+                }
+            }
+            seen.push(cls);
+            if self.peek().kind == Tok::Comma {
+                self.next();
+            }
+        }
+        if mix.small + mix.medium + mix.large <= 0.0 {
+            return Err(Diag::field(
+                fpos,
+                path.to_string(),
+                "task-size weights must not all be zero",
+            ));
+        }
+        Ok(mix)
+    }
+
+    /// `{ distance: probability, ... }` — may be empty.
+    fn distances(&mut self, path: &str, fpos: Pos) -> Result<Vec<(u32, f64)>, Diag> {
+        self.expect(Tok::LBrace, "to open the distances map")?;
+        let mut out: Vec<(u32, f64)> = Vec::new();
+        loop {
+            if self.peek().kind == Tok::RBrace {
+                self.next();
+                break;
+            }
+            let t = self.next();
+            let (d, dpos) = match t.kind {
+                Tok::Int(v) => (v, t.pos),
+                other => {
+                    return Err(Diag::field(
+                        t.pos,
+                        path.to_string(),
+                        format!("expected an integer task distance, found {other}"),
+                    ));
+                }
+            };
+            let dpath = format!("{path}.{d}");
+            if d < 1 || d > u64::from(MAX_DISTANCE) {
+                return Err(Diag::field(
+                    dpos,
+                    dpath,
+                    format!("distance must lie in 1..={MAX_DISTANCE}"),
+                ));
+            }
+            let d = d as u32;
+            if out.iter().any(|&(k, _)| k == d) {
+                return Err(Diag::field(dpos, dpath, "distance listed twice"));
+            }
+            self.expect(Tok::Colon, "after the distance")?;
+            let (p, ppos) = self.number(&dpath)?;
+            if !(p > 0.0 && p <= 1.0) {
+                return Err(Diag::field(
+                    ppos,
+                    dpath,
+                    format!("probability must lie in (0, 1], got {p}"),
+                ));
+            }
+            out.push((d, p));
+            if self.peek().kind == Tok::Comma {
+                self.next();
+            }
+        }
+        let sum: f64 = out.iter().map(|&(_, p)| p).sum();
+        if sum > 1.0 + 1e-9 {
+            return Err(Diag::field(
+                fpos,
+                path.to_string(),
+                format!("probabilities sum to {sum:.3}, must be <= 1"),
+            ));
+        }
+        out.sort_by_key(|&(d, _)| d);
+        Ok(out)
+    }
+
+    /// `trace NAME { events = [ t, l ADDR, s ADDR, ... ] }`
+    fn trace(&mut self) -> Result<TraceDef, Diag> {
+        let (name, pos) = self.ident("after `trace`")?;
+        let path = name.clone();
+        self.expect(Tok::LBrace, "to open the trace block")?;
+        let (field, fpos) = self.ident("for the trace body")?;
+        if field != "events" {
+            return Err(Diag::field(
+                fpos,
+                format!("{path}.{field}"),
+                "unknown field (a trace block holds only `events = [...]`)",
+            ));
+        }
+        let epath = format!("{path}.events");
+        self.expect(Tok::Eq, "after `events`")?;
+        self.expect(Tok::LBracket, "to open the event list")?;
+        let mut events: Vec<TraceEvent> = Vec::new();
+        loop {
+            if self.peek().kind == Tok::RBracket {
+                self.next();
+                break;
+            }
+            let t = self.next();
+            let kw = match t.kind {
+                Tok::Ident(k) => k,
+                other => {
+                    return Err(Diag::field(
+                        t.pos,
+                        epath.clone(),
+                        format!("expected an event (`t`, `l <addr>`, `s <addr>`), found {other}"),
+                    ));
+                }
+            };
+            let ev = match kw.as_str() {
+                "t" | "task" => TraceEvent::Task,
+                "l" | "load" => TraceEvent::Load(self.u64_value(&epath)?),
+                "s" | "store" => TraceEvent::Store(self.u64_value(&epath)?),
+                _ => {
+                    return Err(Diag::field(
+                        t.pos,
+                        epath.clone(),
+                        format!("unknown event `{kw}` (valid: t/task, l/load, s/store)"),
+                    ));
+                }
+            };
+            if events.len() >= MAX_TRACE_EVENTS {
+                return Err(Diag::field(
+                    t.pos,
+                    epath.clone(),
+                    format!("trace exceeds {MAX_TRACE_EVENTS} events"),
+                ));
+            }
+            events.push(ev);
+            if self.peek().kind == Tok::Comma {
+                self.next();
+            }
+        }
+        self.expect(Tok::RBrace, "to close the trace block")?;
+        if events.first() != Some(&TraceEvent::Task) {
+            return Err(Diag::field(
+                fpos,
+                epath,
+                "event list must be non-empty and start with a task event",
+            ));
+        }
+        Ok(TraceDef { name, pos, events })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_full_scenario() {
+        let spec = parse(
+            "# phenotype sweep\n\
+             scenario demo {\n\
+               seed = 7\n\
+               tasks = 4096\n\
+               task_size = { small: 0.6, medium: 0.3, large: 0.1 }\n\
+               distances = { 1: 0.05, 8: 0.03 }\n\
+               edges = 2 .. 8\n\
+               locality = 0.9\n\
+               path_dep = 0.25\n\
+               fp = 0.0 .. 0.5\n\
+               expect_misspec_per_load = 0.001 .. 0.25\n\
+             }\n",
+        )
+        .unwrap();
+        let s = spec.scenario("demo").unwrap();
+        assert_eq!(s.seed, 7);
+        assert_eq!(s.distances, vec![(1, 0.05), (8, 0.03)]);
+        assert_eq!(s.edges, UKnob { lo: 2, hi: 8 });
+        assert!((s.conflict_mass() - 0.08).abs() < 1e-12);
+        assert_eq!(s.fp, FKnob { lo: 0.0, hi: 0.5 });
+    }
+
+    #[test]
+    fn defaults_fill_an_empty_block() {
+        let spec = parse("scenario bare {}").unwrap();
+        let s = spec.scenario("bare").unwrap();
+        assert_eq!(s.tasks, UKnob::of(4096));
+        assert!(s.distances.is_empty());
+        assert_eq!(s.task_size, SizeMix::DEFAULT);
+    }
+
+    #[test]
+    fn duplicate_scenario_names_are_rejected_with_position() {
+        let err = parse("scenario a {}\nscenario a {}").unwrap_err();
+        assert_eq!(err.pos.line, 2);
+        assert_eq!(err.path, "a");
+        assert!(err.msg.contains("duplicate"));
+    }
+
+    #[test]
+    fn oversum_distances_are_rejected_with_field_path() {
+        let err = parse("scenario a {\n  distances = { 1: 0.7, 2: 0.6 }\n}").unwrap_err();
+        assert_eq!(err.path, "a.distances");
+        assert_eq!(err.pos.line, 2);
+        assert!(err.msg.contains("sum to 1.300"), "{}", err.msg);
+    }
+
+    #[test]
+    fn out_of_range_knobs_are_rejected() {
+        for (src, path) in [
+            ("scenario a { edges = 0 }", "a.edges"),
+            ("scenario a { edges = 65 }", "a.edges"),
+            ("scenario a { tasks = 8 }", "a.tasks"),
+            ("scenario a { locality = 1.5 }", "a.locality"),
+            ("scenario a { path_dep = 0.9 .. 0.1 }", "a.path_dep"),
+            ("scenario a { distances = { 49: 0.1 } }", "a.distances.49"),
+            ("scenario a { distances = { 1: 0.0 } }", "a.distances.1"),
+        ] {
+            let err = parse(src).unwrap_err();
+            assert_eq!(err.path, path, "for {src}");
+        }
+    }
+
+    #[test]
+    fn unknown_fields_and_stray_tokens_are_positioned() {
+        let err = parse("scenario a {\n  frobnicate = 3\n}").unwrap_err();
+        assert_eq!((err.pos.line, err.pos.col), (2, 3));
+        assert_eq!(err.path, "a.frobnicate");
+        let err = parse("scenario a { seed = }").unwrap_err();
+        assert_eq!(err.path, "a.seed");
+    }
+
+    #[test]
+    fn traces_parse_and_must_start_with_a_task() {
+        let spec = parse("trace tr { events = [ t, l 0x10, s 0x10, t, l 0x10 ] }").unwrap();
+        assert_eq!(spec.traces[0].events.len(), 5);
+        assert_eq!(spec.traces[0].events[1], TraceEvent::Load(0x10));
+        let err = parse("trace tr { events = [ l 8 ] }").unwrap_err();
+        assert!(err.msg.contains("start with a task"), "{}", err.msg);
+    }
+
+    #[test]
+    fn field_set_twice_is_rejected() {
+        let err = parse("scenario a { seed = 1\n seed = 2 }").unwrap_err();
+        assert!(err.msg.contains("twice"));
+    }
+}

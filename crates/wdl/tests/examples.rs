@@ -1,0 +1,132 @@
+//! The checked-in example specs: their declared expectation bounds hold,
+//! and one compiled program per spec is pinned as a golden file.
+//!
+//! The golden files make lowering drift loud: any change to instruction
+//! selection, sampling order, or initial-data layout shows up as a
+//! golden diff (re-bless with `MDS_WDL_BLESS=1 cargo test -p mds-wdl
+//! --test examples` and review it like any other behavioral change).
+
+use mds_core::Policy;
+use mds_multiscalar::{MsConfig, Multiscalar};
+use mds_wdl::{expand, parse_spec, Spec};
+use mds_workloads::Scale;
+use std::path::PathBuf;
+
+const EXAMPLES: [&str; 3] = ["compress_like", "fpppp_like", "swim_like"];
+
+fn repo_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .canonicalize()
+        .expect("repo root")
+}
+
+fn load_example(name: &str) -> Spec {
+    let path = repo_root().join(format!("examples/{name}.wdl"));
+    let src =
+        std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    parse_spec(&src).unwrap_or_else(|d| panic!("{}", d.render(&path.display().to_string())))
+}
+
+#[test]
+fn example_specs_parse_and_declare_expectations() {
+    for name in EXAMPLES {
+        let spec = load_example(name);
+        assert_eq!(spec.scenarios.len(), 1, "{name}: one scenario per example");
+        assert_eq!(spec.scenarios[0].name, name);
+        assert!(
+            spec.scenarios[0].expect_misspec_per_load.is_some(),
+            "{name}: examples must declare expect_misspec_per_load"
+        );
+    }
+}
+
+#[test]
+fn declared_misspec_bounds_hold_across_the_family() {
+    for name in EXAMPLES {
+        let spec = load_example(name);
+        let s = &spec.scenarios[0];
+        let (lo, hi) = s.expect_misspec_per_load.expect("declared");
+        for inst in expand(s, 0, 3) {
+            let program = mds_wdl::compile(&inst, Scale::Tiny);
+            let r = Multiscalar::new(MsConfig::paper(8, Policy::Always))
+                .run(&program)
+                .expect("example simulates");
+            let per_load = r.misspec_per_committed_load();
+            assert!(
+                (lo..=hi).contains(&per_load),
+                "{}: ALWAYS misspec/load {per_load:.4} outside declared [{lo}, {hi}]",
+                inst.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn swim_like_is_squash_free_under_every_policy() {
+    let spec = load_example("swim_like");
+    let inst = &expand(&spec.scenarios[0], 0, 1)[0];
+    let program = mds_wdl::compile(inst, Scale::Tiny);
+    for policy in [
+        Policy::Never,
+        Policy::Always,
+        Policy::Sync,
+        Policy::Esync,
+        Policy::PSync,
+    ] {
+        let r = Multiscalar::new(MsConfig::paper(8, policy))
+            .run(&program)
+            .expect("simulates");
+        assert_eq!(r.misspeculations, 0, "{policy}: streaming must not squash");
+    }
+}
+
+/// The pinned textual form: member 0 of each example at tiny scale —
+/// a data fingerprint line plus the full disassembly.
+fn golden_dump(name: &str) -> String {
+    let spec = load_example(name);
+    let inst = &expand(&spec.scenarios[0], 0, 1)[0];
+    let program = mds_wdl::compile(inst, Scale::Tiny);
+    let data: Vec<u8> = program
+        .initial_data()
+        .flat_map(|(addr, word): (u64, u64)| {
+            let mut bytes = addr.to_le_bytes().to_vec();
+            bytes.extend_from_slice(&word.to_le_bytes());
+            bytes
+        })
+        .collect();
+    format!(
+        "# {} @ tiny\n# canonical: {}\n# data fnv1a: {:016x}\n{}",
+        inst.name(),
+        inst.canonical(),
+        mds_wdl::generate::fnv1a(&data),
+        program.disassemble()
+    )
+}
+
+#[test]
+fn golden_programs_are_pinned() {
+    let dir = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/golden");
+    let bless = std::env::var_os("MDS_WDL_BLESS").is_some();
+    for name in EXAMPLES {
+        let path = dir.join(format!("{name}.txt"));
+        let actual = golden_dump(name);
+        if bless {
+            std::fs::create_dir_all(&dir).expect("golden dir");
+            std::fs::write(&path, &actual).expect("bless golden");
+            continue;
+        }
+        let expected = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+            panic!(
+                "read {}: {e}\n(bless with MDS_WDL_BLESS=1 cargo test -p mds-wdl --test examples)",
+                path.display()
+            )
+        });
+        assert_eq!(
+            actual, expected,
+            "{name}: compiled program drifted from the golden file; if the \
+             change is intentional re-bless with MDS_WDL_BLESS=1 and review \
+             the diff"
+        );
+    }
+}

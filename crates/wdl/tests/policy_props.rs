@@ -1,0 +1,190 @@
+//! Generative policy-ordering properties over sampled WDL scenarios.
+//!
+//! The hand-written suites test the paper's claims at 23 points; this
+//! suite asserts them across hundreds of *sampled* points in workload
+//! space per run (224 scenarios at the default configuration, each
+//! compiled at tiny scale and simulated under up to five policies):
+//!
+//! - **NEVER is squash-free** — refusing to speculate can serialize but
+//!   never mis-speculates, on any phenotype;
+//! - **synchronization never increases squashes** — SYNC and ESYNC
+//!   mis-speculation counts never exceed blind speculation's (ALWAYS),
+//!   the core table-8 ordering;
+//! - **oracle synchronization orders ALWAYS on high-conflict families**
+//!   — with ≥30% dependence mass at co-resident distances, PSYNC's
+//!   cycle count stays within a whisker of (and usually beats) blind
+//!   speculation;
+//! - **generation is deterministic** — same `(spec, seed, index)`
+//!   compiles to byte-identical programs; distinct members get distinct
+//!   fingerprints.
+//!
+//! Seeds replay exactly like every other `properties!` suite
+//! (`MDS_PROP_SEED=<hex> cargo test -p mds-wdl --test policy_props`).
+
+use mds_core::Policy;
+use mds_harness::prelude::*;
+use mds_multiscalar::{MsConfig, MsResult, Multiscalar};
+use mds_wdl::Instance;
+use mds_workloads::Scale;
+
+/// Renders a scenario from sampled raw knobs and resolves member 0.
+///
+/// Going through the *text* format on every case means the parser and
+/// validator are fuzzed with structurally valid specs for free.
+#[allow(clippy::too_many_arguments)]
+fn sample_instance(
+    seed: u64,
+    tasks: u64,
+    edges: u64,
+    loc_pct: u64,
+    path_pct: u64,
+    fp_pct: u64,
+    mass_pct: u64,
+    dist_picks: &[u64],
+    max_distance: u64,
+) -> Instance {
+    let dist_line = if mass_pct == 0 {
+        // Zero dependence mass: a pure-independent scenario with no
+        // distances block at all (a zero probability would be invalid).
+        String::new()
+    } else {
+        let dists: Vec<String> = dist_picks
+            .iter()
+            .enumerate()
+            .map(|(i, &pick)| {
+                // Spread picks over disjoint bands so distances are unique.
+                let band = (max_distance / dist_picks.len() as u64).max(1);
+                let d = (i as u64 * band + pick % band + 1).min(48);
+                format!(
+                    "{d}: {:.4}",
+                    mass_pct as f64 / 100.0 / dist_picks.len() as f64
+                )
+            })
+            .collect();
+        format!("distances = {{ {} }}\n", dists.join(", "))
+    };
+    let src = format!(
+        "scenario sampled {{\n\
+           seed = {seed}\n\
+           tasks = {tasks}\n\
+           edges = {edges}\n\
+           locality = 0.{loc_pct:02}\n\
+           path_dep = 0.{path_pct:02}\n\
+           fp = 0.{fp_pct:02}\n\
+           {dist_line}\
+         }}",
+    );
+    let spec = mds_wdl::parse_spec(&src).expect("sampled spec parses");
+    mds_wdl::instantiate(&spec.scenarios[0], seed ^ 0xfa51, 0)
+}
+
+fn run(inst: &Instance, policy: Policy) -> MsResult {
+    let program = mds_wdl::compile(inst, Scale::Tiny);
+    Multiscalar::new(MsConfig::paper(8, policy))
+        .run(&program)
+        .expect("generated program simulates")
+}
+
+properties! {
+    #![config(PropConfig { cases: 112, ..PropConfig::default() })]
+
+    /// NEVER never squashes, and synchronizing policies never squash
+    /// more than blind speculation, on any sampled phenotype.
+    #[test]
+    fn synchronization_never_increases_squashes(
+        seed in any::<u64>(),
+        shape in (1024u64..4097, 1u64..33, 50u64..100),
+        rates in (0u64..51, 0u64..100, 0u64..61),
+        dist_picks in vec_of(0u64..48, 1usize..4),
+    ) {
+        let (tasks, edges, loc_pct) = shape;
+        let (path_pct, fp_pct, mass_pct) = rates;
+        let inst = sample_instance(
+            seed, tasks, edges, loc_pct, path_pct, fp_pct, mass_pct,
+            &dist_picks, 48,
+        );
+        let never = run(&inst, Policy::Never);
+        let always = run(&inst, Policy::Always);
+        let sync = run(&inst, Policy::Sync);
+        let esync = run(&inst, Policy::Esync);
+        prop_assert_eq!(never.misspeculations, 0);
+        prop_assert!(
+            sync.misspeculations <= always.misspeculations,
+            "SYNC {} > ALWAYS {} on {}",
+            sync.misspeculations,
+            always.misspeculations,
+            inst.canonical()
+        );
+        prop_assert!(
+            esync.misspeculations <= always.misspeculations,
+            "ESYNC {} > ALWAYS {} on {}",
+            esync.misspeculations,
+            always.misspeculations,
+            inst.canonical()
+        );
+    }
+}
+
+properties! {
+    #![config(PropConfig { cases: 64, ..PropConfig::default() })]
+
+    /// On high-conflict families (≥30% dependence mass, co-resident
+    /// distances), oracle pair synchronization is at least as fast as
+    /// blind speculation, within the repo's 2% timing-model tolerance.
+    #[test]
+    fn psync_orders_always_on_high_conflict(
+        seed in any::<u64>(),
+        tasks in 1024u64..4097,
+        edges in 1u64..17,
+        loc_pct in 70u64..100,
+        mass_pct in 30u64..61,
+        dist_picks in vec_of(0u64..7, 1usize..3),
+    ) {
+        let inst = sample_instance(
+            seed, tasks, edges, loc_pct, 0, 0, mass_pct, &dist_picks, 7,
+        );
+        let always = run(&inst, Policy::Always);
+        let psync = run(&inst, Policy::PSync);
+        prop_assert!(
+            (psync.cycles as f64) <= always.cycles as f64 * 1.02 + 8.0,
+            "PSYNC {} cycles vs ALWAYS {} on {}",
+            psync.cycles,
+            always.cycles,
+            inst.canonical()
+        );
+    }
+}
+
+properties! {
+    #![config(PropConfig { cases: 48, ..PropConfig::default() })]
+
+    /// Same identity compiles byte-identical; sibling members differ.
+    #[test]
+    fn generation_is_deterministic(
+        seed in any::<u64>(),
+        tasks in 1024u64..4097,
+        edges in 1u64..33,
+        mass_pct in 0u64..61,
+        dist_picks in vec_of(0u64..48, 1usize..4),
+    ) {
+        let inst = sample_instance(
+            seed, tasks, edges, 90, 10, 25, mass_pct, &dist_picks, 48,
+        );
+        let a = mds_wdl::compile(&inst, Scale::Tiny);
+        let b = mds_wdl::compile(&inst, Scale::Tiny);
+        prop_assert_eq!(a.instructions(), b.instructions());
+        prop_assert_eq!(
+            a.initial_data().collect::<Vec<_>>(),
+            b.initial_data().collect::<Vec<_>>()
+        );
+        // A sibling member must carry a distinct identity.
+        let src = format!(
+            "scenario sampled {{ seed = {seed} tasks = {tasks} }}"
+        );
+        let spec = mds_wdl::parse_spec(&src).unwrap();
+        let m0 = mds_wdl::instantiate(&spec.scenarios[0], 1, 0);
+        let m1 = mds_wdl::instantiate(&spec.scenarios[0], 1, 1);
+        prop_assert!(m0.fingerprint() != m1.fingerprint());
+        prop_assert!(m0.member_seed != m1.member_seed);
+    }
+}

@@ -23,55 +23,53 @@
 //!    ESYNC predictor has task PCs to key on.
 
 use crate::util::{alloc_linked_ring, alloc_random, loop_epilogue, task_hash, HASH_K};
-use crate::{Scale, Suite, Workload};
+use crate::{Builder, Scale, Suite, Workload};
 use mds_isa::{Program, ProgramBuilder, Reg};
 
 /// The five int92 workloads in the paper's order.
-pub fn workloads() -> Vec<Workload> {
-    vec![
-        Workload {
-            name: "compress",
-            suite: Suite::Int92,
-            description: "LZW-style compressor: streaming I/O, hash-table probes, sampled \
+pub const WORKLOADS: [Workload; 5] = [
+    Workload {
+        name: "compress",
+        suite: Suite::Int92,
+        description: "LZW-style compressor: streaming I/O, hash-table probes, sampled \
                           global counters",
-            phenotype: "few hot store->load edges on globals with hit/miss path-dependent \
+        phenotype: "few hot store->load edges on globals with hit/miss path-dependent \
                         dependences; table inserts resolve their addresses late",
-            build: compress,
-        },
-        Workload {
-            name: "espresso",
-            suite: Suite::Int92,
-            description: "logic minimizer: pointer walks over cube lists, ~100-instruction tasks",
-            phenotype: "an intermittent result-index recurrence; large tasks make each \
+        builder: Builder::Static(compress),
+    },
+    Workload {
+        name: "espresso",
+        suite: Suite::Int92,
+        description: "logic minimizer: pointer walks over cube lists, ~100-instruction tasks",
+        phenotype: "an intermittent result-index recurrence; large tasks make each \
                         mis-speculation expensive, so synchronization pays a lot",
-            build: espresso,
-        },
-        Workload {
-            name: "gcc",
-            suite: Suite::Int92,
-            description: "compiler: irregular IR-node rewriting across many code paths",
-            phenotype: "many static dependence edges with poor temporal locality — the \
+        builder: Builder::Static(espresso),
+    },
+    Workload {
+        name: "gcc",
+        suite: Suite::Int92,
+        description: "compiler: irregular IR-node rewriting across many code paths",
+        phenotype: "many static dependence edges with poor temporal locality — the \
                         workload where even large DDCs keep missing",
-            build: gcc,
-        },
-        Workload {
-            name: "sc",
-            suite: Suite::Int92,
-            description: "spreadsheet: cell recalculation with interpreter overhead",
-            phenotype: "neighbor-cell dependences at task distances 1 and 8, plus \
+        builder: Builder::Static(gcc),
+    },
+    Workload {
+        name: "sc",
+        suite: Suite::Int92,
+        description: "spreadsheet: cell recalculation with interpreter overhead",
+        phenotype: "neighbor-cell dependences at task distances 1 and 8, plus \
                         late-addressed writes to referenced cells that punish WAIT",
-            build: sc,
-        },
-        Workload {
-            name: "xlisp",
-            suite: Suite::Int92,
-            description: "lisp interpreter: list traversal with sampled cons-cell allocation",
-            phenotype: "a scorching free-list-head recurrence firing on a quarter of the \
+        builder: Builder::Static(sc),
+    },
+    Workload {
+        name: "xlisp",
+        suite: Suite::Int92,
+        description: "lisp interpreter: list traversal with sampled cons-cell allocation",
+        phenotype: "a scorching free-list-head recurrence firing on a quarter of the \
                         tasks, buried in independent pointer-chasing work",
-            build: xlisp,
-        },
-    ]
-}
+        builder: Builder::Static(xlisp),
+    },
+];
 
 /// LZW-flavored compressor kernel. Per task (one input symbol): stream
 /// one word of private input to output (independent work), hash-probe a

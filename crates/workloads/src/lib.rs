@@ -34,7 +34,7 @@
 //! use mds_emu::Emulator;
 //!
 //! let wl = by_name("compress").expect("registered workload");
-//! let program = (wl.build)(Scale::Tiny);
+//! let program = wl.build(Scale::Tiny);
 //! let summary = Emulator::new(&program).run_with(|_| {})?;
 //! assert!(summary.tasks > 10);
 //! assert!(summary.loads > 0 && summary.stores > 0);
@@ -45,9 +45,12 @@
 #![warn(missing_docs)]
 
 pub mod int92;
+pub mod registry;
 pub mod spec95fp;
 pub mod spec95int;
 pub mod util;
+
+pub use registry::{register_generated, GeneratedSpec, RegistryError};
 
 use mds_isa::Program;
 
@@ -86,6 +89,33 @@ pub enum Suite {
     Spec95Int,
     /// SPECfp95 (figure 7, floating-point half).
     Spec95Fp,
+    /// Generated at runtime from a WDL scenario or imported trace.
+    Generated,
+}
+
+impl Suite {
+    /// Stable lowercase label used by `repro list` and results tables.
+    pub fn name(self) -> &'static str {
+        match self {
+            Suite::Int92 => "int92",
+            Suite::Spec95Int => "spec95-int",
+            Suite::Spec95Fp => "spec95-fp",
+            Suite::Generated => "generated",
+        }
+    }
+}
+
+/// How a workload's program is constructed.
+///
+/// Hand-written workloads carry a plain function pointer so the registry
+/// tables stay `const`; generated workloads are resolved by name through
+/// the [`registry`], whose entries close over their compiled spec.
+#[derive(Debug, Clone, Copy)]
+pub enum Builder {
+    /// A hand-written constructor, resolved at compile time.
+    Static(fn(Scale) -> Program),
+    /// Resolved through [`registry::build_dynamic`] by workload name.
+    Dynamic,
 }
 
 /// A registered synthetic workload.
@@ -99,33 +129,65 @@ pub struct Workload {
     pub description: &'static str,
     /// The dependence phenotype this synthetic program reproduces.
     pub phenotype: &'static str,
-    /// Builds the program at the given scale.
-    pub build: fn(Scale) -> Program,
+    /// How to construct the program.
+    pub builder: Builder,
 }
 
-/// All workloads, int92 suite first, then SPEC95 int, then SPEC95 fp.
+impl Workload {
+    /// Builds the program at the given scale.
+    ///
+    /// Deterministic: two calls with the same name and scale yield
+    /// byte-identical programs (the trace cache relies on this).
+    pub fn build(&self, scale: Scale) -> Program {
+        match self.builder {
+            Builder::Static(f) => f(scale),
+            Builder::Dynamic => registry::build_dynamic(self.name, scale),
+        }
+    }
+}
+
+/// All hand-written workloads, int92 suite first, then SPEC95 int, then
+/// SPEC95 fp. Generated workloads are listed by [`generated`] instead.
 pub fn all() -> Vec<Workload> {
-    let mut v = int92::workloads();
-    v.extend(spec95int::workloads());
-    v.extend(spec95fp::workloads());
+    let mut v = int92_suite();
+    v.extend(spec95_suite());
     v
 }
 
 /// The SPECint92-substitute suite (the paper's five primary programs).
 pub fn int92_suite() -> Vec<Workload> {
-    int92::workloads()
+    int92::WORKLOADS.to_vec()
 }
 
 /// The SPEC95-substitute suite (figure 7).
 pub fn spec95_suite() -> Vec<Workload> {
-    let mut v = spec95int::workloads();
-    v.extend(spec95fp::workloads());
+    let mut v = spec95int::WORKLOADS.to_vec();
+    v.extend_from_slice(&spec95fp::WORKLOADS);
     v
 }
 
-/// Looks up a workload by name.
+/// Workloads registered at runtime through the dynamic [`registry`], in
+/// registration order.
+pub fn generated() -> Vec<Workload> {
+    registry::generated()
+}
+
+/// Looks up a workload by name: the static tables first, then the
+/// dynamic registry.
+///
+/// Scans the `const` name tables directly — no per-lookup allocation.
 pub fn by_name(name: &str) -> Option<Workload> {
-    all().into_iter().find(|w| w.name == name)
+    static_by_name(name).or_else(|| registry::by_name(name))
+}
+
+/// Looks up a hand-written workload in the `const` suite tables.
+pub(crate) fn static_by_name(name: &str) -> Option<Workload> {
+    int92::WORKLOADS
+        .iter()
+        .chain(spec95int::WORKLOADS.iter())
+        .chain(spec95fp::WORKLOADS.iter())
+        .find(|w| w.name == name)
+        .copied()
 }
 
 #[cfg(test)]
@@ -158,7 +220,7 @@ mod tests {
     #[test]
     fn every_workload_builds_and_halts_at_tiny_scale() {
         for wl in all() {
-            let p = (wl.build)(Scale::Tiny);
+            let p = wl.build(Scale::Tiny);
             let mut emu = Emulator::new(&p).with_limit(20_000_000);
             let sum = emu
                 .run_with(|_| {})
@@ -180,8 +242,8 @@ mod tests {
     #[test]
     fn workloads_are_deterministic() {
         for wl in [by_name("compress").unwrap(), by_name("gcc").unwrap()] {
-            let a = (wl.build)(Scale::Tiny);
-            let b = (wl.build)(Scale::Tiny);
+            let a = wl.build(Scale::Tiny);
+            let b = wl.build(Scale::Tiny);
             assert_eq!(a.instructions(), b.instructions(), "{}", wl.name);
             assert_eq!(
                 a.initial_data().collect::<Vec<_>>(),

@@ -1,0 +1,269 @@
+//! Dynamic workload registry for generated programs.
+//!
+//! The hand-written suites live in `const` tables; workloads compiled at
+//! runtime (WDL scenarios, imported traces) register here instead. An
+//! entry pairs a [`Workload`] descriptor — whose `builder` is
+//! [`Builder::Dynamic`] — with the closure that compiles its program and
+//! a **fingerprint** of the spec it was compiled from.
+//!
+//! The fingerprint is the integrity guarantee behind cache identity: the
+//! runner's trace cache keys on `(name, scale)`, so re-registering a name
+//! with *different* content would silently alias two distinct programs.
+//! Registration is therefore idempotent for an identical `(name,
+//! fingerprint)` pair and an error for a mismatched one.
+//!
+//! Names, descriptions, and phenotype strings are interned (leaked) so
+//! [`Workload`] can stay `Copy` with `&'static str` fields. The leak is
+//! bounded by the number of *distinct* registered names per process;
+//! idempotent re-registration allocates nothing.
+
+use crate::{static_by_name, Builder, Scale, Suite, Workload};
+use mds_isa::Program;
+use std::collections::HashMap;
+use std::sync::{Arc, OnceLock, RwLock};
+
+/// The compile closure a dynamic entry carries.
+pub type BuildFn = Arc<dyn Fn(Scale) -> Program + Send + Sync>;
+
+/// Everything needed to register a generated workload.
+pub struct GeneratedSpec {
+    /// Unique workload name (e.g. `wdl/compress_like/s0/0`).
+    pub name: String,
+    /// Human-readable provenance line.
+    pub description: String,
+    /// Phenotype one-liner shown by `repro list`.
+    pub phenotype: String,
+    /// Hash of the canonical spec identity `(spec, seed, index)`.
+    pub fingerprint: u64,
+    /// Compiles the program; must be deterministic in `scale`.
+    pub build: BuildFn,
+}
+
+/// Why a registration was refused.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RegistryError {
+    /// The name is empty or contains whitespace.
+    InvalidName(String),
+    /// The name belongs to a hand-written workload.
+    ShadowsStatic(String),
+    /// The name is registered with a different fingerprint.
+    FingerprintMismatch {
+        /// The contested workload name.
+        name: String,
+        /// Fingerprint already registered under the name.
+        registered: u64,
+        /// Fingerprint of the rejected registration.
+        offered: u64,
+    },
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::InvalidName(n) => {
+                write!(
+                    f,
+                    "invalid workload name {n:?}: must be non-empty, no whitespace"
+                )
+            }
+            RegistryError::ShadowsStatic(n) => {
+                write!(f, "workload name {n:?} shadows a hand-written workload")
+            }
+            RegistryError::FingerprintMismatch {
+                name,
+                registered,
+                offered,
+            } => write!(
+                f,
+                "workload {name:?} already registered with fingerprint \
+                 {registered:#018x}, refusing conflicting {offered:#018x}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+struct Entry {
+    workload: Workload,
+    fingerprint: u64,
+    build: BuildFn,
+    order: usize,
+}
+
+fn state() -> &'static RwLock<HashMap<&'static str, Entry>> {
+    static STATE: OnceLock<RwLock<HashMap<&'static str, Entry>>> = OnceLock::new();
+    STATE.get_or_init(|| RwLock::new(HashMap::new()))
+}
+
+/// Registers a generated workload, returning its `Copy`able descriptor.
+///
+/// Idempotent: registering the same `(name, fingerprint)` again returns
+/// the existing descriptor without allocating. A fingerprint mismatch is
+/// an error — see the module docs for why that must never be silent.
+pub fn register_generated(spec: GeneratedSpec) -> Result<Workload, RegistryError> {
+    if spec.name.is_empty() || spec.name.chars().any(char::is_whitespace) {
+        return Err(RegistryError::InvalidName(spec.name));
+    }
+    if static_by_name(&spec.name).is_some() {
+        return Err(RegistryError::ShadowsStatic(spec.name));
+    }
+    let mut map = state().write().expect("workload registry poisoned");
+    if let Some(existing) = map.get(spec.name.as_str()) {
+        if existing.fingerprint == spec.fingerprint {
+            return Ok(existing.workload);
+        }
+        return Err(RegistryError::FingerprintMismatch {
+            name: spec.name,
+            registered: existing.fingerprint,
+            offered: spec.fingerprint,
+        });
+    }
+    fn leak(s: String) -> &'static str {
+        Box::leak(s.into_boxed_str())
+    }
+    let name: &'static str = leak(spec.name);
+    let workload = Workload {
+        name,
+        suite: Suite::Generated,
+        description: leak(spec.description),
+        phenotype: leak(spec.phenotype),
+        builder: Builder::Dynamic,
+    };
+    let order = map.len();
+    map.insert(
+        name,
+        Entry {
+            workload,
+            fingerprint: spec.fingerprint,
+            build: spec.build,
+            order,
+        },
+    );
+    Ok(workload)
+}
+
+/// Looks up a dynamic workload by name.
+pub fn by_name(name: &str) -> Option<Workload> {
+    state()
+        .read()
+        .expect("workload registry poisoned")
+        .get(name)
+        .map(|e| e.workload)
+}
+
+/// All dynamic workloads, in registration order.
+pub fn generated() -> Vec<Workload> {
+    let map = state().read().expect("workload registry poisoned");
+    let mut entries: Vec<(&usize, Workload)> =
+        map.values().map(|e| (&e.order, e.workload)).collect();
+    entries.sort_by_key(|(order, _)| **order);
+    entries.into_iter().map(|(_, w)| w).collect()
+}
+
+/// Builds a dynamic workload's program.
+///
+/// # Panics
+///
+/// Panics if `name` is not registered. A [`Workload`] with
+/// [`Builder::Dynamic`] can only be obtained through
+/// [`register_generated`], so this is unreachable unless the descriptor
+/// outlived the process that registered it (descriptors are not
+/// serializable, so that cannot happen in safe code).
+pub(crate) fn build_dynamic(name: &str, scale: Scale) -> Program {
+    let build = {
+        let map = state().read().expect("workload registry poisoned");
+        let entry = map
+            .get(name)
+            .unwrap_or_else(|| panic!("dynamic workload {name:?} not registered"));
+        Arc::clone(&entry.build)
+    };
+    build(scale)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mds_isa::ProgramBuilder;
+
+    fn trivial_build() -> BuildFn {
+        Arc::new(|scale: Scale| {
+            let mut b = ProgramBuilder::new();
+            b.li(mds_isa::Reg::T0, scale.iterations(64));
+            b.label("t");
+            b.task();
+            b.addi(mds_isa::Reg::A0, mds_isa::Reg::A0, 1);
+            crate::util::loop_epilogue(&mut b, mds_isa::Reg::T0, "t");
+            b.build().unwrap()
+        })
+    }
+
+    #[test]
+    fn register_build_and_reregister() {
+        let spec = || GeneratedSpec {
+            name: "test/reg/a".to_string(),
+            description: "d".to_string(),
+            phenotype: "p".to_string(),
+            fingerprint: 0xabcd,
+            build: trivial_build(),
+        };
+        let wl = register_generated(spec()).unwrap();
+        assert_eq!(wl.suite, Suite::Generated);
+        let p1 = wl.build(Scale::Tiny);
+        let p2 = crate::by_name("test/reg/a").unwrap().build(Scale::Tiny);
+        assert_eq!(p1.instructions(), p2.instructions());
+        // Idempotent re-registration.
+        let again = register_generated(spec()).unwrap();
+        assert_eq!(again.name, wl.name);
+        // Conflicting fingerprint refused.
+        let mut bad = spec();
+        bad.fingerprint = 0x1234;
+        assert!(matches!(
+            register_generated(bad),
+            Err(RegistryError::FingerprintMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn static_names_and_bad_names_are_refused() {
+        let mk = |name: &str| GeneratedSpec {
+            name: name.to_string(),
+            description: String::new(),
+            phenotype: String::new(),
+            fingerprint: 1,
+            build: trivial_build(),
+        };
+        assert!(matches!(
+            register_generated(mk("compress")),
+            Err(RegistryError::ShadowsStatic(_))
+        ));
+        assert!(matches!(
+            register_generated(mk("")),
+            Err(RegistryError::InvalidName(_))
+        ));
+        assert!(matches!(
+            register_generated(mk("has space")),
+            Err(RegistryError::InvalidName(_))
+        ));
+    }
+
+    #[test]
+    fn generated_listing_preserves_registration_order() {
+        for i in 0..3 {
+            register_generated(GeneratedSpec {
+                name: format!("test/order/{i}"),
+                description: String::new(),
+                phenotype: String::new(),
+                fingerprint: i,
+                build: trivial_build(),
+            })
+            .unwrap();
+        }
+        let names: Vec<&str> = generated()
+            .into_iter()
+            .map(|w| w.name)
+            .filter(|n| n.starts_with("test/order/"))
+            .collect();
+        assert_eq!(names, ["test/order/0", "test/order/1", "test/order/2"]);
+    }
+}

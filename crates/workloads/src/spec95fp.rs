@@ -2,93 +2,91 @@
 //! applu, turb3d, fpppp, apsi, wave5 (the paper's figure 7, FP half).
 
 use crate::util::{loop_epilogue, xorshift};
-use crate::{Scale, Suite, Workload};
+use crate::{Builder, Scale, Suite, Workload};
 use mds_harness::rng::Rng;
 use mds_isa::{Program, ProgramBuilder, Reg};
 
 /// The ten SPECfp95 workloads in the paper's order.
-pub fn workloads() -> Vec<Workload> {
-    vec![
-        Workload {
-            name: "tomcatv",
-            suite: Suite::Spec95Fp,
-            description: "mesh generation: relaxation sweeps with loop-carried recurrences",
-            phenotype: "a distance-1 FP recurrence through memory — exactly what the \
+pub const WORKLOADS: [Workload; 10] = [
+    Workload {
+        name: "tomcatv",
+        suite: Suite::Spec95Fp,
+        description: "mesh generation: relaxation sweeps with loop-carried recurrences",
+        phenotype: "a distance-1 FP recurrence through memory — exactly what the \
                         synchronization mechanism captures (near-ideal gains)",
-            build: tomcatv,
-        },
-        Workload {
-            name: "swim",
-            suite: Suite::Spec95Fp,
-            description: "shallow-water model: wide array sweeps",
-            phenotype: "pure streaming with no cross-task dependences; the memory system \
+        builder: Builder::Static(tomcatv),
+    },
+    Workload {
+        name: "swim",
+        suite: Suite::Spec95Fp,
+        description: "shallow-water model: wide array sweeps",
+        phenotype: "pure streaming with no cross-task dependences; the memory system \
                         saturates and dependence speculation has nothing to gain",
-            build: swim,
-        },
-        Workload {
-            name: "su2cor",
-            suite: Suite::Spec95Fp,
-            description: "quantum physics: large lattice updates in very large tasks",
-            phenotype: "a dependence working set larger than the MDPT inside big tasks — \
+        builder: Builder::Static(swim),
+    },
+    Workload {
+        name: "su2cor",
+        suite: Suite::Spec95Fp,
+        description: "quantum physics: large lattice updates in very large tasks",
+        phenotype: "a dependence working set larger than the MDPT inside big tasks — \
                         the mechanism falls short of ideal",
-            build: su2cor,
-        },
-        Workload {
-            name: "hydro2d",
-            suite: Suite::Spec95Fp,
-            description: "hydrodynamics: stencil reads into private rows",
-            phenotype: "read-mostly tasks with rare shared writes — little to gain",
-            build: hydro2d,
-        },
-        Workload {
-            name: "mgrid",
-            suite: Suite::Spec95Fp,
-            description: "multigrid solver: 3D gather sweeps",
-            phenotype: "bus-bound gathers; another saturated configuration",
-            build: mgrid,
-        },
-        Workload {
-            name: "applu",
-            suite: Suite::Spec95Fp,
-            description: "SSOR solver: blocked forward substitution",
-            phenotype: "short-distance FP recurrences (with divides) captured nearly \
+        builder: Builder::Static(su2cor),
+    },
+    Workload {
+        name: "hydro2d",
+        suite: Suite::Spec95Fp,
+        description: "hydrodynamics: stencil reads into private rows",
+        phenotype: "read-mostly tasks with rare shared writes — little to gain",
+        builder: Builder::Static(hydro2d),
+    },
+    Workload {
+        name: "mgrid",
+        suite: Suite::Spec95Fp,
+        description: "multigrid solver: 3D gather sweeps",
+        phenotype: "bus-bound gathers; another saturated configuration",
+        builder: Builder::Static(mgrid),
+    },
+    Workload {
+        name: "applu",
+        suite: Suite::Spec95Fp,
+        description: "SSOR solver: blocked forward substitution",
+        phenotype: "short-distance FP recurrences (with divides) captured nearly \
                         perfectly",
-            build: applu,
-        },
-        Workload {
-            name: "turb3d",
-            suite: Suite::Spec95Fp,
-            description: "turbulence: FFT-style butterflies on private buffers",
-            phenotype: "independent compute-heavy tasks; FP units saturate",
-            build: turb3d,
-        },
-        Workload {
-            name: "fpppp",
-            suite: Suite::Spec95Fp,
-            description: "quantum chemistry: enormous (~800-instruction) tasks",
-            phenotype: "a dense wavefront of fixed-distance dependences inside huge tasks: \
+        builder: Builder::Static(applu),
+    },
+    Workload {
+        name: "turb3d",
+        suite: Suite::Spec95Fp,
+        description: "turbulence: FFT-style butterflies on private buffers",
+        phenotype: "independent compute-heavy tasks; FP units saturate",
+        builder: Builder::Static(turb3d),
+    },
+    Workload {
+        name: "fpppp",
+        suite: Suite::Spec95Fp,
+        description: "quantum chemistry: enormous (~800-instruction) tasks",
+        phenotype: "a dense wavefront of fixed-distance dependences inside huge tasks: \
                         every mis-speculation costs ~800 instructions, so synchronization \
                         delivers the suite's largest win",
-            build: fpppp,
-        },
-        Workload {
-            name: "apsi",
-            suite: Suite::Spec95Fp,
-            description: "mesoscale weather: mixed recurrences",
-            phenotype: "half the tasks carry a distance-2 FP recurrence, half are \
+        builder: Builder::Static(fpppp),
+    },
+    Workload {
+        name: "apsi",
+        suite: Suite::Spec95Fp,
+        description: "mesoscale weather: mixed recurrences",
+        phenotype: "half the tasks carry a distance-2 FP recurrence, half are \
                         independent — moderate gains",
-            build: apsi,
-        },
-        Workload {
-            name: "wave5",
-            suite: Suite::Spec95Fp,
-            description: "plasma simulation: particle scatter/gather updates",
-            phenotype: "pseudo-random particle collisions produce medium-frequency, \
+        builder: Builder::Static(apsi),
+    },
+    Workload {
+        name: "wave5",
+        suite: Suite::Spec95Fp,
+        description: "plasma simulation: particle scatter/gather updates",
+        phenotype: "pseudo-random particle collisions produce medium-frequency, \
                         medium-locality dependences",
-            build: wave5,
-        },
-    ]
-}
+        builder: Builder::Static(wave5),
+    },
+];
 
 fn alloc_fp(b: &mut ProgramBuilder, name: &str, words: usize, seed: u64) -> u64 {
     let mut rng = Rng::seed_from_u64(seed);

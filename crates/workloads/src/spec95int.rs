@@ -2,74 +2,72 @@
 //! ijpeg, perl, vortex (the paper's figure 7, integer half).
 
 use crate::util::{alloc_linked_ring, alloc_random, loop_epilogue, seed_rng, xorshift};
-use crate::{int92, Scale, Suite, Workload};
+use crate::{int92, Builder, Scale, Suite, Workload};
 use mds_isa::{Program, ProgramBuilder, Reg};
 
 /// The eight SPECint95 workloads in the paper's order.
-pub fn workloads() -> Vec<Workload> {
-    vec![
-        Workload {
-            name: "go",
-            suite: Suite::Spec95Int,
-            description: "go-playing program: board evaluation with irregular control",
-            phenotype: "irregular dependences and, above all, poor task-level control \
+pub const WORKLOADS: [Workload; 8] = [
+    Workload {
+        name: "go",
+        suite: Suite::Spec95Int,
+        description: "go-playing program: board evaluation with irregular control",
+        phenotype: "irregular dependences and, above all, poor task-level control \
                         prediction — three task types chosen pseudo-randomly",
-            build: go,
-        },
-        Workload {
-            name: "m88ksim",
-            suite: Suite::Spec95Int,
-            description: "CPU simulator: fetch/decode/execute over an in-memory register file",
-            phenotype: "hot register-file read-modify-write edges with excellent temporal \
+        builder: Builder::Static(go),
+    },
+    Workload {
+        name: "m88ksim",
+        suite: Suite::Spec95Int,
+        description: "CPU simulator: fetch/decode/execute over an in-memory register file",
+        phenotype: "hot register-file read-modify-write edges with excellent temporal \
                         locality — the mechanism performs close to ideal",
-            build: m88ksim,
-        },
-        Workload {
-            name: "gcc95",
-            suite: Suite::Spec95Int,
-            description: "compiler (95 input set): larger IR pool than the int92 variant",
-            phenotype: "many static edges, poor locality; falls short of ideal",
-            build: gcc95,
-        },
-        Workload {
-            name: "compress95",
-            suite: Suite::Spec95Int,
-            description: "LZW compressor (95 input set)",
-            phenotype: "same hot path-dependent global edges as the int92 variant",
-            build: |s| int92::compress(s),
-        },
-        Workload {
-            name: "li",
-            suite: Suite::Spec95Int,
-            description: "lisp interpreter (95 input set): deeper allocation churn",
-            phenotype: "free-list recurrence plus garbage-collection-style sweeps",
-            build: li,
-        },
-        Workload {
-            name: "ijpeg",
-            suite: Suite::Spec95Int,
-            description: "JPEG codec: blocked pixel transforms",
-            phenotype: "mostly independent block tasks with an occasional shared \
+        builder: Builder::Static(m88ksim),
+    },
+    Workload {
+        name: "gcc95",
+        suite: Suite::Spec95Int,
+        description: "compiler (95 input set): larger IR pool than the int92 variant",
+        phenotype: "many static edges, poor locality; falls short of ideal",
+        builder: Builder::Static(gcc95),
+    },
+    Workload {
+        name: "compress95",
+        suite: Suite::Spec95Int,
+        description: "LZW compressor (95 input set)",
+        phenotype: "same hot path-dependent global edges as the int92 variant",
+        builder: Builder::Static(int92::compress),
+    },
+    Workload {
+        name: "li",
+        suite: Suite::Spec95Int,
+        description: "lisp interpreter (95 input set): deeper allocation churn",
+        phenotype: "free-list recurrence plus garbage-collection-style sweeps",
+        builder: Builder::Static(li),
+    },
+    Workload {
+        name: "ijpeg",
+        suite: Suite::Spec95Int,
+        description: "JPEG codec: blocked pixel transforms",
+        phenotype: "mostly independent block tasks with an occasional shared \
                         accumulator — moderate gains",
-            build: ijpeg,
-        },
-        Workload {
-            name: "perl",
-            suite: Suite::Spec95Int,
-            description: "perl interpreter: symbol-table hashing",
-            phenotype: "bucket read-modify-writes of medium locality plus one hot \
+        builder: Builder::Static(ijpeg),
+    },
+    Workload {
+        name: "perl",
+        suite: Suite::Spec95Int,
+        description: "perl interpreter: symbol-table hashing",
+        phenotype: "bucket read-modify-writes of medium locality plus one hot \
                         operation counter",
-            build: perl,
-        },
-        Workload {
-            name: "vortex",
-            suite: Suite::Spec95Int,
-            description: "object database: record updates with transaction logging",
-            phenotype: "a hot log-pointer recurrence plus medium-distance log read-backs",
-            build: vortex,
-        },
-    ]
-}
+        builder: Builder::Static(perl),
+    },
+    Workload {
+        name: "vortex",
+        suite: Suite::Spec95Int,
+        description: "object database: record updates with transaction logging",
+        phenotype: "a hot log-pointer recurrence plus medium-distance log read-backs",
+        builder: Builder::Static(vortex),
+    },
+];
 
 /// Board evaluator with three task types selected by the RNG, so the
 /// next-task PC is inherently hard to predict — reproducing go's

@@ -1,0 +1,16 @@
+# A compress-like dependence phenotype (cf. the hand-written `compress`
+# workload): a couple of hot static edges, a mix of short dependence
+# distances that keeps producer/consumer pairs co-resident in the stage
+# ring, strong address locality, and some path-dependent consumer PCs.
+# ALWAYS mis-speculates on the short distances; SYNC/ESYNC learn the two
+# edges quickly and PSYNC removes the squashes entirely.
+scenario compress_like {
+  seed = 12
+  tasks = 2048 .. 4096
+  task_size = { small: 0.6, medium: 0.3, large: 0.1 }
+  distances = { 1: 0.04, 3: 0.04, 8: 0.04 }
+  edges = 2
+  locality = 0.95
+  path_dep = 0.25
+  expect_misspec_per_load = 0.0 .. 0.10
+}

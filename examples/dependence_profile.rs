@@ -17,7 +17,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .ok_or_else(|| format!("unknown workload `{name}` — see mds::workloads::all()"))?;
 
     println!("workload : {} — {}", workload.name, workload.description);
-    let program = (workload.build)(Scale::Small);
+    let program = workload.build(Scale::Small);
 
     let mut analyzer = WindowAnalyzer::new(WindowConfig::default());
     Emulator::new(&program).run_with(|d| analyzer.observe(d))?;

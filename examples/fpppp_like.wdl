@@ -1,0 +1,14 @@
+# An fpppp-like phenotype: large floating-point tasks and *many* static
+# dependence edges at dense short distances, sized to overflow a small
+# MDPT (24 edges vs the 16-entry low end of the capacity ablation).
+# Blind speculation squashes persistently; prediction needs capacity.
+scenario fpppp_like {
+  seed = 77
+  tasks = 1024 .. 2048
+  task_size = { medium: 0.2, large: 0.8 }
+  distances = { 1: 0.25, 2: 0.25, 3: 0.25 }
+  edges = 24
+  locality = 0.90
+  fp = 0.8
+  expect_misspec_per_load = 0.0 .. 0.25
+}

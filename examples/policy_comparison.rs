@@ -22,7 +22,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("phenotype: {}", workload.phenotype);
     println!("machine  : {stages}-stage Multiscalar\n");
 
-    let program = (workload.build)(Scale::Tiny);
+    let program = workload.build(Scale::Tiny);
     let baseline = Multiscalar::new(MsConfig::paper(stages, Policy::Never)).run(&program)?;
 
     let mut table = Table::new([

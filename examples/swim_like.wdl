@@ -1,0 +1,10 @@
+# A swim-like streaming phenotype: pure floating-point medium tasks with
+# no cross-task memory dependences at all — every policy should run it
+# squash-free, and synchronization must not slow it down.
+scenario swim_like {
+  seed = 31
+  tasks = 2048
+  task_size = { medium: 1.0 }
+  fp = 1.0
+  expect_misspec_per_load = 0.0 .. 0.0
+}

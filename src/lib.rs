@@ -29,7 +29,7 @@
 //! use mds::multiscalar::{MsConfig, Multiscalar};
 //! use mds::workloads::{by_name, Scale};
 //!
-//! let program = (by_name("espresso").unwrap().build)(Scale::Tiny);
+//! let program = by_name("espresso").unwrap().build(Scale::Tiny);
 //!
 //! let blind = Multiscalar::new(MsConfig::paper(8, Policy::Always))
 //!     .run(&program)?;

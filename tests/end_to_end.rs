@@ -158,7 +158,7 @@ fn window_analysis_matches_timing_model_intuition() {
 #[test]
 fn registered_workloads_run_under_the_timing_model() {
     for wl in mds::workloads::all() {
-        let program = (wl.build)(Scale::Tiny);
+        let program = wl.build(Scale::Tiny);
         let r = Multiscalar::new(MsConfig::paper(4, Policy::Always))
             .run(&program)
             .unwrap_or_else(|e| panic!("{} failed: {e}", wl.name));
@@ -172,7 +172,7 @@ fn fig5_shape_always_beats_never_on_the_int92_suite() {
     // The paper's central figure-5 observation: blind speculation beats no
     // speculation (gcc, the paper's worst case, is allowed to tie).
     for wl in mds::workloads::int92_suite() {
-        let program = (wl.build)(Scale::Tiny);
+        let program = wl.build(Scale::Tiny);
         let never = Multiscalar::new(MsConfig::paper(8, Policy::Never))
             .run(&program)
             .unwrap();
@@ -187,7 +187,7 @@ fn fig5_shape_always_beats_never_on_the_int92_suite() {
 #[test]
 fn fig6_shape_psync_dominates_always_on_the_int92_suite() {
     for wl in mds::workloads::int92_suite() {
-        let program = (wl.build)(Scale::Tiny);
+        let program = wl.build(Scale::Tiny);
         let always = Multiscalar::new(MsConfig::paper(8, Policy::Always))
             .run(&program)
             .unwrap();
@@ -207,7 +207,7 @@ fn fig6_shape_psync_dominates_always_on_the_int92_suite() {
 
 #[test]
 fn espresso_mechanism_recovers_nearly_all_of_the_oracle() {
-    let program = (by_name("espresso").unwrap().build)(Scale::Tiny);
+    let program = by_name("espresso").unwrap().build(Scale::Tiny);
     let always = Multiscalar::new(MsConfig::paper(8, Policy::Always))
         .run(&program)
         .unwrap();
@@ -228,7 +228,7 @@ fn espresso_mechanism_recovers_nearly_all_of_the_oracle() {
 
 #[test]
 fn deterministic_across_repeated_runs() {
-    let program = (by_name("sc").unwrap().build)(Scale::Tiny);
+    let program = by_name("sc").unwrap().build(Scale::Tiny);
     let sim = Multiscalar::new(MsConfig::paper(8, Policy::Esync));
     let a = sim.run(&program).unwrap();
     let b = sim.run(&program).unwrap();

@@ -8,7 +8,7 @@ use mds::workloads::{by_name, Scale};
 
 #[test]
 fn esync_filter_engages_on_multi_task_type_workloads() {
-    let program = (by_name("go").unwrap().build)(Scale::Tiny);
+    let program = by_name("go").unwrap().build(Scale::Tiny);
     let sync = Multiscalar::new(MsConfig::paper(8, Policy::Sync))
         .run(&program)
         .unwrap();
@@ -31,7 +31,7 @@ fn esync_filter_engages_on_multi_task_type_workloads() {
 fn go_is_control_bound() {
     // The paper: go "is limited by poor control prediction". Three
     // pseudo-randomly selected task types defeat the path predictor.
-    let program = (by_name("go").unwrap().build)(Scale::Tiny);
+    let program = by_name("go").unwrap().build(Scale::Tiny);
     let r = Multiscalar::new(MsConfig::paper(8, Policy::Always))
         .run(&program)
         .unwrap();

@@ -89,7 +89,7 @@ fn runner_cells_match_direct_serial_simulation() {
     let via_runner = cell(&outcome, "espresso", 8, Policy::Esync);
 
     let direct = mds::multiscalar::Multiscalar::new(MsConfig::paper(8, Policy::Esync))
-        .run(&(wl.build)(Scale::Tiny))
+        .run(&wl.build(Scale::Tiny))
         .unwrap();
     assert_eq!(via_runner.cycles, direct.cycles);
     assert_eq!(via_runner.misspeculations, direct.misspeculations);
