@@ -1,10 +1,12 @@
 #!/usr/bin/env bash
-# Bench-regression gate: measure the simulators, replay, wdl, and
+# Bench-regression gate: measure the simulators, replay, wdl, serve, and
 # cluster suites fresh and compare them against the committed
 # BENCH_simulators.json / BENCH_replay.json / BENCH_wdl.json /
-# BENCH_cluster.json baselines. The replay suite additionally carries an absolute claim:
-# one fused cross-policy replay must stay >= 2x faster than six scratch
-# replays (checked within the fresh report, so it is machine-independent).
+# BENCH_serve.json / BENCH_cluster.json baselines. Two suites additionally
+# carry absolute, machine-independent claims checked within the fresh
+# report: one fused cross-policy replay must stay >= 2x faster than six
+# scratch replays, and restart-warm serving (cache prewarmed from the
+# durable store) must stay within 10x of steady-warm serving.
 #
 # The comparison (see crates/bench/src/bin/bench_gate.rs) normalizes by
 # the suite's median fresh/baseline ratio, so a uniformly slower CI
@@ -54,6 +56,22 @@ MDS_BENCH_DIR="$fresh_dir" cargo bench -q --offline -p mds-bench \
 
 echo "==> comparing the wdl suite against its committed baseline"
 target/release/bench_gate BENCH_wdl.json "$fresh_dir/BENCH_wdl.json"
+
+echo "==> measuring the serve suite (cold / warm / restart-warm)"
+cargo build --release --offline -p mds-serve --benches
+MDS_BENCH_DIR="$fresh_dir" \
+MDS_SERVE_BENCH_SECONDS="${MDS_SERVE_BENCH_SECONDS:-0.5}" \
+  cargo bench -q --offline -p mds-serve --bench serve
+
+# Serve medians are end-to-end request latencies over real sockets, so
+# the headroom matches the cluster suite's.
+echo "==> comparing the serve suite against its committed baseline"
+MDS_BENCH_TOLERANCE="${MDS_SERVE_BENCH_TOLERANCE:-4.0}" \
+  target/release/bench_gate BENCH_serve.json "$fresh_dir/BENCH_serve.json"
+
+echo "==> checking the restart-warm claim (store-prewarmed within 10x of steady-warm)"
+target/release/bench_gate --max-ratio "$fresh_dir/BENCH_serve.json" \
+  serve/restart_warm/1c serve/warm/1c 10.0
 
 echo "==> measuring the cluster suite (gateway over a local fleet)"
 cargo build --release --offline -p mds-cluster --benches

@@ -1,0 +1,74 @@
+//! Derives the **output epoch**: an FNV-1a 64 hash over the sources of
+//! every crate that can change canonical result bytes. The durable
+//! result tier (`mds-store`) tags each stored record with this epoch, so
+//! a simulator change automatically invalidates persisted results
+//! instead of serving bytes the current binary would not produce.
+//!
+//! The hash covers file *contents* keyed by workspace-relative paths, in
+//! sorted order, so it is deterministic across checkouts and rebuild
+//! hosts. Every hashed file is declared with `rerun-if-changed`, so the
+//! epoch tracks edits without forcing rebuilds for unrelated crates.
+
+use std::path::{Path, PathBuf};
+
+/// Crates whose sources feed the canonical result bytes. Serving-layer
+/// crates (serve, cluster, store, harness) are deliberately excluded:
+/// they move bytes around but never compute them.
+const OUTPUT_CRATES: &[&str] = &[
+    "isa",
+    "emu",
+    "predict",
+    "mem",
+    "core",
+    "ooo",
+    "multiscalar",
+    "sim",
+    "workloads",
+    "wdl",
+    "runner",
+    "bench",
+];
+
+fn fnv1a_extend(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+fn main() {
+    let manifest = PathBuf::from(std::env::var("CARGO_MANIFEST_DIR").expect("manifest dir"));
+    let crates = manifest.parent().expect("crates dir").to_path_buf();
+
+    let mut files = Vec::new();
+    for name in OUTPUT_CRATES {
+        collect_rs(&crates.join(name).join("src"), &mut files);
+    }
+    files.sort();
+
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for file in &files {
+        println!("cargo:rerun-if-changed={}", file.display());
+        let rel = file.strip_prefix(&crates).unwrap_or(file);
+        // Normalize separators so the epoch matches across platforms.
+        let rel = rel.to_string_lossy().replace('\\', "/");
+        hash = fnv1a_extend(hash, rel.as_bytes());
+        hash = fnv1a_extend(hash, &std::fs::read(file).expect("read hashed source"));
+    }
+    println!("cargo:rustc-env=MDS_OUTPUT_EPOCH={hash}");
+}

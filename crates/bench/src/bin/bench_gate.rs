@@ -5,6 +5,7 @@
 //! ```text
 //! bench_gate <baseline.json> <fresh.json>
 //! bench_gate --min-speedup <report.json> <slow-name> <fast-name> <factor>
+//! bench_gate --max-ratio <report.json> <name-a> <name-b> <factor>
 //! ```
 //!
 //! Absolute medians are not comparable across machines (a CI runner may
@@ -25,6 +26,13 @@
 //! the median: on a shared machine the minimum over ~25 batches is the
 //! best estimate of uncontended speed, so a contention spike during one
 //! benchmark's measurement window cannot fake or mask a speedup.
+//!
+//! The `--max-ratio` mode bounds one benchmark by another *within* one
+//! report: `<name-a>`'s median must be at most `<factor>` times
+//! `<name-b>`'s. Both sides come from the same run on the same machine,
+//! so the bound is machine-independent. This is how the serve suite pins
+//! restart-warm serving to steady-warm serving: a restarted server must
+//! answer from its store-prewarmed cache, not recompute.
 //!
 //! Exit status: `0` when every shared benchmark is within tolerance (or
 //! the speedup holds), `1` on a regression (or a missed speedup), `2` on
@@ -67,6 +75,40 @@ fn min_speedup(report_path: &str, slow: &str, fast: &str, factor: f64) -> ExitCo
     }
 }
 
+/// Checks that `a`'s median stays within `factor` times `b`'s median
+/// within a single report.
+fn max_ratio(report_path: &str, a: &str, b: &str, factor: f64) -> ExitCode {
+    let report = match load(report_path) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    let find = |name: &str| report.results.iter().find(|r| r.name == name);
+    let (Some(num), Some(den)) = (find(a), find(b)) else {
+        eprintln!("bench_gate: '{a}' or '{b}' not found in {report_path}");
+        return ExitCode::from(2);
+    };
+    if num.median_ns <= 0.0 || den.median_ns <= 0.0 {
+        eprintln!("bench_gate: non-positive median_ns in {report_path}");
+        return ExitCode::from(2);
+    }
+    let ratio = num.median_ns / den.median_ns;
+    println!(
+        "bench_gate: {a} {:.3}ms vs {b} {:.3}ms => ratio x{ratio:.2} (allowed x{factor:.2})",
+        num.median_ns / 1e6,
+        den.median_ns / 1e6,
+    );
+    if ratio <= factor {
+        println!("bench_gate: OK");
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("bench_gate: FAIL (ratio x{ratio:.2} above allowed x{factor:.2})");
+        ExitCode::FAILURE
+    }
+}
+
 fn load(path: &str) -> Result<BenchReport, String> {
     let text =
         std::fs::read_to_string(path).map_err(|e| format!("bench_gate: read {path}: {e}"))?;
@@ -95,6 +137,17 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         };
         return min_speedup(report, slow, fast, factor);
+    }
+    if args.first().is_some_and(|a| a == "--max-ratio") {
+        let [_, report, a, b, factor] = args.as_slice() else {
+            eprintln!("usage: bench_gate --max-ratio <report.json> <name-a> <name-b> <factor>");
+            return ExitCode::from(2);
+        };
+        let Ok(factor) = factor.parse::<f64>() else {
+            eprintln!("bench_gate: bad factor '{factor}'");
+            return ExitCode::from(2);
+        };
+        return max_ratio(report, a, b, factor);
     }
     let [baseline_path, fresh_path] = args.as_slice() else {
         eprintln!("usage: bench_gate <baseline.json> <fresh.json>");

@@ -991,6 +991,22 @@ pub fn scale_by_name(name: &str) -> Option<Scale> {
     }
 }
 
+/// The **output epoch** of this build: a hash over the sources of every
+/// crate that feeds canonical result bytes (computed by this crate's
+/// build script). Two binaries with the same epoch produce identical
+/// result documents for every static `(experiment, scale)` key; a
+/// simulator change moves the epoch, which is how the durable result
+/// tier (`mds-store`) invalidates persisted entries instead of serving
+/// bytes the current code would not produce.
+pub fn output_epoch() -> u64 {
+    // The build script emits a decimal u64; a parse failure would mean
+    // the build script itself is broken, which no runtime handling can
+    // paper over.
+    env!("MDS_OUTPUT_EPOCH")
+        .parse()
+        .expect("MDS_OUTPUT_EPOCH is a decimal u64")
+}
+
 /// The canonical result document for one experiment — exactly what
 /// `repro --json` writes and what `mds-serve` returns, so the two
 /// surfaces are byte-identical by construction. The document is a pure

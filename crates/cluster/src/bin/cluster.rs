@@ -21,6 +21,7 @@ options:
   --addr HOST:PORT     gateway bind address (default 127.0.0.1:7979; port 0 = ephemeral)
   --backend HOST:PORT  an existing backend to front (repeatable)
   --spawn N            additionally spawn N in-process backends on ephemeral ports
+  --store DIR          durable store base for spawned backends (backend i under DIR/backend-i)
   --jobs N             simulation threads per spawned backend (default: MDS_JOBS or all cores)
   --workers N          gateway connection-serving workers (default 4)
   --queue-depth N      gateway admission queue capacity (default 64)
@@ -52,12 +53,14 @@ struct Options {
     gateway: GatewayConfig,
     spawn: usize,
     fleet_jobs: Option<usize>,
+    store_dir: Option<std::path::PathBuf>,
 }
 
 fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
     let mut gateway = GatewayConfig::default();
     let mut spawn = 0usize;
     let mut fleet_jobs = None;
+    let mut store_dir = None;
     let mut args = args.peekable();
     while let Some(arg) = args.next() {
         let mut value = |flag: &str| {
@@ -72,6 +75,7 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
             "--addr" => gateway.addr = value("--addr")?,
             "--backend" => gateway.backends.push(value("--backend")?),
             "--spawn" => spawn = parse_count("--spawn", value("--spawn")?)?,
+            "--store" => store_dir = Some(std::path::PathBuf::from(value("--store")?)),
             "--jobs" => {
                 let text = value("--jobs")?;
                 fleet_jobs = Some(
@@ -124,10 +128,14 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
     if gateway.backends.is_empty() && spawn == 0 {
         return Err("need at least one --backend or --spawn N".to_string());
     }
+    if store_dir.is_some() && spawn == 0 {
+        return Err("--store only applies to --spawn'ed backends".to_string());
+    }
     Ok(Options {
         gateway,
         spawn,
         fleet_jobs,
+        store_dir,
     })
 }
 
@@ -140,6 +148,7 @@ fn main() {
         let fleet = match Fleet::spawn(&FleetConfig {
             backends: options.spawn,
             jobs: options.fleet_jobs,
+            store_dir: options.store_dir.clone(),
             log: options.gateway.log,
             ..FleetConfig::default()
         }) {
@@ -183,6 +192,8 @@ mod tests {
                 "h:2",
                 "--spawn",
                 "3",
+                "--store",
+                "/tmp/fleet-store",
                 "--jobs",
                 "2",
                 "--workers",
@@ -209,6 +220,10 @@ mod tests {
         assert_eq!(options.gateway.backends, vec!["h:1", "h:2"]);
         assert_eq!(options.spawn, 3);
         assert_eq!(options.fleet_jobs, Some(2));
+        assert_eq!(
+            options.store_dir.as_deref(),
+            Some(std::path::Path::new("/tmp/fleet-store"))
+        );
         assert_eq!(options.gateway.workers, 8);
         assert_eq!(options.gateway.queue_depth, 5);
         assert_eq!(options.gateway.replicas, 3);
@@ -223,6 +238,19 @@ mod tests {
     fn rejects_nonsense() {
         assert!(parse_args(std::iter::empty()).is_err(), "no backends");
         assert!(parse_args(["--replicas".into(), "0".into()].into_iter()).is_err());
+        assert!(
+            parse_args(
+                [
+                    "--backend".into(),
+                    "h:1".into(),
+                    "--store".into(),
+                    "/tmp/x".into()
+                ]
+                .into_iter()
+            )
+            .is_err(),
+            "--store without --spawn"
+        );
         assert!(parse_args(["--vnodes".into(), "x".into()].into_iter()).is_err());
         assert!(parse_args(["--bogus".into()].into_iter()).is_err());
     }

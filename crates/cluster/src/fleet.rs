@@ -9,6 +9,7 @@
 //! processes, minus the process boundary.
 
 use mds_serve::{LogTarget, Server, ServerConfig};
+use std::path::PathBuf;
 
 /// Per-backend tunables for a spawned fleet.
 #[derive(Debug, Clone)]
@@ -21,6 +22,9 @@ pub struct FleetConfig {
     pub queue_depth: usize,
     /// Simulation threads per backend (`None`: `MDS_JOBS` or all cores).
     pub jobs: Option<usize>,
+    /// Durable-store base directory: backend `i` stores under
+    /// `<dir>/backend-<i>`, so a respawned fleet boots warm.
+    pub store_dir: Option<PathBuf>,
     /// Access-log destination for every backend.
     pub log: LogTarget,
 }
@@ -32,6 +36,7 @@ impl Default for FleetConfig {
             workers: 4,
             queue_depth: 64,
             jobs: None,
+            store_dir: None,
             log: LogTarget::Discard,
         }
     }
@@ -51,12 +56,16 @@ impl Fleet {
             return Err("a fleet needs at least one backend".to_string());
         }
         let mut servers = Vec::with_capacity(config.backends);
-        for _ in 0..config.backends {
+        for i in 0..config.backends {
             servers.push(Some(Server::start(ServerConfig {
                 addr: "127.0.0.1:0".to_string(),
                 workers: config.workers,
                 queue_depth: config.queue_depth,
                 jobs: config.jobs,
+                store_dir: config
+                    .store_dir
+                    .as_ref()
+                    .map(|dir| dir.join(format!("backend-{i}"))),
                 log: config.log,
                 ..ServerConfig::default()
             })?));

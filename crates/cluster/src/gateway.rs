@@ -43,6 +43,7 @@ use mds_harness::backoff::Backoff;
 use mds_harness::json::Json;
 use mds_serve::client::{self, Connection};
 use mds_serve::http::{self, ClientResponse, Limits, ReadError, Request, Response};
+use mds_serve::persist;
 use mds_serve::queue::Bounded;
 use mds_serve::{AccessLog, ExperimentRequest, LogTarget};
 use std::collections::HashMap;
@@ -91,6 +92,11 @@ pub struct GatewayConfig {
     pub limits: Limits,
     /// Keep-alive cap: requests served per client connection.
     pub max_requests_per_connection: usize,
+    /// Warm-cache handoff: when a backend flips unhealthy → healthy (a
+    /// recovery or a replacement process), stream it the warm entries it
+    /// is responsible for from its ring neighbors, so it answers warm
+    /// from the first request.
+    pub handoff: bool,
     /// Circuit-breaker tunables (shared by every backend).
     pub breaker: BreakerConfig,
     /// Structured-log destination.
@@ -117,6 +123,7 @@ impl Default for GatewayConfig {
             read_timeout: Duration::from_secs(5),
             limits: Limits::default(),
             max_requests_per_connection: 1000,
+            handoff: true,
             breaker: BreakerConfig::default(),
             log: LogTarget::Stderr,
             seed: 0x006d_6473,
@@ -959,8 +966,10 @@ fn forward_hedged(
 
 /// The background health prober: readiness-probes every backend, on a
 /// fixed interval while healthy and on capped exponential backoff with
-/// jitter while failing.
-fn probe_loop(shared: &Shared) {
+/// jitter while failing. An unhealthy → healthy transition (a recovery
+/// or a replacement process on the same address) triggers a warm-cache
+/// handoff on its own thread, so probing never blocks on a transfer.
+fn probe_loop(shared: &Arc<Shared>) {
     let n = shared.backends.len();
     let mut backoffs: Vec<Backoff> = (0..n)
         .map(|i| {
@@ -997,6 +1006,14 @@ fn probe_loop(shared: &Shared) {
                         .field("backend", backend.addr.as_str())
                         .field("healthy", healthy),
                 );
+                if healthy && shared.config.handoff {
+                    // A recovered (or replaced) backend starts cold:
+                    // stream it the warm entries its ring position owns.
+                    let shared = Arc::clone(shared);
+                    let _ = std::thread::Builder::new()
+                        .name("mds-cluster-handoff".to_string())
+                        .spawn(move || handoff(&shared, i));
+                }
             }
             if healthy {
                 backoffs[i].reset();
@@ -1021,4 +1038,109 @@ fn probe_loop(shared: &Shared) {
             .shutdown_cv
             .wait_timeout(guard, sleep.max(Duration::from_millis(5)));
     }
+}
+
+/// Handoff fill chunks stay comfortably under the backends' default
+/// 64 KiB request-body limit.
+const HANDOFF_CHUNK_BYTES: usize = 48 * 1024;
+
+/// Streams the warm entries `target_idx` is responsible for (primary or
+/// failover replica on the ring) from every other healthy backend, via
+/// `GET /v1/cache` → filter → chunked `POST /v1/cache`.
+///
+/// Epoch safety is end-to-end: every dump carries its donor's epoch and
+/// the target refuses a mismatched fill with `409`, so a half-upgraded
+/// fleet degrades to a cold (correct) backend, never a wrong-bytes one.
+fn handoff(shared: &Arc<Shared>, target_idx: usize) {
+    let target = &shared.backends[target_idx];
+    let mut seen = std::collections::HashSet::new();
+    let mut owned: Vec<(String, Arc<str>)> = Vec::new();
+    let mut epoch: Option<u64> = None;
+    let mut errors = 0u64;
+    for (i, donor) in shared.backends.iter().enumerate() {
+        if i == target_idx || !donor.is_healthy() {
+            continue;
+        }
+        let dump = match client::request_once(
+            &donor.addr,
+            "GET",
+            "/v1/cache",
+            b"",
+            shared.config.io_timeout,
+        ) {
+            Ok(r) if r.status == 200 => r,
+            _ => {
+                errors += 1;
+                continue;
+            }
+        };
+        let (donor_epoch, entries) = match persist::parse(&dump.body) {
+            Ok(parsed) => parsed,
+            Err(_) => {
+                errors += 1;
+                continue;
+            }
+        };
+        // All donors must agree on the epoch; a straggler from another
+        // build contributes nothing (the target would 409 it anyway).
+        match epoch {
+            None => epoch = Some(donor_epoch),
+            Some(e) if e != donor_epoch => {
+                errors += 1;
+                continue;
+            }
+            Some(_) => {}
+        }
+        for (key, body) in entries {
+            if shared
+                .ring
+                .replicas(&key, shared.config.replicas)
+                .contains(&target_idx)
+                && seen.insert(key.clone())
+            {
+                owned.push((key, Arc::from(body.as_str())));
+            }
+        }
+    }
+    let mut transferred = 0u64;
+    if let Some(epoch) = epoch {
+        for chunk in persist::dump_chunks(epoch, &owned, HANDOFF_CHUNK_BYTES) {
+            match client::request_once(
+                &target.addr,
+                "POST",
+                "/v1/cache",
+                chunk.as_bytes(),
+                shared.config.io_timeout,
+            ) {
+                Ok(r) if r.status == 200 => {}
+                _ => {
+                    errors += 1;
+                    continue;
+                }
+            }
+            if let Ok((_, entries)) = persist::parse(chunk.as_bytes()) {
+                transferred += entries.len() as u64;
+            }
+        }
+    }
+    shared
+        .metrics
+        .handoffs_total
+        .fetch_add(1, Ordering::Relaxed);
+    shared
+        .metrics
+        .handoff_keys_total
+        .fetch_add(transferred, Ordering::Relaxed);
+    shared
+        .metrics
+        .handoff_errors_total
+        .fetch_add(errors, Ordering::Relaxed);
+    shared.log.event(
+        Json::object()
+            .field("evt", "handoff")
+            .field("backend", target.addr.as_str())
+            .field("keys", transferred)
+            .field("candidates", owned.len())
+            .field("errors", errors),
+    );
 }

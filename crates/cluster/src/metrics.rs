@@ -36,6 +36,12 @@ pub struct GatewayMetrics {
     pub hedge_wins_total: AtomicU64,
     /// Proxied requests that exhausted every candidate backend.
     pub unavailable_total: AtomicU64,
+    /// Warm-cache handoffs performed for recovered/replaced backends.
+    pub handoffs_total: AtomicU64,
+    /// Warm entries streamed to recovering backends across all handoffs.
+    pub handoff_keys_total: AtomicU64,
+    /// Handoff transfer errors (failed dump, refused fill, epoch skew).
+    pub handoff_errors_total: AtomicU64,
     /// Gateway-side end-to-end latency of proxied requests.
     pub proxy_latency: Histogram,
     /// Per-attempt upstream exchange latency (all backends pooled; the
@@ -201,6 +207,24 @@ pub fn render(m: &GatewayMetrics, backends: &[Arc<Backend>], queue_depth: usize)
         "mds_gateway_unavailable_total",
         "Proxied requests that exhausted every candidate backend.",
         c(&m.unavailable_total),
+    );
+    counter(
+        &mut out,
+        "mds_gateway_handoffs_total",
+        "Warm-cache handoffs performed for recovered backends.",
+        c(&m.handoffs_total),
+    );
+    counter(
+        &mut out,
+        "mds_gateway_handoff_keys_total",
+        "Warm entries streamed to recovering backends.",
+        c(&m.handoff_keys_total),
+    );
+    counter(
+        &mut out,
+        "mds_gateway_handoff_errors_total",
+        "Handoff transfer errors (failed dump, refused fill, epoch skew).",
+        c(&m.handoff_errors_total),
     );
     gauge(
         &mut out,

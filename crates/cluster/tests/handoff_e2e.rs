@@ -1,0 +1,154 @@
+//! Warm-state handoff across a backend replacement, over real sockets.
+//!
+//! The load-bearing guarantee proved here: when a backend leaves rotation
+//! and a replacement comes back on the same address, the gateway pushes
+//! the ring-owned warm entries from its healthy neighbors into the
+//! newcomer (`GET /v1/cache` on the donor, chunked `POST /v1/cache` on
+//! the target), so the replacement answers its shard warm **without
+//! recomputing anything** — zero workload emulations on the new process.
+
+use mds_cluster::gateway::{Gateway, GatewayConfig};
+use mds_serve::client::request_once;
+use mds_serve::http::ClientResponse;
+use mds_serve::{LogTarget, Server, ServerConfig};
+use mds_workloads::Scale;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+fn backend_config(addr: &str) -> ServerConfig {
+    ServerConfig {
+        addr: addr.to_string(),
+        workers: 2,
+        queue_depth: 16,
+        jobs: Some(2),
+        log: LogTarget::Memory,
+        ..ServerConfig::default()
+    }
+}
+
+/// Starts a replacement on the exact address the dead backend vacated.
+/// The freed port can linger briefly (connection teardown), so retry the
+/// bind instead of flaking.
+fn start_replacement(addr: &str) -> Server {
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match Server::start(backend_config(addr)) {
+            Ok(server) => return server,
+            Err(e) => {
+                assert!(Instant::now() < deadline, "cannot rebind {addr}: {e}");
+                std::thread::sleep(Duration::from_millis(100));
+            }
+        }
+    }
+}
+
+fn request(gateway: &Gateway, method: &str, target: &str, body: &[u8]) -> ClientResponse {
+    request_once(
+        &gateway.local_addr().to_string(),
+        method,
+        target,
+        body,
+        Duration::from_secs(60),
+    )
+    .expect("gateway round trip")
+}
+
+/// The exact bytes `repro fig5 --json` produces for the tiny scale.
+fn cli_fig5_tiny() -> String {
+    let mut h = mds_bench::Harness::with_runner(Scale::Tiny, mds_runner::Runner::new(1));
+    let table = mds_bench::experiment(&mut h, "fig5").unwrap();
+    mds_bench::results_doc(
+        "fig5",
+        mds_bench::experiment_title("fig5").unwrap(),
+        Scale::Tiny,
+        &table,
+    )
+    .pretty()
+}
+
+const FIG5_TINY: &[u8] = br#"{"experiment":"fig5","scale":"tiny"}"#;
+
+#[test]
+fn a_replaced_backend_is_warmed_by_its_neighbor_not_by_recompute() {
+    let first = Server::start(backend_config("127.0.0.1:0")).expect("start backend");
+    let second = Server::start(backend_config("127.0.0.1:0")).expect("start backend");
+    let addrs = [
+        first.local_addr().to_string(),
+        second.local_addr().to_string(),
+    ];
+    let gateway = Gateway::start(GatewayConfig {
+        addr: "127.0.0.1:0".to_string(),
+        backends: addrs.to_vec(),
+        workers: 4,
+        probe_interval: Duration::from_millis(50),
+        log: LogTarget::Memory,
+        ..GatewayConfig::default()
+    })
+    .expect("start gateway");
+    let expected = cli_fig5_tiny();
+
+    // Warm the key through the gateway; consistent hashing parks it on
+    // exactly one backend — that one becomes the victim.
+    let cold = request(&gateway, "POST", "/v1/experiments", FIG5_TINY);
+    assert_eq!(cold.status, 200);
+    assert_eq!(cold.body, expected.as_bytes());
+    let (victim, survivor) = if first.result_cache().len() == 1 {
+        (first, second)
+    } else {
+        assert_eq!(second.result_cache().len(), 1, "someone must own the key");
+        (second, first)
+    };
+    let victim_addr = victim.local_addr().to_string();
+    victim.shutdown();
+
+    // Failover recomputes on the survivor, which becomes the donor with
+    // the warm entry. Meanwhile the prober ejects the victim.
+    let failover = request(&gateway, "POST", "/v1/experiments", FIG5_TINY);
+    assert_eq!(failover.status, 200);
+    assert_eq!(failover.body, expected.as_bytes());
+    assert_eq!(survivor.result_cache().len(), 1);
+    let down = format!("mds_gateway_backend_healthy{{backend=\"{victim_addr}\"}} 0");
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let metrics = request(&gateway, "GET", "/metrics", b"");
+        if String::from_utf8_lossy(&metrics.body).contains(&down) {
+            break;
+        }
+        assert!(Instant::now() < deadline, "victim never left rotation");
+        std::thread::sleep(Duration::from_millis(25));
+    }
+
+    // The replacement boots empty on the vacated address. The prober's
+    // unhealthy-to-healthy transition triggers the neighbor handoff.
+    let replacement = start_replacement(&victim_addr);
+    assert_eq!(replacement.result_cache().len(), 0);
+    let deadline = Instant::now() + Duration::from_secs(10);
+    while replacement.result_cache().is_empty() {
+        assert!(
+            Instant::now() < deadline,
+            "handoff never reached the replacement"
+        );
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    assert_eq!(
+        replacement.trace_cache().misses(),
+        0,
+        "the handoff must transfer bytes, not trigger recompute"
+    );
+    let metrics = gateway.metrics();
+    assert!(metrics.handoffs_total.load(Ordering::Relaxed) >= 1);
+    assert!(metrics.handoff_keys_total.load(Ordering::Relaxed) >= 1);
+    assert_eq!(metrics.handoff_errors_total.load(Ordering::Relaxed), 0);
+
+    // A keyed request now routes to the warmed replacement: identical
+    // bytes, served from the transferred cache, still zero emulations.
+    let warm = request(&gateway, "POST", "/v1/experiments", FIG5_TINY);
+    assert_eq!(warm.status, 200);
+    assert_eq!(warm.body, expected.as_bytes());
+    assert_eq!(replacement.trace_cache().misses(), 0);
+    assert!(replacement.result_cache().hits() >= 1);
+
+    gateway.shutdown();
+    replacement.shutdown();
+    survivor.shutdown();
+}

@@ -21,7 +21,10 @@
 //!   Prometheus text rendering, shared by every serving tier,
 //! - [`backoff`] — capped exponential backoff with deterministic jitter,
 //!   the retry-delay policy shared by the load generator and the cluster
-//!   gateway's robustness layer.
+//!   gateway's robustness layer,
+//! - [`tempdir`] — uniquely named scratch directories removed on drop,
+//!   so tests that write disk state (e.g. `mds-store` directories) are
+//!   rerun-safe (replaces `tempfile`).
 //!
 //! Everything here is plain `std` Rust: no dependencies, no unsafe code,
 //! no build scripts.
@@ -33,6 +36,7 @@ pub mod json;
 pub mod prop;
 pub mod rng;
 pub mod stats;
+pub mod tempdir;
 
 /// One-stop imports for property tests.
 ///

@@ -1,0 +1,85 @@
+//! Unique scratch directories for tests and benches, removed on drop.
+//!
+//! Tests that create on-disk state (store directories, result dirs) must
+//! be rerun-safe in a dirty workspace: two `cargo test -q` runs, or two
+//! tests in one run, must never share a directory. [`TempDir`] makes a
+//! fresh directory under the system temp root, named from the prefix,
+//! the process id, and a process-wide counter, and removes it
+//! recursively when dropped.
+//!
+//! ```
+//! use mds_harness::tempdir::TempDir;
+//!
+//! let tmp = TempDir::new("doc-example").unwrap();
+//! std::fs::write(tmp.path().join("scratch.txt"), "hello").unwrap();
+//! // the directory and its contents vanish when `tmp` drops
+//! ```
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// A uniquely named scratch directory, deleted recursively on drop.
+#[derive(Debug)]
+pub struct TempDir {
+    path: PathBuf,
+}
+
+impl TempDir {
+    /// Creates `<system-temp>/<prefix>-<pid>-<n>` where `n` is a
+    /// process-wide counter. Retries past a leftover directory of the
+    /// same name (a previous run's corpse) by bumping the counter.
+    pub fn new(prefix: &str) -> std::io::Result<TempDir> {
+        let pid = std::process::id();
+        loop {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path = std::env::temp_dir().join(format!("{prefix}-{pid}-{n}"));
+            match std::fs::create_dir(&path) {
+                Ok(()) => return Ok(TempDir { path }),
+                Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => continue,
+                Err(e) => return Err(e),
+            }
+        }
+    }
+
+    /// The directory's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// A path inside the directory — shorthand for `path().join(name)`.
+    pub fn join(&self, name: &str) -> PathBuf {
+        self.path.join(name)
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        // Best-effort: a failed cleanup must not turn a passing test
+        // into a panic-in-drop abort.
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn directories_are_unique_and_removed_on_drop() {
+        let a = TempDir::new("mds-tempdir-test").unwrap();
+        let b = TempDir::new("mds-tempdir-test").unwrap();
+        assert_ne!(a.path(), b.path());
+        assert!(a.path().is_dir() && b.path().is_dir());
+        let (pa, pb) = (a.path().to_path_buf(), b.path().to_path_buf());
+        std::fs::write(a.join("nested.txt"), "x").unwrap();
+        drop(a);
+        drop(b);
+        assert!(
+            !pa.exists(),
+            "dropped dir must be removed, contents and all"
+        );
+        assert!(!pb.exists());
+    }
+}

@@ -36,6 +36,11 @@
 //!    with exact merged percentiles that honors `503 Retry-After` with
 //!    capped, jittered backoff; used by the `mds-load` binary and the
 //!    `serve` benchmark.
+//! 9. **Durable tier glue** ([`persist`]) — the effective output epoch
+//!    (build hash + registered WDL fingerprints) and the `/v1/cache`
+//!    warm-state wire codec; the store itself lives in `mds-store`, and
+//!    a server started with `store_dir` prewarms its result cache from
+//!    it at boot and appends every cache fill.
 //!
 //! # Examples
 //!
@@ -72,6 +77,7 @@ pub mod client;
 pub mod http;
 pub mod load;
 pub mod metrics;
+pub mod persist;
 pub mod queue;
 pub mod result_cache;
 pub mod server;

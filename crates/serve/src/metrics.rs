@@ -68,6 +68,20 @@ pub struct Gauges {
     pub trace_cache_misses: u64,
     /// Trace bytes currently resident in the shared trace cache.
     pub trace_cache_bytes: usize,
+    /// Live records in the durable store (0 when no store is attached).
+    pub store_records: usize,
+    /// Bytes in the store's append-only log.
+    pub store_log_bytes: u64,
+    /// Bytes in the store's compacted snapshot.
+    pub store_snapshot_bytes: u64,
+    /// Result-cache entries prewarmed from the store at boot.
+    pub store_prewarmed: usize,
+    /// Successful store appends since boot.
+    pub store_appends: u64,
+    /// Failed store appends since boot (served fine, not persisted).
+    pub store_append_errors: u64,
+    /// Store compactions since boot.
+    pub store_compactions: u64,
 }
 
 /// Appends one Prometheus counter family (`# HELP` / `# TYPE` / sample)
@@ -179,6 +193,48 @@ pub fn render(m: &Metrics, g: Gauges) -> String {
         "Trace bytes resident in the shared trace cache.",
         g.trace_cache_bytes as u64,
     );
+    gauge(
+        &mut out,
+        "mds_store_records",
+        "Live records in the durable result store.",
+        g.store_records as u64,
+    );
+    gauge(
+        &mut out,
+        "mds_store_log_bytes",
+        "Bytes in the durable store's append-only log.",
+        g.store_log_bytes,
+    );
+    gauge(
+        &mut out,
+        "mds_store_snapshot_bytes",
+        "Bytes in the durable store's compacted snapshot.",
+        g.store_snapshot_bytes,
+    );
+    gauge(
+        &mut out,
+        "mds_store_prewarmed_keys",
+        "Result-cache entries prewarmed from the durable store at boot.",
+        g.store_prewarmed as u64,
+    );
+    counter(
+        &mut out,
+        "mds_store_appends_total",
+        "Records appended to the durable store.",
+        g.store_appends,
+    );
+    counter(
+        &mut out,
+        "mds_store_append_errors_total",
+        "Store appends that failed (responses served, not persisted).",
+        g.store_append_errors,
+    );
+    counter(
+        &mut out,
+        "mds_store_compactions_total",
+        "Durable-store compactions (snapshot rewrite + log truncate).",
+        g.store_compactions,
+    );
     m.queue_wait.render_prometheus(
         "mds_queue_wait_microseconds",
         "Time connections spent queued before a worker picked them up.",
@@ -207,6 +263,8 @@ mod tests {
             Gauges {
                 queue_depth: 3,
                 trace_cache_misses: 5,
+                store_records: 7,
+                store_prewarmed: 2,
                 ..Default::default()
             },
         );
@@ -217,6 +275,9 @@ mod tests {
             "mds_responses_5xx_total 1",
             "mds_queue_depth 3",
             "mds_trace_cache_misses_total 5",
+            "mds_store_records 7",
+            "mds_store_prewarmed_keys 2",
+            "mds_store_appends_total 0",
             "mds_queue_wait_microseconds_count 0",
             "mds_compute_microseconds_count 0",
         ] {

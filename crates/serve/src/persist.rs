@@ -1,0 +1,181 @@
+//! Durable-tier integration: the effective store epoch and the
+//! `/v1/cache` wire codec.
+//!
+//! # The effective epoch
+//!
+//! `mds-store` records are tagged with an epoch so a simulator change
+//! invalidates persisted bytes instead of serving results the current
+//! binary would not produce. The *build* part of that identity is
+//! [`mds_bench::output_epoch()`] (a build-script hash over every crate
+//! that feeds canonical result bytes). But a serving process also has a
+//! *runtime* identity: WDL families registered at boot (`--wdl`) change
+//! what the `wdl` experiment renders without changing any compiled
+//! source. [`effective_epoch`] therefore folds the registered
+//! `(name, fingerprint)` pairs — in registration order, which is part of
+//! the rendered table order — into the build epoch, so two processes
+//! agree on an epoch exactly when they agree on the bytes of every key.
+//!
+//! # The `/v1/cache` codec
+//!
+//! Warm-state transfer (boot prewarm inspection, ring-neighbor handoff in
+//! `mds-cluster`) moves entries as JSON:
+//!
+//! ```text
+//! {"epoch":<u64>,"entries":[{"key":"fig5@tiny","body":"{...}"},...]}
+//! ```
+//!
+//! The epoch travels with every document and a receiver refuses a
+//! mismatch (HTTP 409), so a half-upgraded cluster can never launder
+//! stale bytes through the handoff path.
+
+use mds_harness::json::Json;
+use std::sync::Arc;
+
+/// FNV-1a 64 continuation over `bytes` from an existing state.
+fn fnv1a_extend(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= b as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// The epoch this process's canonical result bytes live under: the build
+/// epoch extended with every registered generated-workload fingerprint.
+pub fn effective_epoch() -> u64 {
+    let mut hash = mds_bench::output_epoch();
+    for (name, fingerprint) in mds_workloads::registry::generated_fingerprints() {
+        hash = fnv1a_extend(hash, name.as_bytes());
+        hash = fnv1a_extend(hash, &fingerprint.to_le_bytes());
+    }
+    hash
+}
+
+/// Renders one `/v1/cache` document (compact JSON) for `entries`.
+pub fn dump(epoch: u64, entries: &[(String, Arc<str>)]) -> String {
+    let list: Vec<Json> = entries
+        .iter()
+        .map(|(key, body)| {
+            Json::object()
+                .field("key", key.as_str())
+                .field("body", &**body)
+        })
+        .collect();
+    Json::object()
+        .field("epoch", epoch)
+        .field("entries", Json::Array(list))
+        .to_string()
+}
+
+/// Splits `entries` into `/v1/cache` documents each at most roughly
+/// `max_bytes` long (one oversized entry still gets its own document),
+/// so a sender can respect a receiver's request-body limit.
+pub fn dump_chunks(epoch: u64, entries: &[(String, Arc<str>)], max_bytes: usize) -> Vec<String> {
+    let mut chunks = Vec::new();
+    let mut batch: Vec<(String, Arc<str>)> = Vec::new();
+    let mut batch_bytes = 64; // envelope overhead allowance
+    for (key, body) in entries {
+        // JSON escaping can expand the body; budget conservatively on
+        // raw lengths plus per-entry framing.
+        let entry_bytes = key.len() + body.len() + 32;
+        if !batch.is_empty() && batch_bytes + entry_bytes > max_bytes {
+            chunks.push(dump(epoch, &batch));
+            batch.clear();
+            batch_bytes = 64;
+        }
+        batch.push((key.clone(), body.clone()));
+        batch_bytes += entry_bytes;
+    }
+    if !batch.is_empty() {
+        chunks.push(dump(epoch, &batch));
+    }
+    chunks
+}
+
+/// Parses a `/v1/cache` document into `(epoch, entries)`.
+pub fn parse(body: &[u8]) -> Result<(u64, Vec<(String, String)>), String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = Json::parse(text).map_err(|e| e.to_string())?;
+    let epoch = doc
+        .get("epoch")
+        .and_then(Json::as_u64)
+        .ok_or_else(|| "missing or non-integer 'epoch'".to_string())?;
+    let list = doc
+        .get("entries")
+        .and_then(Json::as_array)
+        .ok_or_else(|| "missing 'entries' array".to_string())?;
+    let mut entries = Vec::with_capacity(list.len());
+    for item in list {
+        let key = item
+            .get("key")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "entry missing string 'key'".to_string())?;
+        let body = item
+            .get("body")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "entry missing string 'body'".to_string())?;
+        entries.push((key.to_string(), body.to_string()));
+    }
+    Ok((epoch, entries))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(key: &str, body: &str) -> (String, Arc<str>) {
+        (key.to_string(), Arc::from(body))
+    }
+
+    #[test]
+    fn dump_and_parse_round_trip() {
+        let entries = vec![
+            entry("fig5@tiny", r#"{"experiment":"fig5"}"#),
+            entry("a@b", ""),
+        ];
+        let doc = dump(42, &entries);
+        let (epoch, parsed) = parse(doc.as_bytes()).unwrap();
+        assert_eq!(epoch, 42);
+        let expected: Vec<(String, String)> = entries
+            .iter()
+            .map(|(k, v)| (k.clone(), v.to_string()))
+            .collect();
+        assert_eq!(parsed, expected);
+    }
+
+    #[test]
+    fn chunks_respect_the_budget_and_lose_nothing() {
+        let entries: Vec<(String, Arc<str>)> = (0..40)
+            .map(|i| entry(&format!("k{i}@tiny"), &"x".repeat(100)))
+            .collect();
+        let chunks = dump_chunks(7, &entries, 1024);
+        assert!(chunks.len() > 1, "must split under a 1KB budget");
+        let mut all = Vec::new();
+        for chunk in &chunks {
+            assert!(chunk.len() < 2048, "chunk far over budget: {}", chunk.len());
+            let (epoch, mut part) = parse(chunk.as_bytes()).unwrap();
+            assert_eq!(epoch, 7);
+            all.append(&mut part);
+        }
+        assert_eq!(all.len(), entries.len());
+        assert_eq!(all[0].0, "k0@tiny");
+        assert_eq!(all[39].0, "k39@tiny");
+    }
+
+    #[test]
+    fn parse_rejects_malformed_documents() {
+        assert!(parse(b"not json").is_err());
+        assert!(parse(br#"{"entries":[]}"#).is_err(), "epoch required");
+        assert!(parse(br#"{"epoch":1}"#).is_err(), "entries required");
+        assert!(parse(br#"{"epoch":1,"entries":[{"key":"k"}]}"#).is_err());
+    }
+
+    #[test]
+    fn effective_epoch_is_stable_within_a_process() {
+        // Registering nothing between calls must not move the epoch, and
+        // the epoch must build on the compiled-source epoch.
+        let a = effective_epoch();
+        let b = effective_epoch();
+        assert_eq!(a, b);
+    }
+}

@@ -207,6 +207,22 @@ impl ResultCache {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Every resident entry, most- to least-recently used, without
+    /// touching recency or the hit/miss counters. This is the warm-state
+    /// export surface (`GET /v1/cache`): MRU-first order means a receiver
+    /// with a smaller budget keeps the hottest keys.
+    pub fn entries(&self) -> Vec<(String, Arc<str>)> {
+        let lru = lock(&self.inner);
+        let mut out = Vec::with_capacity(lru.map.len());
+        let mut idx = lru.head;
+        while idx != NIL {
+            let (key, body) = lru.nodes[idx].entry.as_ref().expect("linked LRU slot");
+            out.push((key.clone(), body.clone()));
+            idx = lru.nodes[idx].next;
+        }
+        out
+    }
 }
 
 #[cfg(test)]
@@ -268,6 +284,19 @@ mod tests {
         }
         let lru = lock(&cache.inner);
         assert!(lru.nodes.len() <= 2, "slab must not grow unboundedly");
+    }
+
+    #[test]
+    fn entries_walks_mru_first_without_touching_state() {
+        let cache = ResultCache::new(1024);
+        cache.put("a", body("1"));
+        cache.put("b", body("2"));
+        cache.put("c", body("3"));
+        cache.get("a");
+        let (hits, misses) = (cache.hits(), cache.misses());
+        let keys: Vec<String> = cache.entries().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, ["a", "c", "b"]);
+        assert_eq!((cache.hits(), cache.misses()), (hits, misses));
     }
 
     /// Reference model: a `Vec` ordered least- to most-recently used, the

@@ -17,12 +17,15 @@
 use crate::access_log::{AccessLog, AccessRecord};
 use crate::http::{self, Limits, ReadError, Request, Response};
 use crate::metrics::{self, Gauges, Metrics};
+use crate::persist;
 use crate::queue::Bounded;
 use crate::result_cache::ResultCache;
 use crate::service::{ExperimentRequest, Service};
 use mds_harness::json::Json;
 use mds_runner::TraceCache;
+use mds_store::{Store, StoreConfig};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -63,6 +66,11 @@ pub struct ServerConfig {
     pub max_requests_per_connection: usize,
     /// Result-cache byte budget.
     pub cache_budget_bytes: usize,
+    /// Durable result store directory (`None`: in-memory cache only).
+    /// When set, the result cache is prewarmed from the store at boot
+    /// and every cache fill is appended, so warm state survives
+    /// restarts — including `kill -9`.
+    pub store_dir: Option<PathBuf>,
     /// Access-log destination.
     pub log: LogTarget,
 }
@@ -79,6 +87,7 @@ impl Default for ServerConfig {
             limits: Limits::default(),
             max_requests_per_connection: 1000,
             cache_budget_bytes: 16 * 1024 * 1024,
+            store_dir: None,
             log: LogTarget::Stderr,
         }
     }
@@ -95,6 +104,14 @@ struct Shared {
     config: ServerConfig,
     service: Service,
     results: ResultCache,
+    /// The durable result tier (`--store`); `None` keeps today's
+    /// in-memory-only behavior.
+    store: Option<Store>,
+    /// The effective output epoch (build epoch + registered WDL
+    /// fingerprints); tags stored records and the `/v1/cache` wire.
+    epoch: u64,
+    /// Result-cache entries replayed from the store at boot.
+    prewarmed: usize,
     metrics: Metrics,
     log: AccessLog,
     queue: Bounded<Admitted>,
@@ -129,9 +146,47 @@ impl Server {
             LogTarget::Discard => AccessLog::discard(),
             LogTarget::Memory => AccessLog::memory(),
         };
+        // The epoch must be computed after any WDL registration (the
+        // binary registers families before calling `start`), because
+        // registered fingerprints are part of output identity.
+        let epoch = persist::effective_epoch();
+        let results = ResultCache::new(config.cache_budget_bytes);
+        let mut prewarmed = 0usize;
+        let store = match &config.store_dir {
+            None => None,
+            Some(dir) => {
+                let store = Store::open(
+                    dir,
+                    StoreConfig {
+                        epoch,
+                        ..StoreConfig::default()
+                    },
+                )
+                .map_err(|e| format!("cannot open store {}: {e}", dir.display()))?;
+                for (key, body) in store.iter() {
+                    results.put(&key, body);
+                    prewarmed += 1;
+                }
+                let r = store.recovery();
+                log.event(
+                    Json::object()
+                        .field("evt", "store")
+                        .field("dir", dir.display().to_string())
+                        .field("epoch", epoch)
+                        .field("records", store.len())
+                        .field("prewarmed", prewarmed)
+                        .field("stale_skipped", r.stale_skipped)
+                        .field("corrupt_bytes", r.corrupt_bytes),
+                );
+                Some(store)
+            }
+        };
         let shared = Arc::new(Shared {
             queue: Bounded::new(config.queue_depth),
-            results: ResultCache::new(config.cache_budget_bytes),
+            results,
+            store,
+            epoch,
+            prewarmed,
             config,
             service,
             metrics: Metrics::default(),
@@ -188,6 +243,21 @@ impl Server {
     /// The shared trace cache.
     pub fn trace_cache(&self) -> &TraceCache {
         self.shared.service.trace_cache()
+    }
+
+    /// The durable result store, when configured.
+    pub fn store(&self) -> Option<&Store> {
+        self.shared.store.as_ref()
+    }
+
+    /// The effective output epoch this server stores and serves under.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch
+    }
+
+    /// Result-cache entries replayed from the store at boot.
+    pub fn prewarmed(&self) -> usize {
+        self.shared.prewarmed
     }
 
     /// Connections currently waiting for a worker.
@@ -461,6 +531,13 @@ fn route(shared: &Shared, request: &Request) -> Routed {
                 trace_cache_hits: shared.service.trace_cache().hits(),
                 trace_cache_misses: shared.service.trace_cache().misses(),
                 trace_cache_bytes: shared.service.trace_cache().resident_bytes(),
+                store_records: shared.store.as_ref().map_or(0, Store::len),
+                store_log_bytes: shared.store.as_ref().map_or(0, Store::log_bytes),
+                store_snapshot_bytes: shared.store.as_ref().map_or(0, Store::snapshot_bytes),
+                store_prewarmed: shared.prewarmed,
+                store_appends: shared.store.as_ref().map_or(0, Store::appends),
+                store_append_errors: shared.store.as_ref().map_or(0, Store::append_errors),
+                store_compactions: shared.store.as_ref().map_or(0, Store::compactions),
             };
             pass(
                 Response::new(200)
@@ -470,6 +547,14 @@ fn route(shared: &Shared, request: &Request) -> Routed {
         }
         ("GET", "/v1/experiments") => pass(Response::json(200, Service::experiments_json())),
         ("POST", "/v1/experiments") => serve_experiment(shared, &request.body),
+        // Warm-state transfer: export (GET) / bulk-import (POST) of the
+        // result cache, epoch-tagged. Intra-cluster plumbing — the
+        // gateway's ring-neighbor handoff — not a public surface.
+        ("GET", "/v1/cache") => pass(Response::json(
+            200,
+            persist::dump(shared.epoch, &shared.results.entries()),
+        )),
+        ("POST", "/v1/cache") => pass(fill_cache(shared, &request.body)),
         ("POST", "/v1/shutdown") => {
             signal_shutdown(shared);
             Routed {
@@ -478,9 +563,10 @@ fn route(shared: &Shared, request: &Request) -> Routed {
                 close: true,
             }
         }
-        (_, "/healthz" | "/readyz" | "/metrics" | "/v1/experiments" | "/v1/shutdown") => {
-            pass(Response::json(405, r#"{"error":"method not allowed"}"#))
-        }
+        (
+            _,
+            "/healthz" | "/readyz" | "/metrics" | "/v1/experiments" | "/v1/cache" | "/v1/shutdown",
+        ) => pass(Response::json(405, r#"{"error":"method not allowed"}"#)),
         _ => pass(Response::json(404, r#"{"error":"not found"}"#)),
     }
 }
@@ -535,6 +621,7 @@ fn serve_experiment(shared: &Shared, body: &[u8]) -> Routed {
     match shared.service.execute(&request) {
         Ok(body) => {
             shared.results.put(&key, Arc::from(body.as_str()));
+            persist(shared, &key, &body);
             Routed {
                 response: Response::json(200, body),
                 cache: "miss",
@@ -550,4 +637,60 @@ fn serve_experiment(shared: &Shared, body: &[u8]) -> Routed {
             }
         }
     }
+}
+
+/// Appends a freshly computed (or imported) body to the durable store,
+/// if one is attached. Deduplicated against the stored value: recomputes
+/// of an already-persisted key (`fresh:true` benchmarking, handoff
+/// replays) must not grow the log or pay an fsync per request. Append
+/// failures are logged and counted but never fail the response — losing
+/// durability is strictly better than losing the request.
+fn persist(shared: &Shared, key: &str, body: &str) {
+    let Some(store) = &shared.store else {
+        return;
+    };
+    if store.get(key).as_deref() == Some(body) {
+        return;
+    }
+    if let Err(e) = store.append(key, body) {
+        shared.log.event(
+            Json::object()
+                .field("evt", "store_append_error")
+                .field("key", key)
+                .field("error", e.to_string()),
+        );
+    }
+}
+
+/// `POST /v1/cache`: bulk-imports entries into the result cache (and the
+/// store, when attached). An epoch mismatch is a `409` — a peer from a
+/// different build (or with different WDL registrations) must never
+/// launder its bytes into this process's cache.
+fn fill_cache(shared: &Shared, body: &[u8]) -> Response {
+    let (epoch, entries) = match persist::parse(body) {
+        Ok(parsed) => parsed,
+        Err(message) => {
+            return Response::json(400, Json::object().field("error", message).to_string())
+        }
+    };
+    if epoch != shared.epoch {
+        let body = Json::object()
+            .field(
+                "error",
+                format!("epoch mismatch: ours {}, offered {epoch}", shared.epoch),
+            )
+            .to_string();
+        return Response::json(409, body);
+    }
+    let accepted = entries.len();
+    for (key, value) in entries {
+        shared.results.put(&key, Arc::from(value.as_str()));
+        persist(shared, &key, &value);
+    }
+    Response::json(
+        200,
+        Json::object()
+            .field("accepted", accepted as u64)
+            .to_string(),
+    )
 }

@@ -1,0 +1,101 @@
+//! WDL-over-HTTP: generated workload families registered at boot resolve
+//! through the serving tier.
+//!
+//! In its own integration binary because registration is process-global
+//! and folds into the effective store epoch — the plain store e2e tests
+//! must not see these families.
+
+use mds_harness::tempdir::TempDir;
+use mds_serve::http::{self, ClientResponse};
+use mds_serve::{persist, LogTarget, Server, ServerConfig};
+use mds_workloads::Scale;
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn request(server: &Server, method: &str, target: &str, body: &[u8]) -> ClientResponse {
+    let mut stream = TcpStream::connect(server.local_addr()).expect("connect");
+    stream
+        .set_read_timeout(Some(Duration::from_secs(30)))
+        .unwrap();
+    http::write_request(&mut stream, method, target, body).expect("write request");
+    http::read_response(&mut stream).expect("read response")
+}
+
+/// Registers the `compress_like` example spec exactly the way
+/// `mds-serve --wdl examples/compress_like.wdl` does at boot.
+fn register_example() {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("../../examples/compress_like.wdl")
+        .canonicalize()
+        .expect("example spec path");
+    let src = std::fs::read_to_string(&path).expect("read example spec");
+    let spec = mds_wdl::parse_spec(&src).expect("parse example spec");
+    mds_wdl::register_spec(&spec, 0, 2).expect("register example spec");
+}
+
+#[test]
+fn registered_wdl_families_serve_cli_identical_bytes() {
+    register_example();
+    let tmp = TempDir::new("mds-serve-wdl").unwrap();
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_depth: 16,
+        jobs: Some(2),
+        read_timeout: Duration::from_secs(10),
+        write_timeout: Duration::from_secs(10),
+        store_dir: Some(tmp.path().to_path_buf()),
+        log: LogTarget::Memory,
+        ..ServerConfig::default()
+    })
+    .expect("start server");
+
+    // The epoch must reflect the registered family, not just the build:
+    // a binary-identical server without the registration must disagree.
+    assert_ne!(server.epoch(), mds_bench::output_epoch());
+    assert_eq!(server.epoch(), persist::effective_epoch());
+
+    let body = br#"{"experiment":"wdl","scale":"tiny"}"#;
+    let response = request(&server, "POST", "/v1/experiments", body);
+    assert_eq!(response.status, 200, "{:?}", response);
+
+    let mut h = mds_bench::Harness::with_runner(Scale::Tiny, mds_runner::Runner::new(1));
+    let table = mds_bench::experiment(&mut h, "wdl").unwrap();
+    let expected = mds_bench::results_doc(
+        "wdl",
+        mds_bench::experiment_title("wdl").unwrap(),
+        Scale::Tiny,
+        &table,
+    )
+    .pretty();
+    assert_eq!(
+        response.body,
+        expected.as_bytes(),
+        "served wdl bytes differ from the repro CLI document"
+    );
+    assert!(
+        expected.contains("wdl/compress_like/"),
+        "the generated family must appear in the table: {expected}"
+    );
+
+    // And the persisted entry replays warm across a restart under the
+    // same registrations.
+    let store_dir = tmp.path().to_path_buf();
+    server.shutdown();
+    let reborn = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".to_string(),
+        workers: 2,
+        queue_depth: 16,
+        jobs: Some(2),
+        store_dir: Some(store_dir),
+        log: LogTarget::Memory,
+        ..ServerConfig::default()
+    })
+    .expect("restart server");
+    assert_eq!(reborn.prewarmed(), 1);
+    let warm = request(&reborn, "POST", "/v1/experiments", body);
+    assert_eq!(warm.body, expected.as_bytes());
+    assert_eq!(reborn.trace_cache().misses(), 0);
+    reborn.shutdown();
+}

@@ -161,6 +161,24 @@ pub fn generated() -> Vec<Workload> {
     entries.into_iter().map(|(_, w)| w).collect()
 }
 
+/// All dynamic `(name, fingerprint)` pairs, in registration order.
+///
+/// This is the registry's identity surface: the serving tier folds these
+/// into its store epoch so results computed under one set of registered
+/// families are never served under another.
+pub fn generated_fingerprints() -> Vec<(&'static str, u64)> {
+    let map = state().read().expect("workload registry poisoned");
+    let mut entries: Vec<(usize, &'static str, u64)> = map
+        .iter()
+        .map(|(name, e)| (e.order, *name, e.fingerprint))
+        .collect();
+    entries.sort_by_key(|(order, _, _)| *order);
+    entries
+        .into_iter()
+        .map(|(_, name, fp)| (name, fp))
+        .collect()
+}
+
 /// Builds a dynamic workload's program.
 ///
 /// # Panics

@@ -16,6 +16,8 @@
 //! | [`workloads`] | `mds-workloads` | the synthetic benchmark suites |
 //! | [`runner`] | `mds-runner` | parallel experiment grids + shared trace cache |
 //! | [`serve`] | `mds-serve` | HTTP/JSON experiment serving + load generator |
+//! | [`cluster`] | `mds-cluster` | sharded, replicated experiment-serving tier |
+//! | [`store`] | `mds-store` | durable result tier: append-only log + snapshot |
 //! | [`sim`] | `mds-sim` | statistics and table rendering |
 //!
 //! # Quickstart
@@ -62,4 +64,5 @@ pub use mds_predict as predict;
 pub use mds_runner as runner;
 pub use mds_serve as serve;
 pub use mds_sim as sim;
+pub use mds_store as store;
 pub use mds_workloads as workloads;
