@@ -30,6 +30,9 @@ options:
   --retry-burst N      retry-budget burst above the 20% steady-state ratio (default 16)
   --hedge-ms MS        hedge a second request after MS of silence (default: off)
   --probe-ms MS        readiness-probe interval in milliseconds (default 250)
+  --io MODEL           client-side connection engine: 'epoll' (default on
+                       Linux) or 'threads' (legacy pool, kept for one release);
+                       also applied to --spawn'ed backends
   --quiet              discard the JSON event log (default: stderr)
   -h, --help           show this help
 
@@ -117,6 +120,10 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<Options, String> {
                 }
                 gateway.probe_interval = Duration::from_millis(ms as u64);
             }
+            "--io" => {
+                let text = value("--io")?;
+                gateway.io = text.parse().map_err(|e| format!("--io: {e}"))?;
+            }
             "--quiet" => gateway.log = LogTarget::Discard,
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -150,6 +157,7 @@ fn main() {
             jobs: options.fleet_jobs,
             store_dir: options.store_dir.clone(),
             log: options.gateway.log,
+            io: options.gateway.io,
             ..FleetConfig::default()
         }) {
             Ok(fleet) => fleet,
@@ -210,6 +218,8 @@ mod tests {
                 "40",
                 "--probe-ms",
                 "100",
+                "--io",
+                "threads",
                 "--quiet",
             ]
             .into_iter()
@@ -231,6 +241,7 @@ mod tests {
         assert_eq!(options.gateway.retry_burst, 9);
         assert_eq!(options.gateway.hedge_after, Some(Duration::from_millis(40)));
         assert_eq!(options.gateway.probe_interval, Duration::from_millis(100));
+        assert_eq!(options.gateway.io, mds_serve::io::IoModel::Threads);
         assert_eq!(options.gateway.log, LogTarget::Discard);
     }
 

@@ -8,6 +8,7 @@
 //! spawned fleet exercises exactly the code paths of N separate
 //! processes, minus the process boundary.
 
+use mds_serve::io::IoModel;
 use mds_serve::{LogTarget, Server, ServerConfig};
 use std::path::PathBuf;
 
@@ -27,6 +28,9 @@ pub struct FleetConfig {
     pub store_dir: Option<PathBuf>,
     /// Access-log destination for every backend.
     pub log: LogTarget,
+    /// Connection engine for every backend (spawned backends run the
+    /// same engine as the gateway fronting them).
+    pub io: IoModel,
 }
 
 impl Default for FleetConfig {
@@ -38,6 +42,7 @@ impl Default for FleetConfig {
             jobs: None,
             store_dir: None,
             log: LogTarget::Discard,
+            io: IoModel::default(),
         }
     }
 }
@@ -67,6 +72,7 @@ impl Fleet {
                     .as_ref()
                     .map(|dir| dir.join(format!("backend-{i}"))),
                 log: config.log,
+                io: config.io,
                 ..ServerConfig::default()
             })?));
         }

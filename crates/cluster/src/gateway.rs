@@ -43,9 +43,12 @@ use mds_harness::backoff::Backoff;
 use mds_harness::json::Json;
 use mds_serve::client::{self, Connection};
 use mds_serve::http::{self, ClientResponse, Limits, ReadError, Request, Response};
+use mds_serve::io::reactor::{self, Dispatch, Outcome};
+use mds_serve::io::IoModel;
 use mds_serve::persist;
 use mds_serve::queue::Bounded;
 use mds_serve::{AccessLog, ExperimentRequest, LogTarget};
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -88,6 +91,11 @@ pub struct GatewayConfig {
     pub io_timeout: Duration,
     /// Per-connection client read timeout (also keep-alive idle).
     pub read_timeout: Duration,
+    /// Total deadline for one client request head (the slow-loris guard;
+    /// the read timeout alone resets on every dripped byte).
+    pub header_timeout: Duration,
+    /// Per-connection client write timeout.
+    pub write_timeout: Duration,
     /// Request head/body size limits.
     pub limits: Limits,
     /// Keep-alive cap: requests served per client connection.
@@ -103,6 +111,12 @@ pub struct GatewayConfig {
     pub log: LogTarget,
     /// Seed for breaker cooldown and probe-backoff jitter.
     pub seed: u64,
+    /// Connection engine for the client-facing side: event-driven
+    /// `epoll` (default on Linux) or the legacy thread-per-connection
+    /// pool. Upstream forwarding always runs on workers.
+    pub io: IoModel,
+    /// Concurrent client-connection cap under `--io epoll`.
+    pub max_connections: usize,
 }
 
 impl Default for GatewayConfig {
@@ -121,12 +135,16 @@ impl Default for GatewayConfig {
             connect_timeout: Duration::from_secs(1),
             io_timeout: Duration::from_secs(120),
             read_timeout: Duration::from_secs(5),
+            header_timeout: Duration::from_secs(5),
+            write_timeout: Duration::from_secs(5),
             limits: Limits::default(),
             max_requests_per_connection: 1000,
             handoff: true,
             breaker: BreakerConfig::default(),
             log: LogTarget::Stderr,
             seed: 0x006d_6473,
+            io: IoModel::default(),
+            max_connections: 10_000,
         }
     }
 }
@@ -145,6 +163,11 @@ struct Shared {
     metrics: GatewayMetrics,
     log: AccessLog,
     queue: Bounded<Inbound>,
+    /// The request-level work queue under `--io epoll`; `None` under
+    /// `--io threads`.
+    jobs: Option<Arc<Bounded<reactor::Job>>>,
+    /// Reactor gauges (`mds_io_*`); all-zero under `--io threads`.
+    io_stats: Arc<reactor::IoStats>,
     /// Round-robin cursor for unkeyed proxy routes.
     round_robin: AtomicU64,
     /// Denominator of the retry budget (proxied requests so far).
@@ -165,6 +188,10 @@ pub struct Gateway {
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
     prober: Option<JoinHandle<()>>,
+    #[cfg(target_os = "linux")]
+    reactor: Option<reactor::Reactor>,
+    /// Guards the final summary so Drop after `shutdown` is a no-op.
+    finished: bool,
 }
 
 impl Gateway {
@@ -205,12 +232,19 @@ impl Gateway {
                 .field("points", ring.points())
                 .field("replicas", config.replicas),
         );
+        let io = config.io.effective();
+        let jobs = match io {
+            IoModel::Epoll => Some(Arc::new(Bounded::new(config.queue_depth))),
+            IoModel::Threads => None,
+        };
         let shared = Arc::new(Shared {
             queue: Bounded::new(config.queue_depth),
             backends,
             ring,
             metrics: GatewayMetrics::default(),
             log,
+            jobs,
+            io_stats: Arc::new(reactor::IoStats::default()),
             round_robin: AtomicU64::new(0),
             proxied: AtomicU64::new(0),
             retries: AtomicU64::new(0),
@@ -220,6 +254,44 @@ impl Gateway {
             shutdown_cv: Condvar::new(),
             config,
         });
+        let prober = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("mds-cluster-prober".to_string())
+                .spawn(move || probe_loop(&shared))
+                .map_err(|e| format!("cannot spawn prober: {e}"))?
+        };
+        #[cfg(target_os = "linux")]
+        if io == IoModel::Epoll {
+            let app = Arc::new(GatewayApp {
+                shared: Arc::clone(&shared),
+            });
+            let reactor = reactor::Reactor::start(
+                listener,
+                app,
+                reactor::Config {
+                    limits: shared.config.limits,
+                    max_requests: shared.config.max_requests_per_connection,
+                    read_timeout: shared.config.read_timeout,
+                    header_timeout: shared.config.header_timeout,
+                    write_timeout: shared.config.write_timeout,
+                    max_connections: shared.config.max_connections,
+                },
+                shared.config.workers,
+                Arc::clone(shared.jobs.as_ref().expect("epoll mode has a job queue")),
+                Arc::clone(&shared.io_stats),
+            )
+            .map_err(|e| format!("cannot start reactor: {e}"))?;
+            return Ok(Gateway {
+                shared,
+                local_addr,
+                acceptor: None,
+                workers: Vec::new(),
+                prober: Some(prober),
+                reactor: Some(reactor),
+                finished: false,
+            });
+        }
         let acceptor = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -244,19 +316,15 @@ impl Gateway {
                     .map_err(|e| format!("cannot spawn worker: {e}"))?,
             );
         }
-        let prober = {
-            let shared = Arc::clone(&shared);
-            std::thread::Builder::new()
-                .name("mds-cluster-prober".to_string())
-                .spawn(move || probe_loop(&shared))
-                .map_err(|e| format!("cannot spawn prober: {e}"))?
-        };
         Ok(Gateway {
             shared,
             local_addr,
             acceptor: Some(acceptor),
             workers,
             prober: Some(prober),
+            #[cfg(target_os = "linux")]
+            reactor: None,
+            finished: false,
         })
     }
 
@@ -304,14 +372,21 @@ impl Gateway {
     }
 
     fn stop_and_join(&mut self) {
-        if self.acceptor.is_none() {
+        if self.finished {
             return;
         }
+        self.finished = true;
         self.shared.stop.store(true, Ordering::SeqCst);
         signal_shutdown(&self.shared);
-        // Wake the acceptor out of its blocking accept() and the prober
-        // out of its timed wait.
-        let _ = TcpStream::connect(self.local_addr);
+        #[cfg(target_os = "linux")]
+        if let Some(mut reactor) = self.reactor.take() {
+            reactor.stop_and_join();
+        }
+        if self.acceptor.is_some() {
+            // Wake the acceptor out of its blocking accept() and the
+            // prober out of its timed wait.
+            let _ = TcpStream::connect(self.local_addr);
+        }
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
@@ -369,6 +444,9 @@ fn accept_loop(shared: &Shared, listener: TcpListener) {
             .connections_total
             .fetch_add(1, Ordering::Relaxed);
         let _ = stream.set_read_timeout(Some(shared.config.read_timeout));
+        // Without a write timeout, a client that stops draining its
+        // receive window pins a worker in write() for good.
+        let _ = stream.set_write_timeout(Some(shared.config.write_timeout));
         let _ = stream.set_nodelay(true);
         let inbound = Inbound {
             stream,
@@ -381,14 +459,21 @@ fn accept_loop(shared: &Shared, listener: TcpListener) {
     shared.queue.close();
 }
 
-fn shed(shared: &Shared, mut stream: TcpStream) {
+/// Counts one shed and returns the backpressure response (written to the
+/// whole connection by the threaded acceptor, to the individual request
+/// by the event-driven engine).
+fn shed_response(shared: &Shared) -> Response {
     shared
         .metrics
         .rejected_total
         .fetch_add(1, Ordering::Relaxed);
     shared.metrics.count_response(503);
-    let response = Response::json(503, r#"{"error":"gateway queue full, retry shortly"}"#)
-        .header("retry-after", "1");
+    Response::json(503, r#"{"error":"gateway queue full, retry shortly"}"#)
+        .header("retry-after", "1")
+}
+
+fn shed(shared: &Shared, mut stream: TcpStream) {
+    let response = shed_response(shared);
     let _ = response.write_to(&mut stream, false);
 }
 
@@ -453,11 +538,20 @@ fn handle_connection(shared: &Shared, conns: &mut ConnCache, inbound: Inbound) {
                 IdleWait::Yield | IdleWait::Gone => break,
             }
         }
-        let request = match reader.read_request(&mut stream, shared.config.limits) {
+        // Read under a *total* header deadline — per-read timeouts alone
+        // reset on every dripped byte (slow loris).
+        let request = match http::read_request_deadline(
+            &mut reader,
+            &mut stream,
+            shared.config.limits,
+            shared.config.read_timeout,
+            shared.config.header_timeout,
+        ) {
             Ok(request) => request,
             Err(e) => {
                 let status = match e {
                     ReadError::Closed | ReadError::TimedOut | ReadError::Io(_) => break,
+                    ReadError::HeaderTimeout => 408,
                     ReadError::HeadTooLarge | ReadError::BodyTooLarge => 413,
                     ReadError::Malformed(_) => 400,
                 };
@@ -505,6 +599,109 @@ struct Routed {
     close: bool,
 }
 
+thread_local! {
+    /// Per-thread upstream keep-alive connections, one per backend — the
+    /// event-driven engine's equivalent of the per-worker `ConnCache` the
+    /// threaded pool passes around explicitly. Each pool worker (and the
+    /// reactor thread, though it never forwards) gets its own cache, so
+    /// upstream pooling stays lock-free.
+    static UPSTREAM: RefCell<ConnCache> = RefCell::new(HashMap::new());
+}
+
+/// The gateway application behind the event-driven engine: probes and
+/// control answered on the reactor, upstream forwarding deferred to the
+/// worker pool (it blocks on backend I/O).
+struct GatewayApp {
+    shared: Arc<Shared>,
+}
+
+impl GatewayApp {
+    /// Counts and logs one finished response, mirroring the threaded
+    /// path's per-request `evt:gateway` record.
+    fn account(&self, request: &Request, outcome: &Outcome, queue_wait_us: u64, compute_us: u64) {
+        let shared = &self.shared;
+        shared.metrics.count_response(outcome.response.status());
+        shared.log.event(
+            Json::object()
+                .field("evt", "gateway")
+                .field("method", request.method.as_str())
+                .field("target", request.target.as_str())
+                .field("status", outcome.response.status() as u64)
+                .field("queue_wait_us", queue_wait_us)
+                .field("us", compute_us)
+                .field("bytes", outcome.response.body_len()),
+        );
+    }
+}
+
+impl reactor::App for GatewayApp {
+    fn dispatch(&self, request: &Request) -> Dispatch {
+        match (request.method.as_str(), request.target.as_str()) {
+            // Forwarding blocks on upstream sockets: pool work.
+            ("GET" | "POST", "/v1/experiments") => Dispatch::Defer,
+            _ => {
+                let started = Instant::now();
+                self.shared
+                    .metrics
+                    .routes
+                    .count(&request.method, &request.target);
+                let routed =
+                    UPSTREAM.with(|conns| route(&self.shared, &mut conns.borrow_mut(), request));
+                let compute_us = started.elapsed().as_micros() as u64;
+                let outcome = Outcome {
+                    response: routed.response,
+                    cache: "-",
+                    close: routed.close,
+                };
+                self.account(request, &outcome, 0, compute_us);
+                Dispatch::Inline(outcome)
+            }
+        }
+    }
+
+    fn execute(&self, request: &Request) -> Outcome {
+        self.shared
+            .metrics
+            .routes
+            .count(&request.method, &request.target);
+        let routed = UPSTREAM.with(|conns| route(&self.shared, &mut conns.borrow_mut(), request));
+        Outcome {
+            response: routed.response,
+            cache: "-",
+            close: routed.close,
+        }
+    }
+
+    fn on_connection(&self) {
+        self.shared
+            .metrics
+            .connections_total
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_response(
+        &self,
+        request: &Request,
+        outcome: &Outcome,
+        queue_wait_us: u64,
+        compute_us: u64,
+    ) {
+        self.account(request, outcome, queue_wait_us, compute_us);
+    }
+
+    fn shed(&self, _queue_len: usize) -> Response {
+        shed_response(&self.shared)
+    }
+
+    fn on_request_error(&self, status: u16) {
+        self.shared.metrics.count_response(status);
+    }
+
+    fn draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst) || self.shared.stop.load(Ordering::SeqCst)
+    }
+}
+
 fn route(shared: &Shared, conns: &mut ConnCache, request: &Request) -> Routed {
     let pass = |response: Response| Routed {
         response,
@@ -513,15 +710,27 @@ fn route(shared: &Shared, conns: &mut ConnCache, request: &Request) -> Routed {
     match (request.method.as_str(), request.target.as_str()) {
         ("GET", "/healthz") => pass(Response::text(200, "ok\n")),
         ("GET", "/readyz") => pass(readiness(shared)),
-        ("GET", "/metrics") => pass(
-            Response::new(200)
-                .header("content-type", "text/plain; version=0.0.4; charset=utf-8")
-                .body(metrics::render(
-                    &shared.metrics,
-                    &shared.backends,
-                    shared.queue.len(),
-                )),
-        ),
+        ("GET", "/metrics") => {
+            let io = &shared.io_stats;
+            let depth = shared
+                .jobs
+                .as_ref()
+                .map_or_else(|| shared.queue.len(), |j| j.len());
+            pass(
+                Response::new(200)
+                    .header("content-type", "text/plain; version=0.0.4; charset=utf-8")
+                    .body(metrics::render(
+                        &shared.metrics,
+                        &shared.backends,
+                        depth,
+                        (
+                            io.registered_fds.load(Ordering::Relaxed),
+                            io.ready_depth.load(Ordering::Relaxed),
+                            io.timer_fires.load(Ordering::Relaxed),
+                        ),
+                    )),
+            )
+        }
         ("GET", "/v1/cluster") => pass(Response::json(200, cluster_status(shared))),
         ("GET", "/v1/experiments") => pass(forward(shared, conns, request, None)),
         ("POST", "/v1/experiments") => {

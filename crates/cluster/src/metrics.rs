@@ -132,8 +132,15 @@ fn labeled(
     }
 }
 
-/// Renders the full gateway exposition.
-pub fn render(m: &GatewayMetrics, backends: &[Arc<Backend>], queue_depth: usize) -> String {
+/// Renders the full gateway exposition. `io` carries the event-engine
+/// gauges (all-zero under `--io threads`) as `(registered fds, ready
+/// events, timer fires)`.
+pub fn render(
+    m: &GatewayMetrics,
+    backends: &[Arc<Backend>],
+    queue_depth: usize,
+    io: (u64, u64, u64),
+) -> String {
     let mut out = String::with_capacity(4096);
     let c = |v: &AtomicU64| v.load(Ordering::Relaxed);
     counter(
@@ -237,6 +244,24 @@ pub fn render(m: &GatewayMetrics, backends: &[Arc<Backend>], queue_depth: usize)
         "mds_gateway_backends",
         "Backends configured on the ring.",
         backends.len() as u64,
+    );
+    gauge(
+        &mut out,
+        "mds_io_registered_fds",
+        "Fds registered with the gateway's event poller (0 under --io threads).",
+        io.0,
+    );
+    gauge(
+        &mut out,
+        "mds_io_ready_queue_depth",
+        "Readiness events delivered by the gateway's most recent poll.",
+        io.1,
+    );
+    counter(
+        &mut out,
+        "mds_io_timer_fires_total",
+        "Client-connection deadlines fired by the gateway's timer wheel.",
+        io.2,
     );
     labeled(
         &mut out,
@@ -360,12 +385,15 @@ mod tests {
         ];
         backends[1].stats.attempts.fetch_add(7, Ordering::Relaxed);
         backends[1].set_healthy(false);
-        let text = render(&m, &backends, 3);
+        let text = render(&m, &backends, 3, (12, 4, 9));
         for needle in [
             "mds_gateway_requests_total 1",
             "mds_gateway_responses_2xx_total 1",
             "mds_gateway_queue_depth 3",
             "mds_gateway_backends 2",
+            "mds_io_registered_fds 12",
+            "mds_io_ready_queue_depth 4",
+            "mds_io_timer_fires_total 9",
             "mds_gateway_route_requests_total{route=\"POST /v1/experiments\"} 1",
             "mds_gateway_route_requests_total{route=\"other\"} 1",
             "mds_gateway_backend_attempts_total{backend=\"127.0.0.1:9002\"} 7",

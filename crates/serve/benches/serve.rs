@@ -62,6 +62,16 @@ fn start_server(store_dir: Option<&Path>) -> Server {
 }
 
 fn run_mode(server: &Server, clients: usize, seconds: f64, fresh: bool) -> LoadReport {
+    run_mode_idle(server, clients, seconds, fresh, 0)
+}
+
+fn run_mode_idle(
+    server: &Server,
+    clients: usize,
+    seconds: f64,
+    fresh: bool,
+    idle: usize,
+) -> LoadReport {
     run_load(&LoadConfig {
         addr: server.local_addr().to_string(),
         clients,
@@ -69,6 +79,7 @@ fn run_mode(server: &Server, clients: usize, seconds: f64, fresh: bool) -> LoadR
         experiment: EXPERIMENT.to_string(),
         scale: SCALE.to_string(),
         fresh,
+        idle,
         ..LoadConfig::default()
     })
 }
@@ -132,6 +143,24 @@ fn main() {
         runs.push(run_json("warm", clients, &warm));
         results.push(gate_result("warm", clients, &warm));
     }
+
+    // 1k parked keep-alive connections must not tax the active path:
+    // the event-driven core pays per readiness event, not per held
+    // connection, so warm latency with the idle fleet parked should sit
+    // within noise of the plain warm series above.
+    let idle_fleet = if measure { 1000 } else { 32 };
+    let warm_idle = run_mode_idle(&server, 4, seconds, false, idle_fleet);
+    assert!(
+        warm_idle.requests > 0,
+        "idle-fleet warm run completed no requests"
+    );
+    assert_eq!(
+        warm_idle.idle, idle_fleet as u64,
+        "every idler must park successfully"
+    );
+    eprintln!("  idle_keepalive_1k/4c: {}", warm_idle.render());
+    runs.push(run_json("idle_keepalive_1k", 4, &warm_idle));
+    results.push(gate_result("idle_keepalive_1k", 4, &warm_idle));
 
     let trace_emulations = server.trace_cache().misses();
     server.shutdown();

@@ -20,6 +20,8 @@ options:
   --experiment ID      experiment to request (default fig5)
   --scale NAME         tiny|small|full (default tiny)
   --fresh              bypass the server's result-cache read (cold path)
+  --idle N             park N idle keep-alive connections for the whole run
+                       (each sends one priming request first; default 0)
   --json               emit the report as JSON instead of a summary line
   -h, --help           show this help
 ";
@@ -60,6 +62,12 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<(LoadConfig, bool), 
             "--experiment" => config.experiment = value("--experiment")?,
             "--scale" => config.scale = value("--scale")?,
             "--fresh" => config.fresh = true,
+            "--idle" => {
+                let text = value("--idle")?;
+                config.idle = text
+                    .parse::<usize>()
+                    .map_err(|_| format!("--idle: invalid count '{text}'"))?;
+            }
             "--json" => json = true,
             "-h" | "--help" => {
                 println!("{USAGE}");
@@ -108,6 +116,8 @@ mod tests {
                 "--scale",
                 "small",
                 "--fresh",
+                "--idle",
+                "250",
                 "--json",
             ]
             .into_iter()
@@ -120,6 +130,7 @@ mod tests {
         assert_eq!(config.experiment, "table1");
         assert_eq!(config.scale, "small");
         assert!(config.fresh);
+        assert_eq!(config.idle, 250);
         assert!(json);
     }
 
@@ -127,6 +138,7 @@ mod tests {
     fn rejects_nonsense() {
         assert!(parse_args(["--clients".into(), "0".into()].into_iter()).is_err());
         assert!(parse_args(["--seconds".into(), "-1".into()].into_iter()).is_err());
+        assert!(parse_args(["--idle".into(), "many".into()].into_iter()).is_err());
         assert!(parse_args(["--bogus".into()].into_iter()).is_err());
     }
 }

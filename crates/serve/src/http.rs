@@ -15,6 +15,7 @@
 //! streams (tests, probes).
 
 use std::io::{self, Read, Write};
+use std::time::{Duration, Instant};
 
 /// Hard limits applied while reading a request.
 #[derive(Debug, Clone, Copy)]
@@ -92,6 +93,10 @@ pub enum ReadError {
     Closed,
     /// The read timed out (idle keep-alive connection).
     TimedOut,
+    /// The total header deadline expired before a complete head arrived
+    /// (slow-loris trickle). Answered with `408` then close, unlike
+    /// [`ReadError::TimedOut`] which drops the connection silently.
+    HeaderTimeout,
     /// The head exceeded [`Limits::max_head_bytes`].
     HeadTooLarge,
     /// The declared body exceeded [`Limits::max_body_bytes`].
@@ -107,6 +112,7 @@ impl std::fmt::Display for ReadError {
         match self {
             ReadError::Closed => write!(f, "connection closed"),
             ReadError::TimedOut => write!(f, "read timed out"),
+            ReadError::HeaderTimeout => write!(f, "header deadline expired"),
             ReadError::HeadTooLarge => write!(f, "request head too large"),
             ReadError::BodyTooLarge => write!(f, "request body too large"),
             ReadError::Malformed(why) => write!(f, "malformed request: {why}"),
@@ -210,12 +216,73 @@ fn declared_length(headers: &[(String, String)]) -> Result<usize, ReadError> {
     Ok(declared.unwrap_or(0))
 }
 
+/// Parses the head bytes (request line + headers) into a body-less
+/// [`Request`].
+fn parse_request_head(head: &[u8]) -> Result<Request, ReadError> {
+    let head = std::str::from_utf8(head).map_err(|_| ReadError::Malformed("non-UTF-8 head"))?;
+    let (request_line, header_lines) = head
+        .split_once("\r\n")
+        .ok_or(ReadError::Malformed("missing request line"))?;
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or_default().to_string();
+    let target = parts
+        .next()
+        .ok_or(ReadError::Malformed("missing target"))?
+        .to_string();
+    let version = match parts
+        .next()
+        .ok_or(ReadError::Malformed("missing version"))?
+    {
+        "HTTP/1.0" => Version::Http10,
+        v if v.starts_with("HTTP/1.") => Version::Http11,
+        _ => return Err(ReadError::Malformed("unsupported HTTP version")),
+    };
+    let headers = parse_headers(header_lines)?;
+    Ok(Request {
+        method,
+        target,
+        version,
+        headers,
+        body: Vec::new(),
+    })
+}
+
+/// The outcome of one [`RequestReader::fill_from`] call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fill {
+    /// This many bytes were appended to the carry buffer.
+    Data(usize),
+    /// The read would block (non-blocking socket) or hit its per-read
+    /// timeout (blocking socket) — no bytes arrived.
+    Blocked,
+    /// The peer half-closed: no more bytes will ever arrive.
+    Eof,
+}
+
+/// A parsed head whose declared body has not fully arrived yet.
+#[derive(Debug)]
+struct PendingHead {
+    request: Request,
+    declared: usize,
+}
+
 /// Server-side connection reader: parses a stream of requests, carrying
 /// bytes that arrive beyond each message (pipelined requests) over to the
 /// next call instead of discarding them.
+///
+/// Two usage styles share one parser:
+/// - **Blocking** ([`RequestReader::read_request`]): loop fill + parse
+///   until a request completes, mapping blocked reads to
+///   [`ReadError::TimedOut`].
+/// - **Incremental** ([`RequestReader::fill_from`] +
+///   [`RequestReader::try_parse`]): the event-driven connection state
+///   machine feeds readiness-gated reads in and polls for complete
+///   requests; a partially received head or body is held across calls in
+///   [`PendingHead`] / the carry buffer.
 #[derive(Debug, Default)]
 pub struct RequestReader {
     buf: Vec<u8>,
+    pending: Option<PendingHead>,
 }
 
 impl RequestReader {
@@ -227,6 +294,106 @@ impl RequestReader {
     /// Bytes received but not yet consumed by a parsed message.
     pub fn buffered(&self) -> usize {
         self.buf.len()
+    }
+
+    /// Whether any part of a request (head bytes or a parsed-but-bodyless
+    /// head) has been received and not yet returned. Distinguishes a
+    /// clean end-of-stream from a truncated message.
+    pub fn has_partial(&self) -> bool {
+        self.pending.is_some() || !self.buf.is_empty()
+    }
+
+    /// Whether the next request's head is still incomplete — the window
+    /// the total header deadline applies to. False once the head parsed
+    /// (body bytes are governed by the per-read timeout instead).
+    pub fn head_pending(&self) -> bool {
+        self.pending.is_none()
+    }
+
+    /// Performs one `read` from `stream` into the carry buffer.
+    ///
+    /// `WouldBlock`/`TimedOut` become [`Fill::Blocked`], a zero-length
+    /// read becomes [`Fill::Eof`], and `Interrupted` is retried.
+    ///
+    /// # Errors
+    ///
+    /// [`ReadError::Closed`] on connection reset, [`ReadError::Io`] on
+    /// any other failure.
+    pub fn fill_from(&mut self, stream: &mut impl Read) -> Result<Fill, ReadError> {
+        let mut chunk = [0u8; 4096];
+        loop {
+            match stream.read(&mut chunk) {
+                Ok(0) => return Ok(Fill::Eof),
+                Ok(n) => {
+                    self.buf.extend_from_slice(&chunk[..n]);
+                    return Ok(Fill::Data(n));
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(Fill::Blocked)
+                }
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::UnexpectedEof | io::ErrorKind::ConnectionReset
+                    ) =>
+                {
+                    return Err(ReadError::Closed)
+                }
+                Err(e) => return Err(ReadError::Io(e)),
+            }
+        }
+    }
+
+    /// Attempts to parse a complete request out of the carry buffer
+    /// without touching the stream. `Ok(None)` means more bytes are
+    /// needed; partially parsed state (a complete head awaiting its
+    /// body) is retained for the next call.
+    ///
+    /// # Errors
+    ///
+    /// Limit violations and malformed bytes, as for
+    /// [`RequestReader::read_request`]. Errors are terminal for the
+    /// connection: the reader's state is unspecified afterwards.
+    pub fn try_parse(&mut self, limits: Limits) -> Result<Option<Request>, ReadError> {
+        if self.pending.is_none() {
+            let Some(end) = find_head_end(&self.buf) else {
+                if self.buf.len() >= limits.max_head_bytes {
+                    return Err(ReadError::HeadTooLarge);
+                }
+                return Ok(None);
+            };
+            if end > limits.max_head_bytes {
+                return Err(ReadError::HeadTooLarge);
+            }
+            let rest = self.buf.split_off(end);
+            let head = std::mem::replace(&mut self.buf, rest);
+            let request = parse_request_head(&head)?;
+            if request.header("transfer-encoding").is_some() {
+                return Err(ReadError::Malformed("chunked bodies are not supported"));
+            }
+            let declared = declared_length(&request.headers)?;
+            if declared > limits.max_body_bytes {
+                return Err(ReadError::BodyTooLarge);
+            }
+            self.pending = Some(PendingHead { request, declared });
+        }
+        let declared = self.pending.as_ref().map_or(0, |p| p.declared);
+        if self.buf.len() < declared {
+            return Ok(None);
+        }
+        let PendingHead {
+            mut request,
+            declared,
+        } = self.pending.take().expect("pending head present");
+        let rest = self.buf.split_off(declared);
+        request.body = std::mem::replace(&mut self.buf, rest);
+        Ok(Some(request))
     }
 
     /// Reads and parses the next request on this connection.
@@ -241,43 +408,122 @@ impl RequestReader {
         stream: &mut impl Read,
         limits: Limits,
     ) -> Result<Request, ReadError> {
-        let head = take_head(&mut self.buf, stream, limits.max_head_bytes)?;
-        let head =
-            std::str::from_utf8(&head).map_err(|_| ReadError::Malformed("non-UTF-8 head"))?;
-        let (request_line, header_lines) = head
-            .split_once("\r\n")
-            .ok_or(ReadError::Malformed("missing request line"))?;
-        let mut parts = request_line.split(' ');
-        let method = parts.next().unwrap_or_default().to_string();
-        let target = parts
-            .next()
-            .ok_or(ReadError::Malformed("missing target"))?
-            .to_string();
-        let version = match parts
-            .next()
-            .ok_or(ReadError::Malformed("missing version"))?
-        {
-            "HTTP/1.0" => Version::Http10,
-            v if v.starts_with("HTTP/1.") => Version::Http11,
-            _ => return Err(ReadError::Malformed("unsupported HTTP version")),
-        };
-        let headers = parse_headers(header_lines)?;
-        let mut request = Request {
-            method,
-            target,
-            version,
-            headers,
-            body: Vec::new(),
-        };
-        if request.header("transfer-encoding").is_some() {
-            return Err(ReadError::Malformed("chunked bodies are not supported"));
+        loop {
+            if let Some(request) = self.try_parse(limits)? {
+                return Ok(request);
+            }
+            match self.fill_from(stream)? {
+                Fill::Data(_) => {}
+                Fill::Blocked => return Err(ReadError::TimedOut),
+                Fill::Eof => {
+                    return Err(if self.pending.is_some() {
+                        ReadError::Malformed("truncated body")
+                    } else if self.buf.is_empty() {
+                        ReadError::Closed
+                    } else {
+                        ReadError::Malformed("truncated head")
+                    })
+                }
+            }
         }
-        let declared = declared_length(&request.headers)?;
-        if declared > limits.max_body_bytes {
-            return Err(ReadError::BodyTooLarge);
+    }
+}
+
+/// Reads the next request from a blocking [`std::net::TcpStream`],
+/// bounding the time from the first head byte to a complete head by
+/// `header_timeout` while body bytes keep the plain per-read
+/// `read_timeout`.
+///
+/// This is the threaded-path fix for the slow-loris hole: the per-read
+/// timeout used to reset on every successful byte, so a client trickling
+/// one header byte per timeout-interval held its worker forever. The
+/// deadline arms when the first head byte arrives (an idle keep-alive
+/// wait is *not* counted against it) and expiry reports
+/// [`ReadError::HeaderTimeout`] so the caller can answer `408`.
+///
+/// The stream's read timeout is restored to `read_timeout` before
+/// returning on **every** path — success, timeout, parse error, or I/O
+/// failure — by funnelling all exits through a single restore point, so
+/// no caller can observe a stale sub-second timeout armed by this call.
+///
+/// # Errors
+///
+/// As [`RequestReader::read_request`], plus [`ReadError::HeaderTimeout`].
+pub fn read_request_deadline(
+    reader: &mut RequestReader,
+    stream: &mut std::net::TcpStream,
+    limits: Limits,
+    read_timeout: Duration,
+    header_timeout: Duration,
+) -> Result<Request, ReadError> {
+    let result = read_request_deadline_inner(reader, stream, limits, read_timeout, header_timeout);
+    // The single restore point: every exit path above runs through here.
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    result
+}
+
+fn read_request_deadline_inner(
+    reader: &mut RequestReader,
+    stream: &mut std::net::TcpStream,
+    limits: Limits,
+    read_timeout: Duration,
+    header_timeout: Duration,
+) -> Result<Request, ReadError> {
+    // Pipelined head bytes already buffered start the clock immediately;
+    // otherwise it arms when the first byte of the next head arrives.
+    let mut head_deadline: Option<Instant> =
+        (reader.head_pending() && reader.has_partial()).then(|| Instant::now() + header_timeout);
+    loop {
+        if let Some(request) = reader.try_parse(limits)? {
+            return Ok(request);
         }
-        request.body = take_body(&mut self.buf, stream, declared)?;
-        Ok(request)
+        if !reader.head_pending() {
+            // Head complete: the deadline no longer applies, and must not
+            // misattribute a later body timeout to the header clock.
+            head_deadline = None;
+        }
+        let per_read = if reader.head_pending() {
+            match head_deadline {
+                Some(deadline) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return Err(ReadError::HeaderTimeout);
+                    }
+                    (deadline - now).min(read_timeout)
+                }
+                None => read_timeout,
+            }
+        } else {
+            read_timeout
+        };
+        stream
+            .set_read_timeout(Some(per_read.max(Duration::from_millis(1))))
+            .map_err(ReadError::Io)?;
+        match reader.fill_from(stream)? {
+            Fill::Data(_) => {
+                if head_deadline.is_none() && reader.head_pending() {
+                    head_deadline = Some(Instant::now() + header_timeout);
+                }
+            }
+            Fill::Blocked => {
+                return Err(
+                    if head_deadline.is_some_and(|deadline| Instant::now() >= deadline) {
+                        ReadError::HeaderTimeout
+                    } else {
+                        ReadError::TimedOut
+                    },
+                )
+            }
+            Fill::Eof => {
+                return Err(if !reader.head_pending() {
+                    ReadError::Malformed("truncated body")
+                } else if reader.buffered() == 0 {
+                    ReadError::Closed
+                } else {
+                    ReadError::Malformed("truncated head")
+                })
+            }
+        }
     }
 }
 
@@ -606,6 +852,94 @@ mod tests {
         let mut reader = ResponseReader::new();
         assert_eq!(reader.read_response(&mut stream).unwrap().body, b"one");
         assert_eq!(reader.read_response(&mut stream).unwrap().body, b"two");
+    }
+
+    fn drain_into(reader: &mut RequestReader, bytes: &[u8]) {
+        let mut cursor = io::Cursor::new(bytes.to_vec());
+        loop {
+            match reader.fill_from(&mut cursor).unwrap() {
+                Fill::Data(_) => {}
+                Fill::Eof => break,
+                Fill::Blocked => unreachable!("cursors never block"),
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_parse_survives_a_split_at_every_byte_boundary() {
+        let raw: &[u8] = b"POST /v1/experiments HTTP/1.1\r\ncontent-length: 4\r\n\r\nabcd";
+        for split in 1..raw.len() {
+            let mut reader = RequestReader::new();
+            drain_into(&mut reader, &raw[..split]);
+            assert!(
+                reader.try_parse(Limits::default()).unwrap().is_none(),
+                "split at {split} parsed early"
+            );
+            assert!(reader.has_partial(), "split at {split}");
+            drain_into(&mut reader, &raw[split..]);
+            let req = reader
+                .try_parse(Limits::default())
+                .unwrap()
+                .unwrap_or_else(|| panic!("split at {split} failed to complete"));
+            assert_eq!(req.target, "/v1/experiments");
+            assert_eq!(req.body, b"abcd");
+            assert!(!reader.has_partial());
+        }
+    }
+
+    #[test]
+    fn try_parse_yields_both_requests_from_one_fill() {
+        let raw = b"POST /a HTTP/1.1\r\ncontent-length: 3\r\n\r\nxyzGET /b HTTP/1.1\r\n\r\n";
+        let mut reader = RequestReader::new();
+        drain_into(&mut reader, raw);
+        let first = reader.try_parse(Limits::default()).unwrap().unwrap();
+        assert_eq!(first.target, "/a");
+        let second = reader.try_parse(Limits::default()).unwrap().unwrap();
+        assert_eq!(second.target, "/b");
+        assert!(reader.try_parse(Limits::default()).unwrap().is_none());
+    }
+
+    #[test]
+    fn head_pending_flips_once_the_head_parses() {
+        let mut reader = RequestReader::new();
+        assert!(reader.head_pending());
+        drain_into(&mut reader, b"POST / HTTP/1.1\r\ncontent-length: 2\r\n\r\n");
+        // Head complete but body missing: pending head retained.
+        assert!(reader.try_parse(Limits::default()).unwrap().is_none());
+        assert!(!reader.head_pending());
+        assert!(reader.has_partial());
+        drain_into(&mut reader, b"hi");
+        assert_eq!(
+            reader.try_parse(Limits::default()).unwrap().unwrap().body,
+            b"hi"
+        );
+        assert!(reader.head_pending());
+    }
+
+    #[test]
+    fn incremental_limits_match_the_blocking_path() {
+        let tiny = Limits {
+            max_head_bytes: 16,
+            max_body_bytes: 8,
+        };
+        let mut reader = RequestReader::new();
+        drain_into(&mut reader, b"GET /a/very/long/target/path HTT");
+        assert!(matches!(
+            reader.try_parse(tiny),
+            Err(ReadError::HeadTooLarge)
+        ));
+        let mut reader = RequestReader::new();
+        drain_into(
+            &mut reader,
+            b"POST / HTTP/1.1\r\ncontent-length: 9999\r\n\r\n",
+        );
+        assert!(matches!(
+            reader.try_parse(Limits {
+                max_head_bytes: 1024,
+                max_body_bytes: 8
+            }),
+            Err(ReadError::BodyTooLarge)
+        ));
     }
 
     #[test]

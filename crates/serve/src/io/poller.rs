@@ -1,0 +1,348 @@
+//! Readiness collection behind a trait: real `epoll` and a deterministic
+//! in-memory fake.
+//!
+//! The reactor never talks to the kernel directly; it asks a [`Poller`]
+//! which registered tokens are ready. That seam is what makes the
+//! connection state machines testable byte-for-byte without sockets: the
+//! fake is scripted with explicit readiness events and records every
+//! interest change for assertions.
+
+use std::io;
+use std::time::Duration;
+
+/// What a registration wants to be woken for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Interest {
+    /// Wake when the fd is readable (or the peer hung up).
+    pub readable: bool,
+    /// Wake when the fd is writable.
+    pub writable: bool,
+}
+
+impl Interest {
+    /// Readable only — the resting state of an idle connection.
+    pub const READ: Interest = Interest {
+        readable: true,
+        writable: false,
+    };
+    /// Writable only — flushing a response, input paused.
+    pub const WRITE: Interest = Interest {
+        readable: false,
+        writable: true,
+    };
+    /// Neither — parked (a request is executing on a worker).
+    pub const NONE: Interest = Interest {
+        readable: false,
+        writable: false,
+    };
+}
+
+/// One readiness event delivered by [`Poller::wait`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Event {
+    /// The token the fd was registered with.
+    pub token: u64,
+    /// Bytes (or EOF) are available to read.
+    pub readable: bool,
+    /// The socket send buffer has room.
+    pub writable: bool,
+    /// Error or hangup: the connection is dead or half-closed.
+    pub hangup: bool,
+}
+
+/// Readiness collection over a set of registered fds.
+///
+/// Level-triggered semantics: a ready fd keeps reporting ready until the
+/// condition is consumed, so a handler that stops at `WouldBlock` never
+/// misses data.
+pub trait Poller: Send {
+    /// Starts watching `fd` with the given interest.
+    fn register(&mut self, fd: i32, token: u64, interest: Interest) -> io::Result<()>;
+    /// Changes the interest (and token) of a watched fd.
+    fn modify(&mut self, fd: i32, token: u64, interest: Interest) -> io::Result<()>;
+    /// Stops watching `fd`.
+    fn deregister(&mut self, fd: i32) -> io::Result<()>;
+    /// Blocks until at least one event is ready or `timeout` elapses
+    /// (`None` blocks indefinitely), appending events to `out`.
+    fn wait(&mut self, timeout: Option<Duration>, out: &mut Vec<Event>) -> io::Result<()>;
+    /// How many fds are currently registered (the `mds_io_registered_fds`
+    /// gauge).
+    fn registered(&self) -> usize;
+}
+
+/// The real thing: raw `epoll` on Linux.
+#[cfg(target_os = "linux")]
+pub use epoll::EpollPoller;
+
+#[cfg(target_os = "linux")]
+mod epoll {
+    use super::{Event, Interest, Poller};
+    use crate::io::sys;
+    use std::io;
+    use std::os::fd::{AsRawFd, OwnedFd};
+    use std::time::Duration;
+
+    /// A [`Poller`] over one `epoll` instance (level-triggered).
+    pub struct EpollPoller {
+        epfd: OwnedFd,
+        registered: usize,
+        buf: Vec<sys::EpollEvent>,
+    }
+
+    fn mask(interest: Interest) -> u32 {
+        let mut events = sys::EPOLLRDHUP;
+        if interest.readable {
+            events |= sys::EPOLLIN;
+        }
+        if interest.writable {
+            events |= sys::EPOLLOUT;
+        }
+        events
+    }
+
+    impl EpollPoller {
+        /// Creates the epoll instance.
+        pub fn new() -> io::Result<EpollPoller> {
+            Ok(EpollPoller {
+                epfd: sys::create()?,
+                registered: 0,
+                buf: vec![sys::EpollEvent { events: 0, data: 0 }; 256],
+            })
+        }
+    }
+
+    impl Poller for EpollPoller {
+        fn register(&mut self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+            sys::ctl(
+                self.epfd.as_raw_fd(),
+                sys::EPOLL_CTL_ADD,
+                fd,
+                mask(interest),
+                token,
+            )?;
+            self.registered += 1;
+            Ok(())
+        }
+
+        fn modify(&mut self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+            sys::ctl(
+                self.epfd.as_raw_fd(),
+                sys::EPOLL_CTL_MOD,
+                fd,
+                mask(interest),
+                token,
+            )
+        }
+
+        fn deregister(&mut self, fd: i32) -> io::Result<()> {
+            sys::ctl(self.epfd.as_raw_fd(), sys::EPOLL_CTL_DEL, fd, 0, 0)?;
+            self.registered = self.registered.saturating_sub(1);
+            Ok(())
+        }
+
+        fn wait(&mut self, timeout: Option<Duration>, out: &mut Vec<Event>) -> io::Result<()> {
+            let timeout_ms = match timeout {
+                // Round up so a 0.4ms deadline doesn't spin at timeout 0.
+                Some(t) => t.as_micros().div_ceil(1000).min(i32::MAX as u128) as i32,
+                None => -1,
+            };
+            let n = sys::wait(self.epfd.as_raw_fd(), &mut self.buf, timeout_ms)?;
+            for event in &self.buf[..n] {
+                let bits = event.events;
+                out.push(Event {
+                    token: event.data,
+                    readable: bits & sys::EPOLLIN != 0,
+                    writable: bits & sys::EPOLLOUT != 0,
+                    hangup: bits & (sys::EPOLLERR | sys::EPOLLHUP | sys::EPOLLRDHUP) != 0,
+                });
+            }
+            if n == self.buf.len() {
+                // Saturated the event buffer: grow so a flood of ready
+                // connections is drained in few syscalls.
+                let len = self.buf.len() * 2;
+                self.buf.resize(len, sys::EpollEvent { events: 0, data: 0 });
+            }
+            Ok(())
+        }
+
+        fn registered(&self) -> usize {
+            self.registered
+        }
+    }
+}
+
+/// A scripted, deterministic [`Poller`] for state-machine tests.
+///
+/// Tests inject readiness with [`FakePoller::make_ready`]; `wait` drains
+/// injected events that match current registrations and interest, never
+/// blocking. Every `register`/`modify`/`deregister` is recorded so tests
+/// can assert interest transitions (e.g. "input paused while executing").
+#[derive(Default)]
+pub struct FakePoller {
+    registrations: std::collections::HashMap<i32, (u64, Interest)>,
+    ready: Vec<(i32, Event)>,
+    /// Chronological log of interest changes: `(op, fd, interest)`.
+    pub log: Vec<(&'static str, i32, Interest)>,
+    /// Timeouts passed to `wait`, for deadline-scheduling assertions.
+    pub waits: Vec<Option<Duration>>,
+}
+
+impl FakePoller {
+    /// An empty fake.
+    pub fn new() -> FakePoller {
+        FakePoller::default()
+    }
+
+    /// Scripts a readiness event for `fd`. Delivered by the next `wait`
+    /// if the fd is registered with a matching interest; hangup events
+    /// are always delivered.
+    pub fn make_ready(&mut self, fd: i32, readable: bool, writable: bool, hangup: bool) {
+        self.ready.push((
+            fd,
+            Event {
+                token: 0, // filled from the registration at delivery
+                readable,
+                writable,
+                hangup,
+            },
+        ));
+    }
+
+    /// The interest currently registered for `fd`, if any.
+    pub fn interest(&self, fd: i32) -> Option<Interest> {
+        self.registrations.get(&fd).map(|(_, i)| *i)
+    }
+}
+
+impl Poller for FakePoller {
+    fn register(&mut self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+        if self.registrations.contains_key(&fd) {
+            return Err(io::Error::new(
+                io::ErrorKind::AlreadyExists,
+                "fd already registered",
+            ));
+        }
+        self.registrations.insert(fd, (token, interest));
+        self.log.push(("register", fd, interest));
+        Ok(())
+    }
+
+    fn modify(&mut self, fd: i32, token: u64, interest: Interest) -> io::Result<()> {
+        match self.registrations.get_mut(&fd) {
+            Some(entry) => {
+                *entry = (token, interest);
+                self.log.push(("modify", fd, interest));
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+        }
+    }
+
+    fn deregister(&mut self, fd: i32) -> io::Result<()> {
+        match self.registrations.remove(&fd) {
+            Some(_) => {
+                self.log.push(("deregister", fd, Interest::NONE));
+                Ok(())
+            }
+            None => Err(io::Error::new(io::ErrorKind::NotFound, "fd not registered")),
+        }
+    }
+
+    fn wait(&mut self, timeout: Option<Duration>, out: &mut Vec<Event>) -> io::Result<()> {
+        self.waits.push(timeout);
+        let registrations = &self.registrations;
+        // Level-triggered: undelivered events stay queued.
+        let mut kept = Vec::new();
+        for (fd, mut event) in self.ready.drain(..) {
+            // A deregistered fd's stale events are dropped outright.
+            if let Some(&(token, interest)) = registrations.get(&fd) {
+                let wanted = (event.readable && interest.readable)
+                    || (event.writable && interest.writable)
+                    || event.hangup;
+                if wanted {
+                    event.token = token;
+                    event.readable &= interest.readable;
+                    event.writable &= interest.writable;
+                    out.push(event);
+                } else {
+                    kept.push((fd, event));
+                }
+            }
+        }
+        self.ready = kept;
+        Ok(())
+    }
+
+    fn registered(&self) -> usize {
+        self.registrations.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fake_delivers_only_matching_interest_and_keeps_the_rest() {
+        let mut poller = FakePoller::new();
+        poller.register(5, 50, Interest::READ).unwrap();
+        poller.make_ready(5, false, true, false); // writable, not wanted
+        let mut out = Vec::new();
+        poller.wait(None, &mut out).unwrap();
+        assert!(out.is_empty(), "writable event must be held back");
+        poller.modify(5, 50, Interest::WRITE).unwrap();
+        poller.wait(None, &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].token, 50);
+        assert!(out[0].writable);
+    }
+
+    #[test]
+    fn fake_drops_events_for_deregistered_fds() {
+        let mut poller = FakePoller::new();
+        poller.register(3, 30, Interest::READ).unwrap();
+        poller.make_ready(3, true, false, false);
+        poller.deregister(3).unwrap();
+        let mut out = Vec::new();
+        poller.wait(None, &mut out).unwrap();
+        assert!(out.is_empty());
+        assert_eq!(poller.registered(), 0);
+    }
+
+    #[test]
+    fn fake_always_delivers_hangups() {
+        let mut poller = FakePoller::new();
+        poller.register(7, 70, Interest::NONE).unwrap();
+        poller.make_ready(7, false, false, true);
+        let mut out = Vec::new();
+        poller.wait(None, &mut out).unwrap();
+        assert_eq!(out.len(), 1);
+        assert!(out[0].hangup);
+    }
+
+    #[cfg(target_os = "linux")]
+    #[test]
+    fn epoll_roundtrips_a_pipe_readiness_event() {
+        use std::io::Write;
+        use std::os::fd::AsRawFd;
+        // A socketpair via UnixStream: write one byte, expect readable.
+        let (mut a, b) = std::os::unix::net::UnixStream::pair().unwrap();
+        b.set_nonblocking(true).unwrap();
+        let mut poller = EpollPoller::new().unwrap();
+        poller.register(b.as_raw_fd(), 42, Interest::READ).unwrap();
+        let mut out = Vec::new();
+        poller
+            .wait(Some(Duration::from_millis(10)), &mut out)
+            .unwrap();
+        assert!(out.is_empty(), "nothing written yet");
+        a.write_all(b"x").unwrap();
+        poller
+            .wait(Some(Duration::from_millis(1000)), &mut out)
+            .unwrap();
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].token, 42);
+        assert!(out[0].readable);
+        poller.deregister(b.as_raw_fd()).unwrap();
+        assert_eq!(poller.registered(), 0);
+    }
+}

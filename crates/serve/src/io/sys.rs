@@ -1,0 +1,83 @@
+//! Raw `epoll` syscall shim — the single `unsafe` island in the crate.
+//!
+//! The workspace is dependency-free, so instead of `libc` this declares
+//! the three epoll entry points directly. Everything above this module
+//! handles fds through safe `std::os::fd` types: the epoll instance is an
+//! [`OwnedFd`] (closed on drop), and registered fds are only ever raw
+//! integers handed to the kernel, never dereferenced.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::{FromRawFd, OwnedFd, RawFd};
+
+pub const EPOLLIN: u32 = 0x001;
+pub const EPOLLOUT: u32 = 0x004;
+pub const EPOLLERR: u32 = 0x008;
+pub const EPOLLHUP: u32 = 0x010;
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+pub const EPOLL_CTL_ADD: i32 = 1;
+pub const EPOLL_CTL_DEL: i32 = 2;
+pub const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+
+/// `struct epoll_event` from `<sys/epoll.h>`. On x86-64 the kernel ABI
+/// packs it (12 bytes); other architectures use natural alignment.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    pub events: u32,
+    pub data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+}
+
+/// Creates a close-on-exec epoll instance.
+pub fn create() -> io::Result<OwnedFd> {
+    // SAFETY: epoll_create1 takes no pointers; a negative return is an
+    // error, a non-negative return is a freshly created fd we own.
+    let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+    if fd < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    // SAFETY: `fd` was just returned by epoll_create1 and is owned by
+    // nobody else; OwnedFd takes over closing it.
+    Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+}
+
+/// `epoll_ctl` with an event payload (`ADD`/`MOD`; pass `DEL` with any
+/// payload — the kernel ignores it).
+pub fn ctl(epfd: RawFd, op: i32, fd: RawFd, events: u32, data: u64) -> io::Result<()> {
+    let mut event = EpollEvent { events, data };
+    // SAFETY: `event` is a live stack value for the duration of the call;
+    // the kernel copies it and keeps no reference.
+    let rc = unsafe { epoll_ctl(epfd, op, fd, &mut event) };
+    if rc < 0 {
+        return Err(io::Error::last_os_error());
+    }
+    Ok(())
+}
+
+/// `epoll_wait` into `buf`; returns how many events were written.
+/// `timeout_ms` of `-1` blocks indefinitely. `EINTR` is reported as zero
+/// events so callers simply loop.
+pub fn wait(epfd: RawFd, buf: &mut [EpollEvent], timeout_ms: i32) -> io::Result<usize> {
+    // SAFETY: `buf` is valid writable memory of `buf.len()` events; the
+    // kernel writes at most that many and returns the count.
+    let rc = unsafe { epoll_wait(epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms) };
+    if rc < 0 {
+        let err = io::Error::last_os_error();
+        if err.kind() == io::ErrorKind::Interrupted {
+            return Ok(0);
+        }
+        return Err(err);
+    }
+    Ok(rc as usize)
+}

@@ -1,0 +1,249 @@
+//! A hashed timer wheel with lazy cancellation for connection deadlines.
+//!
+//! Time never advances inside the wheel: the caller supplies a
+//! monotonic millisecond clock to [`TimerWheel::advance`], the same
+//! caller-driven discipline as the poller fake, so deadline behavior is
+//! fully deterministic under test.
+//!
+//! Cancellation is lazy: deadlines are invalidated by bumping a
+//! per-connection generation counter, and stale entries are discarded
+//! when their slot is swept instead of being searched for eagerly. Arming
+//! is O(1), firing amortizes over the sweep, and the wheel never holds a
+//! reference into connection state.
+
+/// Which deadline class fired.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerKind {
+    /// No request bytes for the keep-alive idle window: close silently.
+    Idle,
+    /// A request started arriving but did not complete its head in time:
+    /// answer `408` and close (the slow-loris guard).
+    Read,
+    /// A response flush made no progress for the write window: close.
+    Write,
+}
+
+impl TimerKind {
+    /// Stable index for per-kind generation arrays.
+    pub fn index(self) -> usize {
+        match self {
+            TimerKind::Idle => 0,
+            TimerKind::Read => 1,
+            TimerKind::Write => 2,
+        }
+    }
+}
+
+/// An armed deadline as reported back by [`TimerWheel::advance`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Expired {
+    /// The connection token the deadline was armed for.
+    pub token: u64,
+    /// The deadline class.
+    pub kind: TimerKind,
+    /// The arming generation; stale if the owner has re-armed since.
+    pub generation: u64,
+    /// Absolute due time in caller milliseconds.
+    pub due_ms: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    token: u64,
+    kind: TimerKind,
+    generation: u64,
+    due_tick: u64,
+}
+
+/// The wheel: `slots` buckets of `tick_ms` granularity each.
+///
+/// Entries further out than one revolution stay bucketed and are
+/// re-examined each revolution — correct, just re-scanned. Deadlines
+/// fire at the first tick at or after their due time, so a deadline can
+/// fire up to `tick_ms` late but never early.
+pub struct TimerWheel {
+    slots: Vec<Vec<Entry>>,
+    tick_ms: u64,
+    current_tick: u64,
+    armed: usize,
+    fired: u64,
+}
+
+impl TimerWheel {
+    /// A wheel with `slots` buckets of `tick_ms` each (both clamped to at
+    /// least 1).
+    pub fn new(slots: usize, tick_ms: u64) -> TimerWheel {
+        TimerWheel {
+            slots: (0..slots.max(1)).map(|_| Vec::new()).collect(),
+            tick_ms: tick_ms.max(1),
+            current_tick: 0,
+            armed: 0,
+            fired: 0,
+        }
+    }
+
+    /// The sweep granularity in milliseconds.
+    pub fn tick_ms(&self) -> u64 {
+        self.tick_ms
+    }
+
+    /// How many entries are armed (including lazily cancelled ones not
+    /// yet swept).
+    pub fn armed(&self) -> usize {
+        self.armed
+    }
+
+    /// Total deadlines delivered by [`TimerWheel::advance`] over the
+    /// wheel's lifetime (the `mds_io_timer_fires_total` counter; stale
+    /// generations are counted by the caller's validation, not here).
+    pub fn fired(&self) -> u64 {
+        self.fired
+    }
+
+    /// Arms a deadline `delay_ms` from `now_ms` for (`token`, `kind`,
+    /// `generation`). Cancellation is by generation: re-arm with a bumped
+    /// generation and the old entry dies stale at sweep time.
+    pub fn arm(
+        &mut self,
+        token: u64,
+        kind: TimerKind,
+        generation: u64,
+        now_ms: u64,
+        delay_ms: u64,
+    ) {
+        // Never due at the current tick: a zero delay still waits one tick.
+        let due_tick = (now_ms + delay_ms)
+            .div_ceil(self.tick_ms)
+            .max(self.current_tick + 1);
+        let slot = (due_tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push(Entry {
+            token,
+            kind,
+            generation,
+            due_tick,
+        });
+        self.armed += 1;
+    }
+
+    /// Sweeps every tick between the last advance and `now_ms`,
+    /// collecting due entries into `out`. The caller validates each
+    /// [`Expired`] against its connection's current generation.
+    pub fn advance(&mut self, now_ms: u64, out: &mut Vec<Expired>) {
+        let new_tick = now_ms / self.tick_ms;
+        if new_tick <= self.current_tick {
+            return;
+        }
+        let slots = self.slots.len() as u64;
+        // A jump past a full revolution visits each slot exactly once.
+        let first = self.current_tick + 1;
+        let last = if new_tick - first >= slots {
+            first + slots - 1
+        } else {
+            new_tick
+        };
+        for tick in first..=last {
+            let slot = (tick % slots) as usize;
+            let bucket = &mut self.slots[slot];
+            let mut i = 0;
+            while i < bucket.len() {
+                if bucket[i].due_tick <= new_tick {
+                    let entry = bucket.swap_remove(i);
+                    self.armed -= 1;
+                    self.fired += 1;
+                    out.push(Expired {
+                        token: entry.token,
+                        kind: entry.kind,
+                        generation: entry.generation,
+                        due_ms: entry.due_tick * self.tick_ms,
+                    });
+                } else {
+                    i += 1;
+                }
+            }
+        }
+        self.current_tick = new_tick;
+    }
+
+    /// How long until the next sweep could deliver something: one tick
+    /// when anything is armed, `None` when the wheel is empty.
+    pub fn next_due_ms(&self) -> Option<u64> {
+        (self.armed > 0).then_some(self.tick_ms)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadlines_fire_at_or_after_their_due_time_never_early() {
+        let mut wheel = TimerWheel::new(8, 10);
+        wheel.arm(1, TimerKind::Idle, 0, 0, 35);
+        let mut out = Vec::new();
+        wheel.advance(30, &mut out);
+        assert!(out.is_empty(), "due at 35ms, must not fire at 30ms");
+        wheel.advance(40, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].token, 1);
+        assert_eq!(out[0].kind, TimerKind::Idle);
+        assert_eq!(wheel.armed(), 0);
+        assert_eq!(wheel.fired(), 1);
+    }
+
+    #[test]
+    fn entries_beyond_one_revolution_wait_their_full_delay() {
+        // 4 slots x 10ms = 40ms revolution; a 95ms deadline must not fire
+        // when its slot is first swept at ~15ms.
+        let mut wheel = TimerWheel::new(4, 10);
+        wheel.arm(9, TimerKind::Read, 0, 0, 95);
+        let mut out = Vec::new();
+        wheel.advance(90, &mut out);
+        assert!(out.is_empty(), "fired {out:?} before due");
+        wheel.advance(100, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].token, 9);
+    }
+
+    #[test]
+    fn lazy_cancellation_is_observable_through_generations() {
+        let mut wheel = TimerWheel::new(8, 10);
+        wheel.arm(4, TimerKind::Idle, 7, 0, 20);
+        // The owner re-arms with a newer generation (cancelling gen 7).
+        wheel.arm(4, TimerKind::Idle, 8, 0, 50);
+        let mut out = Vec::new();
+        wheel.advance(30, &mut out);
+        // The stale entry still surfaces; the caller discards it because
+        // the connection's live generation is 8.
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].generation, 7);
+        out.clear();
+        wheel.advance(60, &mut out);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].generation, 8);
+    }
+
+    #[test]
+    fn a_large_time_jump_sweeps_every_slot_once() {
+        let mut wheel = TimerWheel::new(4, 10);
+        for token in 0..8 {
+            wheel.arm(token, TimerKind::Write, 0, 0, 5 + token * 7);
+        }
+        let mut out = Vec::new();
+        wheel.advance(10_000, &mut out);
+        assert_eq!(out.len(), 8, "all deadlines fire across the jump");
+        assert_eq!(wheel.armed(), 0);
+    }
+
+    #[test]
+    fn zero_delay_fires_on_the_next_tick_not_the_current_one() {
+        let mut wheel = TimerWheel::new(8, 10);
+        let mut out = Vec::new();
+        wheel.advance(25, &mut out); // current tick 2
+        wheel.arm(3, TimerKind::Idle, 0, 25, 0);
+        wheel.advance(25, &mut out);
+        assert!(out.is_empty());
+        wheel.advance(35, &mut out);
+        assert_eq!(out.len(), 1);
+        assert!(wheel.next_due_ms().is_none());
+    }
+}

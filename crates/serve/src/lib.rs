@@ -41,6 +41,14 @@
 //!    warm-state wire codec; the store itself lives in `mds-store`, and
 //!    a server started with `store_dir` prewarms its result cache from
 //!    it at boot and appends every cache fill.
+//! 10. **Event-driven I/O core** ([`io`]) — a readiness-based connection
+//!     engine (raw `epoll` behind a [`io::Poller`] trait with a
+//!     deterministic in-memory fake, per-connection non-blocking
+//!     read/write state machines, a timer wheel for header/idle/write
+//!     deadlines) so idle keep-alive connections cost one fd each and no
+//!     worker time. Selected per server via
+//!     [`ServerConfig::io`](server::ServerConfig); the thread-per-connection
+//!     path remains available as [`IoModel::Threads`] for one release.
 //!
 //! # Examples
 //!
@@ -69,12 +77,16 @@
 //! server.shutdown();
 //! ```
 
-#![forbid(unsafe_code)]
+// `deny` rather than `forbid`: the epoll FFI shim in `io::sys` is the
+// one audited `#[allow(unsafe_code)]` island in the crate (forbid cannot
+// be overridden even for a module that needs raw syscalls).
+#![deny(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod access_log;
 pub mod client;
 pub mod http;
+pub mod io;
 pub mod load;
 pub mod metrics;
 pub mod persist;
@@ -85,6 +97,7 @@ pub mod service;
 
 pub use access_log::{AccessLog, AccessRecord};
 pub use client::Connection;
+pub use io::IoModel;
 pub use load::{print_report, run_load, LoadConfig, LoadReport};
 pub use metrics::{Gauges, Histogram, Metrics};
 pub use queue::Bounded;

@@ -41,6 +41,11 @@ pub struct LoadConfig {
     /// Hard cap on the backoff delay after a `503` shed, whatever the
     /// server's `Retry-After` hint and however many sheds in a row.
     pub backoff_cap: Duration,
+    /// Idle keep-alive connections parked for the whole run. Each sends
+    /// one priming request before the measured window opens, then sits
+    /// silent — the population an event-driven server must carry for
+    /// free. Zero disables.
+    pub idle: usize,
 }
 
 impl Default for LoadConfig {
@@ -53,6 +58,7 @@ impl Default for LoadConfig {
             scale: "tiny".to_string(),
             fresh: false,
             backoff_cap: Duration::from_secs(1),
+            idle: 0,
         }
     }
 }
@@ -85,6 +91,8 @@ pub struct LoadReport {
     pub shed: u64,
     /// Requests re-issued after a shed's backoff expired.
     pub retried: u64,
+    /// Idle keep-alive connections successfully parked for the run.
+    pub idle: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Per-request latencies of successful requests, microseconds,
@@ -130,6 +138,7 @@ impl LoadReport {
             .field("errors", self.errors)
             .field("shed", self.shed)
             .field("retried", self.retried)
+            .field("idle", self.idle)
             .field("elapsed_s", self.elapsed.as_secs_f64())
             .field("rps", self.rps())
             .field(
@@ -174,14 +183,90 @@ struct ClientTally {
     retried: u64,
 }
 
+/// Days since 1970-01-01 for a proleptic-Gregorian civil date; negative
+/// for dates before the epoch. Howard Hinnant's `days_from_civil`.
+fn days_from_civil(year: i64, month: u64, day: u64) -> i64 {
+    let y = if month <= 2 { year - 1 } else { year };
+    let era = y.div_euclid(400);
+    let yoe = (y - era * 400) as u64; // [0, 399]
+    let mp = if month > 2 { month - 3 } else { month + 9 }; // Mar=0..Feb=11
+    let doy = (153 * mp + 2) / 5 + day - 1; // [0, 365]
+    let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy; // [0, 146096]
+    era * 146097 + doe as i64 - 719_468
+}
+
+/// Unix seconds for an IMF-fixdate (`Sun, 06 Nov 1994 08:49:37 GMT`),
+/// or `None` if the value isn't one. The weekday is ignored rather than
+/// cross-checked — servers get it wrong, and it carries no information.
+fn imf_fixdate_unix_secs(value: &str) -> Option<u64> {
+    let rest = value.split_once(',')?.1.trim_start();
+    let mut parts = rest.split_ascii_whitespace();
+    let day: u64 = parts.next()?.parse().ok()?;
+    let month = match parts.next()? {
+        "Jan" => 1,
+        "Feb" => 2,
+        "Mar" => 3,
+        "Apr" => 4,
+        "May" => 5,
+        "Jun" => 6,
+        "Jul" => 7,
+        "Aug" => 8,
+        "Sep" => 9,
+        "Oct" => 10,
+        "Nov" => 11,
+        "Dec" => 12,
+        _ => return None,
+    };
+    let year: i64 = parts.next()?.parse().ok()?;
+    let mut clock = parts.next()?.split(':');
+    let hour: u64 = clock.next()?.parse().ok()?;
+    let minute: u64 = clock.next()?.parse().ok()?;
+    let second: u64 = clock.next()?.parse().ok()?;
+    if clock.next().is_some() || parts.next()? != "GMT" || parts.next().is_some() {
+        return None;
+    }
+    if !(1..=31).contains(&day) || hour > 23 || minute > 59 || second > 60 {
+        return None;
+    }
+    let days = days_from_civil(year, month, day);
+    if days < 0 {
+        return None; // pre-epoch: nonsense as a retry hint
+    }
+    Some(days as u64 * 86_400 + hour * 3_600 + minute * 60 + second)
+}
+
+/// A `Retry-After` value as a wait, or `None` for anything unusable.
+/// RFC 9110 allows two shapes — delay-seconds and an IMF-fixdate — and
+/// broken servers emit plenty of others, so parse defensively: trim,
+/// accept non-negative integral seconds, convert a date to its delta
+/// from `now_unix_secs` (zero if already past), and treat everything
+/// else (negative, fractional, words, absurd overflow) as absent. The
+/// caller still clamps to its cap, so even a parseable-but-absurd value
+/// can never stall a client.
+fn parse_retry_after(value: &str, now_unix_secs: u64) -> Option<Duration> {
+    let value = value.trim();
+    if value.is_empty() {
+        return None;
+    }
+    if value.bytes().all(|b| b.is_ascii_digit()) {
+        // u64::MAX has 20 digits; anything longer is garbage, and a
+        // 20-digit overflow fails the parse rather than panicking.
+        return value.parse::<u64>().ok().map(Duration::from_secs);
+    }
+    let due = imf_fixdate_unix_secs(value)?;
+    Some(Duration::from_secs(due.saturating_sub(now_unix_secs)))
+}
+
 /// The backoff delay for a `503`: the server's `Retry-After` hint (or
 /// the schedule's base when absent) scaled by the consecutive-shed
 /// exponential, capped, jittered.
 fn shed_delay(response: &ClientResponse, backoff: &mut Backoff, cap: Duration) -> Duration {
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
     let hint = response
         .header("retry-after")
-        .and_then(|v| v.parse::<u64>().ok())
-        .map(Duration::from_secs);
+        .and_then(|v| parse_retry_after(v, now));
     match hint {
         // `Backoff` owns doubling; fold the hint in as a floor so the
         // first retry already respects the server's ask (capped).
@@ -208,6 +293,7 @@ fn client_loop(config: &LoadConfig, seed: u64, deadline: Instant) -> ClientTally
             std::thread::sleep(Duration::from_millis(5));
             continue;
         };
+        let mut served_on_conn = 0u64;
         loop {
             if Instant::now() >= deadline {
                 break 'reconnect;
@@ -220,11 +306,21 @@ fn client_loop(config: &LoadConfig, seed: u64, deadline: Instant) -> ClientTally
             let response = match conn.send("POST", "/v1/experiments", &body) {
                 Ok(response) => response,
                 Err(_) => {
-                    tally.errors += 1;
+                    // A reused keep-alive connection can die between
+                    // requests: the server is entitled to close a
+                    // persistent connection at any quiet moment, and the
+                    // close races our next send. RFC 9112 §9.6 says a
+                    // client should retry on a fresh connection, not
+                    // report a failure — only an error on a *fresh*
+                    // connection (no request served yet) counts.
+                    if served_on_conn == 0 {
+                        tally.errors += 1;
+                    }
                     continue 'reconnect;
                 }
             };
             if (200..300).contains(&response.status) {
+                served_on_conn += 1;
                 tally.latencies.push(started.elapsed().as_micros() as u64);
                 backoff.reset();
             } else if response.status == 503 {
@@ -254,6 +350,24 @@ fn client_loop(config: &LoadConfig, seed: u64, deadline: Instant) -> ClientTally
 
 /// Runs the closed-loop load test and returns the merged report.
 pub fn run_load(config: &LoadConfig) -> LoadReport {
+    // Park the idle fleet *before* the measured window opens, so every
+    // sample sees the server already carrying `idle` quiet keep-alive
+    // connections. Each idler completes one real request first — a
+    // connection that never spoke is a different (cheaper) population
+    // than a keep-alive client between requests.
+    let idlers: Vec<Connection> = (0..config.idle)
+        .filter_map(|_| {
+            let mut conn = Connection::connect(
+                &config.addr,
+                Duration::from_secs(5),
+                Duration::from_secs(60),
+            )
+            .ok()?;
+            let response = conn.send("GET", "/healthz", b"").ok()?;
+            ((200..300).contains(&response.status)).then_some(conn)
+        })
+        .collect();
+    let idle = idlers.len() as u64;
     let started = Instant::now();
     let deadline = started + config.duration;
     let handles: Vec<_> = (0..config.clients.max(1))
@@ -276,13 +390,16 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
         }
     }
     latencies.sort_unstable();
+    let elapsed = started.elapsed();
+    drop(idlers);
     LoadReport {
         clients: config.clients.max(1),
         requests: latencies.len() as u64,
         errors,
         shed,
         retried,
-        elapsed: started.elapsed(),
+        idle,
+        elapsed,
         latencies_us: latencies,
     }
 }
@@ -307,6 +424,7 @@ mod tests {
             errors: 1,
             shed: 3,
             retried: 2,
+            idle: 0,
             elapsed: Duration::from_secs(2),
             latencies_us: latencies,
         }
@@ -376,5 +494,72 @@ mod tests {
         let mut b = fresh();
         let d = shed(Some("soon"), &mut b);
         assert!(d <= Duration::from_millis(100));
+        // An absurdly large hint is still clamped to the cap.
+        let mut b = fresh();
+        assert_eq!(shed(Some("18446744073709551615"), &mut b), cap);
+    }
+
+    #[test]
+    fn retry_after_parses_delay_seconds_defensively() {
+        let now = 1_000_000;
+        let parse = |v: &str| parse_retry_after(v, now);
+        assert_eq!(parse("0"), Some(Duration::ZERO));
+        assert_eq!(parse("  120  "), Some(Duration::from_secs(120)));
+        // Absurdly large values parse (the caller clamps them)…
+        assert_eq!(
+            parse("18446744073709551615"),
+            Some(Duration::from_secs(u64::MAX))
+        );
+        // …but overflow, signs, fractions, and words are all "absent".
+        assert_eq!(parse("184467440737095516150"), None);
+        assert_eq!(parse("-5"), None);
+        assert_eq!(parse("1.5"), None);
+        assert_eq!(parse("+30"), None);
+        assert_eq!(parse("soon"), None);
+        assert_eq!(parse(""), None);
+        assert_eq!(parse("   "), None);
+        assert_eq!(parse("30 seconds"), None);
+    }
+
+    #[test]
+    fn retry_after_parses_http_dates_as_a_delta_from_now() {
+        // Sun, 06 Nov 1994 08:49:37 GMT — RFC 9110's worked example.
+        let date = "Sun, 06 Nov 1994 08:49:37 GMT";
+        let unix = imf_fixdate_unix_secs(date).unwrap();
+        assert_eq!(unix, 784_111_777);
+        // A date 90s in the future waits 90s; a past date waits zero
+        // (retry immediately — the moment has passed, not an error).
+        assert_eq!(
+            parse_retry_after(date, unix - 90),
+            Some(Duration::from_secs(90))
+        );
+        assert_eq!(parse_retry_after(date, unix + 5), Some(Duration::ZERO));
+        // The weekday token is not cross-checked against the date.
+        assert_eq!(
+            imf_fixdate_unix_secs("Mon, 06 Nov 1994 08:49:37 GMT"),
+            Some(unix)
+        );
+        // Malformed dates are "absent", not a panic or a huge wait.
+        for bad in [
+            "Sun, 06 Nov 1994 08:49:37",          // missing GMT
+            "Sun, 06 Nov 1994 08:49:37 PST",      // wrong zone
+            "Sun, 06 Foo 1994 08:49:37 GMT",      // bad month
+            "Sun, 40 Nov 1994 08:49:37 GMT",      // bad day
+            "Sun, 06 Nov 1994 25:49:37 GMT",      // bad hour
+            "Sun, 06 Nov 1969 08:49:37 GMT",      // pre-epoch
+            "Sun, 06 Nov 1994 08:49:37 GMT junk", // trailing junk
+            "06 Nov 1994 08:49:37 GMT",           // no weekday comma
+        ] {
+            assert_eq!(parse_retry_after(bad, 0), None, "{bad}");
+        }
+    }
+
+    #[test]
+    fn days_from_civil_matches_known_anchors() {
+        assert_eq!(days_from_civil(1970, 1, 1), 0);
+        assert_eq!(days_from_civil(1970, 1, 2), 1);
+        assert_eq!(days_from_civil(1969, 12, 31), -1);
+        assert_eq!(days_from_civil(2000, 3, 1), 11_017); // leap-year Feb
+        assert_eq!(days_from_civil(2026, 8, 9), 20_674);
     }
 }

@@ -82,6 +82,12 @@ pub struct Gauges {
     pub store_append_errors: u64,
     /// Store compactions since boot.
     pub store_compactions: u64,
+    /// Fds registered with the event poller (0 under `--io threads`).
+    pub io_registered_fds: u64,
+    /// Readiness events delivered by the most recent poll.
+    pub io_ready_depth: u64,
+    /// Connection deadlines fired by the reactor's timer wheel.
+    pub io_timer_fires: u64,
 }
 
 /// Appends one Prometheus counter family (`# HELP` / `# TYPE` / sample)
@@ -235,6 +241,24 @@ pub fn render(m: &Metrics, g: Gauges) -> String {
         "Durable-store compactions (snapshot rewrite + log truncate).",
         g.store_compactions,
     );
+    gauge(
+        &mut out,
+        "mds_io_registered_fds",
+        "Fds registered with the event poller (0 under --io threads).",
+        g.io_registered_fds,
+    );
+    gauge(
+        &mut out,
+        "mds_io_ready_queue_depth",
+        "Readiness events delivered by the most recent poll.",
+        g.io_ready_depth,
+    );
+    counter(
+        &mut out,
+        "mds_io_timer_fires_total",
+        "Connection deadlines fired by the reactor's timer wheel.",
+        g.io_timer_fires,
+    );
     m.queue_wait.render_prometheus(
         "mds_queue_wait_microseconds",
         "Time connections spent queued before a worker picked them up.",
@@ -278,6 +302,9 @@ mod tests {
             "mds_store_records 7",
             "mds_store_prewarmed_keys 2",
             "mds_store_appends_total 0",
+            "mds_io_registered_fds 0",
+            "mds_io_ready_queue_depth 0",
+            "mds_io_timer_fires_total 0",
             "mds_queue_wait_microseconds_count 0",
             "mds_compute_microseconds_count 0",
         ] {

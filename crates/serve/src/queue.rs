@@ -69,6 +69,13 @@ impl<T> Bounded<T> {
         }
     }
 
+    /// Dequeues the oldest item without blocking. `None` when the queue
+    /// is currently empty (open or closed). The event-driven reactor uses
+    /// this to drain leftover jobs at shutdown when no workers exist.
+    pub fn try_pop(&self) -> Option<T> {
+        lock(&self.state).items.pop_front()
+    }
+
     /// Closes the queue: pending items can still be popped, new pushes
     /// fail, and blocked poppers wake up.
     pub fn close(&self) {

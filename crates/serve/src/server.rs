@@ -16,6 +16,8 @@
 
 use crate::access_log::{AccessLog, AccessRecord};
 use crate::http::{self, Limits, ReadError, Request, Response};
+use crate::io::reactor::{self, Dispatch, Outcome};
+use crate::io::IoModel;
 use crate::metrics::{self, Gauges, Metrics};
 use crate::persist;
 use crate::queue::Bounded;
@@ -58,6 +60,11 @@ pub struct ServerConfig {
     pub jobs: Option<usize>,
     /// Per-connection read timeout (also the keep-alive idle timeout).
     pub read_timeout: Duration,
+    /// Total deadline for one request head, first byte to final CRLF.
+    /// Distinct from `read_timeout`, which only bounds the gap between
+    /// reads — a drip-fed header resets that clock forever (slow loris);
+    /// this one it cannot reset.
+    pub header_timeout: Duration,
     /// Per-connection write timeout.
     pub write_timeout: Duration,
     /// Request head/body size limits.
@@ -73,6 +80,13 @@ pub struct ServerConfig {
     pub store_dir: Option<PathBuf>,
     /// Access-log destination.
     pub log: LogTarget,
+    /// Connection engine: event-driven `epoll` (default on Linux) or the
+    /// legacy thread-per-connection pool.
+    pub io: IoModel,
+    /// Concurrent-connection cap under `--io epoll`; accepts beyond it
+    /// are shed with `503` immediately. (The threaded engine is capped
+    /// by `workers + queue_depth` by construction.)
+    pub max_connections: usize,
 }
 
 impl Default for ServerConfig {
@@ -83,12 +97,15 @@ impl Default for ServerConfig {
             queue_depth: 64,
             jobs: None,
             read_timeout: Duration::from_secs(5),
+            header_timeout: Duration::from_secs(5),
             write_timeout: Duration::from_secs(5),
             limits: Limits::default(),
             max_requests_per_connection: 1000,
             cache_budget_bytes: 16 * 1024 * 1024,
             store_dir: None,
             log: LogTarget::Stderr,
+            io: IoModel::default(),
+            max_connections: 10_000,
         }
     }
 }
@@ -115,6 +132,12 @@ struct Shared {
     metrics: Metrics,
     log: AccessLog,
     queue: Bounded<Admitted>,
+    /// The request-level work queue under `--io epoll`: parsed requests
+    /// waiting for a worker. `None` under `--io threads`, where the
+    /// admission queue above holds whole connections instead.
+    jobs: Option<Arc<Bounded<reactor::Job>>>,
+    /// Reactor gauges (`mds_io_*`); all-zero under `--io threads`.
+    io_stats: Arc<reactor::IoStats>,
     stop: AtomicBool,
     /// Set the moment shutdown is *requested* (before the drain finishes),
     /// so the readiness probe flips to 503 while in-flight work completes
@@ -124,12 +147,36 @@ struct Shared {
     shutdown_cv: Condvar,
 }
 
+impl Shared {
+    /// Work waiting for a worker: queued requests under `--io epoll`,
+    /// queued connections under `--io threads`.
+    fn depth(&self) -> usize {
+        self.jobs
+            .as_ref()
+            .map_or_else(|| self.queue.len(), |j| j.len())
+    }
+
+    /// Capacity of whichever queue [`Shared::depth`] reports on.
+    fn depth_capacity(&self) -> usize {
+        self.jobs
+            .as_ref()
+            .map_or_else(|| self.queue.capacity(), |j| j.capacity())
+    }
+}
+
 /// A running server. Dropping it performs a graceful shutdown.
 pub struct Server {
     shared: Arc<Shared>,
     local_addr: SocketAddr,
     acceptor: Option<JoinHandle<()>>,
     workers: Vec<JoinHandle<()>>,
+    /// Background drain point for deferred store work (compaction);
+    /// `None` when no store is attached.
+    maintenance: Option<JoinHandle<()>>,
+    #[cfg(target_os = "linux")]
+    reactor: Option<reactor::Reactor>,
+    /// Guards the final summary so Drop after `shutdown` is a no-op.
+    finished: bool,
 }
 
 impl Server {
@@ -181,6 +228,11 @@ impl Server {
                 Some(store)
             }
         };
+        let io = config.io.effective();
+        let jobs = match io {
+            IoModel::Epoll => Some(Arc::new(Bounded::new(config.queue_depth))),
+            IoModel::Threads => None,
+        };
         let shared = Arc::new(Shared {
             queue: Bounded::new(config.queue_depth),
             results,
@@ -191,11 +243,61 @@ impl Server {
             service,
             metrics: Metrics::default(),
             log,
+            jobs,
+            io_stats: Arc::new(reactor::IoStats::default()),
             stop: AtomicBool::new(false),
             draining: AtomicBool::new(false),
             shutdown_flag: Mutex::new(false),
             shutdown_cv: Condvar::new(),
         });
+        // The maintenance thread is the drain point for deferred store
+        // work: appends never compact the log inline (that would stall
+        // the unlucky request), so this sweep does it off the request
+        // path. Spawned before the engine branch — both io models need
+        // it.
+        let maintenance = match &shared.store {
+            None => None,
+            Some(_) => {
+                let shared = Arc::clone(&shared);
+                Some(
+                    std::thread::Builder::new()
+                        .name("mds-serve-maintenance".to_string())
+                        .spawn(move || maintenance_loop(&shared))
+                        .map_err(|e| format!("cannot spawn maintenance: {e}"))?,
+                )
+            }
+        };
+        #[cfg(target_os = "linux")]
+        if io == IoModel::Epoll {
+            let app = Arc::new(ServeApp {
+                shared: Arc::clone(&shared),
+            });
+            let reactor = reactor::Reactor::start(
+                listener,
+                app,
+                reactor::Config {
+                    limits: shared.config.limits,
+                    max_requests: shared.config.max_requests_per_connection,
+                    read_timeout: shared.config.read_timeout,
+                    header_timeout: shared.config.header_timeout,
+                    write_timeout: shared.config.write_timeout,
+                    max_connections: shared.config.max_connections,
+                },
+                shared.config.workers,
+                Arc::clone(shared.jobs.as_ref().expect("epoll mode has a job queue")),
+                Arc::clone(&shared.io_stats),
+            )
+            .map_err(|e| format!("cannot start reactor: {e}"))?;
+            return Ok(Server {
+                shared,
+                local_addr,
+                acceptor: None,
+                workers: Vec::new(),
+                maintenance,
+                reactor: Some(reactor),
+                finished: false,
+            });
+        }
         let acceptor = {
             let shared = Arc::clone(&shared);
             std::thread::Builder::new()
@@ -222,6 +324,10 @@ impl Server {
             local_addr,
             acceptor: Some(acceptor),
             workers,
+            maintenance,
+            #[cfg(target_os = "linux")]
+            reactor: None,
+            finished: false,
         })
     }
 
@@ -260,9 +366,15 @@ impl Server {
         self.shared.prewarmed
     }
 
-    /// Connections currently waiting for a worker.
+    /// Work currently waiting for a worker: parsed requests under
+    /// `--io epoll`, whole connections under `--io threads`.
     pub fn queue_depth(&self) -> usize {
-        self.shared.queue.len()
+        self.shared.depth()
+    }
+
+    /// Reactor gauges (`mds_io_*`); all-zero under `--io threads`.
+    pub fn io_stats(&self) -> &reactor::IoStats {
+        &self.shared.io_stats
     }
 
     /// Buffered log lines (only with [`LogTarget::Memory`]).
@@ -294,18 +406,28 @@ impl Server {
     }
 
     fn stop_and_join(&mut self) {
-        if self.acceptor.is_none() {
+        if self.finished {
             return;
         }
+        self.finished = true;
         self.shared.stop.store(true, Ordering::SeqCst);
         signal_shutdown(&self.shared);
-        // Wake the acceptor out of its blocking accept().
-        let _ = TcpStream::connect(self.local_addr);
+        #[cfg(target_os = "linux")]
+        if let Some(mut reactor) = self.reactor.take() {
+            reactor.stop_and_join();
+        }
+        if self.acceptor.is_some() {
+            // Wake the acceptor out of its blocking accept().
+            let _ = TcpStream::connect(self.local_addr);
+        }
         if let Some(acceptor) = self.acceptor.take() {
             let _ = acceptor.join();
         }
         for worker in self.workers.drain(..) {
             let _ = worker.join();
+        }
+        if let Some(maintenance) = self.maintenance.take() {
+            let _ = maintenance.join();
         }
         let m = &self.shared.metrics;
         let load = |v: &std::sync::atomic::AtomicU64| v.load(Ordering::Relaxed);
@@ -328,6 +450,51 @@ impl Drop for Server {
     fn drop(&mut self) {
         self.stop_and_join();
     }
+}
+
+/// The deferred-store-work sweep: compacts the durable log once it
+/// outgrows its threshold, off the request path (appends only mark the
+/// debt — see [`mds_store::Store::append`]). Wakes every 100ms on the
+/// shutdown condvar, and runs one final sweep after shutdown is
+/// signalled so a drained server leaves a compact store behind.
+fn maintenance_loop(shared: &Shared) {
+    let Some(store) = &shared.store else {
+        return;
+    };
+    let sweep = |store: &Store| match store.compact_if_due() {
+        Ok(false) => {}
+        Ok(true) => shared.log.event(
+            Json::object()
+                .field("evt", "store_compact")
+                .field("snapshot_bytes", store.snapshot_bytes()),
+        ),
+        Err(e) => shared.log.event(
+            Json::object()
+                .field("evt", "store_compact_error")
+                .field("error", e.to_string()),
+        ),
+    };
+    let mut requested = shared
+        .shutdown_flag
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    while !*requested {
+        requested = shared
+            .shutdown_cv
+            .wait_timeout(requested, Duration::from_millis(100))
+            .unwrap_or_else(PoisonError::into_inner)
+            .0;
+        if !*requested {
+            drop(requested);
+            sweep(store);
+            requested = shared
+                .shutdown_flag
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+    }
+    drop(requested);
+    sweep(store);
 }
 
 fn signal_shutdown(shared: &Shared) {
@@ -371,22 +538,117 @@ fn accept_loop(shared: &Shared, listener: TcpListener) {
     shared.queue.close();
 }
 
-/// Writes the backpressure response on an over-capacity connection.
-fn shed(shared: &Shared, mut stream: TcpStream) {
+/// Counts and logs one shed, returning the backpressure response. Shared
+/// by the threaded acceptor (which sheds whole connections) and the
+/// event-driven engine (which sheds individual requests when the job
+/// queue or connection table is full).
+fn shed_response(shared: &Shared, queue_depth: usize) -> Response {
     shared
         .metrics
         .rejected_total
         .fetch_add(1, Ordering::Relaxed);
     shared.metrics.count_response(503);
-    let response = Response::json(503, r#"{"error":"admission queue full, retry shortly"}"#)
-        .header("retry-after", "1");
-    let _ = response.write_to(&mut stream, false);
     shared.log.event(
         Json::object()
             .field("evt", "shed")
             .field("status", 503u64)
-            .field("queue_depth", shared.queue.len()),
+            .field("queue_depth", queue_depth),
     );
+    Response::json(503, r#"{"error":"admission queue full, retry shortly"}"#)
+        .header("retry-after", "1")
+}
+
+/// Writes the backpressure response on an over-capacity connection.
+fn shed(shared: &Shared, mut stream: TcpStream) {
+    let response = shed_response(shared, shared.queue.len());
+    let _ = response.write_to(&mut stream, false);
+}
+
+/// The serving application behind the event-driven engine: the same
+/// `route` as the threaded path, with metrics and access logging hung on
+/// the reactor's callbacks.
+struct ServeApp {
+    shared: Arc<Shared>,
+}
+
+impl ServeApp {
+    /// Counts and logs one finished response.
+    fn account(&self, request: &Request, outcome: &Outcome, queue_wait_us: u64, compute_us: u64) {
+        let shared = &self.shared;
+        shared.metrics.queue_wait.observe_us(queue_wait_us);
+        shared.metrics.compute.observe_us(compute_us);
+        shared.metrics.count_response(outcome.response.status());
+        shared.log.record(&AccessRecord {
+            method: request.method.clone(),
+            target: request.target.clone(),
+            status: outcome.response.status(),
+            queue_wait_us,
+            compute_us,
+            cache: outcome.cache,
+            bytes: outcome.response.body_len(),
+        });
+    }
+}
+
+impl reactor::App for ServeApp {
+    fn dispatch(&self, request: &Request) -> Dispatch {
+        // The worker pool is for *work*: experiment execution and store
+        // writes. Probes, metrics, and control answers stay on the
+        // reactor thread, where they cost microseconds and skip a hop.
+        match (request.method.as_str(), request.target.as_str()) {
+            ("POST", "/v1/experiments") | (_, "/v1/cache") => Dispatch::Defer,
+            _ => {
+                let started = Instant::now();
+                let routed = route(&self.shared, request);
+                let compute_us = started.elapsed().as_micros() as u64;
+                let outcome = Outcome {
+                    response: routed.response,
+                    cache: routed.cache,
+                    close: routed.close,
+                };
+                self.account(request, &outcome, 0, compute_us);
+                Dispatch::Inline(outcome)
+            }
+        }
+    }
+
+    fn execute(&self, request: &Request) -> Outcome {
+        let routed = route(&self.shared, request);
+        Outcome {
+            response: routed.response,
+            cache: routed.cache,
+            close: routed.close,
+        }
+    }
+
+    fn on_connection(&self) {
+        self.shared
+            .metrics
+            .connections_total
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn on_response(
+        &self,
+        request: &Request,
+        outcome: &Outcome,
+        queue_wait_us: u64,
+        compute_us: u64,
+    ) {
+        self.account(request, outcome, queue_wait_us, compute_us);
+    }
+
+    fn shed(&self, queue_len: usize) -> Response {
+        shed_response(&self.shared, queue_len)
+    }
+
+    fn on_request_error(&self, status: u16) {
+        self.shared.metrics.count_response(status);
+    }
+
+    fn draining(&self) -> bool {
+        self.shared.draining.load(Ordering::SeqCst) || self.shared.stop.load(Ordering::SeqCst)
+    }
 }
 
 /// What the router produced for one request.
@@ -461,11 +723,21 @@ fn handle_connection(shared: &Shared, admitted: Admitted) {
                 IdleWait::Yield | IdleWait::Gone => break,
             }
         }
-        let request = match reader.read_request(&mut stream, shared.config.limits) {
+        // Read under a *total* header deadline: the per-read timeout
+        // alone resets on every byte, so a client dripping one header
+        // byte per timeout window could pin this worker forever.
+        let request = match http::read_request_deadline(
+            &mut reader,
+            &mut stream,
+            shared.config.limits,
+            shared.config.read_timeout,
+            shared.config.header_timeout,
+        ) {
             Ok(request) => request,
             Err(e) => {
                 let status = match e {
                     ReadError::Closed | ReadError::TimedOut | ReadError::Io(_) => break,
+                    ReadError::HeaderTimeout => 408,
                     ReadError::HeadTooLarge | ReadError::BodyTooLarge => 413,
                     ReadError::Malformed(_) => 400,
                 };
@@ -524,7 +796,7 @@ fn route(shared: &Shared, request: &Request) -> Routed {
         ("GET", "/readyz") => pass(readiness(shared)),
         ("GET", "/metrics") => {
             let gauges = Gauges {
-                queue_depth: shared.queue.len(),
+                queue_depth: shared.depth(),
                 result_cache_entries: shared.results.len(),
                 result_cache_bytes: shared.results.resident_bytes(),
                 result_cache_evictions: shared.results.evictions(),
@@ -538,6 +810,9 @@ fn route(shared: &Shared, request: &Request) -> Routed {
                 store_appends: shared.store.as_ref().map_or(0, Store::appends),
                 store_append_errors: shared.store.as_ref().map_or(0, Store::append_errors),
                 store_compactions: shared.store.as_ref().map_or(0, Store::compactions),
+                io_registered_fds: shared.io_stats.registered_fds.load(Ordering::Relaxed),
+                io_ready_depth: shared.io_stats.ready_depth.load(Ordering::Relaxed),
+                io_timer_fires: shared.io_stats.timer_fires.load(Ordering::Relaxed),
             };
             pass(
                 Response::new(200)
@@ -578,7 +853,7 @@ fn readiness(shared: &Shared) -> Response {
         return Response::json(503, r#"{"ready":false,"reason":"draining"}"#)
             .header("retry-after", "1");
     }
-    if shared.queue.len() >= shared.queue.capacity() {
+    if shared.depth() >= shared.depth_capacity() {
         return Response::json(
             503,
             r#"{"ready":false,"reason":"admission queue saturated"}"#,

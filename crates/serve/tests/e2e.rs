@@ -16,7 +16,7 @@
 //!   server and drains cleanly.
 
 use mds_serve::http::{self, ClientResponse};
-use mds_serve::{LogTarget, Server, ServerConfig};
+use mds_serve::{IoModel, LogTarget, Server, ServerConfig};
 use mds_workloads::Scale;
 use std::io::Write;
 use std::net::TcpStream;
@@ -27,6 +27,10 @@ use std::time::Duration;
 const FIG5_TINY_WORKLOADS: u64 = 5;
 
 fn start(workers: usize, queue_depth: usize) -> Server {
+    start_io(workers, queue_depth, IoModel::default())
+}
+
+fn start_io(workers: usize, queue_depth: usize, io: IoModel) -> Server {
     Server::start(ServerConfig {
         addr: "127.0.0.1:0".to_string(),
         workers,
@@ -34,6 +38,7 @@ fn start(workers: usize, queue_depth: usize) -> Server {
         jobs: Some(2),
         read_timeout: Duration::from_secs(10),
         write_timeout: Duration::from_secs(10),
+        io,
         log: LogTarget::Memory,
         ..ServerConfig::default()
     })
@@ -118,8 +123,10 @@ fn concurrent_clients_get_cli_identical_bytes_and_one_emulation_per_workload() {
 #[test]
 fn full_admission_queue_sheds_with_503_and_retry_after() {
     // No workers ever pop, so one queued connection fills the queue and
-    // the next accept must shed deterministically.
-    let server = start(0, 1);
+    // the next accept must shed deterministically. Accept-time shedding
+    // is the threaded engine's admission point; the epoll engine sheds
+    // per request instead (covered below).
+    let server = start_io(0, 1, IoModel::Threads);
     let _queued = connect(&server);
     // Give the acceptor a moment to enqueue the first connection.
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
@@ -325,7 +332,7 @@ fn readiness_reports_saturation_when_the_queue_is_full() {
     // saturated state through the metrics-visible invariant instead:
     // every readiness probe arriving while the queue is full is itself
     // shed with 503, which is exactly the signal a gateway needs.
-    let server = start(0, 1);
+    let server = start_io(0, 1, IoModel::Threads);
     let _queued = connect(&server);
     let deadline = std::time::Instant::now() + Duration::from_secs(5);
     while server.queue_depth() < 1 {
@@ -349,6 +356,7 @@ fn load_generator_backs_off_on_sheds_instead_of_hammering() {
         workers: 0,
         queue_depth: 0,
         jobs: Some(1),
+        io: IoModel::Threads,
         log: LogTarget::Memory,
         ..ServerConfig::default()
     })
@@ -387,4 +395,164 @@ fn load_generator_backs_off_on_sheds_instead_of_hammering() {
         "every client arrival was shed"
     );
     server.shutdown();
+}
+
+#[test]
+fn epoll_sheds_at_the_request_level_and_readyz_reports_saturation() {
+    // The epoll engine admits connections cheaply and sheds at the
+    // request level: with no workers, one deferred request fills the
+    // jobs queue, the next deferred request is answered 503 and closed,
+    // and a readiness probe — served inline, never queued — still gets
+    // an answer that reports the saturation.
+    let server = start_io(0, 1, IoModel::Epoll);
+    let body: &[u8] = br#"{"experiment":"fig5","scale":"tiny"}"#;
+
+    let mut parked = connect(&server);
+    http::write_request(&mut parked, "POST", "/v1/experiments", body).unwrap();
+    let deadline = std::time::Instant::now() + Duration::from_secs(5);
+    while server.queue_depth() < 1 {
+        assert!(std::time::Instant::now() < deadline, "job never queued");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+
+    let mut shed = connect(&server);
+    let response = roundtrip(&mut shed, "POST", "/v1/experiments", body);
+    assert_eq!(response.status, 503);
+    assert_eq!(response.header("retry-after"), Some("1"));
+    // A shed response ends the connection: the next read sees EOF.
+    use std::io::Read;
+    let mut rest = Vec::new();
+    assert_eq!(shed.read_to_end(&mut rest).unwrap(), 0);
+    assert_eq!(
+        server
+            .metrics()
+            .rejected_total
+            .load(std::sync::atomic::Ordering::Relaxed),
+        1
+    );
+
+    // Inline routes keep answering while the queue is full; readiness
+    // turns the saturation into the signal a gateway acts on.
+    let probe = request(&server, "GET", "/readyz", b"");
+    assert_eq!(probe.status, 503);
+    assert_eq!(probe.header("retry-after"), Some("1"));
+
+    // Drain runs the parked job inline: the first client still gets its
+    // full answer while the server shuts down.
+    std::thread::scope(|scope| {
+        let drainer = scope.spawn(move || server.shutdown());
+        let drained = http::read_response(&mut parked).expect("drained response");
+        assert_eq!(drained.status, 200);
+        assert_eq!(drained.body, cli_fig5_tiny().as_bytes());
+        drainer.join().unwrap();
+    });
+}
+
+#[test]
+fn slow_loris_headers_hit_the_total_deadline_with_408() {
+    // A client trickling one byte per 25ms refreshes every per-read
+    // timeout, so only a *total* header deadline can stop it. Both
+    // engines must answer 408 and close well before the 10s read
+    // timeout would fire.
+    let head: &[u8] =
+        b"GET /healthz HTTP/1.1\r\nhost: mds\r\nx-slow: aaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaaa";
+    for io in [IoModel::Epoll, IoModel::Threads] {
+        let server = Server::start(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 1,
+            queue_depth: 4,
+            jobs: Some(1),
+            read_timeout: Duration::from_secs(10),
+            write_timeout: Duration::from_secs(10),
+            header_timeout: Duration::from_millis(300),
+            io,
+            log: LogTarget::Memory,
+            ..ServerConfig::default()
+        })
+        .expect("start server");
+
+        let mut stream = connect(&server);
+        let started = std::time::Instant::now();
+        for byte in head {
+            // Once the server has closed on us the trickle write fails;
+            // the time guard is a backstop so a broken server cannot
+            // stall the test.
+            if stream.write_all(std::slice::from_ref(byte)).is_err()
+                || started.elapsed() > Duration::from_secs(5)
+            {
+                break;
+            }
+            let _ = stream.flush();
+            std::thread::sleep(Duration::from_millis(25));
+        }
+        let response = http::read_response(&mut stream)
+            .unwrap_or_else(|e| panic!("{} gave no 408: {e:?}", io.as_str()));
+        assert_eq!(response.status, 408, "{}", io.as_str());
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "{}: 408 must come from the header deadline, not the read timeout",
+            io.as_str()
+        );
+        use std::io::Read;
+        let mut rest = Vec::new();
+        assert_eq!(
+            stream.read_to_end(&mut rest).unwrap_or(0),
+            0,
+            "{}",
+            io.as_str()
+        );
+        server.shutdown();
+    }
+}
+
+#[test]
+fn body_split_across_a_pause_still_completes_on_a_keep_alive_connection() {
+    // Regression: the PR-5 keep-alive slicing shrank the socket read
+    // timeout for the between-requests wait and never restored it, so a
+    // request body arriving in two chunks with a pause between them died
+    // on the sliced timeout. The split must land on a *second* request
+    // so the connection has been through the keep-alive wait.
+    let expected = cli_fig5_tiny();
+    let body: &[u8] = br#"{"experiment":"fig5","scale":"tiny"}"#;
+    for io in [IoModel::Epoll, IoModel::Threads] {
+        let server = start_io(2, 8, io);
+        let mut stream = connect(&server);
+        let first = roundtrip(&mut stream, "GET", "/healthz", b"");
+        assert_eq!(first.status, 200, "{}", io.as_str());
+
+        let head = format!(
+            "POST /v1/experiments HTTP/1.1\r\nhost: mds\r\ncontent-length: {}\r\n\r\n",
+            body.len()
+        );
+        stream.write_all(head.as_bytes()).unwrap();
+        stream.write_all(&body[..10]).unwrap();
+        stream.flush().unwrap();
+        std::thread::sleep(Duration::from_millis(50));
+        stream.write_all(&body[10..]).unwrap();
+        stream.flush().unwrap();
+        let response = http::read_response(&mut stream).expect("split-body response");
+        assert_eq!(response.status, 200, "{}", io.as_str());
+        assert_eq!(response.body, expected.as_bytes(), "{}", io.as_str());
+        server.shutdown();
+    }
+}
+
+#[test]
+fn both_engines_serve_cli_identical_bytes() {
+    // The engine is a transport detail: epoll and threads must produce
+    // the same bytes the repro CLI writes, down to the last byte.
+    let expected = cli_fig5_tiny();
+    let body: &[u8] = br#"{"experiment":"fig5","scale":"tiny"}"#;
+    for io in [IoModel::Epoll, IoModel::Threads] {
+        let server = start_io(2, 8, io);
+        let response = request(&server, "POST", "/v1/experiments", body);
+        assert_eq!(response.status, 200, "{}", io.as_str());
+        assert_eq!(
+            response.body,
+            expected.as_bytes(),
+            "engine {} diverges from the repro CLI bytes",
+            io.as_str()
+        );
+        server.shutdown();
+    }
 }

@@ -332,14 +332,22 @@ impl Store {
     }
 
     /// Appends one entry (`write` + `fsync`) and folds it into the live
-    /// map. Triggers a compaction when the log crosses its threshold.
+    /// map.
+    ///
+    /// Appends never compact inline: a compaction rewrites the whole
+    /// snapshot under the store lock, which would turn the unlucky
+    /// threshold-crossing append into a multi-millisecond stall on the
+    /// serving path. Crossing the threshold only marks compaction as
+    /// due; a maintenance point (the serving tier's background sweep, or
+    /// any caller of [`Store::compact_if_due`]) performs it off the
+    /// request path.
     ///
     /// # Errors
     ///
     /// `InvalidInput` for an empty or oversized key/value; otherwise any
-    /// I/O error from the write, fsync, or a triggered compaction. On an
-    /// I/O error the in-memory map is left untouched, so the store never
-    /// claims durability it does not have.
+    /// I/O error from the write or fsync. On an I/O error the in-memory
+    /// map is left untouched, so the store never claims durability it
+    /// does not have.
     pub fn append(&self, key: &str, value: &str) -> io::Result<()> {
         if key.is_empty() || key.len() > MAX_KEY_BYTES {
             return Err(io::Error::new(
@@ -374,13 +382,25 @@ impl Store {
         inner.log_bytes += record.len() as u64;
         inner.live.insert(key.to_string(), Arc::from(value));
         self.appends.fetch_add(1, Ordering::Relaxed);
-        let threshold = self.config.compact_threshold_bytes;
-        let due = threshold > 0 && inner.log_bytes > threshold;
-        drop(inner);
-        if due {
-            self.compact()?;
-        }
         Ok(())
+    }
+
+    /// Whether the log has outgrown its compaction threshold. Always
+    /// `false` when automatic compaction is disabled (`threshold == 0`).
+    pub fn compaction_due(&self) -> bool {
+        let threshold = self.config.compact_threshold_bytes;
+        threshold > 0 && lock(&self.inner).log_bytes > threshold
+    }
+
+    /// Compacts if (and only if) the log has outgrown its threshold —
+    /// the drain-point half of the deferred-compaction contract (see
+    /// [`Store::append`]). Returns whether a compaction ran.
+    pub fn compact_if_due(&self) -> io::Result<bool> {
+        if !self.compaction_due() {
+            return Ok(false);
+        }
+        self.compact()?;
+        Ok(true)
     }
 
     /// The stored value for `key`, if any.
@@ -645,10 +665,59 @@ mod tests {
                 .append(&format!("k{i}@tiny"), "0123456789abcdef")
                 .unwrap();
         }
+        // Appends only mark compaction as due; the drain point runs it.
+        assert!(store.compaction_due());
+        assert!(store.compact_if_due().unwrap());
         assert!(store.compactions() > 0);
+        assert!(!store.compaction_due(), "compaction reset the log");
+        assert!(!store.compact_if_due().unwrap(), "not due: a no-op");
         assert_eq!(store.len(), 50);
         let again = open(tmp.path(), 0);
         assert_eq!(again.len(), 50);
+    }
+
+    #[test]
+    fn threshold_crossing_append_does_not_compact_inline() {
+        let tmp = TempDir::new("mds-store-deferred").unwrap();
+        let store = Store::open(
+            tmp.path(),
+            StoreConfig {
+                epoch: 0,
+                compact_threshold_bytes: 64,
+            },
+        )
+        .unwrap();
+        // Blow far past the threshold: every append must stay a pure
+        // log write (no snapshot rewrite sneaking onto the append path).
+        for i in 0..20 {
+            store
+                .append(&format!("k{i}@tiny"), "0123456789abcdef")
+                .unwrap();
+        }
+        assert_eq!(store.compactions(), 0, "append never compacts inline");
+        assert_eq!(store.snapshot_bytes(), 0, "no snapshot written yet");
+        assert!(store.log_bytes() > 64, "the log is allowed to overshoot");
+        assert!(store.compaction_due());
+        // The maintenance sweep eventually drains the debt.
+        assert!(store.compact_if_due().unwrap());
+        assert_eq!(store.log_bytes(), MAGIC.len() as u64);
+        assert_eq!(store.len(), 20);
+        let again = open(tmp.path(), 0);
+        assert_eq!(again.recovery().snapshot_records, 20);
+    }
+
+    #[test]
+    fn compaction_never_due_when_disabled() {
+        let tmp = TempDir::new("mds-store-disabled").unwrap();
+        let store = open(tmp.path(), 0); // threshold 0: disabled
+        for i in 0..50 {
+            store
+                .append(&format!("k{i}@tiny"), "0123456789abcdef")
+                .unwrap();
+        }
+        assert!(!store.compaction_due());
+        assert!(!store.compact_if_due().unwrap());
+        assert_eq!(store.compactions(), 0);
     }
 
     #[test]
