@@ -85,3 +85,19 @@ MDS_CLUSTER_BENCH_SECONDS="${MDS_CLUSTER_BENCH_SECONDS:-0.5}" \
 echo "==> comparing the cluster suite against its committed baseline"
 MDS_BENCH_TOLERANCE="${MDS_CLUSTER_BENCH_TOLERANCE:-4.0}" \
   target/release/bench_gate BENCH_cluster.json "$fresh_dir/BENCH_cluster.json"
+
+# The scatter-gather claim — one cold fig5 grid at 4 backends is >= 1.7x
+# faster than at 1 backend — is a parallel-speedup claim: each backend
+# runs a single simulation thread, and the gateway's balanced placement
+# caps every backend at ceil(5/4) = 2 of fig5's 5 workload shards, so
+# the fleet's emulation phase needs real cores to spread onto (the
+# structural bound is 5/2 = 2.5x). On hosts with fewer than 4 cores the
+# backends timeshare and the ratio is ~1.0 by construction, so the check
+# only runs where the claim is measurable.
+if [ "$(nproc)" -ge 4 ]; then
+  echo "==> checking the cold-grid scale-out claim (4 backends >= 1.7x 1 backend)"
+  target/release/bench_gate --min-speedup "$fresh_dir/BENCH_cluster.json" \
+    gateway/grid_cold/1b gateway/grid_cold/4b 1.7
+else
+  echo "==> skipping the cold-grid scale-out claim ($(nproc) core(s) < 4)"
+fi

@@ -38,6 +38,8 @@ use mds_workloads::{by_name, int92_suite, spec95_suite, Scale, Workload};
 use std::collections::HashMap;
 use std::path::PathBuf;
 
+pub mod grid;
+
 /// The DDC sizes measured in tables 5 and 7.
 pub const DDC_SIZES_TABLE5: [usize; 3] = [32, 128, 512];
 /// The DDC sizes swept in table 7.
@@ -277,6 +279,34 @@ impl Harness {
                 (demand, _) => unreachable!("job output mismatches demand {}", demand.id()),
             }
         }
+    }
+
+    /// Installs an externally computed output for `demand`, as if
+    /// [`Harness::prefetch`] had run it locally — the gather half of
+    /// scatter-gather grid execution (see [`grid`]).
+    ///
+    /// Returns `false` (and stores nothing) if the output kind does not
+    /// match the demand. Overwrites any previous result for the demand.
+    pub fn insert(&mut self, demand: &Demand, output: JobOutput) -> bool {
+        match (demand, output) {
+            (Demand::Summary(wl), JobOutput::Summary(s)) => {
+                self.summaries.insert(wl.name, s);
+            }
+            (Demand::Window(wl), JobOutput::Window(r)) => {
+                self.window_reports.insert(wl.name, r);
+            }
+            (Demand::Ms(wl, stages, policy), JobOutput::Multiscalar(r)) => {
+                self.ms_runs.insert((wl.name, *stages, *policy), r);
+            }
+            (Demand::CustomMs(id, _, _), JobOutput::Multiscalar(r)) => {
+                self.custom_runs.insert(id.clone(), r);
+            }
+            (Demand::Ooo(id, _, _), JobOutput::Superscalar(r)) => {
+                self.ooo_runs.insert(id.clone(), r);
+            }
+            _ => return false,
+        }
+        true
     }
 
     /// A memoized paper-configuration Multiscalar run.

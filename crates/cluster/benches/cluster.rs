@@ -13,13 +13,20 @@
 //! `"fresh": true` so every request pays simulation; "warm" measures
 //! the steady state where backends answer from their result caches and
 //! the gateway adds only its proxy hop.
+//!
+//! The `grid_cold` series times one whole `POST /v1/grids` (fig5)
+//! against a fresh fleet per sample, one simulation thread per backend:
+//! the scatter-gather cold-grid wall time whose 4-backend point the
+//! bench gate requires to beat the 1-backend point by 1.7x on hosts
+//! with at least four cores (see `ci/bench_gate.sh`).
 
 use mds_cluster::fleet::{Fleet, FleetConfig};
 use mds_cluster::gateway::{Gateway, GatewayConfig};
 use mds_harness::bench::{BenchConfig, BenchReport, BenchResult};
-use mds_harness::json::ToJson;
+use mds_harness::json::{Json, ToJson};
+use mds_serve::client::request_once;
 use mds_serve::{run_load, LoadConfig, LoadReport, LogTarget};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 const BACKEND_COUNTS: [usize; 3] = [1, 2, 4];
 const CLIENTS: usize = 8;
@@ -94,6 +101,72 @@ fn gate_result(mode: &str, backends: usize, report: &LoadReport) -> BenchResult 
     }
 }
 
+/// One cold `POST /v1/grids` wall-time sample at `backends` backends: a
+/// fresh fleet every sample (empty trace and result caches) with one
+/// simulation thread per backend, i.e. fixed per-node capacity. What
+/// the series isolates is scale-out of the cold emulation phase: the
+/// gateway's balanced placement caps each backend at its fair share of
+/// the grid's distinct workloads and the warm pass emulates those
+/// shards concurrently, so wall-time shrinks with backend count on any
+/// host with at least as many cores as backends.
+fn grid_cold_sample(backends: usize) -> Duration {
+    let fleet = Fleet::spawn(&FleetConfig {
+        backends,
+        workers: 4,
+        jobs: Some(1),
+        ..FleetConfig::default()
+    })
+    .expect("spawn fleet");
+    let gateway = Gateway::start(GatewayConfig {
+        addr: "127.0.0.1:0".to_string(),
+        backends: fleet.addrs(),
+        workers: 8,
+        log: LogTarget::Discard,
+        ..GatewayConfig::default()
+    })
+    .expect("start gateway");
+    let body = format!(r#"{{"experiments":["{EXPERIMENT}"],"scale":"{SCALE}"}}"#);
+    let started = Instant::now();
+    let response = request_once(
+        &gateway.local_addr().to_string(),
+        "POST",
+        "/v1/grids",
+        body.as_bytes(),
+        Duration::from_secs(300),
+    )
+    .expect("grid request");
+    let elapsed = started.elapsed();
+    assert_eq!(
+        response.status, 200,
+        "cold grid over {backends} backends failed"
+    );
+    gateway.shutdown();
+    fleet.shutdown();
+    elapsed
+}
+
+/// Folds the cold-grid samples into the gate-comparable shape: one
+/// "iteration" is one whole cold grid, `median_ns` its median wall time.
+fn grid_cold_result(backends: usize, samples_ns: &mut [u64]) -> BenchResult {
+    samples_ns.sort_unstable();
+    let median = samples_ns[samples_ns.len() / 2] as f64;
+    let mut deviations: Vec<f64> = samples_ns
+        .iter()
+        .map(|&ns| (ns as f64 - median).abs())
+        .collect();
+    deviations.sort_by(|a, b| a.total_cmp(b));
+    BenchResult {
+        name: format!("gateway/grid_cold/{backends}b"),
+        iters_per_batch: samples_ns.len() as u64,
+        batches: 1,
+        median_ns: median,
+        mad_ns: deviations[deviations.len() / 2],
+        min_ns: samples_ns[0] as f64,
+        max_ns: samples_ns[samples_ns.len() - 1] as f64,
+        throughput_elems: None,
+    }
+}
+
 fn main() {
     let measure = std::env::args().any(|a| a == "--bench");
     let seconds = seconds_per_run(measure);
@@ -108,7 +181,29 @@ fn main() {
 
     let mut runs = Vec::new();
     let mut results = Vec::new();
+    // Whole cold grids are one request each, so the time budget buys
+    // fresh-fleet samples rather than load seconds.
+    let grid_samples = ((seconds / 0.5).round() as usize).clamp(1, 8);
     for backends in BACKEND_COUNTS {
+        let mut grid_ns: Vec<u64> = (0..grid_samples)
+            .map(|_| grid_cold_sample(backends).as_nanos() as u64)
+            .collect();
+        let grid = grid_cold_result(backends, &mut grid_ns);
+        eprintln!(
+            "  grid_cold/{backends}b: median {:.1}ms over {grid_samples} fresh-fleet sample(s)",
+            grid.median_ns / 1e6
+        );
+        results.push(grid);
+        runs.push(
+            Json::object()
+                .field("mode", "grid_cold")
+                .field("backends", backends)
+                .field(
+                    "samples_ns",
+                    Json::Array(grid_ns.iter().map(|&ns| Json::from(ns)).collect()),
+                ),
+        );
+
         let fleet = Fleet::spawn(&FleetConfig {
             backends,
             workers: 4,
@@ -172,6 +267,10 @@ fn main() {
         .field("experiment", EXPERIMENT)
         .field("clients", CLIENTS)
         .field("seconds_per_run", seconds)
+        .field(
+            "cores",
+            std::thread::available_parallelism().map_or(1, |n| n.get() as u64),
+        )
         .field("runs", mds_harness::json::Json::Array(runs));
     let path = mds_harness::bench::report_dir().join("BENCH_cluster.json");
     match std::fs::write(&path, doc.pretty()) {

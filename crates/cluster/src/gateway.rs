@@ -37,12 +37,15 @@
 
 use crate::backend::Backend;
 use crate::breaker::BreakerConfig;
+use crate::grid;
 use crate::metrics::{self, GatewayMetrics};
 use crate::ring::HashRing;
+use mds_bench::grid::GridRequest;
 use mds_harness::backoff::Backoff;
 use mds_harness::json::Json;
+use mds_runner::Runner;
 use mds_serve::client::{self, Connection};
-use mds_serve::http::{self, ClientResponse, Limits, ReadError, Request, Response};
+use mds_serve::http::{self, ClientResponse, Limits, ReadError, Request, Response, Version};
 use mds_serve::io::reactor::{self, Dispatch, Outcome};
 use mds_serve::io::IoModel;
 use mds_serve::persist;
@@ -51,7 +54,7 @@ use mds_serve::{AccessLog, ExperimentRequest, LogTarget};
 use std::cell::RefCell;
 use std::collections::HashMap;
 use std::net::{SocketAddr, TcpListener, TcpStream};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::JoinHandle;
@@ -117,6 +120,17 @@ pub struct GatewayConfig {
     pub io: IoModel,
     /// Concurrent client-connection cap under `--io epoll`.
     pub max_connections: usize,
+    /// Per-backend in-flight window for grid-cell dispatch: how many
+    /// cells one `POST /v1/grids` keeps outstanding against each
+    /// backend. Sized to fill a backend's worker pool without tripping
+    /// its admission shedding.
+    pub grid_window: usize,
+    /// Cluster-wide cache warming for grids: before scattering cells,
+    /// pre-dispatch each distinct workload's emulation (a summary cell)
+    /// to its ring owner, so the cold-grid emulation phase runs fleet-
+    /// parallel instead of trickling in with the first cell per
+    /// workload.
+    pub grid_warm: bool,
 }
 
 impl Default for GatewayConfig {
@@ -145,6 +159,8 @@ impl Default for GatewayConfig {
             seed: 0x006d_6473,
             io: IoModel::default(),
             max_connections: 10_000,
+            grid_window: 8,
+            grid_warm: true,
         }
     }
 }
@@ -637,8 +653,9 @@ impl GatewayApp {
 impl reactor::App for GatewayApp {
     fn dispatch(&self, request: &Request) -> Dispatch {
         match (request.method.as_str(), request.target.as_str()) {
-            // Forwarding blocks on upstream sockets: pool work.
-            ("GET" | "POST", "/v1/experiments") => Dispatch::Defer,
+            // Forwarding blocks on upstream sockets: pool work. A grid
+            // scatter additionally blocks on the whole fan-out.
+            ("GET" | "POST", "/v1/experiments") | ("POST", "/v1/grids") => Dispatch::Defer,
             _ => {
                 let started = Instant::now();
                 self.shared
@@ -743,6 +760,7 @@ fn route(shared: &Shared, conns: &mut ConnCache, request: &Request) -> Routed {
                 .map(|r| r.cache_key());
             pass(forward(shared, conns, request, key))
         }
+        ("POST", "/v1/grids") => serve_grid(shared, &request.body),
         ("POST", "/v1/shutdown") => {
             signal_shutdown(shared);
             Routed {
@@ -752,7 +770,7 @@ fn route(shared: &Shared, conns: &mut ConnCache, request: &Request) -> Routed {
         }
         (
             _,
-            "/healthz" | "/readyz" | "/metrics" | "/v1/cluster" | "/v1/experiments"
+            "/healthz" | "/readyz" | "/metrics" | "/v1/cluster" | "/v1/experiments" | "/v1/grids"
             | "/v1/shutdown",
         ) => pass(Response::json(405, r#"{"error":"method not allowed"}"#)),
         _ => pass(Response::json(404, r#"{"error":"not found"}"#)),
@@ -797,6 +815,9 @@ fn cluster_status(shared: &Shared) -> String {
         .field("replicas", shared.config.replicas)
         .field("proxied", load(&shared.proxied))
         .field("retries", load(&shared.retries))
+        .field("grids", load(&shared.metrics.grids_total))
+        .field("grid_cells", load(&shared.metrics.grid_cells_total))
+        .field("grid_window", shared.config.grid_window as u64)
         .to_string()
 }
 
@@ -818,6 +839,25 @@ fn candidate_order(shared: &Shared, key: Option<&str>) -> Vec<usize> {
         }
     }
     order
+}
+
+/// [`candidate_order`] filtered down to in-rotation backends — or, when
+/// probes have everyone out (e.g. right after startup against a
+/// slow-binding fleet), the optimistic full order: try everyone rather
+/// than fail from the armchair.
+fn rotation_order(shared: &Shared, key: Option<&str>) -> Vec<usize> {
+    let order = candidate_order(shared, key);
+    let now = Instant::now();
+    let rotation: Vec<usize> = order
+        .iter()
+        .copied()
+        .filter(|&i| shared.backends[i].in_rotation(now))
+        .collect();
+    if rotation.is_empty() {
+        order
+    } else {
+        rotation
+    }
 }
 
 /// Takes one unit of the global retry budget, if any remains.
@@ -930,19 +970,7 @@ fn forward(
     let started = Instant::now();
     shared.metrics.proxied_total.fetch_add(1, Ordering::Relaxed);
     shared.proxied.fetch_add(1, Ordering::Relaxed);
-    let order = candidate_order(shared, key.as_deref());
-    let now = Instant::now();
-    let mut rotation: Vec<usize> = order
-        .iter()
-        .copied()
-        .filter(|&i| shared.backends[i].in_rotation(now))
-        .collect();
-    if rotation.is_empty() {
-        // Optimistic last ditch: probes may be stale (e.g. right after
-        // startup against a slow-binding fleet), so try everyone rather
-        // than fail from the armchair.
-        rotation = order;
-    }
+    let rotation = rotation_order(shared, key.as_deref());
     let response = if let (Some(hedge_after), Some(_)) = (shared.config.hedge_after, key.as_ref()) {
         forward_hedged(shared, &rotation, request, hedge_after)
     } else {
@@ -976,6 +1004,237 @@ fn forward_serial(
     candidates: &[usize],
     request: &Request,
 ) -> Response {
+    match failover_serial(shared, conns, candidates, request, None) {
+        Ok(upstream) => passthrough(upstream),
+        Err(last_shed) => exhausted(shared, last_shed),
+    }
+}
+
+/// A synthesized `POST /v1/cells` upstream request for one cell body.
+fn cell_request(body: String) -> Request {
+    Request {
+        method: "POST".to_string(),
+        target: "/v1/cells".to_string(),
+        version: Version::Http11,
+        headers: Vec::new(),
+        body: body.into_bytes(),
+    }
+}
+
+/// Dispatches one grid cell along its route key's replica order, with
+/// the same breaker/retry failover as the experiment proxy path and the
+/// hedging path handling stragglers when configured. The window bounds
+/// this grid's in-flight cells per backend. `owner` is the grid's
+/// balanced assignment for this key: when it is still in rotation it is
+/// tried first, and the rest of the replica order backs it up.
+fn dispatch_cell(
+    shared: &Shared,
+    conns: &mut ConnCache,
+    route_key: &str,
+    request: &Request,
+    windows: &grid::Windows,
+    owner: Option<usize>,
+) -> Result<ClientResponse, Option<ClientResponse>> {
+    shared
+        .metrics
+        .grid_cells_total
+        .fetch_add(1, Ordering::Relaxed);
+    let mut rotation = rotation_order(shared, Some(route_key));
+    if let Some(owner) = owner {
+        if let Some(pos) = rotation.iter().position(|&idx| idx == owner) {
+            rotation.remove(pos);
+            rotation.insert(0, owner);
+        }
+    }
+    match shared.config.hedge_after {
+        Some(hedge_after) => {
+            // The hedged path spawns its own attempt threads; hold the
+            // primary's window slot for the duration so a grid's hedged
+            // cells still respect the per-backend bound.
+            let _slot = windows.acquire(rotation[0]);
+            failover_hedged(shared, &rotation, request, hedge_after)
+        }
+        None => failover_serial(shared, conns, &rotation, request, Some(windows)),
+    }
+}
+
+/// The cluster-wide cache-warming pass: each distinct workload's
+/// emulation (a summary cell), dispatched concurrently to the backend
+/// the grid's balanced assignment chose for it — the same backend its
+/// cells will land on. Best-effort — a dead owner's traces are simply
+/// emulated by whichever replica its cells fail over to.
+fn scatter_warm(
+    shared: &Shared,
+    warm: &[(String, String)],
+    windows: &grid::Windows,
+    owners: &HashMap<String, usize>,
+) {
+    std::thread::scope(|scope| {
+        for (route_key, body) in warm {
+            scope.spawn(move || {
+                let assigned = owners
+                    .get(route_key)
+                    .copied()
+                    .or_else(|| rotation_order(shared, Some(route_key)).first().copied());
+                let Some(owner) = assigned else {
+                    return;
+                };
+                shared
+                    .metrics
+                    .grid_warms_total
+                    .fetch_add(1, Ordering::Relaxed);
+                let request = cell_request(body.clone());
+                let mut conns: ConnCache = HashMap::new();
+                let _slot = windows.acquire(owner);
+                let _ = attempt(shared, &mut conns, owner, &request);
+            });
+        }
+    });
+}
+
+/// The grid's balanced key→backend assignment: distinct route keys in
+/// first-appearance order, each with its live replica order, handed to
+/// [`grid::balanced_assignments`] so no backend owns more than its fair
+/// share of this grid's trace emulations.
+fn grid_owners(shared: &Shared, plan: &grid::GridPlan) -> HashMap<String, usize> {
+    let mut candidates: Vec<(String, Vec<usize>)> = Vec::new();
+    for cell in &plan.cells {
+        if !candidates.iter().any(|(key, _)| key == &cell.route_key) {
+            let rotation = rotation_order(shared, Some(&cell.route_key));
+            candidates.push((cell.route_key.clone(), rotation));
+        }
+    }
+    grid::balanced_assignments(&candidates, shared.backends.len())
+}
+
+/// `POST /v1/grids`: scatter-gather grid execution.
+///
+/// Decomposes the request into cells (one per distinct simulation
+/// demand), places each on the ring by its `workload@scale` trace key,
+/// fans them out over dispatcher lanes with bounded per-backend windows,
+/// merges partial results as they stream back, and renders the response
+/// in request order — byte-identical to a lone backend serving the same
+/// grid. A cell whose every candidate fails is computed locally by the
+/// merger, so backend loss degrades latency, never the answer.
+fn serve_grid(shared: &Shared, body: &[u8]) -> Routed {
+    let bad = |message: String| Routed {
+        response: Response::json(400, Json::object().field("error", message).to_string()),
+        close: false,
+    };
+    let Ok(text) = std::str::from_utf8(body) else {
+        return bad("body is not UTF-8".to_string());
+    };
+    let grid_request = match GridRequest::from_body(text) {
+        Ok(request) => request,
+        Err(message) => return bad(message),
+    };
+    shared.metrics.grids_total.fetch_add(1, Ordering::Relaxed);
+    let started = Instant::now();
+    let plan = grid::plan(&grid_request);
+    let owners = grid_owners(shared, &plan);
+    let mut merger = grid::Merger::new(&grid_request, Runner::new(1));
+    let windows = grid::Windows::new(shared.backends.len(), shared.config.grid_window);
+    if shared.config.grid_warm && shared.backends.len() > 1 {
+        scatter_warm(shared, &plan.warm, &windows, &owners);
+    }
+
+    let cells = &plan.cells;
+    let mut failed_cells = 0usize;
+    let next = AtomicUsize::new(0);
+    std::thread::scope(|scope| {
+        let (tx, rx) = mpsc::channel::<(usize, Result<ClientResponse, Option<ClientResponse>>)>();
+        let lanes = cells
+            .len()
+            .min(shared.backends.len() * shared.config.grid_window)
+            .max(1);
+        for _ in 0..lanes {
+            let tx = tx.clone();
+            let next = &next;
+            let windows = &windows;
+            let owners = &owners;
+            scope.spawn(move || {
+                let mut conns: ConnCache = HashMap::new();
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= cells.len() {
+                        break;
+                    }
+                    let cell = &cells[i];
+                    let request = cell_request(cell.body.clone());
+                    let owner = owners.get(&cell.route_key).copied();
+                    let result = dispatch_cell(
+                        shared,
+                        &mut conns,
+                        &cell.route_key,
+                        &request,
+                        windows,
+                        owner,
+                    );
+                    if tx.send((i, result)).is_err() {
+                        break;
+                    }
+                }
+            });
+        }
+        drop(tx);
+        // Gather on this thread: partial results merge in arrival order,
+        // which the merge contract guarantees cannot change the bytes.
+        for (i, result) in rx {
+            let cell = &cells[i];
+            let failure = match result {
+                Ok(upstream) if upstream.status == 200 => merger.accept(cell, &upstream.body).err(),
+                Ok(upstream) => Some(format!("upstream status {}", upstream.status)),
+                Err(_) => Some("no backend available".to_string()),
+            };
+            if let Some(error) = failure {
+                failed_cells += 1;
+                shared.log.event(
+                    Json::object()
+                        .field("evt", "grid_cell_failed")
+                        .field("cell", cell.route_key.as_str())
+                        .field("error", error),
+                );
+            }
+        }
+    });
+    if failed_cells > 0 {
+        shared
+            .metrics
+            .grid_cell_failures_total
+            .fetch_add(failed_cells as u64, Ordering::Relaxed);
+    }
+    let accepted = merger.accepted();
+    let response = match merger.finish() {
+        Ok(doc) => Response::json(200, doc),
+        Err(message) => Response::json(500, Json::object().field("error", message).to_string()),
+    };
+    shared.log.event(
+        Json::object()
+            .field("evt", "grid")
+            .field("experiments", grid_request.experiments.len() as u64)
+            .field("cells", cells.len() as u64)
+            .field("accepted", accepted as u64)
+            .field("failed", failed_cells as u64)
+            .field("us", started.elapsed().as_micros() as u64),
+    );
+    Routed {
+        response,
+        close: false,
+    }
+}
+
+/// The serial failover loop shared by the experiment proxy path and
+/// grid-cell dispatch: walk the candidates under breaker and
+/// retry-budget control and return the first non-shed upstream answer,
+/// or `Err(last shed response)` once every candidate is exhausted.
+/// `windows` (grid dispatch) bounds per-backend in-flight attempts.
+fn failover_serial(
+    shared: &Shared,
+    conns: &mut ConnCache,
+    candidates: &[usize],
+    request: &Request,
+    windows: Option<&grid::Windows>,
+) -> Result<ClientResponse, Option<ClientResponse>> {
     let mut attempts_made = 0u32;
     let mut last_shed: Option<ClientResponse> = None;
     for &idx in candidates {
@@ -996,6 +1255,7 @@ fn forward_serial(
                 .fetch_add(1, Ordering::Relaxed);
         }
         attempts_made += 1;
+        let _slot = windows.map(|w| w.acquire(idx));
         match attempt(shared, conns, idx, request) {
             Ok(upstream) if upstream.status == 503 => {
                 // Shedding or draining: not a transport failure (the
@@ -1008,7 +1268,7 @@ fn forward_serial(
             Ok(upstream) => {
                 let t = backend.with_breaker(|b| b.record_success(Instant::now()));
                 log_transition(shared, backend, t);
-                return passthrough(upstream);
+                return Ok(upstream);
             }
             Err(error) => {
                 backend.stats.failures.fetch_add(1, Ordering::Relaxed);
@@ -1023,7 +1283,7 @@ fn forward_serial(
             }
         }
     }
-    exhausted(shared, last_shed)
+    Err(last_shed)
 }
 
 /// The hedged proxy path: attempts run in spawned threads over fresh
@@ -1036,6 +1296,21 @@ fn forward_hedged(
     request: &Request,
     hedge_after: Duration,
 ) -> Response {
+    match failover_hedged(shared, candidates, request, hedge_after) {
+        Ok(upstream) => passthrough(upstream),
+        Err(last_shed) => exhausted(shared, last_shed),
+    }
+}
+
+/// The hedged failover loop behind [`forward_hedged`], also used per
+/// grid cell when hedging is configured. Returns the winning upstream
+/// response, or `Err(last shed response)` once exhausted.
+fn failover_hedged(
+    shared: &Shared,
+    candidates: &[usize],
+    request: &Request,
+    hedge_after: Duration,
+) -> Result<ClientResponse, Option<ClientResponse>> {
     let (tx, rx) = mpsc::channel::<(usize, Result<ClientResponse, String>)>();
     let deadline = Instant::now() + shared.config.io_timeout;
     let mut next = 0usize;
@@ -1117,7 +1392,7 @@ fn forward_hedged(
                 false,
             )
         {
-            return exhausted(shared, last_shed);
+            return Err(last_shed);
         }
         match rx.recv_timeout(hedge_after) {
             Ok((idx, Ok(upstream))) if upstream.status == 503 => {
@@ -1137,7 +1412,7 @@ fn forward_hedged(
                         .hedge_wins_total
                         .fetch_add(1, Ordering::Relaxed);
                 }
-                return passthrough(upstream);
+                return Ok(upstream);
             }
             Ok((idx, Err(error))) => {
                 in_flight -= 1;
@@ -1163,11 +1438,11 @@ fn forward_hedged(
                     true,
                 );
                 if !launched && Instant::now() >= deadline {
-                    return exhausted(shared, last_shed);
+                    return Err(last_shed);
                 }
             }
             Err(mpsc::RecvTimeoutError::Disconnected) => {
-                return exhausted(shared, last_shed);
+                return Err(last_shed);
             }
         }
     }

@@ -1,0 +1,315 @@
+//! Scatter-gather grid execution: fan a grid of experiments out across
+//! the fleet and merge the partial results deterministically.
+//!
+//! A `POST /v1/grids` request names a set of experiments at one scale.
+//! The gateway decomposes it with [`plan`] into per-cell jobs (one per
+//! distinct simulation demand, via `mds_bench::grid`), places each cell
+//! on the consistent-hash ring by its `workload@scale` trace key — so
+//! every backend emulates only its own shard of the workload set and its
+//! trace cache stays hot — rebalances the per-grid key assignment with
+//! [`balanced_assignments`] so no backend serializes on more than its
+//! fair share of cold emulations, and dispatches the cells as `POST /v1/cells`
+//! requests through the same breaker/retry/hedging machinery the
+//! experiment proxy path uses. Outputs stream back in completion order
+//! and a [`Merger`] folds them into a harness; the final response is
+//! rendered in request order, so the bytes are independent of placement,
+//! concurrency, and arrival order — byte-identical to a lone `mds-serve`
+//! answering the whole grid, and to `repro <id> --json` per experiment.
+//!
+//! The submodule split mirrors the pipeline: this module plans and
+//! merges (pure, property-testable); [`windows`] bounds per-backend
+//! in-flight dispatch; the network scatter loop lives in the gateway,
+//! next to the failover machinery it reuses.
+
+pub mod windows;
+
+pub use windows::{WindowGuard, Windows};
+
+use mds_bench::grid::{cells, warm_jobs, GridRequest};
+use mds_bench::{Demand, Harness};
+use mds_harness::json::Json;
+use mds_runner::wire;
+use mds_runner::Runner;
+use std::collections::HashMap;
+
+/// One placed unit of grid work: a cell job ready to ship upstream.
+#[derive(Debug, Clone)]
+pub struct CellPlan {
+    /// Position in the plan (stable identity for arrival bookkeeping).
+    pub index: usize,
+    /// The demand this cell satisfies, for merging its output.
+    pub demand: Demand,
+    /// The placement key (`workload@scale`): cells sharing a trace share
+    /// a key, and the ring maps each key to its owning backend.
+    pub route_key: String,
+    /// The `POST /v1/cells` request body (wire-encoded job).
+    pub body: String,
+}
+
+/// A decomposed, placed grid request.
+#[derive(Debug, Clone)]
+pub struct GridPlan {
+    /// The validated request this plan answers.
+    pub request: GridRequest,
+    /// Every cell to dispatch, in deterministic plan order.
+    pub cells: Vec<CellPlan>,
+    /// One `(route key, request body)` warm-up job per distinct route
+    /// key: dispatching each to its ring owner triggers exactly the
+    /// trace emulations that owner's cells will need.
+    pub warm: Vec<(String, String)>,
+}
+
+/// Decomposes a validated grid request into placed cells: the union of
+/// every requested experiment's demands, deduplicated, in submission
+/// order — the same decomposition a lone harness performs internally.
+pub fn plan(request: &GridRequest) -> GridPlan {
+    let cs = cells(&request.experiments, request.scale);
+    let warm = warm_jobs(&cs)
+        .into_iter()
+        .map(|(key, job)| (key, wire::encode_job(&job).pretty()))
+        .collect();
+    let cells = cs
+        .into_iter()
+        .enumerate()
+        .map(|(index, cell)| CellPlan {
+            index,
+            route_key: cell.route_key(),
+            body: wire::encode_job(&cell.job).pretty(),
+            demand: cell.demand,
+        })
+        .collect();
+    GridPlan {
+        request: request.clone(),
+        cells,
+        warm,
+    }
+}
+
+/// Balances one grid's distinct route keys across the fleet.
+///
+/// Strict ring-primary placement keeps trace caches hot, but with few
+/// distinct keys it regularly leaves one backend owning most of a grid
+/// (five workload keys over four backends land 3-1-1-0 about 40% of the
+/// time), serializing the cold emulation phase on the unlucky owner.
+/// This pass caps each backend at ⌈keys/backends⌉ keys *for this grid*:
+/// a key keeps the head of its candidate (replica-order) list unless
+/// that backend is already at the cap, then spills to the next candidate
+/// with capacity — or, when every candidate is full, the least-loaded
+/// candidate. Keys with no candidates at all get no owner (the dispatch
+/// path handles that as "no backend available"). Deterministic in the
+/// candidate lists and key order, so identical grids place identically
+/// and cache affinity still holds request over request.
+pub fn balanced_assignments(
+    candidates: &[(String, Vec<usize>)],
+    backends: usize,
+) -> HashMap<String, usize> {
+    let cap = candidates.len().div_ceil(backends.max(1)).max(1);
+    let mut load: HashMap<usize, usize> = HashMap::new();
+    let mut owners = HashMap::new();
+    for (key, rotation) in candidates {
+        let chosen = rotation
+            .iter()
+            .copied()
+            .find(|idx| load.get(idx).copied().unwrap_or(0) < cap)
+            .or_else(|| {
+                rotation
+                    .iter()
+                    .copied()
+                    .min_by_key(|idx| load.get(idx).copied().unwrap_or(0))
+            });
+        if let Some(idx) = chosen {
+            *load.entry(idx).or_insert(0) += 1;
+            owners.insert(key.clone(), idx);
+        }
+    }
+    owners
+}
+
+/// The gather half: folds cell outputs — arriving in any order — into a
+/// harness and renders the response in request order.
+pub struct Merger {
+    harness: Harness,
+    experiments: Vec<String>,
+    accepted: usize,
+}
+
+impl Merger {
+    /// A merger for `request`. The runner only executes if a demand is
+    /// missing at [`Merger::finish`] time (the local-fallback path), so
+    /// a single-threaded runner is the right default.
+    pub fn new(request: &GridRequest, runner: Runner) -> Merger {
+        Merger {
+            harness: Harness::with_runner(request.scale, runner),
+            experiments: request.experiments.clone(),
+            accepted: 0,
+        }
+    }
+
+    /// Accepts one cell's `POST /v1/cells` response body.
+    ///
+    /// Decodes `{"id", "output"}`, checks the id echoes the cell's, and
+    /// installs the output against the cell's demand. Errors describe
+    /// what a misbehaving backend sent.
+    pub fn accept(&mut self, cell: &CellPlan, response_body: &[u8]) -> Result<(), String> {
+        let text = std::str::from_utf8(response_body)
+            .map_err(|_| "cell response is not UTF-8".to_string())?;
+        let doc = Json::parse(text).map_err(|e| format!("cell response: {e}"))?;
+        let id = doc
+            .get("id")
+            .and_then(Json::as_str)
+            .ok_or_else(|| "cell response lacks an id".to_string())?;
+        if id != self.demand_id(cell) {
+            return Err(format!(
+                "cell response id {id:?} does not echo {:?}",
+                self.demand_id(cell)
+            ));
+        }
+        let output = doc
+            .get("output")
+            .ok_or_else(|| "cell response lacks an output".to_string())?;
+        let output = wire::decode_output(output).map_err(|e| format!("cell output: {e}"))?;
+        if !self.harness.insert(&cell.demand, output) {
+            return Err(format!(
+                "cell {:?} output kind mismatches its demand",
+                self.demand_id(cell)
+            ));
+        }
+        self.accepted += 1;
+        Ok(())
+    }
+
+    /// Cells accepted so far.
+    pub fn accepted(&self) -> usize {
+        self.accepted
+    }
+
+    /// Demands this merger's harness ran locally instead of receiving —
+    /// zero when every cell arrived (grids with only static tables never
+    /// dispatch cells, so zero there too).
+    pub fn local_runs(&self) -> usize {
+        self.harness.run_stats().len()
+    }
+
+    /// Renders the merged response: each experiment's canonical result
+    /// document, concatenated in request order. Demands that never
+    /// arrived are computed locally — slower, never wrong.
+    pub fn finish(mut self) -> Result<String, String> {
+        mds_bench::grid::merged_doc(&mut self.harness, &self.experiments)
+    }
+
+    fn demand_id(&self, cell: &CellPlan) -> String {
+        // The wire job id is the demand id; reparse it from the body the
+        // plan shipped rather than caching a copy per cell.
+        Json::parse(&cell.body)
+            .ok()
+            .and_then(|j| j.get("id").and_then(Json::as_str).map(str::to_string))
+            .unwrap_or_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mds_workloads::Scale;
+
+    fn request(ids: &[&str]) -> GridRequest {
+        GridRequest {
+            experiments: ids.iter().map(|s| s.to_string()).collect(),
+            scale: Scale::Tiny,
+            fresh: false,
+        }
+    }
+
+    #[test]
+    fn plan_places_same_workload_cells_on_one_route_key() {
+        let plan = plan(&request(&["fig5"]));
+        assert!(!plan.cells.is_empty());
+        // Every cell of one workload shares a route key, and the warm
+        // list has exactly one entry per distinct key.
+        let mut keys: Vec<&str> = plan.cells.iter().map(|c| c.route_key.as_str()).collect();
+        keys.sort_unstable();
+        keys.dedup();
+        assert_eq!(keys.len(), plan.warm.len());
+        for (i, cell) in plan.cells.iter().enumerate() {
+            assert_eq!(cell.index, i);
+            assert!(cell.route_key.ends_with("@tiny"), "{}", cell.route_key);
+        }
+    }
+
+    #[test]
+    fn balanced_assignments_caps_per_backend_keys() {
+        // Adversarial hashing: all five keys name backend 0 first. The
+        // cap (⌈5/4⌉ = 2) spills the overflow down the replica order.
+        let candidates: Vec<(String, Vec<usize>)> = (0..5)
+            .map(|i| (format!("wl{i}@tiny"), vec![0, 1, 2, 3]))
+            .collect();
+        let owners = balanced_assignments(&candidates, 4);
+        assert_eq!(owners.len(), 5);
+        let mut load = [0usize; 4];
+        for &idx in owners.values() {
+            load[idx] += 1;
+        }
+        assert!(load.iter().all(|&l| l <= 2), "{load:?}");
+        // The first two keys keep their primary.
+        assert_eq!(owners["wl0@tiny"], 0);
+        assert_eq!(owners["wl1@tiny"], 0);
+    }
+
+    #[test]
+    fn balanced_assignments_keeps_primaries_under_the_cap() {
+        let spread: Vec<(String, Vec<usize>)> = (0..4)
+            .map(|i| (format!("wl{i}@tiny"), vec![i, (i + 1) % 4]))
+            .collect();
+        let owners = balanced_assignments(&spread, 4);
+        for i in 0..4 {
+            assert_eq!(owners[&format!("wl{i}@tiny")], i);
+        }
+    }
+
+    #[test]
+    fn balanced_assignments_tolerates_short_and_empty_candidate_lists() {
+        // Two backends, but every reachable candidate list names only
+        // backend 1 (backend 0 is out of rotation); one key has no
+        // candidates at all.
+        let candidates = vec![
+            ("a@tiny".to_string(), vec![1]),
+            ("b@tiny".to_string(), vec![1]),
+            ("c@tiny".to_string(), vec![1]),
+            ("d@tiny".to_string(), Vec::new()),
+        ];
+        let owners = balanced_assignments(&candidates, 2);
+        // cap = 2, yet backend 1 is the only candidate: the least-loaded
+        // fallback still places the third key there rather than dropping it.
+        assert_eq!(owners.get("a@tiny"), Some(&1));
+        assert_eq!(owners.get("b@tiny"), Some(&1));
+        assert_eq!(owners.get("c@tiny"), Some(&1));
+        assert_eq!(owners.get("d@tiny"), None);
+    }
+
+    #[test]
+    fn merger_rejects_wrong_ids_and_garbage() {
+        let req = request(&["table1"]);
+        let p = plan(&req);
+        let mut merger = Merger::new(&req, Runner::from_env(Some(1)));
+        let cell = &p.cells[0];
+        assert!(merger.accept(cell, b"not json").is_err());
+        assert!(merger.accept(cell, b"{\"output\":{}}").is_err());
+        let wrong = Json::object()
+            .field("id", "someone-else")
+            .field("output", Json::object())
+            .to_string();
+        let err = merger.accept(cell, wrong.as_bytes()).unwrap_err();
+        assert!(err.contains("does not echo"), "{err}");
+        assert_eq!(merger.accepted(), 0);
+    }
+
+    #[test]
+    fn merger_falls_back_to_local_compute_for_missing_cells() {
+        // No cells accepted at all: finish() still renders the correct
+        // document by computing locally.
+        let req = request(&["table2"]);
+        let merger = Merger::new(&req, Runner::from_env(Some(1)));
+        let doc = merger.finish().unwrap();
+        assert!(doc.contains("\"experiment\": \"table2\""), "{doc}");
+    }
+}

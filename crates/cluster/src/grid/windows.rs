@@ -1,0 +1,133 @@
+//! Bounded per-backend in-flight windows for the grid scatter path.
+//!
+//! Grid dispatch is deliberately greedy — every cell wants to go out at
+//! once — but each backend has a fixed worker pool and a bounded
+//! admission queue, and blasting a whole grid at one owner would trip
+//! its load shedding and turn cache-affine placement into random
+//! failover. A [`Windows`] caps how many cells the gateway keeps
+//! in flight *per backend*; dispatchers block in [`Windows::acquire`]
+//! until their target has a free slot, and the guard returns the slot
+//! on drop (including the error paths).
+
+use std::sync::{Condvar, Mutex, PoisonError};
+
+/// Per-backend in-flight counters behind one lock: windows are acquired
+/// around whole upstream exchanges (milliseconds at minimum), so a
+/// single Mutex + Condvar is simpler than per-backend primitives and
+/// nowhere near contended.
+#[derive(Debug)]
+pub struct Windows {
+    cap: usize,
+    in_flight: Mutex<Vec<usize>>,
+    freed: Condvar,
+}
+
+impl Windows {
+    /// Windows for `backends` backends, each admitting `cap` concurrent
+    /// cells. A zero cap would deadlock every dispatcher, so it is
+    /// treated as 1.
+    pub fn new(backends: usize, cap: usize) -> Windows {
+        Windows {
+            cap: cap.max(1),
+            in_flight: Mutex::new(vec![0; backends]),
+            freed: Condvar::new(),
+        }
+    }
+
+    /// The per-backend cap.
+    pub fn cap(&self) -> usize {
+        self.cap
+    }
+
+    /// Blocks until backend `idx` has a free slot, takes it, and returns
+    /// the guard that gives it back.
+    pub fn acquire(&self, idx: usize) -> WindowGuard<'_> {
+        let mut counts = self
+            .in_flight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        while counts[idx] >= self.cap {
+            counts = self
+                .freed
+                .wait(counts)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        counts[idx] += 1;
+        WindowGuard { windows: self, idx }
+    }
+
+    /// Cells currently in flight to backend `idx` (tests, metrics).
+    pub fn in_flight(&self, idx: usize) -> usize {
+        self.in_flight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)[idx]
+    }
+
+    fn release(&self, idx: usize) {
+        let mut counts = self
+            .in_flight
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        counts[idx] -= 1;
+        drop(counts);
+        self.freed.notify_all();
+    }
+}
+
+/// An acquired in-flight slot; dropping it frees the slot and wakes
+/// blocked dispatchers.
+#[derive(Debug)]
+pub struct WindowGuard<'a> {
+    windows: &'a Windows,
+    idx: usize,
+}
+
+impl Drop for WindowGuard<'_> {
+    fn drop(&mut self) {
+        self.windows.release(self.idx);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn windows_bound_concurrency_per_backend() {
+        let windows = Arc::new(Windows::new(2, 2));
+        let peak = Arc::new(AtomicUsize::new(0));
+        let current = Arc::new(AtomicUsize::new(0));
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                let windows = Arc::clone(&windows);
+                let peak = Arc::clone(&peak);
+                let current = Arc::clone(&current);
+                scope.spawn(move || {
+                    for _ in 0..20 {
+                        let _slot = windows.acquire(0);
+                        let now = current.fetch_add(1, Ordering::SeqCst) + 1;
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        std::thread::yield_now();
+                        current.fetch_sub(1, Ordering::SeqCst);
+                    }
+                });
+            }
+        });
+        assert!(peak.load(Ordering::SeqCst) <= 2, "cap exceeded");
+        assert_eq!(windows.in_flight(0), 0, "all slots returned");
+        assert_eq!(windows.in_flight(1), 0, "other backend untouched");
+    }
+
+    #[test]
+    fn guards_release_on_unwind_paths_too() {
+        let windows = Windows::new(1, 1);
+        {
+            let _slot = windows.acquire(0);
+            assert_eq!(windows.in_flight(0), 1);
+        }
+        assert_eq!(windows.in_flight(0), 0);
+        assert_eq!(Windows::new(1, 0).cap(), 1, "zero cap clamps to 1");
+    }
+}

@@ -70,6 +70,7 @@ pub mod backend;
 pub mod breaker;
 pub mod fleet;
 pub mod gateway;
+pub mod grid;
 pub mod metrics;
 pub mod ring;
 

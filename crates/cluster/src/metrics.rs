@@ -36,6 +36,15 @@ pub struct GatewayMetrics {
     pub hedge_wins_total: AtomicU64,
     /// Proxied requests that exhausted every candidate backend.
     pub unavailable_total: AtomicU64,
+    /// `POST /v1/grids` requests entering the scatter-gather path.
+    pub grids_total: AtomicU64,
+    /// Grid cells dispatched upstream (across all grids).
+    pub grid_cells_total: AtomicU64,
+    /// Grid warm-up cells pre-dispatched to ring owners.
+    pub grid_warms_total: AtomicU64,
+    /// Grid cells whose outputs never arrived (exhausted failover or a
+    /// malformed backend response) and were recomputed locally instead.
+    pub grid_cell_failures_total: AtomicU64,
     /// Warm-cache handoffs performed for recovered/replaced backends.
     pub handoffs_total: AtomicU64,
     /// Warm entries streamed to recovering backends across all handoffs.
@@ -69,6 +78,8 @@ impl GatewayMetrics {
 pub struct RouteCounters {
     /// `POST /v1/experiments` (keyed proxy path).
     pub experiments_post: AtomicU64,
+    /// `POST /v1/grids` (scatter-gather path).
+    pub grids_post: AtomicU64,
     /// `GET /v1/experiments` (unkeyed proxy path).
     pub experiments_get: AtomicU64,
     /// `GET /healthz`.
@@ -90,6 +101,7 @@ impl RouteCounters {
     pub fn count(&self, method: &str, target: &str) {
         let slot = match (method, target) {
             ("POST", "/v1/experiments") => &self.experiments_post,
+            ("POST", "/v1/grids") => &self.grids_post,
             ("GET", "/v1/experiments") => &self.experiments_get,
             ("GET", "/healthz") => &self.healthz,
             ("GET", "/readyz") => &self.readyz,
@@ -101,10 +113,11 @@ impl RouteCounters {
         slot.fetch_add(1, Ordering::Relaxed);
     }
 
-    fn samples(&self) -> [(&'static str, u64); 8] {
+    fn samples(&self) -> [(&'static str, u64); 9] {
         let c = |v: &AtomicU64| v.load(Ordering::Relaxed);
         [
             ("POST /v1/experiments", c(&self.experiments_post)),
+            ("POST /v1/grids", c(&self.grids_post)),
             ("GET /v1/experiments", c(&self.experiments_get)),
             ("GET /healthz", c(&self.healthz)),
             ("GET /readyz", c(&self.readyz)),
@@ -214,6 +227,30 @@ pub fn render(
         "mds_gateway_unavailable_total",
         "Proxied requests that exhausted every candidate backend.",
         c(&m.unavailable_total),
+    );
+    counter(
+        &mut out,
+        "mds_gateway_grids_total",
+        "Grid requests entering the scatter-gather path.",
+        c(&m.grids_total),
+    );
+    counter(
+        &mut out,
+        "mds_gateway_grid_cells_total",
+        "Grid cells dispatched upstream.",
+        c(&m.grid_cells_total),
+    );
+    counter(
+        &mut out,
+        "mds_gateway_grid_warms_total",
+        "Grid warm-up cells pre-dispatched to ring owners.",
+        c(&m.grid_warms_total),
+    );
+    counter(
+        &mut out,
+        "mds_gateway_grid_cell_failures_total",
+        "Grid cells recomputed locally after exhausting failover.",
+        c(&m.grid_cell_failures_total),
     );
     counter(
         &mut out,

@@ -57,17 +57,22 @@ fn request(gateway: &Gateway, method: &str, target: &str, body: &[u8]) -> Client
     .expect("gateway round trip")
 }
 
-/// The exact bytes `repro fig5 --json` produces for the tiny scale.
-fn cli_fig5_tiny() -> String {
+/// The exact bytes `repro <id> --json` produces for the tiny scale.
+fn cli_doc(id: &str) -> String {
     let mut h = mds_bench::Harness::with_runner(Scale::Tiny, mds_runner::Runner::new(1));
-    let table = mds_bench::experiment(&mut h, "fig5").unwrap();
+    let table = mds_bench::experiment(&mut h, id).unwrap();
     mds_bench::results_doc(
-        "fig5",
-        mds_bench::experiment_title("fig5").unwrap(),
+        id,
+        mds_bench::experiment_title(id).unwrap(),
         Scale::Tiny,
         &table,
     )
     .pretty()
+}
+
+/// The exact bytes `repro fig5 --json` produces for the tiny scale.
+fn cli_fig5_tiny() -> String {
+    cli_doc("fig5")
 }
 
 #[test]
@@ -337,6 +342,132 @@ fn hedged_requests_serve_identical_bytes() {
         gateway.metrics().hedges_total.load(Ordering::Relaxed) >= 1,
         "the cold request should have hedged"
     );
+    gateway.shutdown();
+    fleet.shutdown();
+}
+
+#[test]
+fn gateway_grid_matches_lone_backend_and_cli_byte_for_byte() {
+    let fleet = fleet(2);
+    let gateway = gateway_over(fleet.addrs());
+    let body = br#"{"experiments":["table2","fig5","table1"],"scale":"tiny"}"#;
+    let expected = cli_doc("table2") + &cli_doc("fig5") + &cli_doc("table1");
+
+    // Scatter-gathered through the gateway: request-order concatenation
+    // of the canonical per-experiment documents.
+    let scattered = request(&gateway, "POST", "/v1/grids", body);
+    assert_eq!(
+        scattered.status,
+        200,
+        "{:?}",
+        String::from_utf8_lossy(&scattered.body)
+    );
+    assert_eq!(scattered.header("content-type"), Some("application/json"));
+    assert_eq!(
+        scattered.body,
+        expected.as_bytes(),
+        "gateway grid bytes must equal the concatenated repro --json documents"
+    );
+
+    // A lone backend answering the whole grid itself: identical bytes.
+    let lone = request_once(
+        &fleet.addrs()[0],
+        "POST",
+        "/v1/grids",
+        body,
+        Duration::from_secs(60),
+    )
+    .expect("lone backend grid");
+    assert_eq!(lone.status, 200);
+    assert_eq!(
+        lone.body,
+        expected.as_bytes(),
+        "lone-backend grid must match the gateway's scatter-gather answer"
+    );
+
+    // A single-experiment grid is the /v1/experiments body.
+    let single = request(
+        &gateway,
+        "POST",
+        "/v1/grids",
+        br#"{"experiments":["fig5"],"scale":"tiny"}"#,
+    );
+    assert_eq!(single.status, 200);
+    assert_eq!(single.body, cli_fig5_tiny().as_bytes());
+
+    // The scatter actually fanned out and the status page knows.
+    let metrics = gateway.metrics();
+    assert!(metrics.grids_total.load(Ordering::Relaxed) >= 2);
+    assert!(
+        metrics.grid_cells_total.load(Ordering::Relaxed) >= 2,
+        "multi-cell grid must dispatch cells upstream"
+    );
+    let status = request(&gateway, "GET", "/v1/cluster", b"");
+    let text = String::from_utf8_lossy(&status.body).to_string();
+    assert!(text.contains("\"grids\""), "missing grids in {text}");
+    assert!(
+        text.contains("\"grid_cells\""),
+        "missing grid_cells in {text}"
+    );
+
+    // Malformed grids are rejected at the gateway with a positioned 400.
+    let bad = request(
+        &gateway,
+        "POST",
+        "/v1/grids",
+        br#"{"experiments":["nope"]}"#,
+    );
+    assert_eq!(bad.status, 400);
+    assert!(String::from_utf8_lossy(&bad.body).contains("nope"));
+    assert_eq!(request(&gateway, "GET", "/v1/grids", b"").status, 405);
+
+    gateway.shutdown();
+    fleet.shutdown();
+}
+
+#[test]
+fn grid_survives_losing_a_backend_mid_flight() {
+    let mut fleet = fleet(2);
+    let gateway = gateway_over(fleet.addrs());
+    // `fresh` keeps every backend recomputing so the stop lands while
+    // grid cells are genuinely in flight.
+    let body = br#"{"experiments":["fig5","table1"],"scale":"tiny","fresh":true}"#;
+    let expected = cli_doc("fig5") + &cli_doc("table1");
+
+    let first = request(&gateway, "POST", "/v1/grids", body);
+    assert_eq!(
+        first.status,
+        200,
+        "{:?}",
+        String::from_utf8_lossy(&first.body)
+    );
+    assert_eq!(first.body, expected.as_bytes());
+
+    let stopper = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(30));
+        fleet.stop(0);
+        fleet
+    });
+    // Grids issued across the loss of a backend: every one must still
+    // answer 200 with the canonical bytes — failover re-homes the dead
+    // owner's cells and the merger's local fallback covers the rest.
+    for _ in 0..4 {
+        let response = request(&gateway, "POST", "/v1/grids", body);
+        assert_eq!(
+            response.status,
+            200,
+            "{:?}",
+            String::from_utf8_lossy(&response.body)
+        );
+        assert_eq!(
+            response.body,
+            expected.as_bytes(),
+            "losing a backend must never change grid bytes"
+        );
+    }
+    let fleet = stopper.join().expect("stopper thread");
+    assert_eq!(fleet.running(), 1, "the stop must have landed mid-loop");
+
     gateway.shutdown();
     fleet.shutdown();
 }

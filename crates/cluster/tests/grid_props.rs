@@ -1,0 +1,150 @@
+//! Property tests for grid scatter-gather planning and merging.
+//!
+//! The merge contract under randomization: however a grid's cells are
+//! placed across backends and in whatever order their partial results
+//! arrive, the merged response is byte-identical to serial
+//! submission-order merging and to a lone harness computing the whole
+//! grid itself — and cells that never arrive at all are recomputed
+//! locally without changing a byte. These are the properties that make
+//! the gateway's streaming gather correct by construction: nothing in
+//! the scatter path (lane scheduling, hedging, failover, backend loss)
+//! can influence the answer.
+
+use mds_bench::grid::GridRequest;
+use mds_cluster::grid::{plan, CellPlan, Merger};
+use mds_cluster::ring::HashRing;
+use mds_harness::json::Json;
+use mds_harness::prelude::*;
+use mds_harness::rng::Rng;
+use mds_runner::{wire, Grid, Runner};
+use mds_workloads::Scale;
+
+/// Cheap-at-tiny experiments the random grids draw from (duplicates and
+/// overlapping demand sets included on purpose).
+const POOL: [&str; 3] = ["fig5", "table1", "table2"];
+
+fn backend_names(n: usize) -> Vec<String> {
+    (0..n).map(|i| format!("10.0.0.{i}:7878")).collect()
+}
+
+/// What a backend's `POST /v1/cells` does: decode the wire job, run it,
+/// answer `{"id", "output"}`. `runner` carries that backend's trace
+/// cache across the cells placed on it.
+fn backend_answer(runner: &Runner, body: &str) -> Vec<u8> {
+    let doc = Json::parse(body).expect("cell body is JSON");
+    let job = wire::decode_job(&doc).expect("cell body is a wire job");
+    let id = job.id.clone();
+    let mut grid = Grid::new(job.scale);
+    grid.push(job);
+    let result = runner
+        .run(&grid)
+        .results
+        .into_iter()
+        .next()
+        .expect("one job in, one result out");
+    Json::object()
+        .field("id", id)
+        .field("output", wire::encode_output(&result.output))
+        .pretty()
+        .into_bytes()
+}
+
+fn random_request(rng: &mut Rng, len: usize) -> GridRequest {
+    GridRequest {
+        experiments: (0..len)
+            .map(|_| POOL[rng.gen_range(0..POOL.len())].to_string())
+            .collect(),
+        scale: Scale::Tiny,
+        fresh: false,
+    }
+}
+
+/// The reference model: one lone harness computing the whole grid.
+fn lone_harness_doc(request: &GridRequest) -> String {
+    let mut harness = mds_bench::Harness::with_runner(request.scale, Runner::new(1));
+    mds_bench::grid::merged_doc(&mut harness, &request.experiments).expect("local grid")
+}
+
+/// Executes every cell on its ring owner's runner, emulating a fleet of
+/// `backends` backends with per-backend trace caches.
+fn fleet_answers(cells: &[CellPlan], backends: usize) -> Vec<Vec<u8>> {
+    let ring = HashRing::new(&backend_names(backends), 64);
+    let runners: Vec<Runner> = (0..backends).map(|_| Runner::new(1)).collect();
+    cells
+        .iter()
+        .map(|cell| {
+            let owner = ring.primary(&cell.route_key).expect("non-empty ring");
+            backend_answer(&runners[owner], &cell.body)
+        })
+        .collect()
+}
+
+properties! {
+    #![config(PropConfig { cases: 6, ..PropConfig::default() })]
+
+    #[test]
+    fn out_of_order_arrival_merges_byte_identical_to_serial_order(
+        backends in 1usize..5,
+        len in 1usize..5,
+        seed: u64,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed);
+        let request = random_request(&mut rng, len);
+        let grid_plan = plan(&request);
+        let expected = lone_harness_doc(&request);
+        let answers = fleet_answers(&grid_plan.cells, backends);
+
+        // Serial submission order matches the lone harness byte for byte.
+        let mut serial = Merger::new(&request, Runner::new(1));
+        for (cell, answer) in grid_plan.cells.iter().zip(&answers) {
+            prop_assert!(serial.accept(cell, answer).is_ok());
+        }
+        prop_assert_eq!(serial.accepted(), grid_plan.cells.len());
+        prop_assert_eq!(&serial.finish().unwrap(), &expected);
+
+        // A random arrival permutation merges to the same bytes, with
+        // nothing recomputed locally.
+        let mut order: Vec<usize> = (0..grid_plan.cells.len()).collect();
+        for i in (1..order.len()).rev() {
+            order.swap(i, rng.gen_range(0..i + 1));
+        }
+        let mut shuffled = Merger::new(&request, Runner::new(1));
+        for &i in &order {
+            prop_assert!(shuffled
+                .accept(&grid_plan.cells[i], &answers[i])
+                .is_ok());
+        }
+        prop_assert_eq!(shuffled.local_runs(), 0, "no local compute before finish");
+        prop_assert_eq!(&shuffled.finish().unwrap(), &expected);
+    }
+
+    #[test]
+    fn dropped_cells_fall_back_locally_without_changing_bytes(
+        backends in 1usize..4,
+        len in 1usize..4,
+        seed: u64,
+    ) {
+        let mut rng = Rng::seed_from_u64(seed ^ 0x9e37_79b9);
+        let request = random_request(&mut rng, len);
+        let grid_plan = plan(&request);
+        let expected = lone_harness_doc(&request);
+        let answers = fleet_answers(&grid_plan.cells, backends);
+
+        // Each cell independently "fails" (never arrives) half the time.
+        let mut merger = Merger::new(&request, Runner::new(1));
+        let mut delivered = 0usize;
+        for (cell, answer) in grid_plan.cells.iter().zip(&answers) {
+            if rng.gen_range(0..2) == 0 {
+                continue;
+            }
+            prop_assert!(merger.accept(cell, answer).is_ok());
+            delivered += 1;
+        }
+        prop_assert_eq!(merger.accepted(), delivered);
+        prop_assert_eq!(
+            &merger.finish().unwrap(),
+            &expected,
+            "local fallback must not change the merged bytes"
+        );
+    }
+}

@@ -42,6 +42,16 @@ impl PredictionBreakdown {
         self.counts[predicted as usize][actual as usize] += 1;
     }
 
+    /// Reconstructs a breakdown from the four raw category counts, in
+    /// N/N, N/Y, Y/N, Y/Y order — the inverse of reading them back with
+    /// [`PredictionBreakdown::count`]. Exists for wire codecs that ship
+    /// results between processes.
+    pub fn from_counts(nn: u64, ny: u64, yn: u64, yy: u64) -> PredictionBreakdown {
+        PredictionBreakdown {
+            counts: [[nn, ny], [yn, yy]],
+        }
+    }
+
     /// Raw count for one category.
     pub fn count(&self, predicted: bool, actual: bool) -> u64 {
         self.counts[predicted as usize][actual as usize]

@@ -90,6 +90,26 @@ pub struct WindowReport {
 }
 
 impl WindowReport {
+    /// Reassembles a report from its parts — the inverse of reading
+    /// [`WindowReport::windows`] and the public totals. Exists for wire
+    /// codecs that ship reports between processes; the analyzer itself
+    /// always builds reports via [`WindowAnalyzer::finish`].
+    pub fn from_parts(
+        per_window: Vec<WindowStats>,
+        instructions: u64,
+        loads: u64,
+        stores: u64,
+        dependence_distances: Histogram,
+    ) -> WindowReport {
+        WindowReport {
+            per_window,
+            instructions,
+            loads,
+            stores,
+            dependence_distances,
+        }
+    }
+
     /// Stats for one window size, if it was configured.
     pub fn for_window(&self, window_size: u32) -> Option<&WindowStats> {
         self.per_window

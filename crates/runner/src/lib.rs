@@ -53,6 +53,7 @@ pub mod cache;
 pub mod job;
 pub mod pool;
 pub mod runner;
+pub mod wire;
 
 pub use cache::TraceCache;
 pub use job::{Grid, Job, JobKind, JobOutput};

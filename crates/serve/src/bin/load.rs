@@ -20,6 +20,9 @@ options:
   --experiment ID      experiment to request (default fig5)
   --scale NAME         tiny|small|full (default tiny)
   --fresh              bypass the server's result-cache read (cold path)
+  --rate N             open-loop mode: offer N requests/second on a fixed
+                       arrival schedule with unbounded outstanding requests
+                       (ignores --clients; reports offered vs achieved rate)
   --idle N             park N idle keep-alive connections for the whole run
                        (each sends one priming request first; default 0)
   --json               emit the report as JSON instead of a summary line
@@ -62,6 +65,15 @@ fn parse_args(args: impl Iterator<Item = String>) -> Result<(LoadConfig, bool), 
             "--experiment" => config.experiment = value("--experiment")?,
             "--scale" => config.scale = value("--scale")?,
             "--fresh" => config.fresh = true,
+            "--rate" => {
+                let text = value("--rate")?;
+                let rate = text
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|r| r.is_finite() && *r > 0.0)
+                    .ok_or_else(|| format!("--rate: invalid rate '{text}'"))?;
+                config.rate = Some(rate);
+            }
             "--idle" => {
                 let text = value("--idle")?;
                 config.idle = text
@@ -116,6 +128,8 @@ mod tests {
                 "--scale",
                 "small",
                 "--fresh",
+                "--rate",
+                "250.5",
                 "--idle",
                 "250",
                 "--json",
@@ -130,6 +144,7 @@ mod tests {
         assert_eq!(config.experiment, "table1");
         assert_eq!(config.scale, "small");
         assert!(config.fresh);
+        assert_eq!(config.rate, Some(250.5));
         assert_eq!(config.idle, 250);
         assert!(json);
     }
@@ -139,6 +154,9 @@ mod tests {
         assert!(parse_args(["--clients".into(), "0".into()].into_iter()).is_err());
         assert!(parse_args(["--seconds".into(), "-1".into()].into_iter()).is_err());
         assert!(parse_args(["--idle".into(), "many".into()].into_iter()).is_err());
+        assert!(parse_args(["--rate".into(), "0".into()].into_iter()).is_err());
+        assert!(parse_args(["--rate".into(), "-3".into()].into_iter()).is_err());
+        assert!(parse_args(["--rate".into(), "inf".into()].into_iter()).is_err());
         assert!(parse_args(["--bogus".into()].into_iter()).is_err());
     }
 }

@@ -46,7 +46,13 @@ pub struct Event {
     pub readable: bool,
     /// The socket send buffer has room.
     pub writable: bool,
-    /// Error or hangup: the connection is dead or half-closed.
+    /// The peer shut down its write side (`EPOLLRDHUP`): no more request
+    /// bytes will arrive, but the peer may still be reading — a response
+    /// in flight must be finished, not aborted. Delivered only while the
+    /// registration has read interest.
+    pub read_closed: bool,
+    /// Error or full hangup (`EPOLLERR`/`EPOLLHUP`): the connection is
+    /// dead in both directions.
     pub hangup: bool,
 }
 
@@ -90,9 +96,15 @@ mod epoll {
     }
 
     fn mask(interest: Interest) -> u32 {
-        let mut events = sys::EPOLLRDHUP;
+        let mut events = 0;
         if interest.readable {
-            events |= sys::EPOLLIN;
+            // RDHUP rides with read interest only: while a connection is
+            // executing or flushing a response, the peer half-closing its
+            // send side is not actionable — subscribing it there would
+            // spin the level-triggered loop and tempt the core to abort a
+            // write the peer is still waiting for. (ERR/HUP are always
+            // reported regardless of the mask.)
+            events |= sys::EPOLLIN | sys::EPOLLRDHUP;
         }
         if interest.writable {
             events |= sys::EPOLLOUT;
@@ -153,7 +165,8 @@ mod epoll {
                     token: event.data,
                     readable: bits & sys::EPOLLIN != 0,
                     writable: bits & sys::EPOLLOUT != 0,
-                    hangup: bits & (sys::EPOLLERR | sys::EPOLLHUP | sys::EPOLLRDHUP) != 0,
+                    read_closed: bits & sys::EPOLLRDHUP != 0,
+                    hangup: bits & (sys::EPOLLERR | sys::EPOLLHUP) != 0,
                 });
             }
             if n == self.buf.len() {
@@ -203,7 +216,24 @@ impl FakePoller {
                 token: 0, // filled from the registration at delivery
                 readable,
                 writable,
+                read_closed: false,
                 hangup,
+            },
+        ));
+    }
+
+    /// Scripts a peer half-close (`EPOLLRDHUP`): held until the fd has
+    /// read interest, like the real mask, so a connection mid-execute or
+    /// mid-flush sees it only once it returns to reading.
+    pub fn make_half_closed(&mut self, fd: i32) {
+        self.ready.push((
+            fd,
+            Event {
+                token: 0,
+                readable: false,
+                writable: false,
+                read_closed: true,
+                hangup: false,
             },
         ));
     }
@@ -258,11 +288,13 @@ impl Poller for FakePoller {
             if let Some(&(token, interest)) = registrations.get(&fd) {
                 let wanted = (event.readable && interest.readable)
                     || (event.writable && interest.writable)
+                    || (event.read_closed && interest.readable)
                     || event.hangup;
                 if wanted {
                     event.token = token;
                     event.readable &= interest.readable;
                     event.writable &= interest.writable;
+                    event.read_closed &= interest.readable;
                     out.push(event);
                 } else {
                     kept.push((fd, event));

@@ -326,8 +326,20 @@ impl<P: Poller, S: Stream> Core<P, S> {
         if event.readable {
             self.drive_read(index, now_ms);
         }
+        if event.read_closed && !event.readable {
+            // The peer shut down its write side but may still be reading:
+            // let the read path observe the EOF (silent close at idle,
+            // `400` mid-request). Responses in flight are untouched —
+            // read_closed is only delivered while read interest is on, so
+            // an executing or flushing connection finishes its write
+            // first and discovers the EOF when it next reads.
+            if self.is_live(index, generation) {
+                self.drive_read(index, now_ms);
+            }
+        }
         if event.hangup && !event.readable {
-            // Pure hangup with nothing readable: the peer is gone.
+            // Error or full hangup with nothing readable: the peer is
+            // gone in both directions.
             if self.is_live(index, generation) {
                 if let Some(slot) = self.slots[index].as_mut() {
                     slot.conn.close();
@@ -1251,6 +1263,92 @@ mod tests {
             rig.core.conns(),
             0,
             "drained conn closes after its response"
+        );
+    }
+
+    #[test]
+    fn half_close_while_executing_still_delivers_the_response() {
+        let mut rig = rig(4);
+        let index = rig.connect(51, 0);
+        rig.feed_and_drive(index, 51, b"POST /defer HTTP/1.1\r\nhost: t\r\n\r\n", 0);
+        assert_eq!(rig.core.conn_state(index), Some(ConnState::Executing));
+        // The client sent its whole request and shutdown(WR); the kernel
+        // reports RDHUP. The request is executing — the peer is waiting
+        // for its answer on the still-open other half.
+        rig.core.conn_stream_mut(index).unwrap().half_close();
+        rig.core.poller_mut().make_half_closed(51);
+        rig.drive(1);
+        assert_eq!(
+            rig.core.conn_state(index),
+            Some(ConnState::Executing),
+            "a half-close must not abort an executing request"
+        );
+        rig.work_one();
+        rig.drive(2);
+        let written = rig.written(51);
+        assert_eq!(
+            count_status(&written, "HTTP/1.1 200"),
+            1,
+            "the response reaches the half-closed peer"
+        );
+        assert!(String::from_utf8_lossy(&written).contains("/defer"));
+        // The EOF is then discovered through the read path: silent close.
+        rig.drive(3);
+        assert_eq!(rig.core.conns(), 0, "connection closes after the flush");
+        assert!(lock(&rig.app.request_errors).is_empty(), "no error counted");
+    }
+
+    #[test]
+    fn half_close_while_write_throttled_finishes_the_flush() {
+        let mut rig = rig(4);
+        let index = rig.connect(52, 0);
+        rig.core.conn_stream_mut(index).unwrap().write_cap = 7;
+        rig.feed_and_drive(index, 52, GET, 0);
+        assert_eq!(rig.core.conn_state(index), Some(ConnState::Writing));
+        // Mid-flush the client shuts down its send side.
+        rig.core.conn_stream_mut(index).unwrap().half_close();
+        rig.core.poller_mut().make_half_closed(52);
+        rig.drive(1);
+        assert_ne!(rig.core.conn_state(index), None, "still flushing");
+        // Writable readiness keeps draining the backlog, 7 bytes a round.
+        for round in 0..100 {
+            if rig.core.conn_state(index).is_none() {
+                break;
+            }
+            rig.core.conn_stream_mut(index).unwrap().write_cap = 7;
+            rig.core.poller_mut().make_ready(52, false, true, false);
+            rig.drive(round + 2);
+        }
+        let written = rig.written(52);
+        assert_eq!(
+            count_status(&written, "HTTP/1.1 200"),
+            1,
+            "the throttled response flushes to completion"
+        );
+        assert!(
+            String::from_utf8_lossy(&written).contains("/ping"),
+            "the body made it out whole"
+        );
+        assert_eq!(rig.core.conns(), 0, "then the EOF closes the connection");
+        assert!(lock(&rig.app.request_errors).is_empty());
+    }
+
+    #[test]
+    fn full_hangup_while_executing_still_closes_immediately() {
+        let mut rig = rig(4);
+        let index = rig.connect(53, 0);
+        rig.feed_and_drive(index, 53, b"POST /defer HTTP/1.1\r\nhost: t\r\n\r\n", 0);
+        assert_eq!(rig.core.conn_state(index), Some(ConnState::Executing));
+        // ERR/HUP — dead in both directions — still tears down at once.
+        rig.core.poller_mut().make_ready(53, false, false, true);
+        rig.drive(1);
+        assert_eq!(rig.core.conns(), 0, "full hangup closes the connection");
+        rig.work_one();
+        rig.drive(2);
+        assert_eq!(
+            count_status(&rig.written(53), "HTTP/1.1 200"),
+            0,
+            "the stale completion is dropped, not written to a corpse"
         );
     }
 

@@ -15,11 +15,21 @@
 //! resets it), and the re-issued request is counted as a retry. Hammering
 //! a shedding server in a tight loop — the old behavior — only deepens
 //! the overload it is reporting.
+//!
+//! `--rate N` switches to an **open loop**: arrivals follow a fixed
+//! schedule (request `k` is due at `start + k/rate`) regardless of how
+//! the server is doing, with unbounded outstanding requests — the
+//! coordinated-omission-free shape. Latency is measured from each
+//! request's *scheduled* arrival, so a stalled server is charged for the
+//! queueing delay it caused, and the report states offered vs achieved
+//! rate. Open-loop sheds are counted but never retried: the schedule is
+//! the schedule.
 
 use crate::client::Connection;
 use crate::http::ClientResponse;
 use mds_harness::backoff::Backoff;
 use mds_harness::json::Json;
+use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
 /// What load to offer, and where.
@@ -46,6 +56,10 @@ pub struct LoadConfig {
     /// silent — the population an event-driven server must carry for
     /// free. Zero disables.
     pub idle: usize,
+    /// Open-loop target arrival rate in requests/second. `None` runs the
+    /// closed loop ([`Self::clients`] threads); `Some(rate)` dispatches
+    /// on the fixed schedule with unbounded outstanding requests.
+    pub rate: Option<f64>,
 }
 
 impl Default for LoadConfig {
@@ -59,6 +73,7 @@ impl Default for LoadConfig {
             fresh: false,
             backoff_cap: Duration::from_secs(1),
             idle: 0,
+            rate: None,
         }
     }
 }
@@ -93,6 +108,12 @@ pub struct LoadReport {
     pub retried: u64,
     /// Idle keep-alive connections successfully parked for the run.
     pub idle: u64,
+    /// The open-loop target rate this run was offered at (`None` for a
+    /// closed-loop run).
+    pub rate: Option<f64>,
+    /// Open-loop arrivals actually dispatched on the schedule (0 for a
+    /// closed-loop run).
+    pub offered: u64,
     /// Wall-clock duration of the run.
     pub elapsed: Duration,
     /// Per-request latencies of successful requests, microseconds,
@@ -101,11 +122,23 @@ pub struct LoadReport {
 }
 
 impl LoadReport {
-    /// Successful requests per second over the whole run.
+    /// Successful requests per second over the whole run — the achieved
+    /// rate, in open-loop terms.
     pub fn rps(&self) -> f64 {
         let secs = self.elapsed.as_secs_f64();
         if secs > 0.0 {
             self.requests as f64 / secs
+        } else {
+            0.0
+        }
+    }
+
+    /// Arrivals dispatched per second over the whole run — the offered
+    /// rate an open-loop run actually managed (0 for closed loop).
+    pub fn offered_rps(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.offered as f64 / secs
         } else {
             0.0
         }
@@ -132,8 +165,22 @@ impl LoadReport {
 
     /// The report as a JSON document.
     pub fn to_json(&self) -> Json {
-        Json::object()
-            .field("clients", self.clients)
+        let mut doc = Json::object().field(
+            "mode",
+            if self.rate.is_some() {
+                "open"
+            } else {
+                "closed"
+            },
+        );
+        if let Some(rate) = self.rate {
+            doc = doc
+                .field("rate_target", rate)
+                .field("offered", self.offered)
+                .field("offered_rps", self.offered_rps())
+                .field("achieved_rps", self.rps());
+        }
+        doc.field("clients", self.clients)
             .field("requests", self.requests)
             .field("errors", self.errors)
             .field("shed", self.shed)
@@ -155,7 +202,7 @@ impl LoadReport {
 
     /// A human-readable multi-line summary.
     pub fn render(&self) -> String {
-        format!(
+        let mut lines = format!(
             "clients {:>3}  requests {:>7}  errors {:>4}  shed {:>4}  retried {:>4}  \
              elapsed {:>6.2}s  {:>9.1} req/s\n\
              latency  p50 {:>8} us  p95 {:>8} us  p99 {:>8} us  max {:>8} us",
@@ -170,7 +217,17 @@ impl LoadReport {
             self.percentile_us(95.0),
             self.percentile_us(99.0),
             self.latencies_us.last().copied().unwrap_or(0),
-        )
+        );
+        if let Some(rate) = self.rate {
+            lines.push_str(&format!(
+                "\nopen-loop  target {:>9.1} req/s  offered {:>9.1} req/s  \
+                 achieved {:>9.1} req/s",
+                rate,
+                self.offered_rps(),
+                self.rps(),
+            ));
+        }
+        lines
     }
 }
 
@@ -348,7 +405,85 @@ fn client_loop(config: &LoadConfig, seed: u64, deadline: Instant) -> ClientTally
     tally
 }
 
-/// Runs the closed-loop load test and returns the merged report.
+/// One open-loop request on its own fresh connection. Latency is charged
+/// from the *scheduled* arrival `due`, not from when the send finally
+/// happened — the coordinated-omission-free measure.
+fn open_shot(addr: &str, body: &[u8], due: Instant, tally: &Mutex<ClientTally>) {
+    let outcome = Connection::connect(addr, Duration::from_secs(5), Duration::from_secs(60))
+        .ok()
+        .and_then(|mut conn| conn.send("POST", "/v1/experiments", body).ok());
+    let mut tally = tally.lock().unwrap_or_else(PoisonError::into_inner);
+    match outcome {
+        Some(response) if (200..300).contains(&response.status) => {
+            tally.latencies.push(due.elapsed().as_micros() as u64);
+        }
+        Some(response) if response.status == 503 => tally.shed += 1,
+        _ => tally.errors += 1,
+    }
+}
+
+/// The open-loop dispatcher: walks the fixed arrival schedule, spawning
+/// one detached-until-joined worker per arrival. Outstanding requests are
+/// unbounded by design — a slow server accumulates them instead of
+/// slowing the offered load.
+fn run_open_loop(config: &LoadConfig, rate: f64, idle: u64) -> LoadReport {
+    let body: Arc<Vec<u8>> = Arc::new(config.body());
+    let addr: Arc<String> = Arc::new(config.addr.clone());
+    let tally: Arc<Mutex<ClientTally>> = Arc::new(Mutex::new(ClientTally::default()));
+    let started = Instant::now();
+    let deadline = started + config.duration;
+    let interval = Duration::from_secs_f64(1.0 / rate.max(f64::MIN_POSITIVE));
+    let mut offered = 0u64;
+    let mut handles = Vec::new();
+    loop {
+        // The schedule never adapts: arrival k is due at start + k/rate
+        // even if earlier arrivals are still outstanding.
+        let due = started + interval.mul_f64(offered as f64);
+        if due >= deadline {
+            break;
+        }
+        let now = Instant::now();
+        if due > now {
+            std::thread::sleep(due - now);
+        }
+        offered += 1;
+        let body = Arc::clone(&body);
+        let addr = Arc::clone(&addr);
+        let worker_tally = Arc::clone(&tally);
+        let spawned = std::thread::Builder::new()
+            .name(format!("mds-load-open-{offered}"))
+            .spawn(move || open_shot(&addr, &body, due, &worker_tally));
+        match spawned {
+            Ok(handle) => handles.push(handle),
+            // Thread exhaustion is a failed arrival, not a skipped one.
+            Err(_) => tally.lock().unwrap_or_else(PoisonError::into_inner).errors += 1,
+        }
+    }
+    for handle in handles {
+        let _ = handle.join();
+    }
+    let elapsed = started.elapsed();
+    let mut tally = match Arc::try_unwrap(tally) {
+        Ok(mutex) => mutex.into_inner().unwrap_or_else(PoisonError::into_inner),
+        Err(_) => unreachable!("all workers joined"),
+    };
+    tally.latencies.sort_unstable();
+    LoadReport {
+        clients: config.clients.max(1),
+        requests: tally.latencies.len() as u64,
+        errors: tally.errors,
+        shed: tally.shed,
+        retried: 0,
+        idle,
+        rate: Some(rate),
+        offered,
+        elapsed,
+        latencies_us: tally.latencies,
+    }
+}
+
+/// Runs the load test — closed loop, or open loop when
+/// [`LoadConfig::rate`] is set — and returns the merged report.
 pub fn run_load(config: &LoadConfig) -> LoadReport {
     // Park the idle fleet *before* the measured window opens, so every
     // sample sees the server already carrying `idle` quiet keep-alive
@@ -368,6 +503,11 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
         })
         .collect();
     let idle = idlers.len() as u64;
+    if let Some(rate) = config.rate.filter(|r| r.is_finite() && *r > 0.0) {
+        let report = run_open_loop(config, rate, idle);
+        drop(idlers);
+        return report;
+    }
     let started = Instant::now();
     let deadline = started + config.duration;
     let handles: Vec<_> = (0..config.clients.max(1))
@@ -399,6 +539,8 @@ pub fn run_load(config: &LoadConfig) -> LoadReport {
         shed,
         retried,
         idle,
+        rate: None,
+        offered: 0,
         elapsed,
         latencies_us: latencies,
     }
@@ -425,6 +567,8 @@ mod tests {
             shed: 3,
             retried: 2,
             idle: 0,
+            rate: None,
+            offered: 0,
             elapsed: Duration::from_secs(2),
             latencies_us: latencies,
         }
@@ -460,6 +604,30 @@ mod tests {
         let line = r.render();
         assert!(line.contains("shed    3"), "{line}");
         assert!(line.contains("retried    2"), "{line}");
+    }
+
+    #[test]
+    fn open_loop_reports_offered_vs_achieved_rate() {
+        let mut r = report(vec![100, 200, 300, 400]);
+        r.rate = Some(10.0);
+        r.offered = 10; // 10 arrivals over 2s: offered 5/s, achieved 2/s
+        assert_eq!(r.offered_rps(), 5.0);
+        assert_eq!(r.rps(), 2.0);
+        let doc = r.to_json().to_string();
+        assert!(doc.contains("\"mode\":\"open\""), "{doc}");
+        assert!(doc.contains("\"rate_target\":10"), "{doc}");
+        assert!(doc.contains("\"offered\":10"), "{doc}");
+        assert!(doc.contains("\"offered_rps\":5"), "{doc}");
+        assert!(doc.contains("\"achieved_rps\":2"), "{doc}");
+        let line = r.render();
+        assert!(line.contains("open-loop"), "{line}");
+        assert!(line.contains("offered"), "{line}");
+        assert!(line.contains("achieved"), "{line}");
+        // Closed-loop reports say so and carry no rate noise.
+        let closed = report(vec![100]).to_json().to_string();
+        assert!(closed.contains("\"mode\":\"closed\""), "{closed}");
+        assert!(!closed.contains("offered_rps"), "{closed}");
+        assert!(!report(vec![100]).render().contains("open-loop"));
     }
 
     #[test]

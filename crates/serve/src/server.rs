@@ -596,7 +596,9 @@ impl reactor::App for ServeApp {
         // writes. Probes, metrics, and control answers stay on the
         // reactor thread, where they cost microseconds and skip a hop.
         match (request.method.as_str(), request.target.as_str()) {
-            ("POST", "/v1/experiments") | (_, "/v1/cache") => Dispatch::Defer,
+            ("POST", "/v1/experiments" | "/v1/grids" | "/v1/cells") | (_, "/v1/cache") => {
+                Dispatch::Defer
+            }
             _ => {
                 let started = Instant::now();
                 let routed = route(&self.shared, request);
@@ -822,6 +824,8 @@ fn route(shared: &Shared, request: &Request) -> Routed {
         }
         ("GET", "/v1/experiments") => pass(Response::json(200, Service::experiments_json())),
         ("POST", "/v1/experiments") => serve_experiment(shared, &request.body),
+        ("POST", "/v1/grids") => serve_grid(shared, &request.body),
+        ("POST", "/v1/cells") => serve_cell(shared, &request.body),
         // Warm-state transfer: export (GET) / bulk-import (POST) of the
         // result cache, epoch-tagged. Intra-cluster plumbing — the
         // gateway's ring-neighbor handoff — not a public surface.
@@ -840,7 +844,8 @@ fn route(shared: &Shared, request: &Request) -> Routed {
         }
         (
             _,
-            "/healthz" | "/readyz" | "/metrics" | "/v1/experiments" | "/v1/cache" | "/v1/shutdown",
+            "/healthz" | "/readyz" | "/metrics" | "/v1/experiments" | "/v1/grids" | "/v1/cells"
+            | "/v1/cache" | "/v1/shutdown",
         ) => pass(Response::json(405, r#"{"error":"method not allowed"}"#)),
         _ => pass(Response::json(404, r#"{"error":"not found"}"#)),
     }
@@ -875,6 +880,27 @@ fn serve_experiment(shared: &Shared, body: &[u8]) -> Routed {
             };
         }
     };
+    match experiment_body(shared, &request) {
+        Ok((body, cache)) => Routed {
+            response: Response::json(200, body),
+            cache,
+            close: false,
+        },
+        Err((status, message)) => Routed {
+            response: Response::json(status, Json::object().field("error", message).to_string()),
+            cache: "miss",
+            close: false,
+        },
+    }
+}
+
+/// The cached-execute core shared by `/v1/experiments` and `/v1/grids`:
+/// result-cache read (unless `fresh`), compute on miss, cache + persist
+/// the fill. Returns the response body and its cache disposition.
+fn experiment_body(
+    shared: &Shared,
+    request: &ExperimentRequest,
+) -> Result<(String, &'static str), (u16, String)> {
     let key = request.cache_key();
     if !request.fresh {
         if let Some(cached) = shared.results.get(&key) {
@@ -882,35 +908,97 @@ fn serve_experiment(shared: &Shared, body: &[u8]) -> Routed {
                 .metrics
                 .result_cache_hits
                 .fetch_add(1, Ordering::Relaxed);
-            return Routed {
-                response: Response::json(200, cached.as_bytes().to_vec()),
-                cache: "hit",
-                close: false,
-            };
+            return Ok((cached.to_string(), "hit"));
         }
     }
     shared
         .metrics
         .result_cache_misses
         .fetch_add(1, Ordering::Relaxed);
-    match shared.service.execute(&request) {
+    match shared.service.execute(request) {
         Ok(body) => {
             shared.results.put(&key, Arc::from(body.as_str()));
             persist(shared, &key, &body);
-            Routed {
-                response: Response::json(200, body),
-                cache: "miss",
-                close: false,
-            }
+            Ok((body, "miss"))
         }
+        Err(message) => Err((500, message)),
+    }
+}
+
+/// `POST /v1/grids` on a lone backend: every requested experiment served
+/// through the same cached-execute core as `/v1/experiments`, documents
+/// concatenated in request order. This is the reference the gateway's
+/// scatter-gather response must match byte for byte.
+fn serve_grid(shared: &Shared, body: &[u8]) -> Routed {
+    let text = match std::str::from_utf8(body) {
+        Ok(text) => text,
+        Err(_) => {
+            let body = Json::object()
+                .field("error", "body is not UTF-8")
+                .to_string();
+            return Routed {
+                response: Response::json(400, body),
+                cache: "-",
+                close: false,
+            };
+        }
+    };
+    let request = match mds_bench::grid::GridRequest::from_body(text) {
+        Ok(request) => request,
         Err(message) => {
             let body = Json::object().field("error", message).to_string();
-            Routed {
-                response: Response::json(500, body),
-                cache: "miss",
+            return Routed {
+                response: Response::json(400, body),
+                cache: "-",
                 close: false,
+            };
+        }
+    };
+    let mut out = String::new();
+    let mut all_hit = true;
+    for id in &request.experiments {
+        let sub = ExperimentRequest {
+            experiment: id.clone(),
+            scale: request.scale,
+            fresh: request.fresh,
+        };
+        match experiment_body(shared, &sub) {
+            Ok((body, cache)) => {
+                all_hit &= cache == "hit";
+                out.push_str(&body);
+            }
+            Err((status, message)) => {
+                let body = Json::object().field("error", message).to_string();
+                return Routed {
+                    response: Response::json(status, body),
+                    cache: "miss",
+                    close: false,
+                };
             }
         }
+    }
+    Routed {
+        response: Response::json(200, out),
+        cache: if all_hit { "hit" } else { "miss" },
+        close: false,
+    }
+}
+
+/// `POST /v1/cells`: one wire-encoded grid job, executed on the shared
+/// runner. Intra-cluster plumbing for scatter-gather grid execution —
+/// not a public surface.
+fn serve_cell(shared: &Shared, body: &[u8]) -> Routed {
+    match shared.service.execute_cell(body) {
+        Ok(body) => Routed {
+            response: Response::json(200, body),
+            cache: "-",
+            close: false,
+        },
+        Err((status, message)) => Routed {
+            response: Response::json(status, Json::object().field("error", message).to_string()),
+            cache: "-",
+            close: false,
+        },
     }
 }
 

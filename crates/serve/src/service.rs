@@ -120,16 +120,37 @@ impl Service {
             let table = mds_bench::experiment(&mut h, &req.experiment).expect("validated id");
             mds_bench::results_doc(&req.experiment, title, req.scale, &table).pretty()
         }))
-        .map_err(|payload| {
-            let msg = if let Some(s) = payload.downcast_ref::<&str>() {
-                (*s).to_string()
-            } else if let Some(s) = payload.downcast_ref::<String>() {
-                s.clone()
-            } else {
-                "experiment execution panicked".to_string()
-            };
-            format!("experiment '{id}' failed: {msg}")
-        })
+        .map_err(|payload| format!("experiment '{id}' failed: {}", panic_message(payload)))
+    }
+
+    /// Executes one wire-encoded grid cell (`POST /v1/cells`): decodes
+    /// the job, runs it on the shared runner (sharing the persistent
+    /// trace cache with every other cell and experiment), and returns
+    /// the `{"id", "output"}` response body.
+    ///
+    /// Errors carry the HTTP status the server should answer with: 400
+    /// for undecodable jobs, 500 for a simulation panic.
+    pub fn execute_cell(&self, body: &[u8]) -> Result<String, (u16, String)> {
+        let text = std::str::from_utf8(body).map_err(|_| (400, "body is not UTF-8".to_string()))?;
+        let doc = Json::parse(text).map_err(|e| (400, e.to_string()))?;
+        let job = mds_runner::wire::decode_job(&doc).map_err(|e| (400, e.to_string()))?;
+        let runner = self.runner.clone();
+        catch_unwind(AssertUnwindSafe(move || {
+            let id = job.id.clone();
+            let mut grid = mds_runner::Grid::new(job.scale);
+            grid.push(job);
+            let outcome = runner.run(&grid);
+            let result = outcome
+                .results
+                .into_iter()
+                .next()
+                .expect("one job in, one result out");
+            Json::object()
+                .field("id", id)
+                .field("output", mds_runner::wire::encode_output(&result.output))
+                .pretty()
+        }))
+        .map_err(|payload| (500, format!("cell failed: {}", panic_message(payload))))
     }
 
     /// The `GET /v1/experiments` body: every registered id with its
@@ -147,6 +168,17 @@ impl Service {
         Json::object()
             .field("experiments", Json::Array(list))
             .pretty()
+    }
+}
+
+/// Renders the panic payload a simulation worker died with.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "execution panicked".to_string()
     }
 }
 

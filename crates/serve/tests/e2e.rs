@@ -347,6 +347,46 @@ fn readiness_reports_saturation_when_the_queue_is_full() {
 }
 
 #[test]
+fn open_loop_load_holds_its_arrival_schedule() {
+    use mds_serve::{run_load, LoadConfig};
+    let server = start(4, 64);
+    // Warm the result cache so every open-loop shot is a cheap hit.
+    let warm = request(
+        &server,
+        "POST",
+        "/v1/experiments",
+        br#"{"experiment":"fig5","scale":"tiny"}"#,
+    );
+    assert_eq!(warm.status, 200);
+
+    let report = run_load(&LoadConfig {
+        addr: server.local_addr().to_string(),
+        duration: Duration::from_millis(800),
+        rate: Some(100.0),
+        ..LoadConfig::default()
+    });
+
+    // The schedule dictates arrivals — at 100/s over 0.8s that is at most
+    // 80, independent of server latency; sleep overshoot can only lose a
+    // few.
+    assert!(
+        (60..=80).contains(&report.offered),
+        "offered off schedule: {report:?}"
+    );
+    assert_eq!(report.errors, 0, "{report:?}");
+    assert_eq!(
+        report.requests + report.shed,
+        report.offered,
+        "every arrival is accounted for: {report:?}"
+    );
+    assert_eq!(report.rate, Some(100.0));
+    assert!(report.offered_rps() > 0.0 && report.rps() > 0.0);
+    let doc = report.to_json().to_string();
+    assert!(doc.contains("\"mode\":\"open\""), "{doc}");
+    server.shutdown();
+}
+
+#[test]
 fn load_generator_backs_off_on_sheds_instead_of_hammering() {
     use mds_serve::{run_load, LoadConfig};
     // queue_depth 0: every connection is shed with 503 + Retry-After at
@@ -555,4 +595,92 @@ fn both_engines_serve_cli_identical_bytes() {
         );
         server.shutdown();
     }
+}
+
+#[test]
+fn grid_route_serves_concatenated_cli_documents_and_shares_the_cache() {
+    let server = start(2, 8);
+    // A single-experiment grid is byte-identical to /v1/experiments and
+    // to the repro CLI document.
+    let single = request(
+        &server,
+        "POST",
+        "/v1/grids",
+        br#"{"experiments":["fig5"],"scale":"tiny"}"#,
+    );
+    assert_eq!(single.status, 200, "{single:?}");
+    let expected = cli_fig5_tiny();
+    assert_eq!(single.body, expected.as_bytes());
+
+    // A multi-experiment grid is the per-experiment documents
+    // concatenated in request order; fig5's document is served from the
+    // result cache the first request filled.
+    let multi = request(
+        &server,
+        "POST",
+        "/v1/grids",
+        br#"{"experiments":["table2","fig5"],"scale":"tiny"}"#,
+    );
+    assert_eq!(multi.status, 200);
+    let table2 = request(
+        &server,
+        "POST",
+        "/v1/experiments",
+        br#"{"experiment":"table2","scale":"tiny"}"#,
+    );
+    let mut want = String::from_utf8(table2.body).unwrap();
+    want.push_str(&expected);
+    assert_eq!(multi.body, want.as_bytes());
+    assert!(server.result_cache().hits() >= 1);
+
+    // Unknown ids and fields are rejected up front.
+    let bad = request(
+        &server,
+        "POST",
+        "/v1/grids",
+        br#"{"experiments":["fig99"]}"#,
+    );
+    assert_eq!(bad.status, 400);
+    let bad = request(&server, "POST", "/v1/grids", br#"{"grids":["fig5"]}"#);
+    assert_eq!(bad.status, 400);
+    let bad = request(&server, "GET", "/v1/grids", b"");
+    assert_eq!(bad.status, 405);
+    server.shutdown();
+}
+
+#[test]
+fn cell_route_executes_wire_jobs_whose_outputs_rebuild_the_document() {
+    let server = start(2, 8);
+    // Ship every fig5 cell through POST /v1/cells, merge the decoded
+    // outputs into a local harness, and require the merged document to
+    // match the repro CLI bytes without any local simulation.
+    let ids = vec!["fig5".to_string()];
+    let cells = mds_bench::grid::cells(&ids, Scale::Tiny);
+    let mut h = mds_bench::Harness::with_runner(Scale::Tiny, mds_runner::Runner::new(1));
+    for cell in &cells {
+        let body = mds_runner::wire::encode_job(&cell.job).pretty();
+        let response = request(&server, "POST", "/v1/cells", body.as_bytes());
+        assert_eq!(response.status, 200, "{response:?}");
+        let doc =
+            mds_harness::json::Json::parse(std::str::from_utf8(&response.body).unwrap()).unwrap();
+        assert_eq!(doc.get("id").unwrap().as_str().unwrap(), cell.id());
+        let output = mds_runner::wire::decode_output(doc.get("output").unwrap()).unwrap();
+        assert!(h.insert(&cell.demand, output));
+    }
+    let runs_before = h.run_stats().len();
+    let merged = mds_bench::grid::merged_doc(&mut h, &ids).unwrap();
+    assert_eq!(merged, cli_fig5_tiny());
+    assert_eq!(
+        h.run_stats().len(),
+        runs_before,
+        "nothing recomputed locally"
+    );
+    // The backend emulated each fig5 workload exactly once across all
+    // cells (the persistent trace cache is shared between cell requests).
+    assert_eq!(server.trace_cache().misses(), FIG5_TINY_WORKLOADS);
+
+    // Undecodable cells are a 400, not a crash.
+    let bad = request(&server, "POST", "/v1/cells", br#"{"id":"x"}"#);
+    assert_eq!(bad.status, 400);
+    server.shutdown();
 }
